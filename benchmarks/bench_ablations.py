@@ -1,0 +1,65 @@
+"""Ablation benches: the design choices DESIGN.md calls out.
+
+Not paper figures — these isolate each mechanism's contribution:
+XPUcall transports (Fig. 7), sync strategies (§5), keep-alive capacity
+(§4.2), and direct-connect vs bus-mediated DAG calls (§4.3).
+"""
+
+from repro.analysis import ablations
+from repro.analysis.report import format_table
+
+
+def bench_ablation_xpucall_transports(benchmark):
+    rows = benchmark(ablations.xpucall_transport_ablation)
+    print()
+    print(
+        format_table(
+            ["pu", "transport", "round trip (us)"],
+            [(r.pu, r.transport, f"{r.round_trip_us:.1f}") for r in rows],
+        )
+    )
+    by_key = {(r.pu, r.transport): r.round_trip_us for r in rows}
+    assert by_key[("bf1", "fifo")] > by_key[("bf1", "mpsc")] > by_key[("bf1", "mpsc_poll")]
+
+
+def bench_ablation_sync_strategies(benchmark):
+    result = benchmark(ablations.sync_strategy_ablation)
+    print()
+    print(
+        format_table(
+            ["strategy", "critical-path cost (us)"],
+            [
+                ("static partition (xpu_pid)", f"{result.static_partition_us:.1f}"),
+                ("immediate (caps, fifo uuids)", f"{result.immediate_us:.1f}"),
+                ("lazy (uuid reclamation)", f"{result.lazy_us:.1f}"),
+            ],
+        )
+    )
+    assert result.immediate_us > result.lazy_us == result.static_partition_us == 0.0
+
+
+def bench_ablation_keepalive(benchmark):
+    rows = benchmark(ablations.keepalive_ablation)
+    print()
+    print(
+        format_table(
+            ["pool capacity", "hit rate", "mean latency (ms)"],
+            [
+                (r.pool_capacity, f"{r.hit_rate:.2f}", f"{r.mean_latency_ms:.1f}")
+                for r in rows
+            ],
+        )
+    )
+    assert rows[-1].hit_rate > rows[0].hit_rate
+    assert rows[-1].mean_latency_ms < rows[0].mean_latency_ms
+
+
+def bench_ablation_dag_direct_vs_bus(benchmark):
+    result = benchmark(ablations.dag_direct_vs_bus)
+    print()
+    print(
+        f"direct-connect: {result.direct_total_ms:.2f}ms, "
+        f"bus-mediated: {result.bus_total_ms:.2f}ms "
+        f"({result.improvement:.2f}x)"
+    )
+    assert result.bus_total_ms > result.direct_total_ms

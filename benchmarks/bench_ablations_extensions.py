@@ -1,0 +1,57 @@
+"""Ablations over the extension features: energy efficiency (§6.6's
+DPU claim), fork vs snapshot vs cold boot (the Fig. 15 startup axis),
+and shim thread-pool queue disciplines (§5)."""
+
+from repro.analysis import ablations
+from repro.analysis.report import format_table
+
+
+def bench_ablation_energy(benchmark):
+    rows = benchmark(ablations.energy_ablation)
+    print()
+    print(
+        format_table(
+            ["pu", "latency (ms)", "marginal J/request"],
+            [(r.pu, f"{r.latency_ms:.1f}", f"{r.marginal_joules:.3f}") for r in rows],
+        )
+    )
+    by_pu = {r.pu: r for r in rows}
+    # DPUs run longer but still burn less energy per request (§6.6).
+    assert by_pu["dpu-bf1"].latency_ms > by_pu["cpu-xeon"].latency_ms
+    assert by_pu["dpu-bf1"].marginal_joules < by_pu["cpu-xeon"].marginal_joules
+    assert by_pu["dpu-bf2"].marginal_joules < by_pu["cpu-xeon"].marginal_joules
+
+
+def bench_ablation_startup_designs(benchmark):
+    rows = benchmark(ablations.startup_design_ablation)
+    print()
+    print(
+        format_table(
+            ["mechanism", "startup (ms)", "Fig.15 class"],
+            [(r.mechanism, f"{r.startup_ms:.1f}", r.design_class) for r in rows],
+        )
+    )
+    by_class = {r.design_class for r in rows}
+    assert by_class == {"slow", "fast", "extreme"}
+    cfork = next(r for r in rows if "cfork" in r.mechanism)
+    assert cfork.design_class == "extreme"
+
+
+def bench_ablation_shim_threading(benchmark):
+    rows = benchmark(ablations.shim_threading_ablation)
+    print()
+    print(
+        format_table(
+            ["discipline", "threads", "skewed burst (ms)", "balanced burst (ms)"],
+            [
+                (r.discipline, r.threads, f"{r.skewed_makespan_ms:.2f}",
+                 f"{r.balanced_makespan_ms:.2f}")
+                for r in rows
+            ],
+        )
+    )
+    static = next(r for r in rows if r.discipline == "mpsc-per-thread")
+    stealing = next(r for r in rows if r.discipline == "mpmc-work-stealing")
+    # Work stealing fixes the skewed case, matches the balanced one.
+    assert stealing.skewed_makespan_ms < static.skewed_makespan_ms / 2
+    assert abs(stealing.balanced_makespan_ms - static.balanced_makespan_ms) < 1.0

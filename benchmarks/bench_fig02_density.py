@@ -1,0 +1,23 @@
+"""Figure 2a: DPU for higher function density.
+
+Paper: 1000 concurrent instances on the CPU, 1256 with one Bluefield
+DPU, 1512 with two.
+"""
+
+from repro.analysis import experiments as ex
+from repro.analysis.report import format_table
+
+
+def bench_fig2a_density(benchmark):
+    result = benchmark(ex.fig2a_density)
+    print()
+    print(
+        format_table(
+            ["configuration", "measured", "paper"],
+            [
+                (label, result.measured[label], result.paper[label])
+                for label in ("CPU", "+1 DPU", "+2 DPU")
+            ],
+        )
+    )
+    assert result.measured == result.paper

@@ -1,0 +1,25 @@
+"""Figure 2b: FPGA for better performance.
+
+Paper: matrix scaling (192us CPU), matrix addition (324us) and vector
+multiplication (3551us) run 2.15x-2.82x faster as FPGA functions.
+"""
+
+from repro.analysis import experiments as ex
+from repro.analysis.report import format_table
+
+
+def bench_fig2b_fpga_matrix(benchmark):
+    result = benchmark(ex.fig2b_fpga_matrix)
+    print()
+    print(
+        format_table(
+            ["kernel", "cpu (us)", "fpga (us)", "speedup"],
+            [
+                (r.name, f"{r.cpu_us:.0f}", f"{r.fpga_us:.0f}", f"{r.speedup:.2f}x")
+                for r in result.rows
+            ],
+        )
+    )
+    low, high = result.paper_speedup
+    for row in result.rows:
+        assert low - 0.1 <= row.speedup <= high + 0.1

@@ -1,0 +1,30 @@
+"""Figure 8: nIPC latency vs message size.
+
+Paper: nIPC ranges 25-144us depending on the XPUcall implementation;
+polling beats the DPU's local Linux FIFO and trails the CPU's by
+1.5x-3.1x.
+"""
+
+from repro.analysis import experiments as ex
+from repro.analysis.report import format_table
+
+SERIES = ("nIPC-Base", "nIPC-MPSC", "nIPC-Poll", "Linux (DPU)", "Linux (CPU)")
+
+
+def bench_fig8_nipc(benchmark):
+    result = benchmark(ex.fig8_nipc)
+    sizes = sorted(next(iter(result.series.values())))
+    print()
+    rows = [
+        (name, *(f"{result.series[name][size]:.1f}" for size in sizes))
+        for name in SERIES
+    ]
+    print(format_table(["series \\ bytes", *map(str, sizes)], rows))
+    print(result.paper_note)
+    for size in sizes:
+        assert (
+            result.series["nIPC-Base"][size]
+            > result.series["nIPC-MPSC"][size]
+            > result.series["nIPC-Poll"][size]
+        )
+        assert result.series["nIPC-Poll"][size] < result.series["Linux (DPU)"][size] + 1

@@ -1,0 +1,27 @@
+"""Figure 9: comparison with commercial serverless systems.
+
+Paper: Molecule starts functions 37-46x faster and communicates
+68-300x faster than OpenWhisk / AWS Lambda; even Molecule-homo is
+5-6x / 4-19x better.
+"""
+
+from repro.analysis import experiments as ex
+from repro.analysis.report import format_table
+
+
+def bench_fig9_commercial(benchmark):
+    result = benchmark(ex.fig9_commercial)
+    print()
+    print(
+        format_table(
+            ["system", "startup (ms)", "comm (ms)"],
+            [
+                (r.system, f"{r.startup_ms:.2f}", f"{r.comm_ms:.3f}")
+                for r in result.rows
+            ],
+        )
+    )
+    print(result.paper_note)
+    mol = result.row("molecule")
+    assert result.row("openwhisk").startup_ms / mol.startup_ms > 30
+    assert result.row("aws-lambda").comm_ms / mol.comm_ms > 200

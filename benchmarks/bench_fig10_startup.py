@@ -1,0 +1,41 @@
+"""Figure 10: function startup latency on CPU, DPU and FPGA.
+
+Paper: cfork beats the baseline cold boot by >10x; a cross-PU cfork
+adds only 1-3ms; FPGA startup drops from >20s (erase+load+prep) to
+3.8s (no-erase), 1.9s (warm image) and 53ms (warm sandbox).
+"""
+
+from repro.analysis import experiments as ex
+from repro.analysis.report import format_table
+
+
+def bench_fig10_startup(benchmark):
+    result = benchmark(ex.fig10_startup)
+    print()
+    print(
+        format_table(
+            ["pu", "language", "baseline (ms)", "cfork-local (ms)", "cfork-XPU (ms)"],
+            [
+                (
+                    r.pu,
+                    r.language,
+                    f"{r.baseline_local_ms:.1f}",
+                    f"{r.cfork_local_ms:.1f}",
+                    f"{r.cfork_xpu_ms:.1f}",
+                )
+                for r in result.rows
+            ],
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["fpga configuration", "latency (s)"],
+            [(r.configuration, f"{r.seconds:.3f}") for r in result.fpga_rows],
+        )
+    )
+    for row in result.rows:
+        assert row.cfork_local_ms < row.baseline_local_ms / 5
+        assert 0.5 < row.cfork_xpu_ms - row.cfork_local_ms < 3.5
+    assert result.fpga_rows[0].seconds > 20.0
+    assert result.fpga_rows[-1].seconds < 0.06

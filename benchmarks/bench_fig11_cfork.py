@@ -1,0 +1,50 @@
+"""Figure 11: cfork breakdown and memory usage.
+
+Paper (desktop i7): baseline 85.55ms -> naive cfork 47.25ms ->
++FuncContainer 30.05ms -> +cpuset opt 8.40ms; Molecule's PSS is ~34%
+lower at 16 concurrent instances while its RSS is higher (template).
+"""
+
+import pytest
+
+from repro.analysis import experiments as ex
+from repro.analysis.report import format_table
+
+
+def bench_fig11a_cfork_breakdown(benchmark):
+    result = benchmark(ex.fig11a_cfork_breakdown)
+    print()
+    print(
+        format_table(
+            ["stage", "measured (ms)", "paper (ms)"],
+            [
+                (stage, f"{result.measured_ms[stage]:.2f}", f"{paper:.2f}")
+                for stage, paper in result.paper_ms.items()
+            ],
+        )
+    )
+    for stage, paper in result.paper_ms.items():
+        assert result.measured_ms[stage] == pytest.approx(paper, rel=0.001)
+
+
+def bench_fig11bc_memory(benchmark):
+    result = benchmark(ex.fig11bc_memory)
+    print()
+    print(
+        format_table(
+            ["instances", "base RSS", "mol RSS", "base PSS", "mol PSS"],
+            [
+                (
+                    n,
+                    f"{result.baseline_rss[i]:.1f}",
+                    f"{result.molecule_rss[i]:.1f}",
+                    f"{result.baseline_pss[i]:.1f}",
+                    f"{result.molecule_pss[i]:.1f}",
+                )
+                for i, n in enumerate(result.instance_counts)
+            ],
+        )
+    )
+    print(f"PSS saving at {result.instance_counts[-1]} instances: "
+          f"{result.pss_saving_at_max:.1%} (paper: ~34%)")
+    assert 0.25 < result.pss_saving_at_max < 0.45

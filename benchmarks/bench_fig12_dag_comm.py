@@ -1,0 +1,26 @@
+"""Figure 12: serverless DAG communication latency (Alexa edges).
+
+Paper: Molecule's IPC/nIPC DAG calls achieve 10-18x lower per-edge
+latency than the Express-based baseline in all four placement cases.
+"""
+
+from repro.analysis import experiments as ex
+from repro.analysis.report import format_table
+
+
+def bench_fig12_dag_comm(benchmark):
+    result = benchmark(ex.fig12_dag_comm)
+    print()
+    for case in result.cases:
+        rows = [
+            (edge, f"{base:.2f}", f"{mol:.3f}", f"{base / mol:.1f}x")
+            for edge, base, mol in zip(
+                case.edge_names, case.baseline_ms, case.molecule_ms
+            )
+        ]
+        print(f"-- {case.case} --")
+        print(format_table(["edge", "baseline (ms)", "molecule (ms)", "speedup"], rows))
+    print(result.paper_note)
+    for case in result.cases:
+        for speedup in case.speedups:
+            assert speedup > 10.0

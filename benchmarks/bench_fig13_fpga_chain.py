@@ -1,0 +1,23 @@
+"""Figure 13: FPGA function chain end-to-end latency.
+
+Paper: the data-retention (shared-memory) optimisation improves a
+five-function FPGA vector chain by ~1.95x over per-hop copying.
+"""
+
+from repro.analysis import experiments as ex
+from repro.analysis.report import format_table
+
+
+def bench_fig13_fpga_chain(benchmark):
+    result = benchmark(ex.fig13_fpga_chain)
+    print()
+    print(
+        format_table(
+            ["chain length", "copying (us)", "shm (us)", "speedup"],
+            [
+                (n, f"{c:.0f}", f"{s:.0f}", f"{c / s:.2f}x")
+                for n, c, s in zip(result.lengths, result.copying_us, result.shm_us)
+            ],
+        )
+    )
+    assert 1.5 < result.speedup_at_max < 2.5

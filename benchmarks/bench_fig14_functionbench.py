@@ -1,0 +1,63 @@
+"""Figure 14a-d: FunctionBench end-to-end latency.
+
+Paper: Molecule improves cold starts by 1.01x-11.12x on the CPU; BF-1
+runs 4-7x slower than the CPU; BF-2 closes most of that gap (3-4x
+faster than BF-1); warm boots are equal for both systems.
+"""
+
+import pytest
+
+from repro.analysis import experiments as ex
+from repro.analysis.report import format_table
+
+
+def _show(result):
+    print()
+    print(f"-- FunctionBench: {result.variant} --")
+    print(
+        format_table(
+            ["workload", "baseline (ms)", "molecule (ms)", "speedup", "paper base"],
+            [
+                (
+                    r.workload,
+                    f"{r.baseline_ms:.1f}",
+                    f"{r.molecule_ms:.1f}",
+                    f"{r.speedup:.2f}x",
+                    f"{r.paper_baseline_ms:.1f}",
+                )
+                for r in result.rows
+            ],
+        )
+    )
+
+
+def bench_fig14a_cold_cpu(benchmark):
+    result = benchmark(ex.fig14_functionbench, "cold_cpu")
+    _show(result)
+    for row in result.rows:
+        assert row.baseline_ms == pytest.approx(row.paper_baseline_ms, rel=0.20)
+    speedups = [r.speedup for r in result.rows]
+    assert min(speedups) >= 1.0 and max(speedups) < 13.0
+
+
+def bench_fig14b_warm_cpu(benchmark):
+    result = benchmark(ex.fig14_functionbench, "warm_cpu")
+    _show(result)
+    for row in result.rows:
+        assert row.speedup == pytest.approx(1.0, abs=0.05)
+
+
+def bench_fig14c_cold_bf1(benchmark):
+    result = benchmark(ex.fig14_functionbench, "cold_bf1")
+    _show(result)
+    cpu = ex.fig14_functionbench("cold_cpu")
+    for row_bf1, row_cpu in zip(result.rows, cpu.rows):
+        assert 4.0 <= row_bf1.baseline_ms / row_cpu.baseline_ms <= 7.0
+
+
+def bench_fig14d_cold_bf2(benchmark):
+    result = benchmark(ex.fig14_functionbench, "cold_bf2")
+    _show(result)
+    bf1 = ex.fig14_functionbench("cold_bf1")
+    for row_bf2, row_bf1 in zip(result.rows, bf1.rows):
+        assert 3.0 <= row_bf1.baseline_ms / row_bf2.baseline_ms <= 6.0

@@ -1,0 +1,36 @@
+"""Figure 14e: chained applications (Alexa, MapReduce).
+
+Paper: with pre-booted instances, Molecule's IPC/nIPC DAG calls cut
+Alexa's end-to-end latency 2.04-2.47x and MapReduce's 3.70-4.47x
+across CPU, DPU and cross-PU placements (baseline CPU: 38.6ms Alexa,
+20.0ms MapReduce).
+"""
+
+from repro.analysis import experiments as ex
+from repro.analysis.report import format_table
+
+
+def bench_fig14e_chains(benchmark):
+    result = benchmark(ex.fig14e_chains)
+    print()
+    print(
+        format_table(
+            ["application", "case", "baseline (ms)", "molecule (ms)", "speedup"],
+            [
+                (
+                    r.application,
+                    r.case,
+                    f"{r.baseline_ms:.1f}",
+                    f"{r.molecule_ms:.1f}",
+                    f"{r.speedup:.2f}x",
+                )
+                for r in result.rows
+            ],
+        )
+    )
+    print(result.paper_note)
+    for row in result.rows:
+        if row.application == "alexa":
+            assert 1.7 < row.speedup < 2.6
+        else:
+            assert 2.7 < row.speedup < 4.7

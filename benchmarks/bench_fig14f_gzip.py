@@ -1,0 +1,32 @@
+"""Figure 14f: GZip FPGA functions.
+
+Paper: FPGA-accelerated GZip significantly outperforms the CPU version
+above ~25MB, by 4.8-8.3x at large file sizes.
+"""
+
+from repro.analysis import experiments as ex
+from repro.analysis.report import format_table
+
+
+def bench_fig14f_gzip(benchmark):
+    result = benchmark(ex.fig14f_gzip)
+    print()
+    print(
+        format_table(
+            ["file (MB)", "cpu (ms)", "fpga (ms)", "winner"],
+            [
+                (
+                    size,
+                    f"{cpu:.1f}",
+                    f"{fpga:.1f}",
+                    "fpga" if fpga < cpu else "cpu",
+                )
+                for size, cpu, fpga in zip(result.inputs, result.cpu_ms, result.fpga_ms)
+            ],
+        )
+    )
+    print(f"crossover: ~{result.crossover_input}MB (paper: ~25MB); "
+          f"speedup at 112MB: {result.speedup_at(-1):.1f}x (paper: up to 8.3x)")
+    assert result.crossover_input is not None
+    assert 10.0 <= result.crossover_input <= 30.0
+    assert 4.0 < result.speedup_at(-1) < 9.0

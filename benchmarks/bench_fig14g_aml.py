@@ -1,0 +1,26 @@
+"""Figure 14g: Anti-MoneyL FPGA function.
+
+Paper: the FPGA version outperforms the CPU by 4.7x at 6K entries up
+to 34.6x at 6M entries.
+"""
+
+from repro.analysis import experiments as ex
+from repro.analysis.report import format_table
+
+
+def bench_fig14g_aml(benchmark):
+    result = benchmark(ex.fig14g_aml)
+    print()
+    print(
+        format_table(
+            ["entries", "cpu (ms)", "fpga (ms)", "speedup"],
+            [
+                (int(n), f"{cpu:.2f}", f"{fpga:.2f}", f"{cpu / fpga:.1f}x")
+                for n, cpu, fpga in zip(result.inputs, result.cpu_ms, result.fpga_ms)
+            ],
+        )
+    )
+    speedups = [result.speedup_at(i) for i in range(len(result.inputs))]
+    assert speedups == sorted(speedups)
+    assert 3.5 < speedups[0] < 6.0
+    assert 25.0 < speedups[-1] < 40.0

@@ -1,0 +1,18 @@
+"""Figure 14h: matrix computation application.
+
+Paper: the FPGA function achieves 2.8x lower latency than the 2.6ms
+CPU version.
+"""
+
+from repro.analysis import experiments as ex
+
+
+def bench_fig14h_matrix(benchmark):
+    result = benchmark(ex.fig14h_matrix)
+    print()
+    print(
+        f"matrix-comput: cpu {result.cpu_ms[0]:.2f}ms, "
+        f"fpga {result.fpga_ms[0]:.2f}ms -> {result.speedup_at(0):.2f}x "
+        "(paper: 2.8x of 2.6ms)"
+    )
+    assert 2.2 < result.speedup_at(0) < 3.2

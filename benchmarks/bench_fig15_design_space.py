@@ -1,0 +1,26 @@
+"""Figure 15: serverless system design space.
+
+Paper: Molecule is the only system achieving extreme startup (<=10ms),
+IPC-class same-PU communication AND a cross-PU (nIPC) story.
+"""
+
+from repro.analysis import experiments as ex
+from repro.analysis.report import format_table
+
+
+def bench_fig15_design_space(benchmark):
+    points = benchmark(ex.fig15_design_space)
+    print()
+    print(
+        format_table(
+            ["system", "startup", "same-PU comm", "cross-PU comm"],
+            [
+                (p.system, p.startup_class, p.same_pu_comm, p.cross_pu_comm)
+                for p in points
+            ],
+        )
+    )
+    molecule = next(p for p in points if p.system == "molecule")
+    assert molecule.startup_class == "extreme"
+    assert molecule.same_pu_comm == "ipc"
+    assert sum(1 for p in points if p.cross_pu_comm == "nipc") == 1

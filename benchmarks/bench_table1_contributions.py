@@ -1,0 +1,51 @@
+"""Table 1: overall contributions matrix.
+
+Paper: vectorized sandbox and XPU-Shim are supported on CPU, DPU and
+FPGA; cfork on CPU/DPU; vectorized-sandbox caching on FPGA; nIPC-DAG
+everywhere; DPU<->FPGA communication is CPU-intercepted.
+"""
+
+from repro.analysis import experiments as ex
+from repro.analysis.report import format_table
+from repro.hardware import LinkKind, build_full_machine
+from repro.sim import Simulator
+
+
+def _contributions():
+    matrix = ex.table5_generality()
+    sim = Simulator()
+    machine = build_full_machine(sim, num_dpus=1, num_fpgas=1, num_gpus=0)
+    dpu = machine.pu(1)
+    fpga = next(p for p in machine.pus.values() if p.name.startswith("fpga"))
+    dpu_fpga_route = machine.route(dpu, fpga)
+    return matrix, dpu_fpga_route
+
+
+def bench_table1_contributions(benchmark):
+    matrix, route = benchmark(_contributions)
+    print()
+    print(
+        format_table(
+            ["pu", "v.sandbox", "xpu-shim", "cfork", "v.s. caching", "nipc dag"],
+            [
+                (
+                    name,
+                    row["vectorized_sandbox"],
+                    row["xpu_shim"],
+                    "yes" if row["cfork"] else "-",
+                    "yes" if row["vs_caching"] else "-",
+                    "yes" if row["nipc_dag"] else "-",
+                )
+                for name, row in matrix.items()
+            ],
+        )
+    )
+    print(f"DPU<->FPGA: CPU-intercepted via PU {route.intercepted_by} "
+          f"({[l.kind.value for l in route.links]})")
+    # Every PU implements the two abstractions.
+    assert all(row["vectorized_sandbox"] for row in matrix.values())
+    assert all(row["xpu_shim"] for row in matrix.values())
+    # cfork only on general-purpose PUs; caching only on FPGA.
+    assert [r["cfork"] for r in matrix.values()].count(True) >= 2
+    assert route.intercepted_by is not None
+    assert [l.kind for l in route.links] == [LinkKind.RDMA, LinkKind.DMA]

@@ -1,0 +1,33 @@
+"""Table 4: FPGA resource utilisation.
+
+Paper: the 12-instance wrapper (4x madd/mmult/mscale + shell) uses
+119,517 LUTs (10.1%), 196,996 REGs (8.3%), 486 BRAMs (22.5%) and
+787 DSPs (11.5%) of one AWS F1 device.
+"""
+
+import pytest
+
+from repro.analysis import experiments as ex
+from repro.analysis.report import format_table
+
+
+def bench_table4_fpga_resources(benchmark):
+    result = benchmark(ex.table4_fpga_resources)
+    print()
+    print(
+        format_table(
+            ["resource", "F1 total", "wrapper (12 fn)", "fraction", "paper"],
+            [
+                (
+                    key,
+                    f"{result.totals[key]:,.0f}",
+                    f"{result.wrapper[key]:,.0f}",
+                    f"{result.fractions[key]:.1%}",
+                    f"{result.paper_fractions[key]:.1%}",
+                )
+                for key in ("luts", "regs", "brams", "dsps")
+            ],
+        )
+    )
+    for key, paper_value in result.paper_wrapper.items():
+        assert result.wrapper[key] == pytest.approx(paper_value, rel=0.001)

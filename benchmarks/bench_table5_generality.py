@@ -1,0 +1,34 @@
+"""Table 5: supporting different PUs (generality, §6.8).
+
+Paper: a new PU needs three pieces — a vectorized sandbox runtime, an
+XPU-Shim instance, and a programming model; DPU uses modified runc over
+RDMA, FPGA uses runf (OpenCL) over DMA, GPU uses runG (CUDA) over DMA.
+"""
+
+from repro.analysis import experiments as ex
+from repro.analysis.report import format_table
+
+
+def bench_table5_generality(benchmark):
+    matrix = benchmark(ex.table5_generality)
+    print()
+    print(
+        format_table(
+            ["pu", "kind", "v.sandbox", "communication", "programming model"],
+            [
+                (
+                    name,
+                    row["kind"],
+                    row["vectorized_sandbox"],
+                    row["communication"],
+                    row["programming_model"],
+                )
+                for name, row in matrix.items()
+            ],
+        )
+    )
+    by_kind = {row["kind"]: row for row in matrix.values()}
+    assert by_kind["dpu"]["communication"] == "RDMA"
+    assert by_kind["fpga"]["communication"] == "DMA"
+    assert by_kind["gpu"]["vectorized_sandbox"].startswith("runG")
+    assert by_kind["gpu"]["programming_model"] == "CUDA C++"

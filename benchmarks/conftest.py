@@ -1,0 +1,6 @@
+"""Benchmark-suite configuration.
+
+Every module here regenerates one table or figure of the paper.  Run
+with ``pytest benchmarks/ --benchmark-only -s`` to see the regenerated
+rows/series next to the timing results.
+"""

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""The Alexa smart-home skill as a cross-PU function chain.
+
+Five Node.js functions (frontend -> interact -> smarthome -> door ->
+light) run as a serverless DAG.  Molecule connects them with
+direct-connect FIFOs — local IPC on the same PU, neighbour IPC across
+PUs — while the baseline hops through Express over HTTP.
+
+Run:  python examples/alexa_chain.py
+"""
+
+from repro.baselines import MoleculeHomo
+from repro.core import MoleculeRuntime
+from repro.hardware import specs
+from repro.workloads import serverlessbench
+
+
+def show(label, result):
+    edges = ", ".join(f"{edge * 1e3:.2f}" for edge in result.edge_latencies_s)
+    print(f"  {label:<22} total {result.total_ms:6.2f} ms   edges [{edges}] ms")
+
+
+def main():
+    chain = serverlessbench.alexa_chain()
+
+    print("baseline (Molecule-homo, Express HTTP hops):")
+    for label, spec in (("CPU only", specs.XEON_8160), ("DPU only", specs.BLUEFIELD1)):
+        homo = MoleculeHomo(pu_spec=spec)
+        for function in serverlessbench.alexa_functions():
+            homo.deploy(function)
+        show(label, homo.run_chain_now(chain))
+
+    print("\nMolecule (direct-connect IPC / nIPC):")
+    molecule = MoleculeRuntime.create(num_dpus=1)
+    for function in serverlessbench.alexa_functions():
+        molecule.deploy_now(function)
+    cpu = molecule.machine.host_cpu
+    dpu = molecule.machine.pu(1)
+    for label, placements in (
+        ("CPU only", [cpu] * 5),
+        ("DPU only", [dpu] * 5),
+        ("cross-PU (alternate)", [cpu, dpu, cpu, dpu, cpu]),
+    ):
+        molecule.run(molecule.dag.prepare(chain, placements))
+        show(label, molecule.run(molecule.run_chain(chain, placements)))
+
+    print("\nEvery inter-function edge drops from milliseconds (HTTP)"
+          " to ~0.2-0.5 ms (FIFO write/read), even across PUs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Vertical scaling: how many concurrent instances fit per machine?
+
+Reproduces the Fig. 2a experiment interactively: the scheduler admits
+instances (reserving their DRAM) until every PU is full, for machines
+with zero, one and two DPUs — and then shows what a burst of Poisson
+traffic does to the warm pools.
+
+Run:  python examples/density_scaling.py
+"""
+
+from repro import MoleculeRuntime, PuKind, Simulator, build_cpu_dpu_machine
+from repro.core.scheduler import Scheduler
+from repro.errors import SchedulingError
+from repro.workloads import PoissonGenerator, functionbench
+
+
+def main():
+    function = functionbench.spec("image_resize").to_function()
+
+    print("instance density by machine configuration (Fig. 2a):")
+    for label, num_dpus in (("CPU only", 0), ("CPU + 1 DPU", 1), ("CPU + 2 DPU", 2)):
+        sim = Simulator()
+        machine = build_cpu_dpu_machine(sim, num_dpus=num_dpus)
+        scheduler = Scheduler(machine)
+        placed = 0
+        per_pu: dict[str, int] = {}
+        while True:
+            try:
+                pu = scheduler.place(function)
+            except SchedulingError:
+                break
+            placed += 1
+            per_pu[pu.name] = per_pu.get(pu.name, 0) + 1
+        print(f"  {label:<13} {placed:5d} instances  {per_pu}")
+
+    # Drive real traffic: a Poisson arrival stream against a deployed
+    # runtime, watching utilisation and the warm pool.
+    print("\n200 req/s Poisson burst for 2 simulated seconds:")
+    molecule = MoleculeRuntime.create(num_dpus=2)
+    molecule.deploy_now(function)
+    generator = PoissonGenerator(molecule.sim, rate_per_s=200.0)
+
+    def invoke():
+        yield from molecule.invoke("image_resize")
+
+    molecule.run(generator.run(invoke, duration_s=2.0))
+    trace = generator.trace
+    latencies_ms = sorted(latency * 1e3 for latency in trace.latencies_s)
+    p50 = latencies_ms[len(latencies_ms) // 2]
+    p99 = latencies_ms[int(len(latencies_ms) * 0.99)]
+    print(f"  completed {trace.completed} requests "
+          f"(p50 {p50:.1f} ms, p99 {p99:.1f} ms)")
+    print(f"  cold starts: {molecule.invoker.cold_invocations}, "
+          f"warm hits: {molecule.invoker.warm_invocations}")
+    print(f"  host CPU utilisation: "
+          f"{molecule.machine.host_cpu.clock.utilization():.1%}")
+
+
+if __name__ == "__main__":
+    main()

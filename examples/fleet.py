@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""A fleet of heterogeneous workers behind one global manager.
+
+§4.1: the API Gateway schedules instances onto machines offering at
+least one of the function's required PU kinds.  This example builds
+three workers — two CPU+DPU boxes and one CPU+FPGA box — deploys mixed
+functions, and replays a skewed trace through the fleet.
+
+Run:  python examples/fleet.py
+"""
+
+from repro import (
+    FunctionCode,
+    FunctionDef,
+    Language,
+    MoleculeRuntime,
+    PuKind,
+    WorkProfile,
+    build_cpu_fpga_machine,
+)
+from repro.core.cluster import GlobalManager
+from repro.hardware import FabricResources, KernelSpec
+from repro.sim import SeededRng
+from repro.workloads import AzureLikeTrace
+
+
+def main():
+    manager = GlobalManager()
+    manager.build_worker("worker-1", num_dpus=1)
+    manager.build_worker("worker-2", num_dpus=2)
+    fpga_machine = build_cpu_fpga_machine(manager.sim, num_fpgas=1)
+    fpga_runtime = MoleculeRuntime(manager.sim, fpga_machine)
+    fpga_runtime.start()
+    manager.add_worker("fpga-box", fpga_runtime)
+
+    print("fleet:")
+    for worker in manager.workers:
+        kinds = sorted(kind.value for kind in worker.pu_kinds())
+        print(f"  {worker.name:<9} PU kinds: {kinds}")
+
+    # General-purpose functions land on the CPU+DPU workers...
+    for index in range(4):
+        manager.deploy_now(FunctionDef(
+            name=f"api-{index}",
+            code=FunctionCode(f"api-{index}", language=Language.PYTHON, memory_mb=60),
+            work=WorkProfile(warm_exec_ms=8.0),
+            profiles=(PuKind.CPU, PuKind.DPU),
+        ))
+    # ... the FPGA kernel only fits the FPGA box.
+    manager.deploy_now(FunctionDef(
+        name="encode",
+        code=FunctionCode(
+            "encode",
+            kernel=KernelSpec("encode", FabricResources(luts=9000), exec_time_s=1e-3),
+        ),
+        work=WorkProfile(warm_exec_ms=20.0, fpga_exec_ms=1.0),
+        profiles=(PuKind.FPGA,),
+    ))
+
+    result = manager.invoke_now("encode")
+    print(f"\n'encode' routed to the FPGA box: pu={result.pu_name} "
+          f"({result.pu_kind.value}), cold={result.cold}")
+
+    trace = AzureLikeTrace(
+        [f"api-{i}" for i in range(4)],
+        peak_rate_per_s=40.0,
+        rng=SeededRng(17),
+    )
+
+    def invoke(name):
+        return manager.invoke(name)
+
+    proc = manager.sim.spawn(
+        trace.replay(manager.sim, invoke, duration_s=10.0)
+    )
+    manager.sim.run()
+
+    print("\nrouting after a 10s skewed trace:")
+    for name, count in sorted(manager.routed.items()):
+        print(f"  {name:<9} {count:4d} requests")
+    for worker in manager.workers:
+        invoker = worker.runtime.invoker
+        total = invoker.cold_invocations + invoker.warm_invocations
+        if total:
+            rate = invoker.warm_invocations / total
+            print(f"  {worker.name:<9} warm-hit rate {rate:.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: deploy one function on a CPU+DPU machine and invoke it.
+
+Shows the basic Molecule lifecycle: build a heterogeneous worker
+machine, deploy a function with CPU and DPU profiles, and watch the
+cold -> warm transition and DPU placement.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    FunctionCode,
+    FunctionDef,
+    Language,
+    MoleculeRuntime,
+    PuKind,
+    WorkProfile,
+)
+
+
+def main():
+    # A worker machine: one Xeon host + two Bluefield-1 DPUs, with an
+    # OS per PU, XPU-Shim everywhere, and executors xSpawn-ed onto the
+    # DPUs (all simulated deterministically).
+    molecule = MoleculeRuntime.create(num_dpus=2)
+    print("machine topology:")
+    print(molecule.machine.describe())
+
+    # A Python image-processing function, deployable on CPU *or* DPU.
+    # Molecule boots a dedicated template container per PU so later
+    # instances start via cfork instead of a full cold boot.
+    function = FunctionDef(
+        name="image-resize",
+        code=FunctionCode(
+            "image-resize",
+            language=Language.PYTHON,
+            import_ms=12.8,   # PIL import, pre-loaded by the template
+            memory_mb=60.0,
+        ),
+        work=WorkProfile(warm_exec_ms=14.1),
+        profiles=(PuKind.CPU, PuKind.DPU),
+    )
+    molecule.deploy_now(function)
+
+    print("\ninvocations:")
+    cold = molecule.invoke_now("image-resize")
+    print(f"  cold  on {cold.pu_name}: {cold.total_ms:7.2f} ms "
+          f"(startup {cold.startup_s * 1e3:.2f} ms via cfork)")
+
+    warm = molecule.invoke_now("image-resize")
+    print(f"  warm  on {warm.pu_name}: {warm.total_ms:7.2f} ms "
+          f"(instance cache hit)")
+
+    dpu = molecule.invoke_now("image-resize", kind=PuKind.DPU)
+    print(f"  cold  on {dpu.pu_name}: {dpu.total_ms:7.2f} ms "
+          f"(remote cfork over nIPC, slower ARM cores)")
+
+    dpu_warm = molecule.invoke_now("image-resize", kind=PuKind.DPU)
+    print(f"  warm  on {dpu_warm.pu_name}: {dpu_warm.total_ms:7.2f} ms")
+
+    print(f"\nbilling (credit units): cpu={warm.billed_cost:.1f} "
+          f"dpu={dpu_warm.billed_cost:.1f} (DPU is the cheaper price class)")
+    pool = molecule.invoker.pools[0]
+    print(f"warm-pool hit rate on the host: {pool.hit_rate:.0%}")
+
+
+if __name__ == "__main__":
+    main()

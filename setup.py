@@ -1,0 +1,10 @@
+"""Setup shim.
+
+All metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works on environments without the ``wheel``
+package (legacy editable install path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,65 @@
+"""Molecule reproduction: serverless computing on heterogeneous computers.
+
+A calibrated discrete-event reimplementation of the ASPLOS'22 Molecule
+system (Du et al.): XPU-Shim, neighbour IPC, distributed capabilities,
+vectorized sandboxes (runc / runf / runG), cfork, and the benchmarks
+that regenerate every figure and table of the paper's evaluation.
+
+Quickstart::
+
+    from repro import MoleculeRuntime, FunctionDef, FunctionCode
+    from repro import Language, PuKind, WorkProfile
+
+    molecule = MoleculeRuntime.create(num_dpus=2)
+    hello = FunctionDef(
+        name="hello",
+        code=FunctionCode("hello", language=Language.PYTHON),
+        work=WorkProfile(warm_exec_ms=5.0),
+        profiles=(PuKind.CPU, PuKind.DPU),
+    )
+    molecule.deploy_now(hello)
+    result = molecule.invoke_now("hello")
+    print(result.total_ms, result.pu_name, result.cold)
+"""
+
+from repro.core import (
+    Chain,
+    ChainResult,
+    ChainStage,
+    FunctionDef,
+    FunctionRegistry,
+    InvocationResult,
+    MoleculeRuntime,
+    WorkProfile,
+)
+from repro.hardware import (
+    HeterogeneousComputer,
+    PuKind,
+    build_cpu_dpu_machine,
+    build_cpu_fpga_machine,
+    build_full_machine,
+)
+from repro.sandbox import FunctionCode, Language
+from repro.sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Chain",
+    "ChainResult",
+    "ChainStage",
+    "FunctionCode",
+    "FunctionDef",
+    "FunctionRegistry",
+    "HeterogeneousComputer",
+    "InvocationResult",
+    "Language",
+    "MoleculeRuntime",
+    "PuKind",
+    "Simulator",
+    "WorkProfile",
+    "build_cpu_dpu_machine",
+    "build_cpu_fpga_machine",
+    "build_full_machine",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Analysis: statistics, reporting, and the per-figure experiment harness."""
+
+from repro.analysis.report import (
+    format_artifact_block,
+    format_comparison,
+    format_table,
+    normalized,
+)
+from repro.analysis.stats import LatencyStats, LatencySummary, percentile
+from repro.analysis.trace import Span, Tracer
+
+__all__ = [
+    "LatencyStats",
+    "LatencySummary",
+    "Span",
+    "Tracer",
+    "format_artifact_block",
+    "format_comparison",
+    "format_table",
+    "normalized",
+    "percentile",
+]

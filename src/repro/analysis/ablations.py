@@ -1,0 +1,347 @@
+"""Ablation studies of Molecule's design choices.
+
+Beyond the paper's headline figures, these isolate the contribution of
+each mechanism:
+
+* XPUcall transport (Fig. 7 a/b/c) per PU model;
+* state synchronisation strategy (static partition / immediate / lazy);
+* keep-alive pool capacity vs cache hit rate and mean latency;
+* direct-connect DAG calls vs a bus-mediated design (SAND/Nightcore
+  style relay through an intermediary process).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro import config
+from repro.core import MoleculeRuntime
+from repro.hardware import build_cpu_dpu_machine, specs
+from repro.hardware.pu import ProcessingUnit, PuKind
+from repro.sim import Simulator
+from repro.workloads import functionbench, serverlessbench
+from repro.xpu import ShimCluster, XpucallTransport
+from repro.xpu.sync import SyncManager
+
+
+# ---------------------------------------------------------------------------
+# XPUcall transport ablation (Fig. 7)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TransportAblationRow:
+    """One (PU, transport) round-trip measurement."""
+    pu: str
+    transport: str
+    round_trip_us: float
+
+
+def xpucall_transport_ablation() -> list[TransportAblationRow]:
+    """Round-trip overhead of each transport on CPU, BF-1 and BF-2."""
+    sim = Simulator()
+    rows = []
+    models = (
+        ("cpu", specs.XEON_8160),
+        ("bf1", specs.BLUEFIELD1),
+        ("bf2", specs.BLUEFIELD2),
+    )
+    for index, (name, spec) in enumerate(models):
+        pu = ProcessingUnit(sim, index, name, spec)
+        for transport in XpucallTransport:
+            rows.append(
+                TransportAblationRow(
+                    pu=name,
+                    transport=transport.value,
+                    round_trip_us=transport.round_trip_time(pu) / config.US,
+                )
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Synchronisation strategy ablation (§5)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SyncAblationResult:
+    """Cost of one state update under each strategy (us), and what an
+    all-immediate design would pay for process creation."""
+
+    static_partition_us: float
+    immediate_us: float
+    lazy_us: float
+    #: Immediate rounds a 100-process boot would need without static
+    #: partitioning (it needs zero with it).
+    avoided_rounds_for_100_processes: int = 100
+
+
+def sync_strategy_ablation(num_dpus: int = 2) -> SyncAblationResult:
+    """Compare the three §5 strategies on a CPU+N-DPU machine."""
+    sim = Simulator()
+    machine = build_cpu_dpu_machine(sim, num_dpus=num_dpus)
+    sync = SyncManager(sim, machine)
+    immediate_us = sync.immediate_sync_time(origin_pu_id=0) / config.US
+
+    # Lazy: the local apply is free; propagation is batched off the
+    # critical path.
+    begin = sim.now
+    sync.lazy(lambda: None)
+    lazy_us = (sim.now - begin) / config.US
+
+    return SyncAblationResult(
+        static_partition_us=0.0,
+        immediate_us=immediate_us,
+        lazy_us=lazy_us,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Keep-alive capacity ablation (§4.2 / FaasCache discussion)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class KeepAliveRow:
+    """Hit rate and mean latency at one pool capacity."""
+    pool_capacity: int
+    hit_rate: float
+    mean_latency_ms: float
+
+
+def keepalive_ablation(
+    capacities: Sequence[int] = (1, 2, 4, 8),
+    functions_count: int = 4,
+    rounds: int = 6,
+) -> list[KeepAliveRow]:
+    """Round-robin ``functions_count`` functions over pools of varying
+    capacity; small pools thrash (cold starts), large pools stay warm."""
+    rows = []
+    for capacity in capacities:
+        runtime = MoleculeRuntime.create(num_dpus=0, warm_pool_capacity=capacity)
+        names = []
+        for index in range(functions_count):
+            spec = functionbench.spec("image_resize")
+            function = spec.to_function(profiles=(PuKind.CPU,))
+            import dataclasses
+
+            function = dataclasses.replace(
+                function,
+                name=f"fn{index}",
+                code=dataclasses.replace(function.code, func_id=f"fn{index}"),
+            )
+            runtime.deploy_now(function)
+            names.append(function.name)
+        latencies = []
+        for _round in range(rounds):
+            for name in names:
+                result = runtime.invoke_now(name)
+                latencies.append(result.total_s / config.MS)
+        pool = runtime.invoker.pools[0]
+        rows.append(
+            KeepAliveRow(
+                pool_capacity=capacity,
+                hit_rate=pool.hit_rate,
+                mean_latency_ms=sum(latencies) / len(latencies),
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Direct-connect vs bus-mediated DAG ablation (§4.3)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DagDesignResult:
+    """Direct-connect vs bus-mediated chain totals."""
+    direct_total_ms: float
+    bus_total_ms: float
+
+    @property
+    def improvement(self) -> float:
+        """How much slower the bus design is."""
+        return self.bus_total_ms / self.direct_total_ms
+
+
+@dataclass
+class EnergyRow:
+    """One PU's latency and marginal energy per request."""
+    pu: str
+    latency_ms: float
+    marginal_joules: float
+
+
+def energy_ablation(work_ref_ms: float = 16.0, requests: int = 100) -> list[EnergyRow]:
+    """Joules-per-request across PU models (§6.6: DPUs promise better
+    energy efficiency despite longer runtimes)."""
+    from repro.hardware.power import EnergyMeter, energy_per_request
+
+    rows = []
+    for name, spec in (
+        ("cpu-xeon", specs.XEON_8160),
+        ("dpu-bf1", specs.BLUEFIELD1),
+        ("dpu-bf2", specs.BLUEFIELD2),
+    ):
+        sim = Simulator()
+        pu = ProcessingUnit(sim, 0, name, spec)
+        meter = EnergyMeter(pu)
+        duration = pu.compute_time(work_ref_ms * config.MS)
+
+        def serve(sim, duration=duration):
+            for _ in range(requests):
+                pu.clock.mark_busy()
+                yield sim.timeout(duration)
+                pu.clock.mark_idle()
+
+        sim.spawn(serve(sim))
+        sim.run()
+        rows.append(
+            EnergyRow(
+                pu=name,
+                latency_ms=duration / config.MS,
+                marginal_joules=energy_per_request(meter, requests),
+            )
+        )
+    return rows
+
+
+@dataclass
+class StartupDesignRow:
+    """One startup mechanism's latency and Fig. 15 class."""
+    mechanism: str
+    startup_ms: float
+    design_class: str  # extreme | fast | slow  (Fig. 15 bands)
+
+
+def startup_design_ablation() -> list[StartupDesignRow]:
+    """Cold boot vs snapshot restore vs cfork on the reference CPU —
+    the startup axis of Fig. 15."""
+    from repro.multios import CpusetLockMode, OsInstance
+    from repro.sandbox import FunctionCode, Language, RuncRuntime
+    from repro.sandbox.snapshot import SnapshotManager
+
+    probe = FunctionCode("probe", language=Language.PYTHON, memory_mb=60.0)
+
+    def classify(ms: float) -> str:
+        if ms <= 20.0:
+            return "extreme"
+        if ms <= 120.0:
+            return "fast"
+        return "slow"
+
+    def setup():
+        sim = Simulator()
+        pu = ProcessingUnit(sim, 0, "cpu", specs.XEON_8160)
+        os_instance = OsInstance(sim, pu, cpuset_lock=CpusetLockMode.MUTEX)
+        return sim, RuncRuntime(sim, os_instance)
+
+    def run(sim, gen):
+        proc = sim.spawn(gen)
+        sim.run()
+        return proc.value
+
+    rows = []
+    sim, runc = setup()
+    begin = sim.now
+    run(sim, runc.create("cold", probe))
+    run(sim, runc.start("cold"))
+    ms = (sim.now - begin) / config.MS
+    rows.append(StartupDesignRow("cold boot (docker-style)", ms, classify(ms)))
+
+    sim, runc = setup()
+    snap = SnapshotManager(runc)
+    run(sim, runc.create("warm", probe))
+    run(sim, runc.start("warm"))
+    run(sim, snap.checkpoint("warm"))
+    begin = sim.now
+    run(sim, snap.restore("r", probe))
+    ms = (sim.now - begin) / config.MS
+    rows.append(StartupDesignRow("snapshot restore (replayable-style)", ms, classify(ms)))
+
+    sim, runc = setup()
+    run(sim, runc.ensure_template(Language.PYTHON, dedicated_to=probe))
+    run(sim, runc.prepare_containers(1))
+    begin = sim.now
+    run(sim, runc.cfork("c", probe))
+    ms = (sim.now - begin) / config.MS
+    rows.append(StartupDesignRow("cfork (molecule)", ms, classify(ms)))
+    return rows
+
+
+@dataclass
+class ShimThreadingRow:
+    """Makespans of one queue discipline under two burst shapes."""
+    discipline: str
+    threads: int
+    skewed_makespan_ms: float
+    balanced_makespan_ms: float
+
+
+def shim_threading_ablation(
+    threads: int = 4, calls: int = 16, service_us: float = 500.0
+) -> list[ShimThreadingRow]:
+    """Per-thread MPSC queues vs a shared MPMC queue with work stealing
+    under balanced and skewed XPUcall bursts (§5)."""
+    from repro.xpu.threading import (
+        QueueDiscipline,
+        ShimThreadPool,
+        burst_completion_time,
+    )
+
+    rows = []
+    for discipline in QueueDiscipline:
+        makespans = {}
+        for skewed in (True, False):
+            sim = Simulator()
+            pu = ProcessingUnit(sim, 0, "dpu", specs.BLUEFIELD1)
+            pool = ShimThreadPool(sim, pu, threads=threads, discipline=discipline)
+            makespans[skewed] = burst_completion_time(
+                sim, pool, calls=calls, service_s=service_us * config.US,
+                skewed=skewed,
+            )
+        rows.append(
+            ShimThreadingRow(
+                discipline=discipline.value,
+                threads=threads,
+                skewed_makespan_ms=makespans[True] / config.MS,
+                balanced_makespan_ms=makespans[False] / config.MS,
+            )
+        )
+    return rows
+
+
+def dag_direct_vs_bus() -> DagDesignResult:
+    """Molecule's direct-connect chain vs the same chain relayed
+    through a local-bus intermediary (one extra FIFO hop per edge, as
+    in SAND's local bus / Nightcore's engine)."""
+    chain = serverlessbench.alexa_chain()
+
+    def run(relay_hops: int) -> float:
+        molecule = MoleculeRuntime.create(num_dpus=0)
+        for function in serverlessbench.alexa_functions():
+            molecule.deploy_now(function)
+        cpu = molecule.machine.host_cpu
+        placements = [cpu] * len(chain.stages)
+        molecule.run(molecule.dag.prepare(chain, placements))
+        result = molecule.run(molecule.run_chain(chain, placements))
+        if relay_hops:
+            # Each edge takes an extra bus traversal: one more FIFO
+            # write + read + dispatch on the same PU.
+            per_edge = (
+                2 * cpu.ipc_notify_time()
+                + 2 * cpu.copy_time(1024)
+                + config.DAG_MSG_MS * config.MS
+            )
+            return result.total_s + relay_hops * per_edge * (len(chain.stages) - 1)
+        return result.total_s
+
+    direct = run(relay_hops=0)
+    bus = run(relay_hops=1)
+    return DagDesignResult(
+        direct_total_ms=direct / config.MS,
+        bus_total_ms=bus / config.MS,
+    )

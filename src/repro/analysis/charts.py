@@ -1,0 +1,109 @@
+"""ASCII charts: terminal renderings of the paper's figure shapes.
+
+No plotting dependency is available offline, so bar charts and line
+series render as text.  Used by the CLI's ``plot`` command and handy in
+benchmark output (`pytest -s`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.errors import ReproError
+
+
+class ChartError(ReproError):
+    """Invalid chart input."""
+
+
+def bar_chart(
+    data: Mapping[str, float],
+    width: int = 50,
+    unit: str = "",
+    log_scale: bool = False,
+) -> str:
+    """Horizontal bars, one per item, scaled to the maximum value."""
+    if not data:
+        raise ChartError("bar chart needs at least one value")
+    values = list(data.values())
+    if any(v < 0 for v in values):
+        raise ChartError("bar chart values must be non-negative")
+    label_width = max(len(str(k)) for k in data)
+
+    def scale(value: float) -> float:
+        if log_scale:
+            floor = min(v for v in values if v > 0) if any(values) else 1.0
+            top = math.log10(max(values) / floor) if max(values) > floor else 1.0
+            if value <= 0:
+                return 0.0
+            return math.log10(value / floor) / top if top else 1.0
+        top = max(values)
+        return value / top if top else 0.0
+
+    lines = []
+    for key, value in data.items():
+        bar = "#" * max(1 if value > 0 else 0, round(scale(value) * width))
+        lines.append(f"{str(key):<{label_width}}  {bar:<{width}}  {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    x_labels: Sequence[object],
+    height: int = 12,
+    width: int = 64,
+) -> str:
+    """Multiple series as a scatter-of-letters plot.
+
+    Each series is assigned a letter (a, b, c ...) and drawn over a
+    shared linear y-axis; a legend follows the canvas.
+    """
+    if not series:
+        raise ChartError("line chart needs at least one series")
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) != 1 or lengths == {0}:
+        raise ChartError("all series need the same, non-zero length")
+    n_points = lengths.pop()
+    all_values = [v for values in series.values() for v in values]
+    low, high = min(all_values), max(all_values)
+    span = (high - low) or 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    markers = "abcdefghij"
+    for index, values in enumerate(series.values()):
+        marker = markers[index % len(markers)]
+        for i, value in enumerate(values):
+            x = round(i * (width - 1) / max(1, n_points - 1))
+            y = height - 1 - round((value - low) / span * (height - 1))
+            canvas[y][x] = marker
+    lines = [f"{high:>10.3g} |" + "".join(canvas[0])]
+    for row in canvas[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{low:>10.3g} |" + "".join(canvas[-1]))
+    lines.append(" " * 12 + f"x: {x_labels[0]} .. {x_labels[-1]}")
+    for index, name in enumerate(series):
+        lines.append(f"{' ' * 12}{markers[index % len(markers)]} = {name}")
+    return "\n".join(lines)
+
+
+def speedup_chart(
+    cases: Mapping[str, tuple[float, float]],
+    width: int = 40,
+) -> str:
+    """Baseline-vs-ours paired bars with the speedup annotated."""
+    if not cases:
+        raise ChartError("speedup chart needs at least one case")
+    label_width = max(len(k) for k in cases)
+    top = max(max(pair) for pair in cases.values())
+    lines = []
+    for name, (baseline, ours) in cases.items():
+        if ours <= 0 or baseline < 0:
+            raise ChartError(f"invalid pair for {name!r}")
+        base_bar = "#" * max(1, round(baseline / top * width))
+        ours_bar = "=" * max(1, round(ours / top * width))
+        lines.append(f"{name:<{label_width}}  base {base_bar} {baseline:g}")
+        lines.append(
+            f"{'':<{label_width}}  ours {ours_bar} {ours:g}  "
+            f"({baseline / ours:.2f}x)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,1096 @@
+"""Experiment harness: one function per figure/table of the paper's
+evaluation (§6).  Each returns a structured result carrying both the
+measured values and the paper's published reference, so benchmarks and
+EXPERIMENTS.md generation share one implementation.
+
+All experiments are deterministic given the default seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro import config
+from repro.baselines import MoleculeHomo, aws_lambda, openwhisk
+from repro.core import Chain, MoleculeRuntime, run_fpga_chain
+from repro.core.scheduler import Scheduler
+from repro.hardware import (
+    FpgaImage,
+    build_cpu_dpu_machine,
+    build_cpu_fpga_machine,
+    build_full_machine,
+    specs,
+)
+from repro.hardware.fpga import F1_TOTALS
+from repro.hardware.pu import PuKind
+from repro.multios import CpusetLockMode, OsInstance, average_pss_mb, average_rss_mb
+from repro.sandbox import FunctionCode, Language, RuncRuntime, RunfRuntime
+from repro.sim import Simulator
+from repro.workloads import fpga_apps, functionbench, serverlessbench
+from repro.xpu import FifoEnd, Permission, ShimCluster, XpucallTransport
+
+
+def _run(sim: Simulator, generator):
+    proc = sim.spawn(generator)
+    sim.run()
+    return proc.value
+
+
+# ---------------------------------------------------------------------------
+# Figure 2a — DPU for higher density
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DensityResult:
+    """Concurrent-instance density per machine configuration."""
+
+    measured: dict[str, int]
+    paper: dict[str, int] = field(
+        default_factory=lambda: {"CPU": 1000, "+1 DPU": 1256, "+2 DPU": 1512}
+    )
+
+
+def fig2a_density() -> DensityResult:
+    """Fig. 2a: instances of the Python image-processing function that
+    fit on the CPU alone, +1 DPU, +2 DPUs."""
+    function = functionbench.spec("image_resize").to_function()
+    measured = {}
+    for label, num_dpus in (("CPU", 0), ("+1 DPU", 1), ("+2 DPU", 2)):
+        sim = Simulator()
+        machine = build_cpu_dpu_machine(sim, num_dpus=num_dpus)
+        scheduler = Scheduler(machine)
+        measured[label] = scheduler.max_density(
+            function, [PuKind.CPU, PuKind.DPU]
+        )
+    return DensityResult(measured=measured)
+
+
+# ---------------------------------------------------------------------------
+# Figure 2b — FPGA for better performance (matrix kernels)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MatrixKernelRow:
+    """One matrix kernel's CPU-vs-FPGA execution latency."""
+
+    name: str
+    cpu_us: float
+    fpga_us: float
+
+    @property
+    def speedup(self) -> float:
+        """CPU/FPGA latency ratio."""
+        return self.cpu_us / self.fpga_us
+
+
+@dataclass
+class MatrixResult:
+    """Fig. 2b result: per-kernel rows plus the paper band."""
+    rows: list[MatrixKernelRow]
+    paper_speedup: tuple[float, float] = fpga_apps.PAPER_MATRIX_SPEEDUP
+
+
+def fig2b_fpga_matrix() -> MatrixResult:
+    """Fig. 2b: execute the three matrix kernels on the CPU model and on
+    a programmed FPGA device, measuring kernel latency."""
+    rows = []
+    for function in fpga_apps.matrix_functions():
+        sim = Simulator()
+        machine = build_cpu_fpga_machine(sim, num_fpgas=1)
+        cpu = machine.host_cpu
+        device = machine.fpga_device(machine.pu(1))
+        cpu_time = function.work.exec_time(cpu)
+        _run(sim, device.program(FpgaImage("m", [function.code.kernel])))
+        begin = sim.now
+        _run(sim, device.invoke(function.code.kernel.name))
+        fpga_time = sim.now - begin
+        rows.append(
+            MatrixKernelRow(
+                name=function.name,
+                cpu_us=cpu_time / config.US,
+                fpga_us=fpga_time / config.US,
+            )
+        )
+    return MatrixResult(rows=rows)
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — nIPC latency vs Linux FIFO
+# ---------------------------------------------------------------------------
+
+FIG8_SIZES = (16, 32, 64, 128, 256, 512, 1024, 2048)
+
+
+@dataclass
+class NipcResult:
+    """Latency series (us) keyed by series name then message size."""
+
+    series: dict[str, dict[int, float]]
+    paper_note: str = (
+        "paper: nIPC ranges 25-144us; base/MPSC 1.6-2.8x Linux-DPU FIFO; "
+        "polling ~25us, better than Linux-DPU, 1.5-3.1x Linux-CPU"
+    )
+
+
+def _measure_local_fifo_us(pu_spec, size: int) -> float:
+    from repro.hardware.pu import ProcessingUnit
+
+    sim = Simulator()
+    pu = ProcessingUnit(sim, 0, "pu", pu_spec)
+    os_instance = OsInstance(sim, pu)
+    fifo = os_instance.create_fifo("f")
+    done = {}
+
+    def reader(sim):
+        yield from fifo.read()
+        done["t"] = sim.now
+
+    sim.spawn(reader(sim))
+    sim.spawn(fifo.write(b"", size))
+    sim.run()
+    return done["t"] / config.US
+
+
+def _measure_nipc_write_us(transport: XpucallTransport, size: int) -> float:
+    sim = Simulator()
+    machine = build_cpu_dpu_machine(sim, num_dpus=1)
+    cluster = ShimCluster(sim, machine)
+    for pu in machine.general_purpose_pus():
+        os_instance = OsInstance(sim, pu)
+        shim_transport = transport if pu.kind is PuKind.DPU else None
+        cluster.install(pu, os_instance, transport=shim_transport)
+    reader_group = cluster.register_process(0, name="reader")
+    writer_group = cluster.register_process(1, name="writer")
+    cpu_shim, dpu_shim = cluster.shim_on(0), cluster.shim_on(1)
+    times = {}
+
+    def scenario(sim):
+        handle = yield from cpu_shim.xfifo_init(reader_group, "rx", "rx")
+        yield from cpu_shim.grant_cap(
+            reader_group, writer_group.xpu_pid, handle.fifo.obj_id, Permission.WRITE
+        )
+        w_handle = yield from dpu_shim.xfifo_connect(writer_group, "rx", FifoEnd.WRITE)
+        begin = sim.now
+        yield from dpu_shim.xfifo_write(writer_group, w_handle, b"", size)
+        times["write"] = sim.now - begin
+
+    _run(sim, scenario(sim))
+    return times["write"] / config.US
+
+
+def fig8_nipc(sizes: Sequence[int] = FIG8_SIZES) -> NipcResult:
+    """Fig. 8: nIPC write latency from a DPU caller under the three
+    XPUcall transports, against local Linux FIFOs on DPU and CPU."""
+    series: dict[str, dict[int, float]] = {
+        "nIPC-Base": {},
+        "nIPC-MPSC": {},
+        "nIPC-Poll": {},
+        "Linux (DPU)": {},
+        "Linux (CPU)": {},
+    }
+    transports = {
+        "nIPC-Base": XpucallTransport.FIFO,
+        "nIPC-MPSC": XpucallTransport.MPSC,
+        "nIPC-Poll": XpucallTransport.MPSC_POLL,
+    }
+    for size in sizes:
+        for name, transport in transports.items():
+            series[name][size] = _measure_nipc_write_us(transport, size)
+        series["Linux (DPU)"][size] = _measure_local_fifo_us(specs.BLUEFIELD1, size)
+        series["Linux (CPU)"][size] = _measure_local_fifo_us(specs.XEON_8160, size)
+    return NipcResult(series=series)
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — comparison with commercial systems
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CommercialRow:
+    """One system's startup and communication latency."""
+    system: str
+    startup_ms: float
+    comm_ms: float
+
+
+@dataclass
+class CommercialResult:
+    """Fig. 9 result across the four systems."""
+    rows: list[CommercialRow]
+    paper_note: str = (
+        "paper: Molecule 37-46x faster startup and 68-300x faster comm "
+        "than OpenWhisk/Lambda; Molecule-homo 5-6x and 4-19x"
+    )
+
+    def row(self, system: str) -> CommercialRow:
+        """Row by system name."""
+        for row in self.rows:
+            if row.system == system:
+                return row
+        raise KeyError(system)
+
+
+def _helloworld():
+    return functionbench.FunctionBenchSpec(
+        "helloworld", 1.0, 0.0, 0.0, 0.0, 0.0, 0.0
+    ).to_function(profiles=(PuKind.CPU, PuKind.DPU))
+
+
+def fig9_commercial() -> CommercialResult:
+    """Fig. 9: helloworld startup latency and single-hop communication
+    latency across AWS Lambda, OpenWhisk, Molecule-homo and Molecule."""
+    rows = [
+        CommercialRow(
+            "aws-lambda",
+            aws_lambda().mean_startup_ms(),
+            aws_lambda().mean_comm_ms(),
+        ),
+        CommercialRow(
+            "openwhisk",
+            openwhisk().mean_startup_ms(),
+            openwhisk().mean_comm_ms(),
+        ),
+    ]
+    # Molecule-homo: full cold boot; one Express hop for communication.
+    homo = MoleculeHomo()
+    homo.deploy(_helloworld())
+    homo_cold = homo.invoke_now("helloworld")
+    two_stage = Chain(
+        "pair",
+        tuple(
+            serverlessbench.alexa_chain().stages[:2]
+        ),
+    )
+    for fn in serverlessbench.alexa_functions():
+        homo.deploy(fn)
+    homo_chain = homo.run_chain_now(two_stage)
+    rows.append(
+        CommercialRow(
+            "molecule-homo",
+            homo_cold.startup_s / config.MS,
+            homo_chain.edge_latencies_s[0] / config.MS,
+        )
+    )
+    # Molecule: cfork startup; one direct-connect IPC edge.
+    molecule = MoleculeRuntime.create(num_dpus=1)
+    molecule.deploy_now(_helloworld())
+    for fn in serverlessbench.alexa_functions():
+        molecule.deploy_now(fn)
+    cold = molecule.invoke_now("helloworld", kind=PuKind.CPU)
+    cpu = molecule.machine.host_cpu
+    placements = [cpu, cpu]
+    molecule.run(molecule.dag.prepare(two_stage, placements))
+    chain = molecule.run(molecule.run_chain(two_stage, placements))
+    rows.append(
+        CommercialRow(
+            "molecule",
+            cold.startup_s / config.MS,
+            chain.edge_latencies_s[0] / config.MS,
+        )
+    )
+    return CommercialResult(rows=rows)
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 — startup latency on CPU, DPU and FPGA
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StartupRow:
+    """Startup latencies of one (PU, language) pair."""
+    pu: str
+    language: str
+    baseline_local_ms: float
+    cfork_local_ms: float
+    cfork_xpu_ms: float
+
+
+@dataclass
+class FpgaStartupRow:
+    """One FPGA startup configuration's latency."""
+    configuration: str
+    seconds: float
+
+
+@dataclass
+class StartupResult:
+    """Fig. 10 result: CPU/DPU rows plus FPGA stages."""
+    rows: list[StartupRow]
+    fpga_rows: list[FpgaStartupRow]
+    paper_note: str = (
+        "paper: cfork beats baseline cold boot by >10x; remote cfork adds "
+        "1-3ms; FPGA: >20s baseline, 3.8s no-erase, 1.9s warm-image, "
+        "53ms warm-sandbox"
+    )
+
+
+def _fn_for(language: Language):
+    code = FunctionCode("startup-probe", language=language, memory_mb=60.0)
+    from repro.core import FunctionDef, WorkProfile
+
+    return FunctionDef(
+        name="startup-probe",
+        code=code,
+        work=WorkProfile(warm_exec_ms=1.0),
+        profiles=(PuKind.CPU, PuKind.DPU),
+    )
+
+
+def _measure_startup(pu_spec, language: Language) -> tuple[float, float, float]:
+    """(baseline-local, cfork-local, cfork-XPU) in ms on one PU model."""
+    function = _fn_for(language)
+    # Baseline: full cold boot on the PU.
+    homo = MoleculeHomo(pu_spec=pu_spec)
+    homo.deploy(function)
+    baseline = homo.invoke_now("startup-probe").startup_s / config.MS
+
+    # cfork-local: fork the template directly on the PU.
+    sim = Simulator()
+    from repro.hardware.pu import ProcessingUnit
+
+    pu = ProcessingUnit(sim, 0, "pu", pu_spec)
+    os_instance = OsInstance(sim, pu, cpuset_lock=CpusetLockMode.MUTEX)
+    runc = RuncRuntime(sim, os_instance)
+    _run(sim, runc.ensure_template(language, dedicated_to=function.code))
+    _run(sim, runc.prepare_containers(2))
+    begin = sim.now
+    _run(sim, runc.cfork("local", function.code))
+    cfork_local = (sim.now - begin) / config.MS
+
+    # cfork-XPU: the same fork issued from the host CPU over nIPC.
+    sim2 = Simulator()
+    machine = build_cpu_dpu_machine(sim2, num_dpus=1)
+    # Measure against this PU model in the neighbour slot (kept a DPU
+    # so placement still targets it).
+    machine.pus[1].spec = dataclasses.replace(pu_spec, kind=PuKind.DPU)
+    runtime = MoleculeRuntime(sim2, machine)
+    runtime.start()
+    remote_fn = dataclasses.replace(function, profiles=(PuKind.DPU,))
+    runtime.deploy_now(remote_fn)
+    client = runtime.executor_client(1)
+    begin = sim2.now
+    runtime.run(client.call("cfork", sandbox_id="remote", code=remote_fn.code))
+    cfork_xpu = (sim2.now - begin) / config.MS
+    return baseline, cfork_local, cfork_xpu
+
+
+def fig10_startup() -> StartupResult:
+    """Fig. 10a/b/c: startup latency on CPU and DPU (Python, Node.js)
+    and the four FPGA startup configurations."""
+    rows = []
+    for pu_name, pu_spec in (("cpu", specs.XEON_8160), ("dpu-bf1", specs.BLUEFIELD1)):
+        for language in (Language.PYTHON, Language.NODEJS):
+            baseline, local, xpu = _measure_startup(pu_spec, language)
+            rows.append(
+                StartupRow(
+                    pu=pu_name,
+                    language=language.value,
+                    baseline_local_ms=baseline,
+                    cfork_local_ms=local,
+                    cfork_xpu_ms=xpu,
+                )
+            )
+    fpga_rows = []
+    kernel_fn = fpga_apps.matrix_functions()[2]  # vmult
+
+    def fpga_case(label, dirty, no_erase, pre_created, pre_started):
+        sim = Simulator()
+        machine = build_cpu_fpga_machine(sim, num_fpgas=1)
+        runf = RunfRuntime(sim, machine.fpga_device(machine.pu(1)), no_erase=no_erase)
+        if dirty:
+            _run(sim, runf.create("old", fpga_apps.matrix_functions()[0].code))
+        if pre_created:
+            _run(sim, runf.create("probe", kernel_fn.code))
+        if pre_started:
+            _run(sim, runf.start("probe"))
+        begin = sim.now
+        if not pre_created:
+            _run(sim, runf.create("probe", kernel_fn.code))
+        if not pre_started:
+            _run(sim, runf.start("probe"))
+        _run(sim, runf.invoke("probe", exec_time_s=0.0))
+        fpga_rows.append(FpgaStartupRow(label, sim.now - begin))
+
+    fpga_case("baseline (erase+load+prep)", True, False, False, False)
+    fpga_case("no-erase", True, True, False, False)
+    fpga_case("warm-image", False, True, True, False)
+    fpga_case("warm-sandbox", False, True, True, True)
+    return StartupResult(rows=rows, fpga_rows=fpga_rows)
+
+
+# ---------------------------------------------------------------------------
+# Figure 11 — cfork breakdown and memory usage
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CforkBreakdownResult:
+    """Fig. 11a result: measured vs published stage costs."""
+    measured_ms: dict[str, float]
+    paper_ms: dict[str, float] = field(
+        default_factory=lambda: {
+            "Baseline": 85.55,
+            "+Naive cfork": 47.25,
+            "+FuncContainer": 30.05,
+            "+Cpuset opt": 8.40,
+        }
+    )
+
+
+@dataclass
+class MemoryCurvesResult:
+    """Average RSS/PSS (MB) per concurrency level."""
+
+    instance_counts: list[int]
+    baseline_rss: list[float]
+    baseline_pss: list[float]
+    molecule_rss: list[float]
+    molecule_pss: list[float]
+
+    @property
+    def pss_saving_at_max(self) -> float:
+        """Fractional PSS saving at the largest instance count."""
+        return 1 - self.molecule_pss[-1] / self.baseline_pss[-1]
+
+
+def fig11a_cfork_breakdown() -> CforkBreakdownResult:
+    """Fig. 11a: the four cfork optimisation levels on the desktop."""
+    probe = FunctionCode("probe", language=Language.PYTHON, memory_mb=60.0)
+    from repro.hardware.pu import ProcessingUnit
+
+    measured = {}
+
+    def setup(lock):
+        sim = Simulator()
+        pu = ProcessingUnit(sim, 0, "desktop", specs.DESKTOP_I7)
+        os_instance = OsInstance(sim, pu, cpuset_lock=lock)
+        return sim, RuncRuntime(sim, os_instance)
+
+    sim, runc = setup(CpusetLockMode.SEMAPHORE)
+    _run(sim, runc.create("b", probe))
+    begin = sim.now
+    # Measure create+start as one cold boot.
+    sim2, runc2 = setup(CpusetLockMode.SEMAPHORE)
+    _run(sim2, runc2.create("b", probe))
+    _run(sim2, runc2.start("b"))
+    measured["Baseline"] = sim2.now / config.MS
+
+    sim3, runc3 = setup(CpusetLockMode.SEMAPHORE)
+    _run(sim3, runc3.ensure_template(Language.PYTHON, dedicated_to=probe))
+    begin = sim3.now
+    _run(sim3, runc3.cfork("naive", probe))
+    measured["+Naive cfork"] = (sim3.now - begin) / config.MS
+
+    sim4, runc4 = setup(CpusetLockMode.SEMAPHORE)
+    _run(sim4, runc4.ensure_template(Language.PYTHON, dedicated_to=probe))
+    _run(sim4, runc4.prepare_containers(1))
+    begin = sim4.now
+    _run(sim4, runc4.cfork("pooled", probe))
+    measured["+FuncContainer"] = (sim4.now - begin) / config.MS
+
+    sim5, runc5 = setup(CpusetLockMode.MUTEX)
+    _run(sim5, runc5.ensure_template(Language.PYTHON, dedicated_to=probe))
+    _run(sim5, runc5.prepare_containers(1))
+    begin = sim5.now
+    _run(sim5, runc5.cfork("opt", probe))
+    measured["+Cpuset opt"] = (sim5.now - begin) / config.MS
+    return CforkBreakdownResult(measured_ms=measured)
+
+
+def fig11bc_memory(instance_counts: Sequence[int] = (1, 2, 4, 8, 16)) -> MemoryCurvesResult:
+    """Fig. 11b/c: average RSS and PSS of image-resize instances under
+    baseline boot vs Molecule cfork."""
+    probe = FunctionCode("image_resize", language=Language.PYTHON, memory_mb=60.0)
+    from repro.hardware.pu import ProcessingUnit
+
+    baseline_rss, baseline_pss, molecule_rss, molecule_pss = [], [], [], []
+    for count in instance_counts:
+        sim = Simulator()
+        pu = ProcessingUnit(sim, 0, "pu", specs.XEON_8160)
+        runc = RuncRuntime(sim, OsInstance(sim, pu))
+        processes = []
+        for i in range(count):
+            _run(sim, runc.create(f"b{i}", probe))
+            processes.append(_run(sim, runc.start(f"b{i}")).backend.process)
+        baseline_rss.append(average_rss_mb(processes))
+        baseline_pss.append(average_pss_mb(processes))
+
+        sim2 = Simulator()
+        pu2 = ProcessingUnit(sim2, 0, "pu", specs.XEON_8160)
+        runc2 = RuncRuntime(sim2, OsInstance(sim2, pu2))
+        _run(sim2, runc2.ensure_template(Language.PYTHON, dedicated_to=probe))
+        children = []
+        for i in range(count):
+            children.append(
+                _run(sim2, runc2.cfork(f"m{i}", probe)).backend.process
+            )
+        molecule_rss.append(average_rss_mb(children))
+        molecule_pss.append(average_pss_mb(children))
+    return MemoryCurvesResult(
+        instance_counts=list(instance_counts),
+        baseline_rss=baseline_rss,
+        baseline_pss=baseline_pss,
+        molecule_rss=molecule_rss,
+        molecule_pss=molecule_pss,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 12 — DAG communication latency (Alexa edges)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DagCommCase:
+    """Per-edge baseline/Molecule latency for one placement case."""
+
+    case: str
+    edge_names: list[str]
+    baseline_ms: list[float]
+    molecule_ms: list[float]
+
+    @property
+    def speedups(self) -> list[float]:
+        """Per-edge baseline/Molecule ratios."""
+        return [b / m for b, m in zip(self.baseline_ms, self.molecule_ms)]
+
+
+@dataclass
+class DagCommResult:
+    """Fig. 12 result across the four placement cases."""
+    cases: list[DagCommCase]
+    paper_note: str = "paper: 15-18x same-PU, 10-13x cross-PU improvement"
+
+    def case(self, name: str) -> DagCommCase:
+        """Case by name."""
+        for case in self.cases:
+            if case.case == name:
+                return case
+        raise KeyError(name)
+
+
+def fig12_dag_comm() -> DagCommResult:
+    """Fig. 12: the four Alexa DAG edges under four placement cases."""
+    chain = serverlessbench.alexa_chain()
+    edge_names = list(serverlessbench.ALEXA_EDGE_NAMES)
+    cases = []
+
+    def molecule_edges(placements_of) -> list[float]:
+        molecule = MoleculeRuntime.create(num_dpus=1)
+        for fn in serverlessbench.alexa_functions():
+            molecule.deploy_now(fn)
+        cpu = molecule.machine.host_cpu
+        dpu = molecule.machine.pu(1)
+        placements = [cpu if p == "cpu" else dpu for p in placements_of]
+        molecule.run(molecule.dag.prepare(chain, placements))
+        result = molecule.run(molecule.run_chain(chain, placements))
+        return [edge / config.MS for edge in result.edge_latencies_s]
+
+    def homo_edges(pu_spec) -> list[float]:
+        homo = MoleculeHomo(pu_spec=pu_spec)
+        for fn in serverlessbench.alexa_functions():
+            homo.deploy(fn)
+        result = homo.run_chain_now(chain)
+        return [edge / config.MS for edge in result.edge_latencies_s]
+
+    def homo_cross_edges() -> list[float]:
+        homo = MoleculeHomo()
+        for fn in serverlessbench.alexa_functions():
+            homo.deploy(fn)
+        result = homo.run_chain_now(chain, cross_pu_edges=[True] * 4)
+        return [edge / config.MS for edge in result.edge_latencies_s]
+
+    cases.append(
+        DagCommCase("CPU to CPU", edge_names, homo_edges(specs.XEON_8160),
+                    molecule_edges(["cpu"] * 5))
+    )
+    cases.append(
+        DagCommCase("DPU to DPU", edge_names, homo_edges(specs.BLUEFIELD1),
+                    molecule_edges(["dpu"] * 5))
+    )
+    cross_molecule = molecule_edges(["cpu", "dpu", "cpu", "dpu", "cpu"])
+    cross_baseline = homo_cross_edges()
+    cases.append(
+        DagCommCase(
+            "CPU to DPU",
+            [edge_names[0], edge_names[2]],
+            [cross_baseline[0], cross_baseline[2]],
+            [cross_molecule[0], cross_molecule[2]],
+        )
+    )
+    cases.append(
+        DagCommCase(
+            "DPU to CPU",
+            [edge_names[1], edge_names[3]],
+            [cross_baseline[1], cross_baseline[3]],
+            [cross_molecule[1], cross_molecule[3]],
+        )
+    )
+    return DagCommResult(cases=cases)
+
+
+# ---------------------------------------------------------------------------
+# Figure 13 — FPGA function-chain latency
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FpgaChainResult:
+    """End-to-end latency (us) per chain length and transfer mode."""
+
+    lengths: list[int]
+    copying_us: list[float]
+    shm_us: list[float]
+
+    @property
+    def speedup_at_max(self) -> float:
+        """copying/shm ratio at the longest chain."""
+        return self.copying_us[-1] / self.shm_us[-1]
+
+
+def fig13_fpga_chain(max_length: int = 5) -> FpgaChainResult:
+    """Fig. 13: vector-computation chains of 1-5 FPGA functions with
+    per-hop copying vs shared-memory data retention."""
+    lengths = list(range(1, max_length + 1))
+    copying_us, shm_us = [], []
+    for n in lengths:
+        for mode, out in (("copying", copying_us), ("shm", shm_us)):
+            sim = Simulator()
+            machine = build_cpu_fpga_machine(sim, num_fpgas=1)
+            runf = RunfRuntime(sim, machine.fpga_device(machine.pu(1)))
+            kernels = fpga_apps.vector_chain_kernels(n)
+            entries = [
+                (f"s{i}", FunctionCode(k.name, kernel=k))
+                for i, k in enumerate(kernels)
+            ]
+
+            def setup(sim, entries=entries):
+                yield from runf.create_vector(entries)
+                for sid, _ in entries:
+                    yield from runf.start(sid)
+
+            _run(sim, setup(sim))
+            total = _run(
+                sim,
+                run_fpga_chain(runf, [sid for sid, _ in entries], mode=mode),
+            )
+            out.append(total / config.US)
+    return FpgaChainResult(lengths=lengths, copying_us=copying_us, shm_us=shm_us)
+
+
+# ---------------------------------------------------------------------------
+# Figure 14a-d — FunctionBench end-to-end latency
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FunctionBenchRow:
+    """One workload's baseline/Molecule latencies."""
+    workload: str
+    baseline_ms: float
+    molecule_ms: float
+    paper_baseline_ms: float
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_ms / self.molecule_ms
+
+
+@dataclass
+class FunctionBenchResult:
+    """Fig. 14a-d result for one variant."""
+    variant: str
+    rows: list[FunctionBenchRow]
+
+    def row(self, workload: str) -> FunctionBenchRow:
+        """Row by workload name."""
+        for row in self.rows:
+            if row.workload == workload:
+                return row
+        raise KeyError(workload)
+
+
+_FB_VARIANTS = {
+    "cold_cpu": (specs.XEON_8160, PuKind.CPU, True),
+    "warm_cpu": (specs.XEON_8160, PuKind.CPU, False),
+    "cold_bf1": (specs.BLUEFIELD1, PuKind.DPU, True),
+    "cold_bf2": (specs.BLUEFIELD2, PuKind.DPU, True),
+}
+
+
+def fig14_functionbench(variant: str = "cold_cpu") -> FunctionBenchResult:
+    """Fig. 14a-d: the eight FunctionBench workloads end to end, as
+    baseline (Molecule-homo) vs Molecule, per variant."""
+    if variant not in _FB_VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}; use one of {sorted(_FB_VARIANTS)}")
+    pu_spec, kind, cold = _FB_VARIANTS[variant]
+    rows = []
+    for workload in functionbench.FUNCTIONBENCH:
+        function = workload.to_function()
+        homo = MoleculeHomo(pu_spec=pu_spec)
+        homo.deploy(function)
+        if cold:
+            baseline = homo.invoke_now(function.name, force_cold=True)
+        else:
+            homo.invoke_now(function.name)
+            baseline = homo.invoke_now(function.name)
+
+        if kind is PuKind.DPU:
+            sim = Simulator()
+            machine = build_cpu_dpu_machine(sim, num_dpus=1)
+            machine.pus[1].spec = pu_spec
+            molecule = MoleculeRuntime(sim, machine)
+            molecule.start()
+        else:
+            molecule = MoleculeRuntime.create(num_dpus=0)
+        molecule.deploy_now(function)
+        if cold:
+            result = molecule.invoke_now(function.name, kind=kind, force_cold=True)
+        else:
+            molecule.invoke_now(function.name, kind=kind)
+            result = molecule.invoke_now(function.name, kind=kind)
+        paper = {
+            "cold_cpu": workload.paper_cold_cpu_ms,
+            "warm_cpu": workload.warm_ms,
+            "cold_bf1": workload.paper_cold_bf1_ms,
+            "cold_bf2": workload.paper_cold_bf2_ms,
+        }[variant]
+        rows.append(
+            FunctionBenchRow(
+                workload=workload.name,
+                baseline_ms=baseline.total_s / config.MS,
+                molecule_ms=result.total_s / config.MS,
+                paper_baseline_ms=paper,
+            )
+        )
+    return FunctionBenchResult(variant=variant, rows=rows)
+
+
+# ---------------------------------------------------------------------------
+# Figure 14e — chained applications
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ChainCaseRow:
+    """One (application, placement case) end-to-end pair."""
+    application: str
+    case: str
+    baseline_ms: float
+    molecule_ms: float
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_ms / self.molecule_ms
+
+
+@dataclass
+class ChainAppsResult:
+    """Fig. 14e result across applications and cases."""
+    rows: list[ChainCaseRow]
+    paper_note: str = (
+        "paper: Alexa 2.04-2.47x, MapReduce 3.70-4.47x less latency; "
+        "baseline Alexa CPU 38.6ms, MapReduce CPU 20.0ms"
+    )
+
+    def row(self, application: str, case: str) -> ChainCaseRow:
+        """Row by application and case."""
+        for row in self.rows:
+            if row.application == application and row.case == case:
+                return row
+        raise KeyError((application, case))
+
+
+def fig14e_chains() -> ChainAppsResult:
+    """Fig. 14e: Alexa and MapReduce end to end on CPU, DPU and
+    cross-PU placements (pre-booted instances)."""
+    apps = (
+        ("alexa", serverlessbench.alexa_chain(), serverlessbench.alexa_functions),
+        (
+            "mapreduce",
+            serverlessbench.mapreduce_chain(),
+            serverlessbench.mapreduce_functions,
+        ),
+    )
+    rows = []
+    for app_name, chain, functions_of in apps:
+        n = len(chain.stages)
+        for case in ("CPU", "DPU", "CrossPU"):
+            molecule = MoleculeRuntime.create(num_dpus=1)
+            for fn in functions_of():
+                molecule.deploy_now(fn)
+            cpu = molecule.machine.host_cpu
+            dpu = molecule.machine.pu(1)
+            if case == "CPU":
+                placements = [cpu] * n
+            elif case == "DPU":
+                placements = [dpu] * n
+            else:
+                placements = [cpu if i % 2 == 0 else dpu for i in range(n)]
+            molecule.run(molecule.dag.prepare(chain, placements))
+            molecule_result = molecule.run(molecule.run_chain(chain, placements))
+
+            if case == "CrossPU":
+                baseline_ms = _baseline_cross_chain_ms(chain, functions_of(), placements)
+            else:
+                pu_spec = specs.XEON_8160 if case == "CPU" else specs.BLUEFIELD1
+                homo = MoleculeHomo(pu_spec=pu_spec)
+                for fn in functions_of():
+                    homo.deploy(fn)
+                baseline_ms = homo.run_chain_now(chain).total_s / config.MS
+            rows.append(
+                ChainCaseRow(
+                    application=app_name,
+                    case=case,
+                    baseline_ms=baseline_ms,
+                    molecule_ms=molecule_result.total_s / config.MS,
+                )
+            )
+    return ChainAppsResult(rows=rows)
+
+
+def _baseline_cross_chain_ms(chain, functions, placements) -> float:
+    """Analytic baseline for the CrossPU case: per-stage execution on
+    its placement plus a gateway/network hop per (always cross-PU) edge."""
+    by_name = {fn.name: fn for fn in functions}
+    total_ms = 0.0
+    for i, stage in enumerate(chain.stages):
+        function = by_name[stage.function]
+        total_ms += function.work.exec_time(placements[i]) / config.MS
+        if i < len(chain.stages) - 1:
+            total_ms += config.BASELINE_DAG.cross_pu_hop_ms
+            total_ms += (
+                stage.payload_out_bytes / config.KB
+            ) * config.BASELINE_DAG.payload_ms_per_kb
+    return total_ms
+
+
+# ---------------------------------------------------------------------------
+# Figure 14f/g/h — FPGA applications
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AcceleratedSweepResult:
+    """CPU-vs-FPGA end-to-end latency over an input sweep."""
+
+    application: str
+    inputs: list[float]
+    cpu_ms: list[float]
+    fpga_ms: list[float]
+
+    def speedup_at(self, index: int) -> float:
+        """CPU/FPGA ratio at one swept input."""
+        return self.cpu_ms[index] / self.fpga_ms[index]
+
+    @property
+    def crossover_input(self) -> Optional[float]:
+        """First input where the FPGA wins, if any."""
+        for value, cpu, fpga in zip(self.inputs, self.cpu_ms, self.fpga_ms):
+            if fpga < cpu:
+                return value
+        return None
+
+
+def _accelerated_sweep(
+    application,
+    function,
+    inputs,
+    cpu_model_ms,
+    fpga_model_ms,
+    full_path: bool = True,
+    payload_bytes: int = 4096,
+):
+    """CPU-vs-FPGA sweep.
+
+    ``full_path=True`` runs whole serverless requests (gateway + warm
+    instance + DMA), appropriate for the seconds-scale GZip figure;
+    ``full_path=False`` measures function execution only (kernel + DMA),
+    matching how the paper reports the millisecond-scale AML and matrix
+    applications.
+    """
+    sim = Simulator()
+    machine = build_cpu_fpga_machine(sim, num_fpgas=1)
+    molecule = MoleculeRuntime(sim, machine)
+    molecule.start()
+    molecule.deploy_now(function)
+    homo = MoleculeHomo()
+    homo.deploy(function)
+    homo.invoke_now(function.name)  # warm the baseline instance
+    molecule.invoke_now(function.name, kind=PuKind.FPGA)  # program + warm
+    fpga_pu = machine.pu(1)
+    device = machine.fpga_device(fpga_pu)
+    route = machine.route(machine.host_cpu, fpga_pu)
+    cpu_ms, fpga_ms = [], []
+    for value in inputs:
+        if full_path:
+            cpu_result = homo.invoke_now(
+                function.name, exec_time_s=cpu_model_ms(value) * config.MS
+            )
+            fpga_result = molecule.invoke_now(
+                function.name,
+                kind=PuKind.FPGA,
+                exec_time_s=fpga_model_ms(value) * config.MS,
+            )
+            cpu_ms.append(cpu_result.total_s / config.MS)
+            fpga_ms.append(fpga_result.total_s / config.MS)
+        else:
+            cpu_ms.append(cpu_model_ms(value))
+            dma = route.transfer_time(payload_bytes) + machine.host_cpu.copy_time(
+                payload_bytes
+            )
+            begin = sim.now
+
+            def run_kernel(sim, exec_s=fpga_model_ms(value) * config.MS, dma=dma):
+                yield sim.timeout(dma)  # arguments in
+                device.pu.clock.mark_busy()
+                yield sim.timeout(exec_s)
+                device.pu.clock.mark_idle()
+                yield sim.timeout(dma)  # results out
+
+            _run(sim, run_kernel(sim))
+            fpga_ms.append((sim.now - begin) / config.MS)
+    return AcceleratedSweepResult(
+        application=application,
+        inputs=list(inputs),
+        cpu_ms=cpu_ms,
+        fpga_ms=fpga_ms,
+    )
+
+
+GZIP_SIZES_MB = (0.001, 1.0, 5.0, 10.0, 25.0, 50.0, 75.0, 100.0, 112.0)
+
+
+def fig14f_gzip(sizes_mb: Sequence[float] = GZIP_SIZES_MB) -> AcceleratedSweepResult:
+    """Fig. 14f: GZip over file sizes from 1KB to the 112MB Linux tree."""
+    return _accelerated_sweep(
+        "gzip",
+        fpga_apps.gzip_function(),
+        sizes_mb,
+        fpga_apps.gzip_cpu_ms,
+        fpga_apps.gzip_fpga_ms,
+    )
+
+
+AML_ENTRIES = (6_000, 60_000, 600_000, 6_000_000)
+
+
+def fig14g_aml(entries: Sequence[int] = AML_ENTRIES) -> AcceleratedSweepResult:
+    """Fig. 14g: Anti-MoneyL over transaction-entry counts 6K-6M
+    (execution latency, as the paper's ms-scale axis implies)."""
+    return _accelerated_sweep(
+        "anti_moneyl",
+        fpga_apps.aml_function(),
+        entries,
+        fpga_apps.aml_cpu_ms,
+        fpga_apps.aml_fpga_ms,
+        full_path=False,
+    )
+
+
+def fig14h_matrix() -> AcceleratedSweepResult:
+    """Fig. 14h: the matrix-computation application (CPU 2.6ms, FPGA
+    ~2.8x lower)."""
+    function = fpga_apps.matrix_functions()[1]  # madd-based app
+    return _accelerated_sweep(
+        "matrix-comput",
+        dataclasses.replace(function, name="matrix_comput",
+                            code=dataclasses.replace(function.code, func_id="matrix_comput")),
+        [1.0],
+        lambda _x: fpga_apps.MATRIX_COMPUT_CPU_MS,
+        lambda _x: fpga_apps.MATRIX_COMPUT_FPGA_MS,
+        full_path=False,
+        payload_bytes=1024,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 4 — FPGA resource utilisation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FpgaResourceResult:
+    """Table 4 result: wrapper demand vs device totals."""
+    wrapper: dict[str, float]
+    totals: dict[str, float]
+    fractions: dict[str, float]
+    paper_wrapper: dict[str, float] = field(
+        default_factory=lambda: dict(fpga_apps.PAPER_TABLE4_WRAPPER)
+    )
+    paper_fractions: dict[str, float] = field(
+        default_factory=lambda: dict(fpga_apps.PAPER_TABLE4_FRACTIONS)
+    )
+
+
+def table4_fpga_resources() -> FpgaResourceResult:
+    """Table 4: the 12-instance wrapper's fabric utilisation on F1."""
+    kernels = []
+    for name in ("madd", "mmult", "mscale"):
+        kernels.extend([fpga_apps.matrix_kernel(name)] * 4)
+    image = FpgaImage("table4", kernels)
+    demand = image.resources()
+    fractions = demand.fraction_of(F1_TOTALS)
+    return FpgaResourceResult(
+        wrapper={
+            "luts": demand.luts,
+            "regs": demand.regs,
+            "brams": demand.brams,
+            "dsps": demand.dsps,
+        },
+        totals={
+            "luts": F1_TOTALS.luts,
+            "regs": F1_TOTALS.regs,
+            "brams": F1_TOTALS.brams,
+            "dsps": F1_TOTALS.dsps,
+        },
+        fractions=fractions,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 1 / Table 5 / Figure 15 — support matrix & design space
+# ---------------------------------------------------------------------------
+
+
+def table5_generality() -> dict[str, dict[str, object]]:
+    """Table 5: the per-PU support matrix on a full machine."""
+    sim = Simulator()
+    machine = build_full_machine(sim, num_dpus=1, num_fpgas=1, num_gpus=1)
+    runtime = MoleculeRuntime(sim, machine)
+    return runtime.support_matrix()
+
+
+@dataclass
+class DesignSpacePoint:
+    """One system's position in the Fig. 15 design space."""
+    system: str
+    startup_class: str  # slow (>1s) | fast (~50ms) | extreme (<=10ms)
+    same_pu_comm: str   # network | ipc | thread
+    cross_pu_comm: str  # network | nipc | n/a
+
+
+def fig15_design_space() -> list[DesignSpacePoint]:
+    """Fig. 15: where the systems sit in the startup/communication
+    design space; Molecule is the only one extreme on both axes with a
+    cross-PU story."""
+    return [
+        DesignSpacePoint("openwhisk", "slow", "network", "network"),
+        DesignSpacePoint("docker", "slow", "network", "network"),
+        DesignSpacePoint("kata-containers", "slow", "network", "network"),
+        DesignSpacePoint("gvisor", "fast", "network", "network"),
+        DesignSpacePoint("firecracker", "fast", "network", "network"),
+        DesignSpacePoint("sock", "fast", "network", "network"),
+        DesignSpacePoint("replayable", "fast", "network", "network"),
+        DesignSpacePoint("nightcore", "fast", "ipc", "network"),
+        DesignSpacePoint("catalyzer", "extreme", "network", "network"),
+        DesignSpacePoint("faasm", "extreme", "thread", "network"),
+        DesignSpacePoint("faastlane", "extreme", "thread", "network"),
+        DesignSpacePoint("molecule", "extreme", "ipc", "nipc"),
+    ]

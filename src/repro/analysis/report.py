@@ -1,0 +1,62 @@
+"""Table/series formatting in the style of the paper's artifact output."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.stats import LatencyStats
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """A plain fixed-width table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def format_artifact_block(title: str, stats: LatencyStats) -> str:
+    """A block matching the artifact's README output::
+
+        =============== fork-startup result ==============
+        latency (ms):
+        avg     50%     75%     90%     95%     99%
+        6.40    5       8       9       9       9
+    """
+    summary = stats.summary()
+    header = f" {title} ".center(50, "=")
+    cols = "\t".join(["avg", "50%", "75%", "90%", "95%", "99%"])
+    vals = "\t".join(f"{v:.2f}" for v in summary.as_row())
+    return f"{header}\nlatency ({stats.unit}):\n{cols}\n{vals}"
+
+
+def format_comparison(
+    title: str,
+    rows: Iterable[tuple[str, float, float]],
+    value_unit: str = "ms",
+) -> str:
+    """Baseline-vs-Molecule comparison with speedup column."""
+    table_rows = []
+    for name, baseline, molecule in rows:
+        speedup = baseline / molecule if molecule else float("inf")
+        table_rows.append(
+            (name, f"{baseline:.2f}", f"{molecule:.2f}", f"{speedup:.2f}x")
+        )
+    body = format_table(
+        ["case", f"baseline ({value_unit})", f"molecule ({value_unit})", "speedup"],
+        table_rows,
+    )
+    return f"== {title} ==\n{body}"
+
+
+def normalized(values: Sequence[float], reference: float) -> list[float]:
+    """Values divided by a reference (the paper's normalized plots)."""
+    if reference == 0:
+        raise ValueError("cannot normalize by zero")
+    return [value / reference for value in values]

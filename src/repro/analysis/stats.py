@@ -1,0 +1,77 @@
+"""Latency statistics in the artifact's reporting format."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def percentile(samples: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile (the artifact reports 50/75/90/95/99)."""
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile out of range: {p}")
+    ordered = sorted(samples)
+    if p == 0:
+        return ordered[0]
+    rank = max(1, math.ceil(p / 100 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass
+class LatencySummary:
+    """avg/p50/p75/p90/p95/p99, matching the artifact's output block."""
+
+    avg: float
+    p50: float
+    p75: float
+    p90: float
+    p95: float
+    p99: float
+
+    def as_row(self) -> list[float]:
+        """Values in artifact column order."""
+        return [self.avg, self.p50, self.p75, self.p90, self.p95, self.p99]
+
+
+class LatencyStats:
+    """Accumulates latency samples (seconds by default)."""
+
+    def __init__(self, unit: str = "ms"):
+        self.unit = unit
+        self._samples: list[float] = []
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        self._samples.append(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Record many samples."""
+        self._samples.extend(values)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> list[float]:
+        """All recorded samples (copy)."""
+        return list(self._samples)
+
+    def mean(self) -> float:
+        """Arithmetic mean."""
+        if not self._samples:
+            raise ValueError("no samples recorded")
+        return sum(self._samples) / len(self._samples)
+
+    def summary(self) -> LatencySummary:
+        """The artifact's six-number summary."""
+        return LatencySummary(
+            avg=self.mean(),
+            p50=percentile(self._samples, 50),
+            p75=percentile(self._samples, 75),
+            p90=percentile(self._samples, 90),
+            p95=percentile(self._samples, 95),
+            p99=percentile(self._samples, 99),
+        )

@@ -1,0 +1,263 @@
+"""Reproduction conformance suite.
+
+Each :class:`Claim` states one published result and a predicate over the
+regenerated experiment data.  ``validate_all()`` runs every claim and
+returns a scorecard — the one-stop answer to "does this reproduction
+still hold?" (also exposed as ``python -m repro validate``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.analysis import experiments as ex
+
+
+@dataclass
+class Claim:
+    """One published claim and its check."""
+
+    claim_id: str
+    statement: str
+    check: Callable[[], bool]
+
+
+@dataclass
+class ClaimResult:
+    """Outcome of checking one claim."""
+
+    claim_id: str
+    statement: str
+    passed: bool
+    error: Optional[str] = None
+
+
+def _claims() -> list[Claim]:
+    # Experiment results are cached so claims can share them.
+    cache: dict[str, object] = {}
+
+    def get(name: str, producer):
+        if name not in cache:
+            cache[name] = producer()
+        return cache[name]
+
+    def density():
+        return get("fig2a", ex.fig2a_density)
+
+    def matrix():
+        return get("fig2b", ex.fig2b_fpga_matrix)
+
+    def nipc():
+        return get("fig8", lambda: ex.fig8_nipc(sizes=(16, 256, 2048)))
+
+    def commercial():
+        return get("fig9", ex.fig9_commercial)
+
+    def startup():
+        return get("fig10", ex.fig10_startup)
+
+    def breakdown():
+        return get("fig11a", ex.fig11a_cfork_breakdown)
+
+    def memory():
+        return get("fig11bc", ex.fig11bc_memory)
+
+    def dag():
+        return get("fig12", ex.fig12_dag_comm)
+
+    def chain13():
+        return get("fig13", ex.fig13_fpga_chain)
+
+    def fb_cold():
+        return get("fig14a", lambda: ex.fig14_functionbench("cold_cpu"))
+
+    def chains():
+        return get("fig14e", ex.fig14e_chains)
+
+    def gzip():
+        return get("fig14f", ex.fig14f_gzip)
+
+    def aml():
+        return get("fig14g", ex.fig14g_aml)
+
+    def table4():
+        return get("table4", ex.table4_fpga_resources)
+
+    return [
+        Claim(
+            "fig2a-density",
+            "1000/1256/1512 concurrent instances with 0/1/2 DPUs",
+            lambda: density().measured == density().paper,
+        ),
+        Claim(
+            "fig2b-fpga-speedup",
+            "matrix kernels run 2.15-2.82x faster on the FPGA",
+            lambda: all(2.0 <= r.speedup <= 2.95 for r in matrix().rows),
+        ),
+        Claim(
+            "fig8-nipc-band",
+            "nIPC spans ~25-150us across transports and sizes",
+            lambda: all(
+                20.0 < value < 150.0
+                for name in ("nIPC-Base", "nIPC-MPSC", "nIPC-Poll")
+                for value in nipc().series[name].values()
+            ),
+        ),
+        Claim(
+            "fig8-poll-beats-dpu-fifo",
+            "polling nIPC beats the DPU's local Linux FIFO",
+            lambda: all(
+                nipc().series["nIPC-Poll"][s] < nipc().series["Linux (DPU)"][s] + 1
+                for s in (16, 256, 2048)
+            ),
+        ),
+        Claim(
+            "fig9-startup-37x",
+            "Molecule starts >30x faster than OpenWhisk/Lambda",
+            lambda: min(
+                commercial().row("openwhisk").startup_ms,
+                commercial().row("aws-lambda").startup_ms,
+            ) / commercial().row("molecule").startup_ms > 30.0,
+        ),
+        Claim(
+            "fig9-comm-68x",
+            "Molecule communicates >50x faster than OpenWhisk, >200x than Lambda",
+            lambda: (
+                commercial().row("openwhisk").comm_ms
+                / commercial().row("molecule").comm_ms > 50.0
+                and commercial().row("aws-lambda").comm_ms
+                / commercial().row("molecule").comm_ms > 200.0
+            ),
+        ),
+        Claim(
+            "fig10-cfork-10x",
+            "cfork beats the baseline cold boot by >5x on every PU",
+            lambda: all(
+                r.cfork_local_ms < r.baseline_local_ms / 5 for r in startup().rows
+            ),
+        ),
+        Claim(
+            "fig10-remote-cfork-3ms",
+            "a cross-PU cfork adds only 1-3ms",
+            lambda: all(
+                0.5 < r.cfork_xpu_ms - r.cfork_local_ms < 3.5 for r in startup().rows
+            ),
+        ),
+        Claim(
+            "fig10c-fpga-stages",
+            "FPGA startup: >20s baseline, 3.8s no-erase, 1.9s warm-image, 53ms warm",
+            lambda: (
+                startup().fpga_rows[0].seconds > 20.0
+                and abs(startup().fpga_rows[1].seconds - 3.8) < 0.2
+                and abs(startup().fpga_rows[2].seconds - 1.9) < 0.2
+                and abs(startup().fpga_rows[3].seconds - 0.053) < 0.01
+            ),
+        ),
+        Claim(
+            "fig11a-breakdown",
+            "cfork breakdown 85.55/47.25/30.05/8.40ms (exact)",
+            lambda: all(
+                abs(breakdown().measured_ms[stage] - paper) < 0.01
+                for stage, paper in breakdown().paper_ms.items()
+            ),
+        ),
+        Claim(
+            "fig11c-pss-34pct",
+            "Molecule's PSS is 25-45% lower at 16 instances",
+            lambda: 0.25 < memory().pss_saving_at_max < 0.45,
+        ),
+        Claim(
+            "fig12-dag-10x",
+            "IPC/nIPC DAG edges improve on the baseline by >10x everywhere",
+            lambda: all(s > 10.0 for c in dag().cases for s in c.speedups),
+        ),
+        Claim(
+            "fig13-retention-2x",
+            "DRAM retention improves a 5-function FPGA chain ~2x",
+            lambda: 1.5 < chain13().speedup_at_max < 2.5,
+        ),
+        Claim(
+            "fig14a-cold-range",
+            "cold-start improvements span ~1x (video) to ~11x (matmul)",
+            lambda: (
+                fb_cold().row("video_processing").speedup < 1.05
+                and 4.0 < fb_cold().row("matmul").speedup < 13.0
+            ),
+        ),
+        Claim(
+            "fig14a-baselines",
+            "cold CPU baselines within 20% of the published numbers",
+            lambda: all(
+                abs(r.baseline_ms - r.paper_baseline_ms) / r.paper_baseline_ms < 0.20
+                for r in fb_cold().rows
+            ),
+        ),
+        Claim(
+            "fig14e-chain-speedups",
+            "Alexa improves ~2x and MapReduce ~3-4.5x end to end",
+            lambda: all(
+                (1.7 < r.speedup < 2.6) if r.application == "alexa"
+                else (2.7 < r.speedup < 4.7)
+                for r in chains().rows
+            ),
+        ),
+        Claim(
+            "fig14f-gzip-crossover",
+            "GZip's CPU/FPGA crossover falls near 25MB with up to ~8x wins",
+            lambda: (
+                gzip().crossover_input is not None
+                and 10.0 <= gzip().crossover_input <= 30.0
+                and 4.0 < gzip().speedup_at(-1) < 9.0
+            ),
+        ),
+        Claim(
+            "fig14g-aml-band",
+            "Anti-MoneyL improves 4-6x at 6K and 25-40x at 6M entries",
+            lambda: (
+                3.5 < aml().speedup_at(0) < 6.0
+                and 25.0 < aml().speedup_at(-1) < 40.0
+            ),
+        ),
+        Claim(
+            "table4-wrapper",
+            "the 12-instance wrapper matches the published fabric usage",
+            lambda: all(
+                abs(table4().wrapper[key] - paper) / paper < 0.002
+                for key, paper in table4().paper_wrapper.items()
+            ),
+        ),
+    ]
+
+
+def validate_all() -> list[ClaimResult]:
+    """Run every claim; failures never raise, they are reported."""
+    results = []
+    for claim in _claims():
+        try:
+            passed = bool(claim.check())
+            error = None
+        except Exception as exc:  # noqa: BLE001 - scorecard, not crash
+            passed = False
+            error = f"{type(exc).__name__}: {exc}"
+        results.append(
+            ClaimResult(
+                claim_id=claim.claim_id,
+                statement=claim.statement,
+                passed=passed,
+                error=error,
+            )
+        )
+    return results
+
+
+def scorecard(results: list[ClaimResult]) -> str:
+    """Human-readable pass/fail listing."""
+    lines = []
+    for result in results:
+        mark = "PASS" if result.passed else "FAIL"
+        suffix = f"  [{result.error}]" if result.error else ""
+        lines.append(f"[{mark}] {result.claim_id:<24} {result.statement}{suffix}")
+    passed = sum(1 for r in results if r.passed)
+    lines.append(f"\n{passed}/{len(results)} claims hold")
+    return "\n".join(lines)

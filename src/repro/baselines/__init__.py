@@ -1,0 +1,17 @@
+"""Baseline systems: Molecule-homo and commercial latency models."""
+
+from repro.baselines.commercial import (
+    CommercialSample,
+    CommercialSystemModel,
+    aws_lambda,
+    openwhisk,
+)
+from repro.baselines.homo import MoleculeHomo
+
+__all__ = [
+    "CommercialSample",
+    "CommercialSystemModel",
+    "MoleculeHomo",
+    "aws_lambda",
+    "openwhisk",
+]

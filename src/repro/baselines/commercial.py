@@ -1,0 +1,69 @@
+"""Latency models of the commercial comparators of Fig. 9.
+
+AWS Lambda and OpenWhisk only appear in the paper as comparison bars
+for startup and communication latency; they are modelled as calibrated
+latency distributions (means from Fig. 9, small lognormal-ish jitter),
+not as simulated systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import config
+from repro.sim import SeededRng
+
+
+@dataclass(frozen=True)
+class CommercialSample:
+    """One sampled request against a commercial platform."""
+
+    startup_ms: float
+    comm_ms: float
+
+
+class CommercialSystemModel:
+    """A named (startup, comm-hop) latency model."""
+
+    def __init__(self, name: str, startup_ms: float, comm_ms: float,
+                 rng: SeededRng | None = None, jitter: float = 0.08):
+        self.name = name
+        self.startup_ms = startup_ms
+        self.comm_ms = comm_ms
+        self.jitter = jitter
+        self.rng = rng or SeededRng(config.default_seed()).fork(name)
+
+    def sample(self) -> CommercialSample:
+        """Draw one request's startup and communication latency."""
+        return CommercialSample(
+            startup_ms=self.rng.jitter(self.startup_ms, self.jitter),
+            comm_ms=self.rng.jitter(self.comm_ms, self.jitter),
+        )
+
+    def mean_startup_ms(self, n: int = 50) -> float:
+        """Mean sampled startup latency over ``n`` requests."""
+        return sum(self.sample().startup_ms for _ in range(n)) / n
+
+    def mean_comm_ms(self, n: int = 50) -> float:
+        """Mean sampled communication latency over ``n`` requests."""
+        return sum(self.sample().comm_ms for _ in range(n)) / n
+
+
+def aws_lambda(rng: SeededRng | None = None) -> CommercialSystemModel:
+    """AWS Lambda: helloworld cold start + Step Functions hop (Fig. 9)."""
+    return CommercialSystemModel(
+        "aws-lambda",
+        startup_ms=config.COMMERCIAL.lambda_startup_ms,
+        comm_ms=config.COMMERCIAL.lambda_comm_ms,
+        rng=rng,
+    )
+
+
+def openwhisk(rng: SeededRng | None = None) -> CommercialSystemModel:
+    """Apache OpenWhisk: docker-runtime cold start + HTTP hop (Fig. 9)."""
+    return CommercialSystemModel(
+        "openwhisk",
+        startup_ms=config.COMMERCIAL.openwhisk_startup_ms,
+        comm_ms=config.COMMERCIAL.openwhisk_comm_ms,
+        rng=rng,
+    )

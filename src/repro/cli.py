@@ -1,0 +1,338 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro run fig2a fig8      # run selected experiments
+    python -m repro run all             # run everything
+    python -m repro report              # emit EXPERIMENTS.md to stdout
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro import config
+from repro.analysis import ablations
+from repro.analysis import experiments as ex
+from repro.analysis.report import format_table
+
+
+def _print_fig2a():
+    result = ex.fig2a_density()
+    print(format_table(
+        ["configuration", "measured", "paper"],
+        [(k, result.measured[k], result.paper[k]) for k in result.paper],
+    ))
+
+
+def _print_fig2b():
+    result = ex.fig2b_fpga_matrix()
+    print(format_table(
+        ["kernel", "cpu (us)", "fpga (us)", "speedup"],
+        [(r.name, f"{r.cpu_us:.0f}", f"{r.fpga_us:.0f}", f"{r.speedup:.2f}x")
+         for r in result.rows],
+    ))
+
+
+def _print_fig8():
+    result = ex.fig8_nipc()
+    sizes = sorted(next(iter(result.series.values())))
+    print(format_table(
+        ["series \\ bytes", *map(str, sizes)],
+        [(name, *(f"{result.series[name][s]:.1f}" for s in sizes))
+         for name in result.series],
+    ))
+
+
+def _print_fig9():
+    result = ex.fig9_commercial()
+    print(format_table(
+        ["system", "startup (ms)", "comm (ms)"],
+        [(r.system, f"{r.startup_ms:.2f}", f"{r.comm_ms:.3f}") for r in result.rows],
+    ))
+
+
+def _print_fig10():
+    result = ex.fig10_startup()
+    print(format_table(
+        ["pu", "language", "baseline (ms)", "cfork-local (ms)", "cfork-XPU (ms)"],
+        [(r.pu, r.language, f"{r.baseline_local_ms:.1f}",
+          f"{r.cfork_local_ms:.1f}", f"{r.cfork_xpu_ms:.1f}") for r in result.rows],
+    ))
+    print(format_table(
+        ["fpga configuration", "latency (s)"],
+        [(r.configuration, f"{r.seconds:.3f}") for r in result.fpga_rows],
+    ))
+
+
+def _print_fig11():
+    result = ex.fig11a_cfork_breakdown()
+    print(format_table(
+        ["stage", "measured (ms)", "paper (ms)"],
+        [(k, f"{result.measured_ms[k]:.2f}", f"{v:.2f}")
+         for k, v in result.paper_ms.items()],
+    ))
+    memory = ex.fig11bc_memory()
+    print(format_table(
+        ["instances", "base RSS", "mol RSS", "base PSS", "mol PSS"],
+        [(n, f"{memory.baseline_rss[i]:.1f}", f"{memory.molecule_rss[i]:.1f}",
+          f"{memory.baseline_pss[i]:.1f}", f"{memory.molecule_pss[i]:.1f}")
+         for i, n in enumerate(memory.instance_counts)],
+    ))
+
+
+def _print_fig12():
+    result = ex.fig12_dag_comm()
+    for case in result.cases:
+        print(f"-- {case.case} --")
+        print(format_table(
+            ["edge", "baseline (ms)", "molecule (ms)", "speedup"],
+            [(e, f"{b:.2f}", f"{m:.3f}", f"{b / m:.1f}x")
+             for e, b, m in zip(case.edge_names, case.baseline_ms, case.molecule_ms)],
+        ))
+
+
+def _print_fig13():
+    result = ex.fig13_fpga_chain()
+    print(format_table(
+        ["chain length", "copying (us)", "shm (us)"],
+        [(n, f"{c:.0f}", f"{s:.0f}")
+         for n, c, s in zip(result.lengths, result.copying_us, result.shm_us)],
+    ))
+
+
+def _print_fig14(variant: str) -> Callable[[], None]:
+    def printer():
+        result = ex.fig14_functionbench(variant)
+        print(format_table(
+            ["workload", "baseline (ms)", "molecule (ms)", "speedup"],
+            [(r.workload, f"{r.baseline_ms:.1f}", f"{r.molecule_ms:.1f}",
+              f"{r.speedup:.2f}x") for r in result.rows],
+        ))
+    return printer
+
+
+def _print_fig14e():
+    result = ex.fig14e_chains()
+    print(format_table(
+        ["application", "case", "baseline (ms)", "molecule (ms)", "speedup"],
+        [(r.application, r.case, f"{r.baseline_ms:.1f}", f"{r.molecule_ms:.1f}",
+          f"{r.speedup:.2f}x") for r in result.rows],
+    ))
+
+
+def _print_fig14f():
+    result = ex.fig14f_gzip()
+    print(format_table(
+        ["file (MB)", "cpu (ms)", "fpga (ms)"],
+        [(s, f"{c:.1f}", f"{f:.1f}")
+         for s, c, f in zip(result.inputs, result.cpu_ms, result.fpga_ms)],
+    ))
+
+
+def _print_fig14g():
+    result = ex.fig14g_aml()
+    print(format_table(
+        ["entries", "cpu (ms)", "fpga (ms)", "speedup"],
+        [(int(n), f"{c:.2f}", f"{f:.2f}", f"{c / f:.1f}x")
+         for n, c, f in zip(result.inputs, result.cpu_ms, result.fpga_ms)],
+    ))
+
+
+def _print_fig14h():
+    result = ex.fig14h_matrix()
+    print(f"matrix-comput: cpu {result.cpu_ms[0]:.2f}ms "
+          f"fpga {result.fpga_ms[0]:.2f}ms ({result.speedup_at(0):.2f}x)")
+
+
+def _print_table4():
+    result = ex.table4_fpga_resources()
+    print(format_table(
+        ["resource", "F1 total", "wrapper", "fraction"],
+        [(k, f"{result.totals[k]:,.0f}", f"{result.wrapper[k]:,.0f}",
+          f"{result.fractions[k]:.1%}") for k in ("luts", "regs", "brams", "dsps")],
+    ))
+
+
+def _print_table5():
+    matrix = ex.table5_generality()
+    print(format_table(
+        ["pu", "kind", "v.sandbox", "communication", "model"],
+        [(name, row["kind"], row["vectorized_sandbox"], row["communication"],
+          row["programming_model"]) for name, row in matrix.items()],
+    ))
+
+
+def _print_fig15():
+    print(format_table(
+        ["system", "startup", "same-PU comm", "cross-PU comm"],
+        [(p.system, p.startup_class, p.same_pu_comm, p.cross_pu_comm)
+         for p in ex.fig15_design_space()],
+    ))
+
+
+def _print_ablations():
+    print(format_table(
+        ["pu", "transport", "round trip (us)"],
+        [(r.pu, r.transport, f"{r.round_trip_us:.1f}")
+         for r in ablations.xpucall_transport_ablation()],
+    ))
+    sync = ablations.sync_strategy_ablation()
+    print(f"sync: static 0us, immediate {sync.immediate_us:.1f}us, lazy 0us")
+    bus = ablations.dag_direct_vs_bus()
+    print(f"dag: direct {bus.direct_total_ms:.2f}ms vs bus "
+          f"{bus.bus_total_ms:.2f}ms ({bus.improvement:.2f}x)")
+
+
+EXPERIMENTS: dict[str, Callable[[], None]] = {
+    "fig2a": _print_fig2a,
+    "fig2b": _print_fig2b,
+    "fig8": _print_fig8,
+    "fig9": _print_fig9,
+    "fig10": _print_fig10,
+    "fig11": _print_fig11,
+    "fig12": _print_fig12,
+    "fig13": _print_fig13,
+    "fig14a": _print_fig14("cold_cpu"),
+    "fig14b": _print_fig14("warm_cpu"),
+    "fig14c": _print_fig14("cold_bf1"),
+    "fig14d": _print_fig14("cold_bf2"),
+    "fig14e": _print_fig14e,
+    "fig14f": _print_fig14f,
+    "fig14g": _print_fig14g,
+    "fig14h": _print_fig14h,
+    "table4": _print_table4,
+    "table5": _print_table5,
+    "fig15": _print_fig15,
+    "ablations": _print_ablations,
+}
+
+
+def _plot_fig2a():
+    from repro.analysis.charts import bar_chart
+
+    result = ex.fig2a_density()
+    print(bar_chart(result.measured, unit=" instances"))
+
+
+def _plot_fig8():
+    from repro.analysis.charts import line_chart
+
+    result = ex.fig8_nipc()
+    sizes = sorted(next(iter(result.series.values())))
+    series = {name: [result.series[name][s] for s in sizes] for name in result.series}
+    print(line_chart(series, x_labels=[f"{sizes[0]}B", f"{sizes[-1]}B"]))
+
+
+def _plot_fig9():
+    from repro.analysis.charts import bar_chart
+
+    result = ex.fig9_commercial()
+    print("startup latency (ms, log scale):")
+    print(bar_chart({r.system: r.startup_ms for r in result.rows}, log_scale=True))
+    print("\ncommunication latency (ms, log scale):")
+    print(bar_chart({r.system: r.comm_ms for r in result.rows}, log_scale=True))
+
+
+def _plot_fig13():
+    from repro.analysis.charts import line_chart
+
+    result = ex.fig13_fpga_chain()
+    print(line_chart(
+        {"copying (us)": result.copying_us, "shm (us)": result.shm_us},
+        x_labels=[result.lengths[0], result.lengths[-1]],
+    ))
+
+
+def _plot_fig14f():
+    from repro.analysis.charts import line_chart
+
+    result = ex.fig14f_gzip()
+    print(line_chart(
+        {"cpu (ms)": result.cpu_ms, "fpga (ms)": result.fpga_ms},
+        x_labels=[f"{result.inputs[0]}MB", f"{result.inputs[-1]}MB"],
+    ))
+
+
+def _plot_fig14e():
+    from repro.analysis.charts import speedup_chart
+
+    result = ex.fig14e_chains()
+    print(speedup_chart({
+        f"{r.application}/{r.case}": (r.baseline_ms, r.molecule_ms)
+        for r in result.rows
+    }))
+
+
+PLOTS: dict[str, Callable[[], None]] = {
+    "fig2a": _plot_fig2a,
+    "fig8": _plot_fig8,
+    "fig9": _plot_fig9,
+    "fig13": _plot_fig13,
+    "fig14e": _plot_fig14e,
+    "fig14f": _plot_fig14f,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Molecule reproduction: regenerate the paper's evaluation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one or more experiments")
+    run.add_argument("experiments", nargs="+",
+                     help="experiment names, or 'all'")
+    plot = sub.add_parser("plot", help="ASCII-plot a figure's shape")
+    plot.add_argument("figures", nargs="+",
+                      help=f"one of: {', '.join(PLOTS)}")
+    sub.add_parser("report", help="emit the full EXPERIMENTS.md to stdout")
+    sub.add_parser("validate", help="check every paper claim (conformance)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    if args.command == "report":
+        from repro.analysis.writeup import generate
+
+        print(generate(), end="")
+        return 0
+    if args.command == "validate":
+        from repro.analysis.validation import scorecard, validate_all
+
+        results = validate_all()
+        print(scorecard(results))
+        return 0 if all(r.passed for r in results) else 1
+    if args.command == "plot":
+        unknown = [name for name in args.figures if name not in PLOTS]
+        if unknown:
+            print(f"unknown figure(s): {', '.join(unknown)}", file=sys.stderr)
+            print(f"available: {', '.join(PLOTS)}", file=sys.stderr)
+            return 2
+        for name in args.figures:
+            print(f"=== {name} ===")
+            PLOTS[name]()
+            print()
+        return 0
+    names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for name in names:
+        print(f"=== {name} ===")
+        EXPERIMENTS[name]()
+        print()
+    return 0

@@ -1,0 +1,177 @@
+"""Multi-machine scheduling: the global manager (§4.1).
+
+"The API Gateway then schedules a function's instance to machines with
+at least one of the required kinds of PU where the function can
+execute."  A :class:`GlobalManager` fronts a fleet of
+:class:`MoleculeRuntime` worker machines sharing one simulator, routes
+each request to a machine offering a required PU kind (warm-first,
+then least-loaded), and co-locates whole chains on one machine for
+communication locality (§4.1: "Molecule schedules a function chain in
+one computer in most cases").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.dag import Chain
+from repro.core.molecule import MoleculeRuntime
+from repro.core.registry import FunctionDef
+from repro.errors import SchedulingError
+from repro.hardware.pu import PuKind
+from repro.sim import Simulator
+
+
+@dataclass
+class WorkerInfo:
+    """One worker machine in the fleet."""
+
+    name: str
+    runtime: MoleculeRuntime
+
+    def pu_kinds(self) -> set[PuKind]:
+        """PU kinds this machine offers."""
+        return {pu.kind for pu in self.runtime.machine.pus.values()}
+
+    def free_dram_mb(self) -> float:
+        """Spare instance memory across general-purpose PUs."""
+        return sum(
+            pu.dram_free_mb for pu in self.runtime.machine.general_purpose_pus()
+        )
+
+    def has_warm(self, function_name: str) -> bool:
+        """True if some PU pool holds an idle instance of the function."""
+        for pool in self.runtime.invoker.pools.values():
+            if pool._idle.get(function_name):
+                return True
+        return False
+
+
+class GlobalManager:
+    """Fleet-level request routing."""
+
+    def __init__(self, sim: Optional[Simulator] = None):
+        self.sim = sim or Simulator()
+        self.workers: list[WorkerInfo] = []
+        self.routed: dict[str, int] = {}
+
+    # -- fleet management ----------------------------------------------------------
+
+    def add_worker(self, name: str, runtime: MoleculeRuntime) -> WorkerInfo:
+        """Register a worker machine (must share this manager's sim)."""
+        if runtime.sim is not self.sim:
+            raise SchedulingError(
+                f"worker {name!r} runs on a different simulator"
+            )
+        if any(worker.name == name for worker in self.workers):
+            raise SchedulingError(f"duplicate worker name {name!r}")
+        info = WorkerInfo(name=name, runtime=runtime)
+        self.workers.append(info)
+        return info
+
+    def build_worker(self, name: str, num_dpus: int = 2, **kwargs) -> WorkerInfo:
+        """Construct and register a CPU+DPU worker on the shared sim."""
+        from repro.hardware.machine import build_cpu_dpu_machine
+
+        machine = build_cpu_dpu_machine(self.sim, num_dpus=num_dpus)
+        runtime = MoleculeRuntime(self.sim, machine, **kwargs)
+        runtime.start()
+        return self.add_worker(name, runtime)
+
+    def worker(self, name: str) -> WorkerInfo:
+        """Worker by name."""
+        for info in self.workers:
+            if info.name == name:
+                return info
+        raise SchedulingError(f"unknown worker {name!r}")
+
+    # -- deployment -------------------------------------------------------------------
+
+    def deploy(self, function: FunctionDef, **kwargs):
+        """Generator: deploy to every machine that can host the function."""
+        eligible = self.eligible_workers(function)
+        if not eligible:
+            raise SchedulingError(
+                f"no machine offers a PU kind in {function.profiles}"
+            )
+        for info in eligible:
+            yield from info.runtime.deploy(function, **kwargs)
+        return function
+
+    def deploy_now(self, function: FunctionDef, **kwargs) -> FunctionDef:
+        """Synchronous convenience wrapper."""
+        proc = self.sim.spawn(self.deploy(function, **kwargs))
+        self.sim.run()
+        return proc.value
+
+    def eligible_workers(self, function: FunctionDef) -> list[WorkerInfo]:
+        """Machines offering at least one of the function's PU kinds."""
+        return [
+            info
+            for info in self.workers
+            if info.pu_kinds() & set(function.profiles)
+        ]
+
+    # -- routing -----------------------------------------------------------------------
+
+    def choose_worker(self, function: FunctionDef) -> WorkerInfo:
+        """Warm-first, then most-spare-memory routing."""
+        eligible = self.eligible_workers(function)
+        if not eligible:
+            raise SchedulingError(
+                f"no machine can host function {function.name!r}"
+            )
+        warm = [info for info in eligible if info.has_warm(function.name)]
+        pool = warm or eligible
+        return max(pool, key=lambda info: info.free_dram_mb())
+
+    def invoke(self, name: str, **kwargs):
+        """Generator: route one request to a worker and run it there."""
+        target = None
+        for info in self.workers:
+            if name in info.runtime.registry:
+                function = info.runtime.registry.get(name)
+                target = self.choose_worker(function)
+                break
+        if target is None:
+            raise SchedulingError(f"function {name!r} is deployed nowhere")
+        self.routed[target.name] = self.routed.get(target.name, 0) + 1
+        result = yield from target.runtime.invoke(name, **kwargs)
+        return result
+
+    def invoke_now(self, name: str, **kwargs):
+        """Synchronous convenience wrapper."""
+        proc = self.sim.spawn(self.invoke(name, **kwargs))
+        self.sim.run()
+        return proc.value
+
+    def run_chain(self, chain: Chain, placements_kinds: Sequence[PuKind] = ()):
+        """Generator: run a whole chain on ONE machine (§4.1 locality).
+
+        ``placements_kinds`` optionally forces a PU kind per stage;
+        the machine is the one that can satisfy every stage.
+        """
+        first = None
+        for info in self.workers:
+            if all(s.function in info.runtime.registry for s in chain.stages):
+                first = info
+                break
+        if first is None:
+            raise SchedulingError(f"chain {chain.name!r} is not fully deployed")
+        runtime = first.runtime
+        machine = runtime.machine
+        placements = []
+        kinds = list(placements_kinds) or [PuKind.CPU] * len(chain.stages)
+        if len(kinds) != len(chain.stages):
+            raise SchedulingError("placement kinds do not match chain stages")
+        for kind in kinds:
+            pus = machine.pus_of_kind(kind)
+            if not pus:
+                raise SchedulingError(
+                    f"worker {first.name!r} has no {kind.value} PU"
+                )
+            placements.append(pus[0])
+        yield from runtime.dag.prepare(chain, placements)
+        result = yield from runtime.run_chain(chain, placements)
+        return result

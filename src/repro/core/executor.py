@@ -1,0 +1,138 @@
+"""Per-PU executors (§4.1).
+
+Molecule runs on one PU (the host CPU here) and manages the others
+through *executors*: processes launched via xSpawn that receive
+commands over nIPC, act on the local OS through the sandbox runtime,
+and send results back.  The command/reply channels are real XPU-FIFOs,
+so every remote management action pays the neighbour-IPC costs the
+paper measures (cfork-XPU adds 1-3ms over cfork-local, Fig. 10).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro import config
+from repro.errors import XpuError
+from repro.sandbox.base import FunctionCode, Language
+from repro.sandbox.runc import RuncRuntime
+from repro.sim import Event
+from repro.xpu.capability import CapGroup, Permission
+from repro.xpu.fifo import FifoEnd, XpuFifoHandle
+from repro.xpu.shim import XpuShim
+
+
+@dataclass
+class Command:
+    """One management command sent to an executor."""
+
+    request_id: int
+    verb: str
+    args: dict[str, Any] = field(default_factory=dict)
+
+
+#: Approximate wire size of a serialized command/reply message.
+COMMAND_BYTES = 256
+REPLY_BYTES = 128
+
+
+class Executor:
+    """The management agent on one general-purpose PU."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        shim: XpuShim,
+        runc: RuncRuntime,
+        group: CapGroup,
+        cmd_handle: XpuFifoHandle,
+        reply_writer: Callable,
+    ):
+        self.shim = shim
+        self.runc = runc
+        self.group = group
+        self.cmd_handle = cmd_handle
+        self._reply_writer = reply_writer
+        self.commands_handled = 0
+
+    @property
+    def sim(self):
+        """The shim's simulator."""
+        return self.shim.sim
+
+    # -- daemon ------------------------------------------------------------------
+
+    def daemon(self):
+        """Generator: the executor's main loop — read a command over
+        nIPC, execute it against the local runtime, reply."""
+        while True:
+            command = yield from self.shim.xfifo_read(self.group, self.cmd_handle)
+            result = yield from self._handle(command)
+            self.commands_handled += 1
+            yield from self._reply_writer(command.request_id, result)
+
+    def _handle(self, command: Command):
+        """Dispatch one command verb."""
+        verb = command.verb
+        args = command.args
+        if verb == "ensure_template":
+            template = yield from self.runc.ensure_template(
+                args["language"], args.get("dedicated_to")
+            )
+            return template
+        if verb == "prepare_containers":
+            count = yield from self.runc.prepare_containers(args.get("count", 1))
+            return count
+        if verb == "cfork":
+            # Remote-cfork coordination overhead (config push, namespace
+            # wiring across the command channel): the 1-3ms of Fig. 10.
+            yield self.sim.timeout(
+                config.STARTUP.remote_cfork_overhead_ms * config.MS
+            )
+            sandbox = yield from self.runc.cfork(args["sandbox_id"], args["code"])
+            return sandbox
+        if verb == "cold_start":
+            yield from self.runc.create(args["sandbox_id"], args["code"])
+            sandbox = yield from self.runc.start(args["sandbox_id"])
+            return sandbox
+        if verb == "delete":
+            sandbox = yield from self.runc.delete(args["sandbox_id"])
+            return sandbox
+        raise XpuError(f"executor: unknown command verb {verb!r}")
+
+
+class ExecutorClient:
+    """Molecule's handle on one remote executor.
+
+    Sends commands over the executor's command XPU-FIFO and matches
+    replies (pumped by the runtime's reply dispatcher) by request id.
+    """
+
+    def __init__(self, shim_home: XpuShim, group: CapGroup, cmd_handle: XpuFifoHandle):
+        self.shim_home = shim_home  # shim on Molecule's own PU
+        self.group = group          # Molecule's cap group
+        self.cmd_handle = cmd_handle
+        self._pending: dict[int, Event] = {}
+        self._req_ids = itertools.count(1)
+
+    def call(self, verb: str, **args):
+        """Generator: send one command and wait for its reply."""
+        request_id = next(self._req_ids)
+        reply_event = self.shim_home.sim.event()
+        self._pending[request_id] = reply_event
+        command = Command(request_id=request_id, verb=verb, args=args)
+        yield from self.shim_home.xfifo_write(
+            self.group, self.cmd_handle, command, COMMAND_BYTES
+        )
+        result = yield reply_event
+        return result
+
+    def resolve(self, request_id: int, result: Any) -> None:
+        """Complete a pending call (invoked by the reply dispatcher)."""
+        event = self._pending.pop(request_id, None)
+        if event is None:
+            raise XpuError(f"unexpected executor reply {request_id}")
+        event.succeed(result)

@@ -1,0 +1,31 @@
+"""The API gateway / global manager front-end (§4.1).
+
+Requests enter Molecule through the gateway, which admits them (a small
+scheduling overhead), stamps request ids, and hands them to the
+invoker.  Baseline systems route *inter-function* traffic through the
+gateway too; Molecule's nIPC DAG calls bypass it — that contrast is the
+point of §4.3.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro import config
+from repro.sim import Simulator
+
+
+class ApiGateway:
+    """Request admission for one worker machine."""
+
+    def __init__(self, sim: Simulator, overhead_ms: float = config.GATEWAY_OVERHEAD_MS):
+        self.sim = sim
+        self.overhead_ms = overhead_ms
+        self._request_ids = itertools.count(1)
+        self.requests_admitted = 0
+
+    def admit(self):
+        """Generator: admit one request, returning its request id."""
+        yield self.sim.timeout(self.overhead_ms * config.MS)
+        self.requests_admitted += 1
+        return next(self._request_ids)

@@ -1,0 +1,419 @@
+"""Invocation paths: cold start, warm start, accelerator dispatch (§4.2).
+
+The invoker owns the per-PU warm pools and implements the start paths:
+
+* **warm**: take an idle instance from the pool (cache hit);
+* **cfork cold**: fork the PU's template container — locally for the
+  host PU, through the executor's nIPC command channel for others;
+* **baseline cold**: full container create + runtime boot (what
+  Molecule-homo always does);
+* **FPGA**: check the resident image for a cached kernel; repack and
+  re-program (no-erase) on a miss; DMA the payload in and out.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+from repro import config
+from repro.errors import SandboxError, SchedulingError, WorkloadError
+from repro.hardware.pu import ProcessingUnit, PuKind
+from repro.core.keepalive import WarmPool
+from repro.core.registry import FunctionDef
+from repro.sandbox.base import Sandbox, SandboxState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.molecule import MoleculeRuntime
+
+
+@dataclass
+class FunctionInstance:
+    """One live (warm or executing) function instance."""
+
+    function: FunctionDef
+    pu: ProcessingUnit
+    sandbox: Sandbox
+    forked: bool
+    requests_served: int = 0
+
+    @property
+    def is_first_request(self) -> bool:
+        """True before the instance has served anything (COW penalty)."""
+        return self.requests_served == 0
+
+
+@dataclass
+class InvocationResult:
+    """Timing breakdown of one request."""
+
+    function: str
+    request_id: int
+    pu_name: str
+    pu_kind: PuKind
+    cold: bool
+    startup_s: float
+    exec_s: float
+    comm_s: float
+    total_s: float
+    billed_cost: float
+
+    @property
+    def total_ms(self) -> float:
+        """End-to-end latency in milliseconds."""
+        return self.total_s / config.MS
+
+
+class Invoker:
+    """Cold/warm start logic over the runtime's sandbox runtimes."""
+
+    def __init__(
+        self,
+        runtime: "MoleculeRuntime",
+        warm_pool_capacity: int = 4096,
+        keep_alive_ttl_s: Optional[float] = None,
+        reap_period_s: float = 1.0,
+    ):
+        self.runtime = runtime
+        self.pools: dict[int, WarmPool] = {
+            pu_id: WarmPool(warm_pool_capacity, keep_alive_ttl_s=keep_alive_ttl_s)
+            for pu_id in runtime.machine.pus
+        }
+        self._sandbox_ids = itertools.count(1)
+        self.cold_invocations = 0
+        self.warm_invocations = 0
+        #: Optional span tracer; set to a Tracer to record per-request
+        #: request/startup/exec timelines.
+        self.tracer = None
+        self._reaper_wakeup = None
+        if keep_alive_ttl_s is not None:
+            self.runtime.sim.spawn(
+                self._keepalive_reaper(reap_period_s), name="keepalive-reaper"
+            )
+
+    def notify_idle(self) -> None:
+        """Wake the keep-alive reaper after instances went idle."""
+        if self._reaper_wakeup is not None and not self._reaper_wakeup.triggered:
+            self._reaper_wakeup.succeed()
+
+    def _keepalive_reaper(self, period_s: float):
+        """Daemon: periodically evict instances idle past the TTL (§5
+        keep-alive policies).
+
+        Event-driven: while every pool is empty the reaper parks on a
+        wakeup event (so an idle simulation can drain); releases call
+        :meth:`notify_idle`.  Note that with a TTL configured, running
+        the simulation to quiescence ages idle instances past the TTL.
+        """
+        while True:
+            if all(len(pool) == 0 for pool in self.pools.values()):
+                self._reaper_wakeup = self.sim.event()
+                yield self._reaper_wakeup
+                self._reaper_wakeup = None
+            yield self.sim.timeout(period_s)
+            for pool in self.pools.values():
+                for instance in pool.reap_expired(self.sim.now):
+                    self.sim.spawn(self._destroy(instance))
+
+    @property
+    def sim(self):
+        """The runtime's simulator."""
+        return self.runtime.sim
+
+    def _next_sandbox_id(self, function: FunctionDef) -> str:
+        return f"{function.name}-{next(self._sandbox_ids)}"
+
+    # -- public entry -------------------------------------------------------------
+
+    def invoke(
+        self,
+        name: str,
+        kind: Optional[PuKind] = None,
+        pu: Optional[ProcessingUnit] = None,
+        force_cold: bool = False,
+        payload_bytes: int = 1024,
+        exec_time_s: Optional[float] = None,
+    ):
+        """Generator: run one request end to end.
+
+        ``exec_time_s`` overrides the function's warm execution model
+        for input-dependent workloads (file size, entry count).
+        """
+        function = self.runtime.registry.get(name)
+        start = self.sim.now
+        request_id = yield from self.runtime.gateway.admit()
+        if pu is not None and kind is None:
+            kind = pu.kind
+        if kind is not None and not function.supports(kind):
+            raise SchedulingError(
+                f"function {name!r} has no {kind.value} profile"
+            )
+        if (kind or function.profiles[0]) in (PuKind.FPGA, PuKind.GPU):
+            result = yield from self._invoke_accelerated(
+                function, request_id, kind or function.profiles[0],
+                payload_bytes, exec_time_s, start,
+            )
+            return result
+        result = yield from self._invoke_general(
+            function, request_id, kind, pu, force_cold,
+            payload_bytes, exec_time_s, start,
+        )
+        return result
+
+    # -- CPU/DPU path -----------------------------------------------------------------
+
+    def _find_warm(self, function: FunctionDef, kind, pu):
+        candidates = (
+            [pu]
+            if pu is not None
+            else self.runtime.scheduler.candidates(function, kind)
+        )
+        for candidate in candidates:
+            pool = self.pools[candidate.pu_id]
+            while True:
+                instance = pool.acquire(function.name)
+                if instance is None:
+                    break
+                if self._is_alive(instance):
+                    return instance
+                # A crashed instance was cached: reap it and keep looking
+                # (failure robustness - a dead sandbox must never serve).
+                self.sim.spawn(self._destroy(instance))
+        return None
+
+    @staticmethod
+    def _is_alive(instance: FunctionInstance) -> bool:
+        """True unless the instance's container process has died."""
+        backend = instance.sandbox.backend
+        process = getattr(backend, "process", None)
+        if process is None:
+            return instance.sandbox.state is not SandboxState.DELETED
+        return process.alive
+
+    def _invoke_general(
+        self, function, request_id, kind, pu, force_cold,
+        payload_bytes, exec_time_s, start,
+    ):
+        request_span = None
+        if self.tracer is not None:
+            request_span = self.tracer.begin(
+                "request", function=function.name, request_id=request_id
+            )
+            startup_span = self.tracer.begin("startup")
+        startup_begin = self.sim.now
+        instance = None if force_cold else self._find_warm(function, kind, pu)
+        cold = instance is None
+        if cold:
+            target = pu or self.runtime.scheduler.place(function, kind)
+            instance = yield from self._cold_start(function, target)
+            self.cold_invocations += 1
+        else:
+            self.warm_invocations += 1
+        startup_s = self.sim.now - startup_begin
+        if self.tracer is not None:
+            startup_span.attributes["cold"] = cold
+            self.tracer.end(startup_span)
+            exec_span = self.tracer.begin("exec", pu=instance.pu.name)
+
+        exec_begin = self.sim.now
+        if cold and function.code.data_ms:
+            # Cold-path data preparation no startup optimisation removes.
+            yield self.sim.timeout(function.code.data_ms * config.MS)
+        if instance.forked and instance.is_first_request:
+            runc = self.runtime.runc_on(instance.pu.pu_id)
+            yield self.sim.timeout(runc.first_request_penalty())
+        duration = (
+            exec_time_s
+            if exec_time_s is not None
+            else function.work.exec_time(instance.pu)
+        )
+        # Execution occupies one of the PU's cores: concurrent requests
+        # beyond the core count queue (real vertical-scaling pressure).
+        core = instance.pu.cores.request()
+        yield core
+        instance.pu.clock.mark_busy()
+        yield self.sim.timeout(duration)
+        instance.pu.clock.mark_idle()
+        instance.pu.cores.release(core)
+        instance.requests_served += 1
+        exec_s = self.sim.now - exec_begin
+        if self.tracer is not None:
+            self.tracer.end(exec_span)
+            self.tracer.end(request_span)
+
+        evicted = self.pools[instance.pu.pu_id].release(instance, now=self.sim.now)
+        self.notify_idle()
+        for old in evicted:
+            self.sim.spawn(self._destroy(old))
+        return self._result(
+            function, request_id, instance.pu, cold, startup_s, exec_s, 0.0, start
+        )
+
+    def _cold_start(self, function: FunctionDef, pu: ProcessingUnit):
+        """Generator: create a new instance on ``pu`` (cfork preferred)."""
+        runc = self.runtime.runc_on(pu.pu_id)
+        sandbox_id = self._next_sandbox_id(function)
+        use_cfork = (
+            self.runtime.use_cfork
+            and runc.template_for(function.code) is not None
+        )
+        if use_cfork:
+            client = self.runtime.executor_client(pu.pu_id)
+            if client is None:  # Molecule's own PU: local cfork
+                sandbox = yield from runc.cfork(sandbox_id, function.code)
+            else:  # neighbour PU: command over nIPC
+                sandbox = yield from client.call(
+                    "cfork", sandbox_id=sandbox_id, code=function.code
+                )
+        else:
+            client = self.runtime.executor_client(pu.pu_id)
+            if client is None:
+                yield from runc.create(sandbox_id, function.code)
+                sandbox = yield from runc.start(sandbox_id)
+            else:
+                sandbox = yield from client.call(
+                    "cold_start", sandbox_id=sandbox_id, code=function.code
+                )
+        return FunctionInstance(
+            function=function, pu=pu, sandbox=sandbox, forked=use_cfork
+        )
+
+    def _destroy(self, instance: FunctionInstance):
+        """Generator: tear down an evicted instance and free memory."""
+        runc = self.runtime.runc_on(instance.pu.pu_id)
+        if instance.sandbox.state is not SandboxState.DELETED:
+            yield from runc.delete(instance.sandbox.sandbox_id)
+        self.runtime.scheduler.release(instance.function, instance.pu)
+
+    # -- accelerator path ---------------------------------------------------------------
+
+    def _invoke_accelerated(
+        self, function, request_id, kind, payload_bytes, exec_time_s, start
+    ):
+        if kind is PuKind.FPGA:
+            result = yield from self._invoke_fpga(
+                function, request_id, payload_bytes, exec_time_s, start
+            )
+            return result
+        result = yield from self._invoke_gpu(
+            function, request_id, payload_bytes, exec_time_s, start
+        )
+        return result
+
+    def _transfer(self, pu: ProcessingUnit, nbytes: int):
+        """Generator: DMA a payload between the host and an accelerator."""
+        host = pu.host_pu or self.runtime.machine.host_cpu
+        route = self.runtime.machine.route(host, pu)
+        yield self.sim.timeout(route.transfer_time(nbytes))
+        yield self.sim.timeout(host.copy_time(nbytes))
+
+    def _choose_fpga(self, function):
+        """Pick the FPGA for a request: a device already caching the
+        kernel wins (warm start); otherwise the device whose image was
+        programmed least recently is repacked.  With 8 F1 devices and
+        12-instance images this caches 96 instances machine-wide (§6.4).
+        """
+        candidates = self.runtime.scheduler.candidates(function, PuKind.FPGA)
+        if not candidates:
+            raise SchedulingError(f"no FPGA can host {function.name!r}")
+        for pu in candidates:
+            runf = self.runtime.runf_on(pu.pu_id)
+            if runf.cached_sandbox_for(function.name) is not None:
+                return pu
+        return min(
+            candidates,
+            key=lambda pu: self.runtime.runf_on(pu.pu_id).device.program_count,
+        )
+
+    def _invoke_fpga(self, function, request_id, payload_bytes, exec_time_s, start):
+        pu = self._choose_fpga(function)
+        runf = self.runtime.runf_on(pu.pu_id)
+        startup_begin = self.sim.now
+        sandbox = runf.cached_sandbox_for(function.name)
+        cold = sandbox is None
+        if cold:
+            # Repack the image: keep resident-hot kernels, add this one.
+            predicted = [function.name] + [
+                n for n in runf.resident_function_ids if n != function.name
+            ]
+            plan = self.runtime.image_planner.plan(predicted)
+            entries = []
+            for fn_name in plan.func_names:
+                fn = self.runtime.registry.get(fn_name)
+                for copy in range(plan.copies_each):
+                    entries.append(
+                        (f"{fn_name}-v{next(self._sandbox_ids)}", fn.code)
+                    )
+            yield from runf.create_vector(entries)
+            sandbox = runf.cached_sandbox_for(function.name)
+            self.cold_invocations += 1
+        else:
+            self.warm_invocations += 1
+        if sandbox.state is SandboxState.CREATED:
+            yield from runf.start(sandbox.sandbox_id)
+        startup_s = self.sim.now - startup_begin
+
+        exec_begin = self.sim.now
+        yield from self._transfer(pu, payload_bytes)  # args in
+        duration = (
+            exec_time_s
+            if exec_time_s is not None
+            else function.work.exec_time(pu)
+        )
+        yield from runf.invoke(sandbox.sandbox_id, exec_time_s=duration)
+        yield from self._transfer(pu, payload_bytes)  # results out
+        exec_s = self.sim.now - exec_begin
+        return self._result(
+            function, request_id, pu, cold, startup_s, exec_s, 0.0, start
+        )
+
+    def _invoke_gpu(self, function, request_id, payload_bytes, exec_time_s, start):
+        pu = self.runtime.scheduler.place(function, PuKind.GPU)
+        rung = self.runtime.rung_on(pu.pu_id)
+        startup_begin = self.sim.now
+        sandbox_id = f"gpu-{function.name}"
+        try:
+            sandbox = rung.get(sandbox_id)
+            cold = False
+            self.warm_invocations += 1
+        except SandboxError:
+            yield from rung.create(sandbox_id, function.code)
+            sandbox = yield from rung.start(sandbox_id)
+            cold = True
+            self.cold_invocations += 1
+        startup_s = self.sim.now - startup_begin
+        exec_begin = self.sim.now
+        yield from self._transfer(pu, payload_bytes)
+        duration = (
+            exec_time_s
+            if exec_time_s is not None
+            else function.work.exec_time(pu)
+        )
+        yield from rung.invoke(sandbox_id, exec_time_s=duration)
+        yield from self._transfer(pu, payload_bytes)
+        exec_s = self.sim.now - exec_begin
+        return self._result(
+            function, request_id, pu, cold, startup_s, exec_s, 0.0, start
+        )
+
+    # -- result assembly ----------------------------------------------------------------
+
+    def _result(
+        self, function, request_id, pu, cold, startup_s, exec_s, comm_s, start
+    ) -> InvocationResult:
+        total_s = self.sim.now - start
+        entry = self.runtime.ledger.charge(request_id, function.name, pu, exec_s)
+        cost = entry.cost
+        return InvocationResult(
+            function=function.name,
+            request_id=request_id,
+            pu_name=pu.name,
+            pu_kind=pu.kind,
+            cold=cold,
+            startup_s=startup_s,
+            exec_s=exec_s,
+            comm_s=comm_s,
+            total_s=total_s,
+            billed_cost=cost,
+        )

@@ -1,0 +1,138 @@
+"""Keep-alive policies: which instances stay warm (§4.2, §5).
+
+For CPU/DPU, warm instances live in per-PU pools with LRU eviction
+(FaasCache-style greedy keep-alive is a drop-in policy).  For FPGA,
+"keeping alive" means choosing which kernels are packed into the next
+vectorized image; Molecule tends to cache the functions of one chain in
+the same image (§5 "Keep-alive policies").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, Optional, TYPE_CHECKING
+
+from repro.errors import SchedulingError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.invoker import FunctionInstance
+
+
+class WarmPool:
+    """LRU pool of idle warm instances on one PU, with optional TTL.
+
+    ``keep_alive_ttl_s`` bounds how long an idle instance survives:
+    :meth:`reap_expired` (driven by the invoker's reaper process)
+    removes instances idle longer than the TTL — the fixed-keep-alive
+    policy commercial platforms use, and the baseline FaasCache-style
+    policies improve on (§5).
+    """
+
+    def __init__(self, capacity: int = 64, keep_alive_ttl_s: Optional[float] = None):
+        if capacity < 1:
+            raise SchedulingError(f"warm pool capacity must be >= 1: {capacity}")
+        if keep_alive_ttl_s is not None and keep_alive_ttl_s <= 0:
+            raise SchedulingError(f"TTL must be positive: {keep_alive_ttl_s}")
+        self.capacity = capacity
+        self.keep_alive_ttl_s = keep_alive_ttl_s
+        #: func_name -> list of (idle_since, instance).
+        self._idle: OrderedDict[str, list] = OrderedDict()
+        #: Cache statistics for reports.
+        self.hits = 0
+        self.misses = 0
+        self.expired = 0
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._idle.values())
+
+    def acquire(self, func_name: str) -> Optional["FunctionInstance"]:
+        """Take a warm instance of ``func_name``; None on a miss."""
+        bucket = self._idle.get(func_name)
+        if bucket:
+            self._idle.move_to_end(func_name)
+            self.hits += 1
+            _since, instance = bucket.pop()
+            return instance
+        self.misses += 1
+        return None
+
+    def release(self, instance: "FunctionInstance", now: float = 0.0) -> list["FunctionInstance"]:
+        """Return an instance to the pool; returns any LRU evictions."""
+        name = instance.function.name
+        self._idle.setdefault(name, []).append((now, instance))
+        self._idle.move_to_end(name)
+        evicted: list = []
+        while len(self) > self.capacity:
+            oldest_name, bucket = next(iter(self._idle.items()))
+            evicted.append(bucket.pop(0)[1])
+            if not bucket:
+                del self._idle[oldest_name]
+        return evicted
+
+    def reap_expired(self, now: float) -> list["FunctionInstance"]:
+        """Remove instances idle past the keep-alive TTL."""
+        if self.keep_alive_ttl_s is None:
+            return []
+        reaped: list = []
+        for name in list(self._idle):
+            bucket = self._idle[name]
+            keep = []
+            for since, instance in bucket:
+                if now - since > self.keep_alive_ttl_s:
+                    reaped.append(instance)
+                else:
+                    keep.append((since, instance))
+            if keep:
+                self._idle[name] = keep
+            else:
+                del self._idle[name]
+        self.expired += len(reaped)
+        return reaped
+
+    def drop_all(self, func_name: str) -> list["FunctionInstance"]:
+        """Remove every idle instance of one function."""
+        return [inst for _since, inst in self._idle.pop(func_name, [])]
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of acquires served warm."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class ImagePlan:
+    """The kernel packing chosen for the next FPGA image."""
+
+    func_names: tuple[str, ...]
+    copies_each: int
+
+
+class FpgaImagePlanner:
+    """Chooses the kernel vector for the next FPGA image.
+
+    Policy from §5: functions invoked together (a chain) are cached in
+    one image; each function gets ``copies_each`` instances (the paper's
+    Table 4 wrapper packs 4 copies of 3 kernels = 12 instances).
+    """
+
+    def __init__(self, copies_each: int = 4, max_instances: int = 12):
+        if copies_each < 1 or max_instances < copies_each:
+            raise SchedulingError("invalid image planner configuration")
+        self.copies_each = copies_each
+        self.max_instances = max_instances
+
+    def plan(self, predicted: Iterable[str]) -> ImagePlan:
+        """Pack the predicted-hot functions into one image plan."""
+        names: list[str] = []
+        for name in predicted:
+            if name not in names:
+                names.append(name)
+        if not names:
+            raise SchedulingError("image plan needs at least one function")
+        copies = min(self.copies_each, self.max_instances // len(names))
+        copies = max(copies, 1)
+        while len(names) * copies > self.max_instances:
+            names.pop()  # drop the least-recently predicted
+        return ImagePlan(func_names=tuple(names), copies_each=copies)

@@ -1,0 +1,315 @@
+"""The Molecule runtime facade (§4).
+
+Wires the whole system together on one heterogeneous computer:
+
+* an :class:`OsInstance` per general-purpose PU (multi-OS),
+* the XPU-Shim cluster with a shim per PU (virtual for accelerators),
+* a ``runc`` runtime per CPU/DPU, ``runf`` per FPGA, ``runG`` per GPU,
+* executors xSpawn-ed onto every non-host PU, commanded over nIPC,
+* the gateway, scheduler, invoker, and DAG engine.
+
+Typical use::
+
+    molecule = MoleculeRuntime.create(num_dpus=2)
+    molecule.deploy_now(function)
+    result = molecule.invoke_now(function.name)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import config
+from repro.errors import SchedulingError, XpuError
+from repro.hardware.machine import (
+    HeterogeneousComputer,
+    build_cpu_dpu_machine,
+)
+from repro.hardware.pu import ProcessingUnit, PuKind
+from repro.multios.cgroup import CpusetLockMode
+from repro.multios.os import OsInstance
+from repro.core.billing import BillingLedger
+from repro.core.dag import Chain, DagEngine
+from repro.core.executor import Executor, ExecutorClient, REPLY_BYTES
+from repro.core.gateway import ApiGateway
+from repro.core.invoker import Invoker
+from repro.core.keepalive import FpgaImagePlanner
+from repro.core.registry import FunctionDef, FunctionRegistry
+from repro.core.scheduler import Scheduler
+from repro.sandbox.runc import RuncRuntime
+from repro.sandbox.runf import RunfRuntime
+from repro.sandbox.rung import RungRuntime
+from repro.sim import Simulator
+from repro.xpu.capability import Permission
+from repro.xpu.fifo import FifoEnd
+from repro.xpu.shim import ShimCluster
+
+
+class MoleculeRuntime:
+    """One Molecule deployment on one worker machine."""
+
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        machine: Optional[HeterogeneousComputer] = None,
+        use_cfork: bool = True,
+        cpuset_opt: bool = True,
+        no_erase: bool = True,
+        warm_pool_capacity: int = 4096,
+        keep_alive_ttl_s: Optional[float] = None,
+        prefer_cheapest: bool = False,
+    ):
+        self.sim = sim or Simulator()
+        self.machine = machine or build_cpu_dpu_machine(self.sim, num_dpus=2)
+        self.use_cfork = use_cfork
+        self.registry = FunctionRegistry()
+        self.ledger = BillingLedger()
+        self.gateway = ApiGateway(self.sim)
+        self.scheduler = Scheduler(self.machine, prefer_cheapest=prefer_cheapest)
+        self.image_planner = FpgaImagePlanner()
+        self.cluster = ShimCluster(self.sim, self.machine)
+
+        lock = CpusetLockMode.MUTEX if cpuset_opt else CpusetLockMode.SEMAPHORE
+        self.oses: dict[int, OsInstance] = {}
+        self.runcs: dict[int, RuncRuntime] = {}
+        self.runfs: dict[int, RunfRuntime] = {}
+        self.rungs: dict[int, RungRuntime] = {}
+        for pu in self.machine.general_purpose_pus():
+            os_instance = OsInstance(self.sim, pu, cpuset_lock=lock)
+            self.oses[pu.pu_id] = os_instance
+            self.cluster.install(pu, os_instance)
+            self.runcs[pu.pu_id] = RuncRuntime(self.sim, os_instance)
+        host = self.machine.host_cpu
+        host_shim = self.cluster.shim_on(host.pu_id)
+        for pu in self.machine.pus.values():
+            if pu.is_general_purpose:
+                continue
+            self.cluster.install_virtual(pu, host_shim)
+            if pu.kind is PuKind.FPGA:
+                device = self.machine.fpga_device(pu)
+                self.runfs[pu.pu_id] = RunfRuntime(self.sim, device, no_erase=no_erase)
+            elif pu.kind is PuKind.GPU:
+                self.rungs[pu.pu_id] = RungRuntime(self.sim, pu)
+
+        #: Molecule's own CAP_Group (the runtime process on the host).
+        self.group = self.cluster.register_process(host.pu_id, name="molecule")
+        self.invoker = Invoker(
+            self,
+            warm_pool_capacity=warm_pool_capacity,
+            keep_alive_ttl_s=keep_alive_ttl_s,
+        )
+        self.dag = DagEngine(self)
+        self._executors: dict[int, Executor] = {}
+        self._clients: dict[int, ExecutorClient] = {}
+        self._booted = False
+
+    # -- construction helpers -------------------------------------------------------
+
+    @classmethod
+    def create(cls, num_dpus: int = 2, dpu_model: str = "bf1", **kwargs) -> "MoleculeRuntime":
+        """Build a CPU+DPU Molecule deployment and boot it."""
+        sim = Simulator()
+        machine = build_cpu_dpu_machine(sim, num_dpus=num_dpus, dpu_model=dpu_model)
+        runtime = cls(sim=sim, machine=machine, **kwargs)
+        runtime.start()
+        return runtime
+
+    def run(self, generator):
+        """Spawn a generator, run the simulation, return its value."""
+        proc = self.sim.spawn(generator)
+        self.sim.run()
+        if not proc.processed:
+            raise SchedulingError("runtime generator deadlocked")
+        return proc.value
+
+    def start(self) -> None:
+        """Boot the runtime: launch executors on every neighbour PU."""
+        if self._booted:
+            return
+        self.run(self.boot())
+        self._booted = True
+
+    def boot(self):
+        """Generator: xSpawn executors and wire their nIPC channels."""
+        host = self.machine.host_cpu
+        host_shim = self.cluster.shim_on(host.pu_id)
+        for pu in self.machine.general_purpose_pus():
+            if pu.pu_id == host.pu_id:
+                continue
+            pu_shim = self.cluster.shim_on(pu.pu_id)
+            _pid, exec_group, _process = yield from host_shim.xspawn(
+                self.group, pu.pu_id, f"executor-{pu.name}"
+            )
+            # Command channel: homed on the executor's PU.
+            cmd_uuid = f"cmd-{pu.name}"
+            cmd_handle_exec = yield from pu_shim.xfifo_init(
+                exec_group, cmd_uuid, cmd_uuid
+            )
+            yield from pu_shim.grant_cap(
+                exec_group, self.group.xpu_pid,
+                cmd_handle_exec.fifo.obj_id, Permission.WRITE,
+            )
+            cmd_handle_mol = yield from host_shim.xfifo_connect(
+                self.group, cmd_uuid, FifoEnd.WRITE
+            )
+            # Reply channel: homed on Molecule's PU.
+            reply_uuid = f"reply-{pu.name}"
+            reply_handle_mol = yield from host_shim.xfifo_init(
+                self.group, reply_uuid, reply_uuid
+            )
+            yield from host_shim.grant_cap(
+                self.group, exec_group.xpu_pid,
+                reply_handle_mol.fifo.obj_id, Permission.WRITE,
+            )
+            reply_handle_exec = yield from pu_shim.xfifo_connect(
+                exec_group, reply_uuid, FifoEnd.WRITE
+            )
+
+            def reply_writer(request_id, result, _shim=pu_shim, _group=exec_group,
+                             _handle=reply_handle_exec):
+                yield from _shim.xfifo_write(
+                    _group, _handle, (request_id, result), REPLY_BYTES
+                )
+
+            executor = Executor(
+                shim=pu_shim,
+                runc=self.runcs[pu.pu_id],
+                group=exec_group,
+                cmd_handle=cmd_handle_exec,
+                reply_writer=reply_writer,
+            )
+            client = ExecutorClient(host_shim, self.group, cmd_handle_mol)
+            self._executors[pu.pu_id] = executor
+            self._clients[pu.pu_id] = client
+            self.sim.spawn(executor.daemon(), name=f"executor-{pu.name}")
+            self.sim.spawn(
+                self._reply_pump(client, reply_handle_mol),
+                name=f"reply-pump-{pu.name}",
+            )
+
+    def _reply_pump(self, client: ExecutorClient, reply_handle):
+        host_shim = self.cluster.shim_on(self.machine.host_cpu.pu_id)
+        while True:
+            request_id, result = yield from host_shim.xfifo_read(
+                self.group, reply_handle
+            )
+            client.resolve(request_id, result)
+
+    # -- component lookup -------------------------------------------------------------
+
+    def runc_on(self, pu_id: int) -> RuncRuntime:
+        """The container runtime on a general-purpose PU."""
+        try:
+            return self.runcs[pu_id]
+        except KeyError:
+            raise XpuError(f"no runc runtime on PU {pu_id}") from None
+
+    def runf_on(self, pu_id: int) -> RunfRuntime:
+        """The FPGA runtime for an FPGA PU."""
+        try:
+            return self.runfs[pu_id]
+        except KeyError:
+            raise XpuError(f"no runf runtime on PU {pu_id}") from None
+
+    def rung_on(self, pu_id: int) -> RungRuntime:
+        """The GPU runtime for a GPU PU."""
+        try:
+            return self.rungs[pu_id]
+        except KeyError:
+            raise XpuError(f"no runG runtime on PU {pu_id}") from None
+
+    def executor_client(self, pu_id: int) -> Optional[ExecutorClient]:
+        """The nIPC client for a neighbour PU (None for the host PU)."""
+        return self._clients.get(pu_id)
+
+    # -- deployment ---------------------------------------------------------------------
+
+    def deploy(
+        self,
+        function: FunctionDef,
+        dedicated_template: bool = True,
+        prepare_containers: int = 1,
+    ):
+        """Generator: register a function and prepare its PUs.
+
+        Boots template containers (dedicated ones pre-import the
+        function's dependencies) and pre-initialises function containers
+        on every general-purpose PU the function may run on.
+        """
+        self.registry.register(function)
+        if not self.use_cfork:
+            return function
+        for pu in self.machine.general_purpose_pus():
+            if not function.supports(pu.kind):
+                continue
+            dedicated = function.code if dedicated_template else None
+            client = self.executor_client(pu.pu_id)
+            if client is None:
+                runc = self.runc_on(pu.pu_id)
+                yield from runc.ensure_template(
+                    function.code.language, dedicated_to=dedicated
+                )
+                if prepare_containers:
+                    yield from runc.prepare_containers(prepare_containers)
+            else:
+                yield from client.call(
+                    "ensure_template",
+                    language=function.code.language,
+                    dedicated_to=dedicated,
+                )
+                if prepare_containers:
+                    yield from client.call(
+                        "prepare_containers", count=prepare_containers
+                    )
+        return function
+
+    def deploy_now(self, function: FunctionDef, **kwargs) -> FunctionDef:
+        """Synchronous convenience wrapper over :meth:`deploy`."""
+        return self.run(self.deploy(function, **kwargs))
+
+    # -- invocation ---------------------------------------------------------------------
+
+    def invoke(self, name: str, **kwargs):
+        """Generator: one request through the gateway (see Invoker)."""
+        result = yield from self.invoker.invoke(name, **kwargs)
+        return result
+
+    def invoke_now(self, name: str, **kwargs):
+        """Synchronous convenience wrapper over :meth:`invoke`."""
+        return self.run(self.invoke(name, **kwargs))
+
+    def run_chain(self, chain: Chain, placements, **kwargs):
+        """Generator: one chain request with direct-connect DAG calls."""
+        result = yield from self.dag.run_chain(chain, placements, **kwargs)
+        return result
+
+    # -- reports ------------------------------------------------------------------------
+
+    def support_matrix(self) -> dict[str, dict[str, object]]:
+        """The Table 1 / Table 5 support matrix of this deployment."""
+        matrix: dict[str, dict[str, object]] = {}
+        for pu in self.machine.pus.values():
+            kind = pu.kind
+            if kind.general_purpose:
+                vsandbox = "runc (modified)"
+                comm = "RDMA" if kind is PuKind.DPU else "IPC"
+                model = "Python / Node.js"
+            elif kind is PuKind.FPGA:
+                vsandbox = "runf (OpenCL)"
+                comm = "DMA"
+                model = "OpenCL"
+            else:
+                vsandbox = "runG (CUDA)"
+                comm = "DMA"
+                model = "CUDA C++"
+            matrix[pu.name] = {
+                "kind": kind.value,
+                "vectorized_sandbox": vsandbox,
+                "xpu_shim": "virtual (host)" if not kind.general_purpose else "native",
+                "communication": comm,
+                "programming_model": model,
+                "cfork": kind.general_purpose,
+                "vs_caching": kind is PuKind.FPGA,
+                "nipc_dag": True,
+            }
+        return matrix

@@ -1,0 +1,133 @@
+"""Profile-selection policies (§5 "Profile selections").
+
+When a request arrives for a multi-profile function, the control plane
+picks one PU kind.  The prototype uses chain co-location; the paper
+notes other policies (e.g. ML-model-based) are pluggable.  Implemented
+here:
+
+* :class:`UserOrderPolicy`   — honour the user's profile order (default);
+* :class:`CheapestPolicy`    — lowest price class first;
+* :class:`FastestPolicy`     — lowest estimated warm latency first;
+* :class:`CostAwarePolicy`   — lowest observed cost per invocation from
+  the billing ledger, falling back to price order with no history;
+* :class:`ChainLocalityPolicy` — wrap any policy, pinning chain members
+  to the chain's home PU kind.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from repro.core.billing import BillingLedger
+from repro.core.registry import FunctionDef
+from repro.errors import SchedulingError
+from repro.hardware.machine import HeterogeneousComputer
+from repro.hardware.pu import ProcessingUnit, PuKind
+
+
+class PlacementPolicy(Protocol):
+    """Orders a function's allowed PU kinds for one request."""
+
+    def kind_order(self, function: FunctionDef) -> list[PuKind]:
+        """Allowed kinds, most preferred first."""
+        ...
+
+
+class UserOrderPolicy:
+    """The order the user listed in the function's profiles."""
+
+    def kind_order(self, function: FunctionDef) -> list[PuKind]:
+        """See :class:`PlacementPolicy`."""
+        return list(function.profiles)
+
+
+class CheapestPolicy:
+    """Lowest price class first (DPU < CPU < GPU < FPGA, §4.1)."""
+
+    def kind_order(self, function: FunctionDef) -> list[PuKind]:
+        def price(kind: PuKind) -> float:
+            from repro.hardware.pu import PriceClass
+
+            return PriceClass[kind.name].value
+
+        return sorted(function.profiles, key=price)
+
+
+class FastestPolicy:
+    """Lowest estimated warm execution latency first."""
+
+    def __init__(self, machine: HeterogeneousComputer):
+        self.machine = machine
+
+    def kind_order(self, function: FunctionDef) -> list[PuKind]:
+        def latency(kind: PuKind) -> float:
+            pus = self.machine.pus_of_kind(kind)
+            if not pus:
+                return float("inf")
+            try:
+                return function.work.exec_time(pus[0])
+            except Exception:
+                return float("inf")
+
+        return sorted(function.profiles, key=latency)
+
+
+class CostAwarePolicy:
+    """Ledger-informed: prefer the kind that has billed the least."""
+
+    def __init__(self, ledger: BillingLedger):
+        self.ledger = ledger
+        self._fallback = CheapestPolicy()
+
+    def kind_order(self, function: FunctionDef) -> list[PuKind]:
+        observed = self.ledger.cheapest_kind_for(function.name)
+        order = self._fallback.kind_order(function)
+        if observed is not None and observed in order:
+            order.remove(observed)
+            order.insert(0, observed)
+        return order
+
+
+class ChainLocalityPolicy:
+    """Pin functions of one chain to the chain's home kind (§5), with a
+    wrapped policy deciding the rest."""
+
+    def __init__(self, inner: PlacementPolicy):
+        self.inner = inner
+        self._chain_home: dict[str, PuKind] = {}
+
+    def pin_chain(self, function_names, kind: PuKind) -> None:
+        """Record that these functions form one chain homed on ``kind``."""
+        for name in function_names:
+            self._chain_home[name] = kind
+
+    def unpin_chain(self, function_names) -> None:
+        """Remove a chain's pinning."""
+        for name in function_names:
+            self._chain_home.pop(name, None)
+
+    def kind_order(self, function: FunctionDef) -> list[PuKind]:
+        order = self.inner.kind_order(function)
+        home = self._chain_home.get(function.name)
+        if home is not None:
+            if home not in function.profiles:
+                raise SchedulingError(
+                    f"chain pins {function.name!r} to {home.value}, which is "
+                    "not one of its profiles"
+                )
+            order = [home] + [kind for kind in order if kind is not home]
+        return order
+
+
+def choose_pu(
+    machine: HeterogeneousComputer,
+    policy: PlacementPolicy,
+    function: FunctionDef,
+    has_capacity,
+) -> Optional[ProcessingUnit]:
+    """First PU, in policy order, for which ``has_capacity(pu)`` holds."""
+    for kind in policy.kind_order(function):
+        for pu in machine.pus_of_kind(kind):
+            if has_capacity(pu):
+                return pu
+    return None

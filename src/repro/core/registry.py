@@ -1,0 +1,121 @@
+"""Function registry: definitions, work profiles and placement profiles.
+
+Unlike the one-fits-all resource model of commercial platforms, Molecule
+requires end-users to explicitly pick resources and PU kinds per
+function, possibly several (§4.1 "Profile selections"): a function may
+be deployable on both CPU and DPU and the control plane picks one at
+request time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro import config
+from repro.errors import RegistryError, WorkloadError
+from repro.hardware.pu import ProcessingUnit, PuKind
+from repro.sandbox.base import FunctionCode
+
+
+@dataclass(frozen=True)
+class WorkProfile:
+    """Execution-time model of one function across PU kinds.
+
+    ``warm_exec_ms`` is the warm execution latency on the reference CPU;
+    general-purpose PUs scale it by their speed (optionally overridden
+    for event-driven functions that are less frequency-bound).
+    Accelerator timings are explicit because accelerated kernels do not
+    follow CPU scaling at all.
+    """
+
+    warm_exec_ms: float
+    #: Override the CPU/DPU speed ratio (e.g. Alexa's Node.js handlers
+    #: see ~3x on BF-1, not the 6x of compute kernels: Fig. 14e).
+    dpu_slowdown: Optional[float] = None
+    fpga_exec_ms: Optional[float] = None
+    gpu_exec_ms: Optional[float] = None
+
+    def __post_init__(self):
+        if self.warm_exec_ms < 0:
+            raise WorkloadError(f"negative warm exec: {self.warm_exec_ms}")
+
+    def exec_time(self, pu: ProcessingUnit) -> float:
+        """Warm execution time (seconds) on ``pu``."""
+        if pu.kind is PuKind.FPGA:
+            if self.fpga_exec_ms is None:
+                raise WorkloadError("function has no FPGA execution profile")
+            return self.fpga_exec_ms * config.MS
+        if pu.kind is PuKind.GPU:
+            if self.gpu_exec_ms is None:
+                raise WorkloadError("function has no GPU execution profile")
+            return self.gpu_exec_ms * config.MS
+        if pu.kind is PuKind.DPU and self.dpu_slowdown is not None:
+            return self.warm_exec_ms * config.MS * self.dpu_slowdown
+        return pu.compute_time(self.warm_exec_ms * config.MS)
+
+
+@dataclass(frozen=True)
+class FunctionDef:
+    """One deployed serverless function."""
+
+    name: str
+    code: FunctionCode
+    work: WorkProfile
+    #: PU kinds the user is willing to pay for, cheapest-preferred order
+    #: chosen by the platform (§4.1).
+    profiles: tuple[PuKind, ...] = (PuKind.CPU,)
+
+    def __post_init__(self):
+        if not self.profiles:
+            raise RegistryError(f"function {self.name!r} has no PU profile")
+        for kind in self.profiles:
+            if kind in (PuKind.FPGA,) and self.code.kernel is None:
+                raise RegistryError(
+                    f"function {self.name!r} lists {kind.value} but has no kernel"
+                )
+            if kind.general_purpose and self.code.language is None:
+                raise RegistryError(
+                    f"function {self.name!r} lists {kind.value} but has no language"
+                )
+
+    def supports(self, kind: PuKind) -> bool:
+        """True if the user allowed this PU kind."""
+        return kind in self.profiles
+
+
+class FunctionRegistry:
+    """All functions deployed on one Molecule runtime."""
+
+    def __init__(self):
+        self._functions: dict[str, FunctionDef] = {}
+
+    def register(self, function: FunctionDef) -> FunctionDef:
+        """Deploy a function (rejects duplicate names)."""
+        if function.name in self._functions:
+            raise RegistryError(f"function {function.name!r} already registered")
+        self._functions[function.name] = function
+        return function
+
+    def unregister(self, name: str) -> None:
+        """Remove a deployed function."""
+        if name not in self._functions:
+            raise RegistryError(f"unknown function {name!r}")
+        del self._functions[name]
+
+    def get(self, name: str) -> FunctionDef:
+        """Function by name (raises for unknown names)."""
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise RegistryError(f"unknown function {name!r}") from None
+
+    def names(self) -> list[str]:
+        """All deployed function names, sorted."""
+        return sorted(self._functions)
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions

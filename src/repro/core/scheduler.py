@@ -1,0 +1,94 @@
+"""The control plane's placement decisions (§4.1, §5 "Profile
+selections").
+
+Given a function's allowed PU kinds, the scheduler picks the concrete
+PU for a new instance:
+
+* admission-controlled by instance memory (the Fig. 2a density
+  experiment emerges from this);
+* cheapest-first across kinds (DPU before CPU before accelerators) by
+  default, or an explicit preference;
+* chain-aware: functions of one chain are co-located on the same PU
+  when possible, for communication locality.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import SchedulingError
+from repro.hardware.machine import HeterogeneousComputer
+from repro.hardware.pu import ProcessingUnit, PuKind
+from repro.core.registry import FunctionDef
+
+#: Kind preference when the user allows several (cheapest first, §4.1).
+_KIND_PRICE_ORDER = (PuKind.DPU, PuKind.CPU, PuKind.GPU, PuKind.FPGA)
+
+
+class Scheduler:
+    """Places function instances onto PUs."""
+
+    def __init__(self, machine: HeterogeneousComputer, prefer_cheapest: bool = False):
+        self.machine = machine
+        #: When False (default), kinds are tried in the order the user
+        #: listed them in the function's profiles.
+        self.prefer_cheapest = prefer_cheapest
+
+    def _kind_order(self, function: FunctionDef) -> list[PuKind]:
+        if self.prefer_cheapest:
+            return [k for k in _KIND_PRICE_ORDER if function.supports(k)]
+        return list(function.profiles)
+
+    def candidates(self, function: FunctionDef, kind: Optional[PuKind] = None) -> list[ProcessingUnit]:
+        """PUs that could host this function, in placement order."""
+        kinds = [kind] if kind is not None else self._kind_order(function)
+        pus: list[ProcessingUnit] = []
+        for wanted in kinds:
+            if not function.supports(wanted):
+                raise SchedulingError(
+                    f"function {function.name!r} has no {wanted.value} profile"
+                )
+            pus.extend(self.machine.pus_of_kind(wanted))
+        return pus
+
+    def place(
+        self,
+        function: FunctionDef,
+        kind: Optional[PuKind] = None,
+        near: Optional[ProcessingUnit] = None,
+    ) -> ProcessingUnit:
+        """Choose and reserve a PU for one new instance.
+
+        Reserves the instance's memory immediately (admission control);
+        call :meth:`release` when the instance dies.  ``near`` expresses
+        chain co-location: that PU is tried first.
+        """
+        candidates = self.candidates(function, kind)
+        if near is not None and near in candidates:
+            candidates = [near] + [pu for pu in candidates if pu is not near]
+        for pu in candidates:
+            if pu.kind.general_purpose:
+                if pu.try_reserve_dram(function.code.memory_mb):
+                    return pu
+            else:
+                # Accelerator capacity is governed by its runtime
+                # (fabric resources / contexts), not host-style DRAM.
+                return pu
+        raise SchedulingError(
+            f"no PU has capacity for {function.name!r} "
+            f"({function.code.memory_mb}MB over {[p.name for p in candidates]})"
+        )
+
+    def release(self, function: FunctionDef, pu: ProcessingUnit) -> None:
+        """Return the memory reservation of a dead instance."""
+        if pu.kind.general_purpose:
+            pu.release_dram(function.code.memory_mb)
+
+    def max_density(self, function: FunctionDef, kinds: Iterable[PuKind]) -> int:
+        """How many concurrent instances fit across PUs of ``kinds``
+        (the Fig. 2a vertical-scaling metric)."""
+        total = 0
+        for kind in kinds:
+            for pu in self.machine.pus_of_kind(kind):
+                total += int(pu.dram_free_mb // function.code.memory_mb)
+        return total

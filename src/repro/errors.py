@@ -1,0 +1,91 @@
+"""Exception hierarchy for the Molecule reproduction.
+
+Every error raised by this library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was used incorrectly (e.g. double-trigger)."""
+
+
+class Interrupt(ReproError):
+    """Thrown into a simulated process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value passed by the interrupter.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class HardwareError(ReproError):
+    """Base class for hardware-model errors."""
+
+
+class RoutingError(HardwareError):
+    """No interconnect route exists between two processing units."""
+
+
+class FpgaResourceError(HardwareError):
+    """An FPGA image does not fit the device's fabric resources."""
+
+
+class FpgaStateError(HardwareError):
+    """An FPGA operation was issued in an invalid device state."""
+
+
+class OsError_(ReproError):
+    """Base class for multi-OS substrate errors.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``OSError``.
+    """
+
+
+class UnknownProcessError(OsError_):
+    """A PID does not name a live process on this OS instance."""
+
+
+class FifoError(OsError_):
+    """Invalid operation on a (local or XPU) FIFO."""
+
+
+class XpuError(ReproError):
+    """Base class for XPU-Shim errors."""
+
+
+class CapabilityError(XpuError):
+    """Permission denied by the distributed capability system."""
+
+
+class UnknownObjectError(XpuError):
+    """A distributed object id does not resolve to a live object."""
+
+
+class SandboxError(ReproError):
+    """Base class for sandbox-runtime errors."""
+
+
+class SandboxStateError(SandboxError):
+    """An OCI operation was invoked in a state that does not allow it."""
+
+
+class SchedulingError(ReproError):
+    """The control plane could not place a function instance."""
+
+
+class RegistryError(ReproError):
+    """Function registry misuse (duplicate or unknown function)."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition is inconsistent or references no profile."""

@@ -1,0 +1,55 @@
+"""Hardware model of the heterogeneous computer."""
+
+from repro.hardware.fpga import (
+    DramBank,
+    F1_TOTALS,
+    FabricResources,
+    FpgaDevice,
+    FpgaImage,
+    KernelInstance,
+    KernelSpec,
+    WRAPPER_OVERHEAD,
+)
+from repro.hardware.interconnect import Interconnect, Link, LinkKind, Route
+from repro.hardware.machine import (
+    HeterogeneousComputer,
+    build_cpu_dpu_machine,
+    build_cpu_fpga_machine,
+    build_full_machine,
+)
+from repro.hardware.power import (
+    DEFAULT_POWER,
+    EnergyMeter,
+    PowerSpec,
+    energy_per_request,
+)
+from repro.hardware.pu import PriceClass, ProcessingUnit, PuKind, PuSpec
+from repro.hardware import specs
+
+__all__ = [
+    "DEFAULT_POWER",
+    "DramBank",
+    "EnergyMeter",
+    "PowerSpec",
+    "energy_per_request",
+    "F1_TOTALS",
+    "FabricResources",
+    "FpgaDevice",
+    "FpgaImage",
+    "HeterogeneousComputer",
+    "Interconnect",
+    "KernelInstance",
+    "KernelSpec",
+    "Link",
+    "LinkKind",
+    "PriceClass",
+    "ProcessingUnit",
+    "PuKind",
+    "PuSpec",
+    "Route",
+    "WRAPPER_OVERHEAD",
+    "build_cpu_dpu_machine",
+    "build_cpu_fpga_machine",
+    "build_full_machine",
+    "specs",
+]

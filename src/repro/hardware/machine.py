@@ -1,0 +1,157 @@
+"""The heterogeneous computer: PUs + interconnect + attached devices.
+
+Builders mirror the paper's two testbeds and a combined machine:
+
+* :func:`build_cpu_dpu_machine`  -- Xeon host + N Bluefield DPUs (§6 setting 1)
+* :func:`build_cpu_fpga_machine` -- F1-style host + N UltraScale+ FPGAs (§6 setting 2)
+* :func:`build_full_machine`     -- CPU + DPUs + FPGAs + GPU (generality, §6.8)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import HardwareError
+from repro.hardware import specs
+from repro.hardware.fpga import FpgaDevice
+from repro.hardware.interconnect import Interconnect, LinkKind, Route
+from repro.hardware.pu import ProcessingUnit, PuKind, PuSpec
+from repro.sim import Simulator
+
+
+class HeterogeneousComputer:
+    """One worker machine with heterogeneous processing units."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.pus: dict[int, ProcessingUnit] = {}
+        self.interconnect = Interconnect()
+        #: Accelerator device models keyed by pu_id (e.g. FpgaDevice).
+        self.devices: dict[int, FpgaDevice] = {}
+        self._next_pu_id = 0
+
+    # -- construction -----------------------------------------------------------
+
+    def add_pu(self, name: str, spec: PuSpec) -> ProcessingUnit:
+        """Add a processing unit and return it."""
+        pu = ProcessingUnit(self.sim, self._next_pu_id, name, spec)
+        self.pus[pu.pu_id] = pu
+        self._next_pu_id += 1
+        return pu
+
+    def connect(self, a: ProcessingUnit, b: ProcessingUnit, kind: LinkKind) -> None:
+        """Add a physical link between two PUs."""
+        self.interconnect.add_link(a, b, kind)
+
+    def attach_fpga_device(self, pu: ProcessingUnit, **kwargs) -> FpgaDevice:
+        """Attach an :class:`FpgaDevice` model to an FPGA PU."""
+        device = FpgaDevice(self.sim, pu, **kwargs)
+        self.devices[pu.pu_id] = device
+        return device
+
+    # -- lookup -------------------------------------------------------------------
+
+    def pu(self, pu_id: int) -> ProcessingUnit:
+        """PU by id (raises on unknown id)."""
+        try:
+            return self.pus[pu_id]
+        except KeyError:
+            raise HardwareError(f"unknown PU id {pu_id}") from None
+
+    def pus_of_kind(self, kind: PuKind) -> list[ProcessingUnit]:
+        """All PUs of one architectural class, in id order."""
+        return [pu for pu in self.pus.values() if pu.kind is kind]
+
+    def general_purpose_pus(self) -> list[ProcessingUnit]:
+        """All CPU/DPU PUs, in id order."""
+        return [pu for pu in self.pus.values() if pu.is_general_purpose]
+
+    @property
+    def host_cpu(self) -> ProcessingUnit:
+        """The machine's host CPU (first CPU-kind PU)."""
+        cpus = self.pus_of_kind(PuKind.CPU)
+        if not cpus:
+            raise HardwareError("machine has no host CPU")
+        return cpus[0]
+
+    def route(self, src: ProcessingUnit, dst: ProcessingUnit) -> Route:
+        """Interconnect route between two PUs."""
+        return self.interconnect.route(src.pu_id, dst.pu_id)
+
+    def fpga_device(self, pu: ProcessingUnit) -> FpgaDevice:
+        """The device model attached to an FPGA PU."""
+        try:
+            return self.devices[pu.pu_id]
+        except KeyError:
+            raise HardwareError(f"PU {pu.name} has no attached device model") from None
+
+    def describe(self) -> str:
+        """One-line-per-PU description of the machine topology."""
+        lines = []
+        for pu in self.pus.values():
+            neighbors = list(self.interconnect.neighbors(pu.pu_id))
+            lines.append(
+                f"PU{pu.pu_id} {pu.name:<10} {pu.spec.model:<34} "
+                f"kind={pu.kind.value:<4} links={neighbors}"
+            )
+        return "\n".join(lines)
+
+
+def build_cpu_dpu_machine(
+    sim: Simulator,
+    num_dpus: int = 2,
+    dpu_model: str = "bf1",
+    cpu_spec: Optional[PuSpec] = None,
+) -> HeterogeneousComputer:
+    """The §6 CPU-DPU testbed: Xeon host + Bluefield DPUs over RDMA."""
+    if num_dpus < 0:
+        raise HardwareError(f"invalid DPU count: {num_dpus}")
+    machine = HeterogeneousComputer(sim)
+    cpu = machine.add_pu("cpu0", cpu_spec or specs.XEON_8160)
+    dpu_spec = specs.CATALOG[dpu_model]
+    if dpu_spec.kind is not PuKind.DPU:
+        raise HardwareError(f"{dpu_model!r} is not a DPU model")
+    for index in range(num_dpus):
+        dpu = machine.add_pu(f"dpu{index}", dpu_spec)
+        machine.connect(cpu, dpu, LinkKind.RDMA)
+    return machine
+
+
+def build_cpu_fpga_machine(
+    sim: Simulator,
+    num_fpgas: int = 8,
+    data_retention: bool = True,
+) -> HeterogeneousComputer:
+    """The §6 CPU-FPGA testbed: F1.x16large with eight UltraScale+ FPGAs."""
+    if num_fpgas < 1:
+        raise HardwareError(f"invalid FPGA count: {num_fpgas}")
+    machine = HeterogeneousComputer(sim)
+    cpu = machine.add_pu("cpu0", specs.XEON_8160)
+    for index in range(num_fpgas):
+        fpga = machine.add_pu(f"fpga{index}", specs.ULTRASCALE_PLUS)
+        fpga.host_pu = cpu
+        machine.connect(cpu, fpga, LinkKind.DMA)
+        machine.attach_fpga_device(fpga, data_retention=data_retention)
+    return machine
+
+
+def build_full_machine(
+    sim: Simulator,
+    num_dpus: int = 2,
+    num_fpgas: int = 1,
+    num_gpus: int = 1,
+    dpu_model: str = "bf1",
+) -> HeterogeneousComputer:
+    """A combined machine exercising every PU kind (§6.8 generality)."""
+    machine = build_cpu_dpu_machine(sim, num_dpus=num_dpus, dpu_model=dpu_model)
+    cpu = machine.host_cpu
+    for index in range(num_fpgas):
+        fpga = machine.add_pu(f"fpga{index}", specs.ULTRASCALE_PLUS)
+        fpga.host_pu = cpu
+        machine.connect(cpu, fpga, LinkKind.DMA)
+        machine.attach_fpga_device(fpga)
+    for index in range(num_gpus):
+        gpu = machine.add_pu(f"gpu{index}", specs.GENERIC_GPU)
+        gpu.host_pu = cpu
+        machine.connect(cpu, gpu, LinkKind.DMA)
+    return machine

@@ -1,0 +1,85 @@
+"""Per-PU power and energy accounting.
+
+§6.6 argues DPUs "promise better energy efficiency" than host CPUs
+(and the E3 related work makes the same case for SmartNICs).  This
+module attaches a simple two-state power model (idle/busy watts) to
+each PU kind and integrates energy from the PUs' utilisation clocks, so
+experiments can compare joules-per-request across placements.
+
+Power figures are representative datasheet values, not paper-calibrated
+(the paper publishes no energy numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+from repro.hardware.pu import ProcessingUnit, PuKind
+
+
+@dataclass(frozen=True)
+class PowerSpec:
+    """Two-state power model of one PU."""
+
+    idle_watts: float
+    busy_watts: float
+
+    def __post_init__(self):
+        if self.idle_watts < 0 or self.busy_watts < self.idle_watts:
+            raise HardwareError(
+                f"invalid power spec: idle={self.idle_watts} busy={self.busy_watts}"
+            )
+
+
+#: Representative board-level figures: a 2-socket Xeon server burns two
+#: orders of magnitude more than a Bluefield card.
+DEFAULT_POWER = {
+    PuKind.CPU: PowerSpec(idle_watts=120.0, busy_watts=330.0),
+    PuKind.DPU: PowerSpec(idle_watts=15.0, busy_watts=35.0),
+    PuKind.FPGA: PowerSpec(idle_watts=20.0, busy_watts=45.0),
+    PuKind.GPU: PowerSpec(idle_watts=40.0, busy_watts=250.0),
+}
+
+
+class EnergyMeter:
+    """Integrates a PU's energy from its utilisation clock."""
+
+    def __init__(self, pu: ProcessingUnit, spec: PowerSpec | None = None):
+        self.pu = pu
+        self.spec = spec or DEFAULT_POWER[pu.kind]
+        self._epoch = pu.sim.now
+        self._busy_at_epoch = pu.clock.busy_time
+
+    def reset(self) -> None:
+        """Restart the measurement window at the current time."""
+        self._epoch = self.pu.sim.now
+        self._busy_at_epoch = self.pu.clock.busy_time
+
+    @property
+    def window_s(self) -> float:
+        """Length of the current measurement window."""
+        return self.pu.sim.now - self._epoch
+
+    @property
+    def busy_s(self) -> float:
+        """Busy seconds accumulated inside the window."""
+        return self.pu.clock.busy_time - self._busy_at_epoch
+
+    def energy_joules(self) -> float:
+        """Energy consumed over the window (idle floor + busy delta)."""
+        busy = self.busy_s
+        idle = max(0.0, self.window_s - busy)
+        return busy * self.spec.busy_watts + idle * self.spec.idle_watts
+
+    def busy_energy_joules(self) -> float:
+        """The marginal (above-idle) energy of the busy time only —
+        the fair per-request attribution on a shared machine."""
+        return self.busy_s * (self.spec.busy_watts - self.spec.idle_watts)
+
+
+def energy_per_request(meter: EnergyMeter, requests: int) -> float:
+    """Marginal joules attributed to each of ``requests`` requests."""
+    if requests <= 0:
+        raise HardwareError(f"request count must be positive: {requests}")
+    return meter.busy_energy_joules() / requests

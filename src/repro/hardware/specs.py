@@ -1,0 +1,96 @@
+"""Catalog of processing-unit models used by the paper's testbeds.
+
+* ``XEON_8160``       -- host CPU of the CPU-DPU machine (§6: 96 cores, 2.1GHz).
+* ``BLUEFIELD1``      -- Mellanox Bluefield-1 DPU (16 ARM cores @ 800MHz).
+* ``BLUEFIELD2``      -- Bluefield-2 DPU (ARM cores up to 2.75GHz, Fig. 14d).
+* ``ULTRASCALE_PLUS`` -- Xilinx UltraScale+ FPGA of the AWS F1 instance.
+* ``GENERIC_GPU``     -- the GPU used by the §6.8 generality study.
+* ``DESKTOP_I7``      -- i7-9700 desktop used for the Fig. 11 breakdown.
+"""
+
+from __future__ import annotations
+
+from repro import config
+from repro.hardware.pu import PriceClass, PuKind, PuSpec
+
+XEON_8160 = PuSpec(
+    model="Intel Xeon Platinum 8160",
+    kind=PuKind.CPU,
+    cores=96,
+    freq_ghz=2.1,
+    speed=config.SPEED_XEON,
+    dram_mb=config.CPU_DRAM_MB,
+    reserved_mb=config.CPU_DRAM_RESERVED_MB,
+    costs=config.CPU_COSTS,
+    price_class=PriceClass.CPU,
+)
+
+BLUEFIELD1 = PuSpec(
+    model="Mellanox Bluefield-1 DPU",
+    kind=PuKind.DPU,
+    cores=16,
+    freq_ghz=0.8,
+    speed=config.SPEED_BF1,
+    dram_mb=config.DPU_DRAM_MB,
+    reserved_mb=config.DPU_DRAM_RESERVED_MB,
+    costs=config.BF1_COSTS,
+    price_class=PriceClass.DPU,
+)
+
+BLUEFIELD2 = PuSpec(
+    model="Nvidia Bluefield-2 DPU",
+    kind=PuKind.DPU,
+    cores=8,
+    freq_ghz=2.75,
+    speed=config.SPEED_BF2,
+    dram_mb=config.DPU_DRAM_MB,
+    reserved_mb=config.DPU_DRAM_RESERVED_MB,
+    costs=config.BF2_COSTS,
+    price_class=PriceClass.DPU,
+)
+
+ULTRASCALE_PLUS = PuSpec(
+    model="Xilinx UltraScale+ VU9P (AWS F1)",
+    kind=PuKind.FPGA,
+    cores=1,  # the device programs one image at a time
+    freq_ghz=0.25,
+    speed=1.0,  # accelerator work uses explicit kernel timings
+    dram_mb=config.FPGA_DRAM_MB,
+    reserved_mb=0.0,
+    costs=config.CPU_COSTS,  # software side runs on the host
+    price_class=PriceClass.FPGA,
+)
+
+GENERIC_GPU = PuSpec(
+    model="Generic CUDA GPU",
+    kind=PuKind.GPU,
+    cores=4,  # concurrent kernel contexts (MPS)
+    freq_ghz=1.4,
+    speed=1.0,
+    dram_mb=config.GPU_DRAM_MB,
+    reserved_mb=0.0,
+    costs=config.CPU_COSTS,
+    price_class=PriceClass.GPU,
+)
+
+DESKTOP_I7 = PuSpec(
+    model="Intel Core i7-9700",
+    kind=PuKind.CPU,
+    cores=8,
+    freq_ghz=3.0,
+    speed=config.SPEED_DESKTOP,
+    dram_mb=16 * 1024,
+    reserved_mb=2 * 1024,
+    costs=config.DESKTOP_COSTS,
+    price_class=PriceClass.CPU,
+)
+
+#: All catalog entries by a short lookup key.
+CATALOG = {
+    "xeon": XEON_8160,
+    "bf1": BLUEFIELD1,
+    "bf2": BLUEFIELD2,
+    "f1-fpga": ULTRASCALE_PLUS,
+    "gpu": GENERIC_GPU,
+    "desktop": DESKTOP_I7,
+}

@@ -1,0 +1,27 @@
+"""Multi-OS substrate: one local OS per general-purpose PU."""
+
+from repro.multios.cgroup import Cgroup, CgroupManager, CpusetLockMode
+from repro.multios.fifo import LocalFifo, Message
+from repro.multios.memory import (
+    ProcessMemory,
+    SharedSegment,
+    average_pss_mb,
+    average_rss_mb,
+)
+from repro.multios.os import OsInstance
+from repro.multios.process import OsProcess, ProcessState
+
+__all__ = [
+    "Cgroup",
+    "CgroupManager",
+    "CpusetLockMode",
+    "LocalFifo",
+    "Message",
+    "OsInstance",
+    "OsProcess",
+    "ProcessMemory",
+    "ProcessState",
+    "SharedSegment",
+    "average_pss_mb",
+    "average_rss_mb",
+]

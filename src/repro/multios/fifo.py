@@ -1,0 +1,72 @@
+"""Local (single-OS) FIFOs.
+
+The named-pipe primitive that state-of-the-art serverless systems
+(Nightcore, SAND) use for same-PU function communication and which the
+paper measures as the "Linux FIFO" series in Fig. 8.  A transfer costs
+one kernel notification plus two copies (user->kernel, kernel->user),
+all priced by the owning PU's cost model — which is what makes the DPU's
+FIFO slower than the CPU's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, TYPE_CHECKING
+
+from repro.errors import FifoError
+from repro.sim import Simulator, Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.pu import ProcessingUnit
+
+
+@dataclass
+class Message:
+    """One datagram moving through a FIFO."""
+
+    payload: Any
+    size: int  # bytes
+
+
+class LocalFifo:
+    """A named pipe on one OS."""
+
+    def __init__(self, sim: Simulator, pu: "ProcessingUnit", name: str):
+        self.sim = sim
+        self.pu = pu
+        self.name = name
+        self._store = Store(sim)
+        self.closed = False
+
+    def write(self, payload: Any, size: int):
+        """Generator: copy into the kernel and notify the reader."""
+        self._require_open()
+        if size < 0:
+            raise FifoError(f"negative message size: {size}")
+        yield self.sim.timeout(self.pu.copy_time(size))
+        yield self.sim.timeout(self.pu.ipc_notify_time())
+        yield self._store.put(Message(payload, size))
+
+    def read(self):
+        """Generator: block until a message arrives, then copy it out."""
+        self._require_open()
+        message = yield self._store.get()
+        yield self.sim.timeout(self.pu.copy_time(message.size))
+        return message.payload
+
+    def transfer_time(self, size: int) -> float:
+        """Analytic end-to-end latency of one message (for reports)."""
+        return 2 * self.pu.copy_time(size) + self.pu.ipc_notify_time()
+
+    @property
+    def pending(self) -> int:
+        """Messages written but not yet read."""
+        return len(self._store)
+
+    def close(self) -> None:
+        """Close the FIFO; later reads/writes raise."""
+        self.closed = True
+
+    def _require_open(self) -> None:
+        if self.closed:
+            raise FifoError(f"FIFO {self.name!r} is closed")

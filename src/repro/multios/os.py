@@ -1,0 +1,149 @@
+"""The local OS running on one general-purpose PU.
+
+A heterogeneous computer is a *multi-OS system* (§2.1.1): the host CPU
+and each DPU run their own Linux with disjoint PID spaces, process
+tables and FIFO namespaces.  Nothing in this class is aware of other
+PUs — all cross-PU functionality lives in XPU-Shim (``repro.xpu``),
+exactly as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import config
+from repro.errors import FifoError, OsError_, UnknownProcessError
+from repro.hardware.pu import ProcessingUnit
+from repro.multios.cgroup import CgroupManager, CpusetLockMode
+from repro.multios.fifo import LocalFifo
+from repro.multios.memory import SharedSegment
+from repro.multios.process import OsProcess
+from repro.sim import Simulator
+
+
+class OsInstance:
+    """One operating system on one general-purpose PU."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pu: ProcessingUnit,
+        name: str = "",
+        cpuset_lock: CpusetLockMode = CpusetLockMode.SEMAPHORE,
+    ):
+        if not pu.is_general_purpose:
+            raise OsError_(f"cannot boot an OS on accelerator PU {pu.name}")
+        self.sim = sim
+        self.pu = pu
+        self.name = name or f"linux@{pu.name}"
+        self.cgroups = CgroupManager(sim, pu, lock_mode=cpuset_lock)
+        self._processes: dict[int, OsProcess] = {}
+        self._fifos: dict[str, LocalFifo] = {}
+        self._next_pid = 100
+        #: Shared library pages mapped into every language runtime on
+        #: this OS (glibc, interpreter binary, ...).
+        self.shared_libraries = SharedSegment(
+            f"libs@{self.name}", config.MEMORY.baseline_shared_lib_mb
+        )
+
+    # -- processes ----------------------------------------------------------------
+
+    def spawn(self, name: str, exec_ms: float = 0.0):
+        """Generator: create a process via spawn/exec.
+
+        ``exec_ms`` is the exec cost on the reference CPU; it is scaled
+        by this PU's speed.
+        """
+        if exec_ms < 0:
+            raise OsError_(f"negative exec cost: {exec_ms}")
+        if exec_ms:
+            yield self.sim.timeout(self.pu.compute_time(exec_ms * config.MS))
+        process = self._make_process(name, parent=None)
+        return process
+
+    def fork(self, parent: OsProcess):
+        """Generator: Unix fork with copy-on-write memory.
+
+        Only single-threaded processes can fork correctly — Unix fork
+        propagates the calling thread only (§4.2); the forkable language
+        runtime must merge threads first.
+
+        The parent's private pages become a COW segment shared between
+        parent and child; the child also inherits every shared mapping.
+        """
+        if not parent.alive:
+            raise OsError_(f"cannot fork dead process {parent.pid}")
+        if not parent.fork_safe:
+            raise OsError_(
+                f"process {parent.pid} has {parent.threads} threads; "
+                "Unix fork only propagates the forking thread"
+            )
+        yield self.sim.timeout(
+            config.STARTUP.cfork_propagate_ms * config.MS / self.pu.spec.speed
+        )
+        child = self._make_process(f"{parent.name}-child", parent=parent)
+        if parent.memory.private_mb > 0:
+            cow = SharedSegment(
+                f"cow:{parent.pid}@{self.name}", parent.memory.private_mb
+            )
+            parent.memory.private_mb = 0.0
+            parent.memory.map_segment(cow)
+        for segment in list(parent.memory.segments):
+            child.memory.map_segment(segment)
+        return child
+
+    def kill(self, pid: int) -> None:
+        """Terminate a process."""
+        self.process(pid).exit()
+
+    def reap(self, pid: int) -> None:
+        """Remove a zombie from the process table."""
+        process = self.process(pid)
+        if process.alive:
+            raise OsError_(f"cannot reap live process {pid}")
+        del self._processes[pid]
+
+    def process(self, pid: int) -> OsProcess:
+        """Process by local PID (raises for unknown pids)."""
+        try:
+            return self._processes[pid]
+        except KeyError:
+            raise UnknownProcessError(f"no process {pid} on {self.name}") from None
+
+    @property
+    def live_processes(self) -> list[OsProcess]:
+        """All running processes, in pid order."""
+        return [p for p in self._processes.values() if p.alive]
+
+    def _make_process(self, name: str, parent: Optional[OsProcess]) -> OsProcess:
+        pid = self._next_pid
+        self._next_pid += 1
+        process = OsProcess(self, pid, name, parent=parent)
+        self._processes[pid] = process
+        return process
+
+    # -- FIFOs ------------------------------------------------------------------------
+
+    def create_fifo(self, name: str) -> LocalFifo:
+        """mkfifo: create a named pipe in this OS's namespace."""
+        if name in self._fifos:
+            raise FifoError(f"FIFO {name!r} already exists on {self.name}")
+        fifo = LocalFifo(self.sim, self.pu, name)
+        self._fifos[name] = fifo
+        return fifo
+
+    def open_fifo(self, name: str) -> LocalFifo:
+        """Open an existing named pipe."""
+        try:
+            return self._fifos[name]
+        except KeyError:
+            raise FifoError(f"no FIFO {name!r} on {self.name}") from None
+
+    def remove_fifo(self, name: str) -> None:
+        """Unlink a named pipe."""
+        fifo = self.open_fifo(name)
+        fifo.close()
+        del self._fifos[name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<OsInstance {self.name} pids={len(self._processes)}>"

@@ -1,0 +1,93 @@
+"""Process objects living inside one local OS."""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, TYPE_CHECKING
+
+from repro.errors import OsError_
+from repro.multios.memory import ProcessMemory
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.multios.os import OsInstance
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle of an OS process."""
+
+    RUNNING = "running"
+    ZOMBIE = "zombie"
+
+
+class OsProcess:
+    """One process on a local OS.
+
+    Processes here are bookkeeping entities: their *behaviour* is
+    expressed by simulation generators in higher layers; the process
+    object tracks identity (pid), threads, memory image, and lineage.
+    """
+
+    def __init__(self, os: "OsInstance", pid: int, name: str, parent: Optional["OsProcess"] = None):
+        self.os = os
+        self.pid = pid
+        self.name = name
+        self.parent = parent
+        self.state = ProcessState.RUNNING
+        self.memory = ProcessMemory(self)
+        #: Number of live threads; Unix fork only propagates one, which
+        #: is why cfork needs the forkable language runtime (§4.2).
+        self.threads = 1
+        #: Saved thread contexts while merged for a cfork.
+        self._saved_thread_contexts = 0
+
+    @property
+    def alive(self) -> bool:
+        """True until the process exits."""
+        return self.state is ProcessState.RUNNING
+
+    # -- threading (forkable-runtime support) --------------------------------------
+
+    def spawn_thread(self, count: int = 1) -> None:
+        """Start ``count`` additional threads."""
+        if count < 0:
+            raise OsError_(f"negative thread count: {count}")
+        self._require_alive()
+        self.threads += count
+
+    def merge_threads(self) -> int:
+        """Forkable runtime step 1: park all but one thread, saving
+        their contexts in memory (§4.2).  Returns the parked count."""
+        self._require_alive()
+        parked = self.threads - 1
+        self._saved_thread_contexts += parked
+        self.threads = 1
+        return parked
+
+    def expand_threads(self) -> int:
+        """Forkable runtime step 3: restore previously parked threads."""
+        self._require_alive()
+        restored = self._saved_thread_contexts
+        self.threads += restored
+        self._saved_thread_contexts = 0
+        return restored
+
+    @property
+    def fork_safe(self) -> bool:
+        """Unix fork only clones the calling thread; a process is safe
+        to fork only while single-threaded."""
+        return self.threads == 1
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def exit(self) -> None:
+        """Terminate: release memory mappings and become a zombie."""
+        self._require_alive()
+        self.memory.unmap_all()
+        self.state = ProcessState.ZOMBIE
+
+    def _require_alive(self) -> None:
+        if not self.alive:
+            raise OsError_(f"process {self.pid} ({self.name}) has exited")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<OsProcess pid={self.pid} {self.name!r} on {self.os.name}>"

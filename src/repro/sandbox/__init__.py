@@ -1,0 +1,41 @@
+"""Sandbox runtimes: OCI + vectorized abstraction, runc/runf/runG."""
+
+from repro.sandbox.base import (
+    FunctionCode,
+    Language,
+    Sandbox,
+    SandboxRuntime,
+    SandboxState,
+    SignalNum,
+)
+from repro.sandbox.runc import ContainerBackend, RuncRuntime
+from repro.sandbox.runf import FpgaBackend, RunfRuntime
+from repro.sandbox.rung import GpuBackend, RungRuntime
+from repro.sandbox.snapshot import Snapshot, SnapshotManager
+from repro.sandbox.template import (
+    ForkableRuntime,
+    TemplateContainer,
+    boot_template,
+    runtime_init_ms,
+)
+
+__all__ = [
+    "ContainerBackend",
+    "ForkableRuntime",
+    "FpgaBackend",
+    "FunctionCode",
+    "GpuBackend",
+    "Language",
+    "RuncRuntime",
+    "RunfRuntime",
+    "RungRuntime",
+    "Sandbox",
+    "SandboxRuntime",
+    "SandboxState",
+    "SignalNum",
+    "Snapshot",
+    "SnapshotManager",
+    "TemplateContainer",
+    "boot_template",
+    "runtime_init_ms",
+]

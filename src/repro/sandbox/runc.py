@@ -1,0 +1,220 @@
+"""``runc``: the container sandbox runtime for CPU and DPU (§5).
+
+Implements the vectorized sandbox abstraction over containers (always
+passing one-sized vectors, as the paper does) and adds **cfork** — the
+first container-level fork (§4.2):
+
+* *baseline cold start*: create a container, boot the language runtime,
+  import dependencies;
+* *naive cfork*: create a function container, fork the template's
+  runtime into it, re-attach cgroups/namespaces;
+* *+FuncContainer*: take a pre-initialised function container from a
+  pool instead of creating one inline;
+* *+cpuset opt*: the kernel patch making the cgroup attach ~4x cheaper
+  (configured on the :class:`OsInstance` via ``CpusetLockMode``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro import config
+from repro.errors import SandboxError
+from repro.multios.cgroup import Cgroup
+from repro.multios.os import OsInstance
+from repro.multios.process import OsProcess
+from repro.sandbox.base import (
+    FunctionCode,
+    Language,
+    Sandbox,
+    SandboxRuntime,
+    SandboxState,
+    SignalNum,
+)
+from repro.sandbox.template import TemplateContainer, boot_template, runtime_init_ms
+
+
+@dataclass
+class ContainerBackend:
+    """Backend data of one container sandbox."""
+
+    cgroup: Cgroup
+    process: Optional[OsProcess] = None
+    #: Template this instance was forked from (None for cold boots).
+    template: Optional[TemplateContainer] = None
+
+
+@dataclass
+class PreparedContainer:
+    """A pre-initialised function container waiting for a cfork."""
+
+    cgroup: Cgroup
+
+
+class RuncRuntime(SandboxRuntime):
+    """Container runtime on one general-purpose PU."""
+
+    runtime_name = "runc"
+
+    def __init__(self, sim, os_instance: OsInstance):
+        super().__init__(sim)
+        self.os = os_instance
+        self.templates: list[TemplateContainer] = []
+        self._pool: list[PreparedContainer] = []
+        self._cgroup_seq = 0
+        #: Metrics for reports and tests.
+        self.cold_boots = 0
+        self.cforks = 0
+
+    @property
+    def pu(self):
+        """The PU this runtime manages."""
+        return self.os.pu
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _new_cgroup(self, label: str) -> Cgroup:
+        self._cgroup_seq += 1
+        return self.os.cgroups.create(f"{label}-{self._cgroup_seq}")
+
+    def _scaled(self, cost_ms: float) -> float:
+        return cost_ms * config.MS / self.pu.spec.speed
+
+    # -- OCI scalar interface -----------------------------------------------------------
+
+    def create(self, sandbox_id: str, code: FunctionCode):
+        """OCI ``create``: cold-path container creation (runc create)."""
+        if code.language is None:
+            raise SandboxError(f"runc cannot host kernel function {code.func_id!r}")
+        sandbox = self.register(
+            Sandbox(sandbox_id, code, created_at=self.sim.now)
+        )
+        yield self.sim.timeout(self._scaled(config.STARTUP.container_create_ms))
+        sandbox.backend = ContainerBackend(cgroup=self._new_cgroup(sandbox_id))
+        sandbox.state = SandboxState.CREATED
+        return sandbox
+
+    def start(self, sandbox_id: str):
+        """OCI ``start``: boot the language runtime and load the code.
+
+        This is the baseline cold path: interpreter boot plus dependency
+        imports, all scaled by the PU's speed.
+        """
+        sandbox = self.get(sandbox_id)
+        sandbox.require_state(SandboxState.CREATED)
+        code = sandbox.code
+        yield self.sim.timeout(self._scaled(runtime_init_ms(code.language)))
+        if code.import_ms:
+            yield self.sim.timeout(self._scaled(code.import_ms))
+        process = yield from self.os.spawn(f"fn-{code.func_id}")
+        process.memory.allocate_private(config.MEMORY.baseline_private_mb)
+        process.memory.map_segment(self.os.shared_libraries)
+        sandbox.backend.process = process
+        sandbox.backend.cgroup.members.add(process)
+        sandbox.state = SandboxState.RUNNING
+        sandbox.started_at = self.sim.now
+        self.cold_boots += 1
+        return sandbox
+
+    def kill(self, sandbox_id: str, signal: SignalNum = SignalNum.SIGTERM):
+        """OCI ``kill``: signal the container's init process."""
+        sandbox = yield from super().kill(sandbox_id, signal)
+        backend = sandbox.backend
+        if backend and backend.process and backend.process.alive:
+            backend.process.exit()
+        return sandbox
+
+    def delete(self, sandbox_id: str):
+        """OCI ``delete``: tear the container down and free resources."""
+        sandbox = self.get(sandbox_id)
+        sandbox.require_state(
+            SandboxState.CREATED, SandboxState.RUNNING, SandboxState.STOPPED
+        )
+        backend = sandbox.backend
+        if backend and backend.process and backend.process.alive:
+            backend.process.exit()
+        yield self.sim.timeout(self._scaled(1.0))  # runc delete is cheap
+        sandbox.state = SandboxState.DELETED
+        self.forget(sandbox_id)
+        return sandbox
+
+    # -- templates & cfork ---------------------------------------------------------------
+
+    def ensure_template(
+        self, language: Language, dedicated_to: Optional[FunctionCode] = None
+    ):
+        """Generator: return a matching template, booting one if needed."""
+        wanted = dedicated_to.func_id if dedicated_to else None
+        for template in self.templates:
+            if template.language is language and template.dedicated_to == wanted:
+                return template
+        template = yield from boot_template(self.os, language, dedicated_to)
+        self.templates.append(template)
+        return template
+
+    def template_for(self, code: FunctionCode) -> Optional[TemplateContainer]:
+        """The best available template for ``code`` (dedicated wins)."""
+        best = None
+        for template in self.templates:
+            if not template.covers(code):
+                continue
+            if template.skips_imports_for(code):
+                return template
+            best = best or template
+        return best
+
+    def prepare_containers(self, count: int = 1):
+        """Generator: pre-initialise function containers into the pool
+        (the "+FuncContainer" optimisation of Fig. 11a)."""
+        for _ in range(count):
+            yield self.sim.timeout(self._scaled(config.STARTUP.container_create_ms))
+            self._pool.append(PreparedContainer(cgroup=self._new_cgroup("pool")))
+        return len(self._pool)
+
+    @property
+    def pooled_containers(self) -> int:
+        """Pre-initialised containers currently available."""
+        return len(self._pool)
+
+    def cfork(self, sandbox_id: str, code: FunctionCode):
+        """Generator: start an instance by forking a template (§4.2).
+
+        Steps: obtain a function container (pooled if available, else
+        created inline — the "naive" path), fork the template's runtime
+        through the forkable-runtime protocol, re-attach the child into
+        the function container's cgroup/namespaces, and load the
+        function's code into the child.
+        """
+        template = self.template_for(code)
+        if template is None:
+            raise SandboxError(
+                f"no template container for {code.func_id!r} "
+                f"({code.language}) on {self.os.name}"
+            )
+        sandbox = self.register(Sandbox(sandbox_id, code, created_at=self.sim.now))
+        if self._pool:
+            prepared = self._pool.pop(0)
+            cgroup = prepared.cgroup
+        else:
+            yield self.sim.timeout(self._scaled(config.STARTUP.container_create_ms))
+            cgroup = self._new_cgroup(sandbox_id)
+        sandbox.backend = ContainerBackend(cgroup=cgroup, template=template)
+        child = yield from template.runtime.fork(self.os)
+        yield from self.os.cgroups.attach(child, cgroup)
+        if not template.skips_imports_for(code) and code.import_ms:
+            yield self.sim.timeout(self._scaled(code.import_ms))
+        # Function-private heap written over the COW mapping.
+        child.memory.allocate_private(config.MEMORY.molecule_private_mb)
+        sandbox.backend.process = child
+        sandbox.state = SandboxState.RUNNING
+        sandbox.started_at = self.sim.now
+        template.fork_count += 1
+        self.cforks += 1
+        return sandbox
+
+    def first_request_penalty(self) -> float:
+        """Extra COW page-fault cost a forked instance pays on its first
+        request (why Molecule's warm numbers trail the baseline's in a
+        few Fig. 14b cases)."""
+        return self._scaled(config.STARTUP.cow_fault_penalty_ms)

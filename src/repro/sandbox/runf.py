@@ -1,0 +1,171 @@
+"""``runf``: the vectorized sandbox runtime for FPGA functions (§3.5).
+
+``runf`` maintains FPGA serverless instance states and drives the
+device: *create* programs a bitstream (a whole **vector** of sandboxes
+packed into one image), *start* prepares the software sandbox that
+feeds a resident kernel, and *delete* is intentionally **empty** — the
+flushed kernels occupy no reclaimable resource and are replaced by the
+next create, which never pays an erase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro import config
+from repro.errors import SandboxError, SandboxStateError
+from repro.hardware.fpga import FpgaDevice, FpgaImage, KernelInstance
+from repro.sandbox.base import (
+    FunctionCode,
+    Sandbox,
+    SandboxRuntime,
+    SandboxState,
+    SignalNum,
+)
+
+
+@dataclass
+class FpgaBackend:
+    """Backend data of one FPGA sandbox."""
+
+    instance: KernelInstance
+    image_name: str
+    #: True once the software sandbox has been prepared (warm).
+    warmed: bool = False
+
+
+class RunfRuntime(SandboxRuntime):
+    """FPGA sandbox runtime over one device."""
+
+    runtime_name = "runf"
+
+    def __init__(self, sim, device: FpgaDevice, no_erase: bool = True):
+        super().__init__(sim)
+        self.device = device
+        #: Molecule's optimisation: skip the erase before programming.
+        self.no_erase = no_erase
+        self._image_seq = 0
+        #: Sandboxes resident in the current image, by sandbox id.
+        self._resident: dict[str, Sandbox] = {}
+
+    # -- OCI scalar interface (degenerates to a 1-sized vector) -------------------------
+
+    def create(self, sandbox_id: str, code: FunctionCode):
+        """OCI ``create``: program an image holding this one sandbox."""
+        created = yield from self.create_vector([(sandbox_id, code)])
+        return created[0]
+
+    def create_vector(self, entries: Sequence[tuple[str, FunctionCode]]):
+        """Vectorized ``create``: pack all sandboxes into ONE image and
+        flush it once (§3.5).
+
+        This implicitly destroys the previous image's sandboxes — the
+        deferred "real destroy" of the empty ``delete`` verb.
+        """
+        if not entries:
+            raise SandboxError("create_vector needs at least one sandbox")
+        kernels = []
+        for _sandbox_id, code in entries:
+            if code.kernel is None:
+                raise SandboxError(
+                    f"function {code.func_id!r} has no FPGA kernel"
+                )
+            kernels.append(code.kernel)
+        self._image_seq += 1
+        image = FpgaImage(f"image-{self._image_seq}", kernels)
+        yield from self.device.program(image, erase_first=not self.no_erase)
+        # Previous residents are gone now (deferred destroy).
+        for old in self._resident.values():
+            if old.state is not SandboxState.DELETED:
+                old.state = SandboxState.DELETED
+            self.forget(old.sandbox_id)
+        self._resident.clear()
+        for bank in self.device.banks:
+            bank.owner_slot = None
+        created = []
+        for (sandbox_id, code), instance in zip(entries, image.instances):
+            sandbox = self.register(
+                Sandbox(sandbox_id, code, created_at=self.sim.now)
+            )
+            # Static bank partitioning, round-robin: instances may share
+            # a bank when the wrapper guarantees they never run
+            # concurrently (§5).
+            bank = self.device.banks[instance.slot % len(self.device.banks)]
+            bank.owner_slot = instance.slot
+            instance.dram_bank = bank.index
+            sandbox.backend = FpgaBackend(instance=instance, image_name=image.name)
+            sandbox.state = SandboxState.CREATED
+            self._resident[sandbox_id] = sandbox
+            created.append(sandbox)
+        return created
+
+    def start(self, sandbox_id: str):
+        """OCI ``start``: prepare the software sandbox for a resident
+        kernel (Fig. 10c "Prep.-sandbox", skipped when already warm)."""
+        sandbox = self.get(sandbox_id)
+        sandbox.require_state(SandboxState.CREATED, SandboxState.RUNNING)
+        backend: FpgaBackend = sandbox.backend
+        if not backend.warmed:
+            yield self.sim.timeout(self.device.costs.prep_sandbox_s)
+            backend.warmed = True
+        sandbox.state = SandboxState.RUNNING
+        sandbox.started_at = self.sim.now
+        return sandbox
+
+    def kill(self, sandbox_id: str, signal: SignalNum = SignalNum.SIGTERM):
+        """OCI ``kill``: stop feeding the kernel (state only)."""
+        sandbox = yield from super().kill(sandbox_id, signal)
+        return sandbox
+
+    def delete(self, sandbox_id: str):
+        """OCI ``delete``: **empty** — returns immediately after a state
+        update; the fabric is reclaimed by the next ``create`` (§3.5)."""
+        sandbox = self.get(sandbox_id)
+        yield self.sim.timeout(0.0)
+        sandbox.state = SandboxState.DELETED
+        # Intentionally NOT forgotten/erased: the kernel stays resident
+        # until the next create replaces the image.
+        return sandbox
+
+    # -- invocation --------------------------------------------------------------------
+
+    def invoke(self, sandbox_id: str, exec_time_s: Optional[float] = None):
+        """Generator: run one request on a warm FPGA sandbox.
+
+        ``exec_time_s`` overrides the kernel's fixed execution time for
+        input-dependent workloads (GZip file size, AML entry count).
+        """
+        sandbox = self.get(sandbox_id)
+        sandbox.require_state(SandboxState.RUNNING)
+        backend: FpgaBackend = sandbox.backend
+        if not self.device.has_kernel(backend.instance.kernel.name):
+            raise SandboxStateError(
+                f"kernel for {sandbox_id!r} is no longer resident"
+            )
+        yield self.sim.timeout(self.device.costs.warm_invoke_s)
+        if exec_time_s is None:
+            yield from self.device.invoke(backend.instance.kernel.name)
+        else:
+            self.device.pu.clock.mark_busy()
+            yield self.sim.timeout(exec_time_s)
+            self.device.pu.clock.mark_idle()
+        return sandbox
+
+    # -- cache queries -------------------------------------------------------------------
+
+    def cached_sandbox_for(self, func_id: str) -> Optional[Sandbox]:
+        """A resident, non-deleted sandbox of ``func_id``, if any —
+        the cache hit that makes an FPGA warm start possible."""
+        for sandbox in self._resident.values():
+            if (
+                sandbox.code.func_id == func_id
+                and sandbox.state in (SandboxState.CREATED, SandboxState.RUNNING)
+            ):
+                return sandbox
+        return None
+
+    @property
+    def resident_function_ids(self) -> list[str]:
+        """func_ids of every kernel in the current image."""
+        return sorted({s.code.func_id for s in self._resident.values()})

@@ -1,0 +1,115 @@
+"""``runG``: the vectorized sandbox runtime for GPU functions (§6.8).
+
+The paper's generality study adds GPU support with three small pieces:
+a vectorized sandbox runtime over the CUDA API (this module), an
+XPU-Shim instance for the GPU (the generic virtual-shim mechanism), and
+a CUDA-C++ programming model.  GPUs are naturally vectorized: one
+wrapper process with Nvidia MPS hosts many kernels as contexts/streams,
+so ``create_vector`` loads all modules under a single context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import SandboxError
+from repro.hardware.pu import ProcessingUnit, PuKind
+from repro.sandbox.base import (
+    FunctionCode,
+    Sandbox,
+    SandboxRuntime,
+    SandboxState,
+)
+
+#: CUDA cost model (not paper-calibrated — the GPU appears only in the
+#: Table 5 generality study, with no published latencies).
+CONTEXT_CREATE_S = 0.30
+MODULE_LOAD_S = 0.15
+STREAM_CREATE_S = 0.001
+KERNEL_LAUNCH_S = 50e-6
+
+
+@dataclass
+class GpuBackend:
+    """Backend data of one GPU sandbox."""
+
+    module_name: str
+    stream_id: Optional[int] = None
+
+
+class RungRuntime(SandboxRuntime):
+    """GPU sandbox runtime over one device (CUDA + MPS wrapper)."""
+
+    runtime_name = "runG"
+
+    def __init__(self, sim, pu: ProcessingUnit):
+        super().__init__(sim)
+        if pu.kind is not PuKind.GPU:
+            raise SandboxError(f"PU {pu.name} is not a GPU")
+        self.pu = pu
+        #: The shared MPS wrapper context (created lazily, then reused).
+        self.context_ready = False
+        self._next_stream = 0
+
+    def _ensure_context(self):
+        if not self.context_ready:
+            yield self.sim.timeout(CONTEXT_CREATE_S)
+            self.context_ready = True
+
+    # -- OCI interface ---------------------------------------------------------------
+
+    def create(self, sandbox_id: str, code: FunctionCode):
+        """OCI ``create``: load the kernel's CUDA module."""
+        created = yield from self.create_vector([(sandbox_id, code)])
+        return created[0]
+
+    def create_vector(self, entries: Sequence[tuple[str, FunctionCode]]):
+        """Vectorized ``create``: one context, many modules (MPS)."""
+        if not entries:
+            raise SandboxError("create_vector needs at least one sandbox")
+        yield from self._ensure_context()
+        created = []
+        for sandbox_id, code in entries:
+            if code.kernel is None:
+                raise SandboxError(f"function {code.func_id!r} has no GPU kernel")
+            sandbox = self.register(
+                Sandbox(sandbox_id, code, created_at=self.sim.now)
+            )
+            yield self.sim.timeout(MODULE_LOAD_S)
+            sandbox.backend = GpuBackend(module_name=code.kernel.name)
+            sandbox.state = SandboxState.CREATED
+            created.append(sandbox)
+        return created
+
+    def start(self, sandbox_id: str):
+        """OCI ``start``: create the instance's CUDA stream."""
+        sandbox = self.get(sandbox_id)
+        sandbox.require_state(SandboxState.CREATED)
+        yield self.sim.timeout(STREAM_CREATE_S)
+        sandbox.backend.stream_id = self._next_stream
+        self._next_stream += 1
+        sandbox.state = SandboxState.RUNNING
+        sandbox.started_at = self.sim.now
+        return sandbox
+
+    def delete(self, sandbox_id: str):
+        """OCI ``delete``: unload the module (cheap on GPUs)."""
+        sandbox = self.get(sandbox_id)
+        yield self.sim.timeout(STREAM_CREATE_S)
+        sandbox.state = SandboxState.DELETED
+        self.forget(sandbox_id)
+        return sandbox
+
+    # -- invocation ----------------------------------------------------------------------
+
+    def invoke(self, sandbox_id: str, exec_time_s: Optional[float] = None):
+        """Generator: launch the kernel on the sandbox's stream."""
+        sandbox = self.get(sandbox_id)
+        sandbox.require_state(SandboxState.RUNNING)
+        yield self.sim.timeout(KERNEL_LAUNCH_S)
+        duration = exec_time_s if exec_time_s is not None else sandbox.code.kernel.exec_time_s
+        self.pu.clock.mark_busy()
+        yield self.sim.timeout(duration)
+        self.pu.clock.mark_idle()
+        return sandbox

@@ -1,0 +1,118 @@
+"""Snapshot-based startup: the other side of the Fig. 15 design space.
+
+The paper's related work (§6.7) contrasts fork-based startup (cfork,
+Catalyzer sfork) with snapshot/restore designs (Replayable Execution,
+Firecracker snapshots, gVisor checkpoint/restore).  This module
+implements the snapshot alternative over the same container substrate
+so the two can be compared head to head:
+
+* ``checkpoint`` serialises a warm instance's memory image to (modelled)
+  storage, priced by image size over storage bandwidth;
+* ``restore`` creates a new instance by loading + mapping that image —
+  no template process needs to stay resident, but every restore pays
+  the image read, and restored pages are private (no COW sharing, so
+  none of Fig. 11's PSS savings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import config
+from repro.errors import SandboxError
+from repro.multios.os import OsInstance
+from repro.sandbox.base import FunctionCode, Sandbox, SandboxState
+from repro.sandbox.runc import ContainerBackend, RuncRuntime
+
+#: Modelled storage bandwidth for snapshot images.  Effective restore
+#: throughput is well below raw NVMe because pages fault in lazily;
+#: Fig. 15 puts snapshot designs in the "fast (~50ms)" class, an order
+#: above fork's "extreme (<=10ms)".
+SNAPSHOT_STORAGE_GBPS = 0.5
+#: Fixed (de)serialisation overhead per snapshot operation (ref CPU).
+SNAPSHOT_FIXED_MS = 5.0
+#: Page-table rebuild cost per MB restored (ref CPU).
+RESTORE_MAP_MS_PER_MB = 0.15
+
+
+@dataclass
+class Snapshot:
+    """A checkpointed function instance image."""
+
+    func_id: str
+    language: object
+    image_mb: float
+    created_at: float
+
+
+class SnapshotManager:
+    """Checkpoint/restore over a runc runtime."""
+
+    def __init__(self, runc: RuncRuntime):
+        self.runc = runc
+        self._snapshots: dict[str, Snapshot] = {}
+        self.checkpoints = 0
+        self.restores = 0
+
+    @property
+    def sim(self):
+        """The simulator this manager runs on."""
+        return self.runc.sim
+
+    def _storage_time(self, mb: float) -> float:
+        return (mb * config.MB) / (SNAPSHOT_STORAGE_GBPS * config.GB)
+
+    def _fixed_time(self) -> float:
+        return SNAPSHOT_FIXED_MS * config.MS / self.runc.pu.spec.speed
+
+    def checkpoint(self, sandbox_id: str):
+        """Generator: snapshot a RUNNING instance to storage."""
+        sandbox = self.runc.get(sandbox_id)
+        sandbox.require_state(SandboxState.RUNNING)
+        process = sandbox.backend.process
+        if process is None or not process.alive:
+            raise SandboxError(f"sandbox {sandbox_id!r} has no live process")
+        image_mb = process.memory.rss_mb
+        yield self.sim.timeout(self._fixed_time())
+        yield self.sim.timeout(self._storage_time(image_mb))
+        snapshot = Snapshot(
+            func_id=sandbox.code.func_id,
+            language=sandbox.code.language,
+            image_mb=image_mb,
+            created_at=self.sim.now,
+        )
+        self._snapshots[sandbox.code.func_id] = snapshot
+        self.checkpoints += 1
+        return snapshot
+
+    def snapshot_for(self, func_id: str) -> Optional[Snapshot]:
+        """The stored snapshot of a function, if any."""
+        return self._snapshots.get(func_id)
+
+    def restore(self, sandbox_id: str, code: FunctionCode):
+        """Generator: start a new instance from the stored snapshot.
+
+        Pays: fixed overhead + image read + page mapping.  The restored
+        memory is fully private — snapshots do not share pages the way
+        cfork children share the template's (§6.4 memory discussion).
+        """
+        snapshot = self._snapshots.get(code.func_id)
+        if snapshot is None:
+            raise SandboxError(f"no snapshot for function {code.func_id!r}")
+        sandbox = self.runc.register(
+            Sandbox(sandbox_id, code, created_at=self.sim.now)
+        )
+        yield self.sim.timeout(self._fixed_time())
+        yield self.sim.timeout(self._storage_time(snapshot.image_mb))
+        map_ms = RESTORE_MAP_MS_PER_MB * snapshot.image_mb
+        yield self.sim.timeout(map_ms * config.MS / self.runc.pu.spec.speed)
+        process = yield from self.runc.os.spawn(f"restored-{code.func_id}")
+        process.memory.allocate_private(snapshot.image_mb)
+        cgroup = self.runc.os.cgroups.create(f"snap-{sandbox_id}")
+        cgroup.members.add(process)
+        sandbox.backend = ContainerBackend(cgroup=cgroup, process=process)
+        sandbox.state = SandboxState.RUNNING
+        sandbox.started_at = self.sim.now
+        self.restores += 1
+        return sandbox

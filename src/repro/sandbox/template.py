@@ -1,0 +1,125 @@
+"""Template containers and the forkable language runtime (§4.2).
+
+A *template container* holds a pre-booted language runtime that new
+function instances are cfork-ed from.  Molecule keeps one generic
+template per language by default (e.g. one Python template for every
+Python function) and can launch *dedicated* templates — with a hot
+function's code and dependencies pre-imported — to cut cold latency
+further.
+
+The *forkable language runtime* solves the multi-thread fork problem:
+Unix fork only propagates the forking thread, so the runtime merges all
+threads into one, saves their contexts in memory, forks, and re-expands
+afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro import config
+from repro.errors import SandboxError
+from repro.multios.memory import SharedSegment
+from repro.multios.os import OsInstance
+from repro.multios.process import OsProcess
+from repro.sandbox.base import FunctionCode, Language
+
+
+#: Worker threads a language runtime runs besides the main thread
+#: (GC/JIT/event-loop helpers) — what makes plain fork unsafe.
+RUNTIME_WORKER_THREADS = 3
+
+
+class ForkableRuntime:
+    """A language runtime process that knows how to fork itself."""
+
+    def __init__(self, process: OsProcess, language: Language):
+        self.process = process
+        self.language = language
+        process.spawn_thread(RUNTIME_WORKER_THREADS)
+
+    def fork(self, os_instance: OsInstance):
+        """Generator: merge threads -> fork -> expand both sides.
+
+        Returns the child :class:`OsProcess`, already multi-threaded.
+        """
+        if not self.process.alive:
+            raise SandboxError("cannot fork a dead runtime")
+        parked = self.process.merge_threads()
+        child = yield from os_instance.fork(self.process)
+        self.process.expand_threads()
+        # The child re-creates the saved thread contexts as real threads.
+        child.spawn_thread(parked)
+        return child
+
+
+def runtime_init_ms(language: Language) -> float:
+    """Cold language-runtime boot cost on the reference CPU."""
+    if language is Language.PYTHON:
+        return config.STARTUP.runtime_init_python_ms
+    return config.STARTUP.runtime_init_nodejs_ms
+
+
+@dataclass
+class TemplateContainer:
+    """A pre-booted template new instances are forked from."""
+
+    language: Language
+    os_instance: OsInstance
+    runtime: ForkableRuntime
+    #: func_id whose code/deps are pre-imported, or None for a generic
+    #: per-language template (§4.2).
+    dedicated_to: Optional[str] = None
+    #: Children forked so far (for memory accounting and reports).
+    fork_count: int = 0
+
+    def covers(self, code: FunctionCode) -> bool:
+        """True if this template can fork instances of ``code``."""
+        if code.language is not self.language:
+            return False
+        return self.dedicated_to is None or self.dedicated_to == code.func_id
+
+    def skips_imports_for(self, code: FunctionCode) -> bool:
+        """Dedicated templates pre-import the function's dependencies,
+        so forked children skip ``import_ms`` entirely."""
+        return self.dedicated_to == code.func_id
+
+
+def boot_template(
+    os_instance: OsInstance,
+    language: Language,
+    dedicated_to: Optional[FunctionCode] = None,
+):
+    """Generator: boot a template container on ``os_instance``.
+
+    Pays the full cold path once (container create + runtime init +
+    imports for a dedicated template); afterwards every cfork reuses it.
+    """
+    sim = os_instance.sim
+    pu = os_instance.pu
+    create_s = config.STARTUP.container_create_ms * config.MS / pu.spec.speed
+    yield sim.timeout(create_s)
+    init_ms = runtime_init_ms(language)
+    if dedicated_to is not None:
+        if dedicated_to.language is not language:
+            raise SandboxError(
+                f"template language {language} does not match "
+                f"{dedicated_to.func_id!r}"
+            )
+        init_ms += dedicated_to.import_ms
+    yield sim.timeout(init_ms * config.MS / pu.spec.speed)
+    process = yield from os_instance.spawn(f"template-{language.value}")
+    # Template pages: runtime image + preloaded state, later shared with
+    # every forked child (Fig. 11b/c memory model).
+    process.memory.allocate_private(
+        config.MEMORY.template_shared_mb + config.MEMORY.template_extra_mb
+    )
+    process.memory.map_segment(os_instance.shared_libraries)
+    runtime = ForkableRuntime(process, language)
+    return TemplateContainer(
+        language=language,
+        os_instance=os_instance,
+        runtime=runtime,
+        dedicated_to=dedicated_to.func_id if dedicated_to else None,
+    )

@@ -1,0 +1,31 @@
+"""Discrete-event simulation kernel (SimPy-style, from scratch)."""
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Event,
+    NORMAL,
+    Process,
+    Simulator,
+    Timeout,
+    URGENT,
+)
+from repro.sim.resources import Container, PreemptibleClock, Request, Resource, Store
+from repro.sim.rng import SeededRng
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Event",
+    "NORMAL",
+    "PreemptibleClock",
+    "Process",
+    "Request",
+    "Resource",
+    "SeededRng",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "URGENT",
+]

@@ -1,0 +1,371 @@
+"""Deterministic discrete-event simulation kernel.
+
+This is a small, from-scratch engine in the style of SimPy: simulated
+activities are Python generators that ``yield`` :class:`Event` objects
+and are resumed when those events trigger.  The kernel is deterministic:
+events scheduled for the same timestamp are processed in (priority,
+insertion-order) order, so a seeded run always produces the same trace.
+
+Example
+-------
+>>> sim = Simulator()
+>>> def hello(sim):
+...     yield sim.timeout(1.5)
+...     return sim.now
+>>> proc = sim.spawn(hello(sim))
+>>> sim.run()
+>>> proc.value
+1.5
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import Interrupt, SimulationError
+
+#: Scheduling priorities: URGENT callbacks run before NORMAL ones that
+#: share a timestamp.  Used internally to make process resumption
+#: deterministic; user code rarely needs anything but NORMAL.
+URGENT = 0
+NORMAL = 1
+
+_PENDING = 0
+_TRIGGERED = 1
+_PROCESSED = 2
+
+
+class Event:
+    """A happening at a point in simulated time.
+
+    An event starts *pending*, becomes *triggered* once :meth:`succeed`
+    or :meth:`fail` is called (which schedules it on the event queue),
+    and is *processed* once the simulator has run its callbacks.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        #: Callables invoked with this event when it is processed.
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._state = _PENDING
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is queued for processing."""
+        return self._state >= _TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been run."""
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception instance if it failed)."""
+        if self._state == _PENDING:
+            raise SimulationError("event value is not available before trigger")
+        return self._value
+
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self._state = _TRIGGERED
+        self.sim._enqueue(self, delay=0.0, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception propagates into every process waiting on the event.
+        If nothing waits on a failed event, the simulator re-raises the
+        exception from :meth:`Simulator.run` (fail-loud by default); call
+        :meth:`defuse` to opt out.
+        """
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._state = _TRIGGERED
+        self.sim._enqueue(self, delay=0.0, priority=priority)
+        return self
+
+    def defuse(self) -> "Event":
+        """Mark a failure as handled so it will not escape ``run()``."""
+        self._defused = True
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = {_PENDING: "pending", _TRIGGERED: "triggered", _PROCESSED: "processed"}
+        return f"<{type(self).__name__} {state[self._state]} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers automatically after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._state = _TRIGGERED
+        sim._enqueue(self, delay=delay, priority=NORMAL)
+
+
+class Process(Event):
+    """A running generator; also an event that triggers on completion.
+
+    The wrapped generator yields :class:`Event` instances.  When a
+    yielded event succeeds, the generator is resumed with the event's
+    value; when it fails, the exception is thrown into the generator.
+    The process event itself succeeds with the generator's return value,
+    or fails with its unhandled exception.
+    """
+
+    __slots__ = ("generator", "_target", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on.
+        self._target: Optional[Event] = None
+        # Bootstrap: resume the generator at the current time.
+        init = Event(sim)
+        init.callbacks.append(self._resume)
+        init.succeed(priority=URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._state == _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process as soon as possible.
+
+        The process stops waiting on its current target (the target
+        event remains valid and may trigger later without effect on this
+        process).  Interrupting a finished process is an error.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        if self._target is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._target = None
+        wakeup = Event(self.sim)
+        wakeup.callbacks.append(self._resume)
+        wakeup.fail(Interrupt(cause), priority=URGENT)
+        wakeup.defuse()
+
+    def _resume(self, trigger: Event) -> None:
+        self._target = None
+        event: Any = None
+        try:
+            if trigger.ok:
+                event = self.generator.send(trigger.value)
+            else:
+                trigger._defused = True
+                event = self.generator.throw(trigger.value)
+        except StopIteration as stop:
+            self._finish(True, stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate via event
+            self._finish(False, exc)
+            return
+        if not isinstance(event, Event):
+            exc = SimulationError(
+                f"process {self.name!r} yielded {event!r}, expected an Event"
+            )
+            try:
+                self.generator.throw(exc)
+            except StopIteration as stop:
+                self._finish(True, stop.value)
+            except BaseException as err:  # noqa: BLE001
+                self._finish(False, err)
+            return
+        if event.processed:
+            # Already-processed events resume us immediately (next step).
+            wakeup = Event(self.sim)
+            wakeup.callbacks.append(self._resume)
+            if event.ok:
+                wakeup.succeed(event.value, priority=URGENT)
+            else:
+                wakeup.fail(event.value, priority=URGENT)
+                wakeup.defuse()
+        else:
+            self._target = event
+            event.callbacks.append(self._resume)
+
+    def _finish(self, ok: bool, value: Any) -> None:
+        if self._state != _PENDING:  # pragma: no cover - defensive
+            return
+        self._ok = ok
+        self._value = value
+        self._state = _TRIGGERED
+        self.sim._enqueue(self, delay=0.0, priority=NORMAL)
+
+
+class Condition(Event):
+    """Base for composite events over a fixed set of child events."""
+
+    __slots__ = ("events", "_done")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = tuple(events)
+        self._done = 0
+        for event in self.events:
+            if event.sim is not sim:
+                raise SimulationError("condition mixes events of two simulators")
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.processed:
+                self._on_child(event)
+            else:
+                event.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _values(self) -> dict[Event, Any]:
+        return {ev: ev.value for ev in self.events if ev.processed and ev.ok}
+
+
+class AllOf(Condition):
+    """Succeeds when every child succeeded; fails on first child failure."""
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            if not event.ok:
+                event._defused = True
+            return
+        if not event.ok:
+            event._defused = True
+            self.fail(event.value)
+            return
+        self._done += 1
+        if self._done == len(self.events):
+            self.succeed(self._values())
+
+
+class AnyOf(Condition):
+    """Succeeds when the first child succeeds; fails on first failure."""
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            if not event.ok:
+                event._defused = True
+            return
+        if not event.ok:
+            event._defused = True
+            self.fail(event.value)
+            return
+        self.succeed(self._values())
+
+
+class Simulator:
+    """The event loop: a clock plus a priority queue of triggered events."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        #: Number of events processed so far (diagnostic).
+        self.processed_count = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time, in seconds."""
+        return self._now
+
+    # -- event construction -------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    # Alias matching SimPy's vocabulary.
+    process = spawn
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that succeeds when all ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that succeeds when any of ``events`` has succeeded."""
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _enqueue(self, event: Event, delay: float, priority: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def step(self) -> None:
+        """Process the single next event."""
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - guarded by _enqueue
+            raise SimulationError("time went backwards")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, []
+        event._state = _PROCESSED
+        self.processed_count += 1
+        for callback in callbacks:
+            callback(event)
+        if not event.ok and not event._defused:
+            raise event.value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock passes ``until``.
+
+        When ``until`` is given the clock is advanced to exactly
+        ``until`` even if no event lands on it.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(f"cannot run until {until} < now {self._now}")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                break
+            self.step()
+        if until is not None:
+            self._now = max(self._now, until)
+
+    def peek(self) -> float:
+        """Timestamp of the next event, or ``inf`` when the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")

@@ -1,0 +1,18 @@
+"""Workload suites: FunctionBench, ServerlessBench, FPGA applications."""
+
+from repro.workloads import fpga_apps, functionbench, serverlessbench, traces
+from repro.workloads.generator import ClosedLoopClient, PoissonGenerator, RequestTrace
+from repro.workloads.traces import AzureLikeTrace, DiurnalProfile, TraceEvent
+
+__all__ = [
+    "AzureLikeTrace",
+    "ClosedLoopClient",
+    "DiurnalProfile",
+    "PoissonGenerator",
+    "RequestTrace",
+    "TraceEvent",
+    "fpga_apps",
+    "functionbench",
+    "serverlessbench",
+    "traces",
+]

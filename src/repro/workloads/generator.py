@@ -1,0 +1,79 @@
+"""Request generators: open-loop (Poisson) and closed-loop clients.
+
+Used by the density and utilisation experiments, and available for
+users driving their own workloads against a :class:`MoleculeRuntime`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import WorkloadError
+from repro.sim import SeededRng, Simulator
+
+
+@dataclass
+class RequestTrace:
+    """Collected results of a generated request stream."""
+
+    latencies_s: list[float] = field(default_factory=list)
+    completed: int = 0
+    failed: int = 0
+
+    def record(self, latency_s: float) -> None:
+        """Record one completed request."""
+        self.latencies_s.append(latency_s)
+        self.completed += 1
+
+
+class PoissonGenerator:
+    """Open-loop arrivals at a fixed mean rate."""
+
+    def __init__(self, sim: Simulator, rate_per_s: float, rng: Optional[SeededRng] = None):
+        if rate_per_s <= 0:
+            raise WorkloadError(f"arrival rate must be positive: {rate_per_s}")
+        self.sim = sim
+        self.rate = rate_per_s
+        self.rng = rng or SeededRng()
+        self.trace = RequestTrace()
+
+    def run(self, invoke: Callable[[], object], duration_s: float):
+        """Generator: fire requests for ``duration_s`` seconds.
+
+        ``invoke`` must return a fresh invocation generator per call;
+        each request runs as its own process (open loop).
+        """
+        end = self.sim.now + duration_s
+        while self.sim.now < end:
+            gap = self.rng.exponential(1.0 / self.rate)
+            yield self.sim.timeout(gap)
+            if self.sim.now >= end:
+                break
+            self.sim.spawn(self._request(invoke))
+
+    def _request(self, invoke):
+        begin = self.sim.now
+        try:
+            yield from invoke()
+        except Exception:
+            self.trace.failed += 1
+            return
+        self.trace.record(self.sim.now - begin)
+
+
+class ClosedLoopClient:
+    """One client issuing requests back to back."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.trace = RequestTrace()
+
+    def run(self, invoke: Callable[[], object], requests: int):
+        """Generator: issue ``requests`` sequential invocations."""
+        if requests < 0:
+            raise WorkloadError(f"negative request count: {requests}")
+        for _ in range(requests):
+            begin = self.sim.now
+            yield from invoke()
+            self.trace.record(self.sim.now - begin)

@@ -1,0 +1,95 @@
+"""ServerlessBench workloads (Yu et al., SoCC'20): the Alexa skill
+chain and the Python MapReduce chain used in Fig. 12 and Fig. 14e.
+
+Calibration: the paper reports 38.6ms for the baseline Alexa chain on
+the CPU (5 Node.js functions, 4 hops through Express) and 20.0ms for
+baseline MapReduce (3 Python functions, 2 Flask hops).  Backing out the
+Express/Flask hop costs (config.BASELINE_DAG) leaves ~3.78ms per Alexa
+handler and ~1.67ms per MapReduce stage of execution.
+"""
+
+from __future__ import annotations
+
+from repro.core.dag import Chain, ChainStage
+from repro.core.registry import FunctionDef, WorkProfile
+from repro.hardware.pu import PuKind
+from repro.sandbox.base import FunctionCode, Language
+
+#: The Fig. 12 edge names: front->interact, interact->smarthome,
+#: smarthome->door, smarthome->light (modelled as a linear chain).
+ALEXA_STAGES = ("frontend", "interact", "smarthome", "door", "light")
+ALEXA_EDGE_NAMES = (
+    "front-interact",
+    "interact-smarthome",
+    "smarthome-door",
+    "smarthome-light",
+)
+#: Per-edge payloads (<1KB messages, §6.3).
+ALEXA_PAYLOAD_BYTES = (1024, 819, 512, 307)
+
+ALEXA_EXEC_MS = 3.78      # per handler on the reference CPU
+ALEXA_DPU_SLOWDOWN = 2.0  # event-driven Node.js code on BF-1 (Fig. 14e)
+
+MAPREDUCE_STAGES = ("splitter", "mapper", "reducer")
+MAPREDUCE_PAYLOAD_BYTES = (2048, 2048)
+MAPREDUCE_EXEC_MS = 1.67
+MAPREDUCE_DPU_SLOWDOWN = 2.0
+
+#: Paper end-to-end baselines on CPU (Fig. 14e labels).
+PAPER_ALEXA_BASELINE_CPU_MS = 38.6
+PAPER_MAPREDUCE_BASELINE_CPU_MS = 20.0
+#: Paper improvement ranges across CPU/DPU/CrossPU.
+PAPER_ALEXA_SPEEDUP = (2.04, 2.47)
+PAPER_MAPREDUCE_SPEEDUP = (3.70, 4.47)
+
+
+def alexa_functions(profiles=(PuKind.CPU, PuKind.DPU)) -> list[FunctionDef]:
+    """The five Alexa skill handlers."""
+    return [
+        FunctionDef(
+            name=stage,
+            code=FunctionCode(stage, language=Language.NODEJS, memory_mb=60.0),
+            work=WorkProfile(
+                warm_exec_ms=ALEXA_EXEC_MS, dpu_slowdown=ALEXA_DPU_SLOWDOWN
+            ),
+            profiles=profiles,
+        )
+        for stage in ALEXA_STAGES
+    ]
+
+
+def alexa_chain() -> Chain:
+    """The Alexa smart-home chain."""
+    stages = tuple(
+        ChainStage(stage, payload)
+        for stage, payload in zip(
+            ALEXA_STAGES, (*ALEXA_PAYLOAD_BYTES, 256)
+        )
+    )
+    return Chain("alexa", stages)
+
+
+def mapreduce_functions(profiles=(PuKind.CPU, PuKind.DPU)) -> list[FunctionDef]:
+    """The three MapReduce stages."""
+    return [
+        FunctionDef(
+            name=stage,
+            code=FunctionCode(stage, language=Language.PYTHON, memory_mb=60.0),
+            work=WorkProfile(
+                warm_exec_ms=MAPREDUCE_EXEC_MS, dpu_slowdown=MAPREDUCE_DPU_SLOWDOWN
+            ),
+            profiles=profiles,
+        )
+        for stage in MAPREDUCE_STAGES
+    ]
+
+
+def mapreduce_chain() -> Chain:
+    """The Python MapReduce chain."""
+    stages = tuple(
+        ChainStage(stage, payload)
+        for stage, payload in zip(
+            MAPREDUCE_STAGES, (*MAPREDUCE_PAYLOAD_BYTES, 512)
+        )
+    )
+    return Chain("mapreduce", stages)

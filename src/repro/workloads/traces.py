@@ -1,0 +1,131 @@
+"""Synthetic invocation traces in the style of Azure Functions.
+
+The paper's keep-alive discussion builds on "Serverless in the Wild"
+(Shahrad et al., its citation [82]): production invocation streams are
+highly skewed — a few functions dominate — with strong time-of-day
+cycles and heavy-tailed inter-arrival times.  This module generates
+such streams so keep-alive and density experiments can run against
+realistic-shaped load instead of uniform Poisson traffic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.errors import WorkloadError
+from repro.sim import SeededRng
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One invocation in a trace."""
+
+    time_s: float
+    function: str
+
+
+def zipf_weights(n: int, skew: float = 1.1) -> list[float]:
+    """Normalised Zipf popularity weights for ``n`` functions.
+
+    ``skew`` ≈ 1.0 matches the production observation that a small head
+    of functions receives most invocations.
+    """
+    if n < 1:
+        raise WorkloadError(f"need at least one function: {n}")
+    if skew <= 0:
+        raise WorkloadError(f"skew must be positive: {skew}")
+    raw = [1.0 / (rank ** skew) for rank in range(1, n + 1)]
+    total = sum(raw)
+    return [value / total for value in raw]
+
+
+@dataclass
+class DiurnalProfile:
+    """A day-shaped rate modulation: rate(t) = base * profile(t)."""
+
+    period_s: float = 86_400.0
+    trough_fraction: float = 0.25  # overnight rate relative to the peak
+
+    def factor(self, time_s: float) -> float:
+        """Multiplier in [trough, 1] with a midday peak."""
+        if self.period_s <= 0:
+            raise WorkloadError("period must be positive")
+        phase = 2 * math.pi * (time_s % self.period_s) / self.period_s
+        # Cosine day: peak at half-period (midday), trough at 0.
+        shape = 0.5 * (1 - math.cos(phase))
+        return self.trough_fraction + (1 - self.trough_fraction) * shape
+
+
+class AzureLikeTrace:
+    """Generates a skewed, diurnally-modulated invocation stream."""
+
+    def __init__(
+        self,
+        functions: Sequence[str],
+        peak_rate_per_s: float,
+        skew: float = 1.1,
+        diurnal: DiurnalProfile | None = None,
+        rng: SeededRng | None = None,
+    ):
+        if peak_rate_per_s <= 0:
+            raise WorkloadError(f"rate must be positive: {peak_rate_per_s}")
+        if not functions:
+            raise WorkloadError("trace needs at least one function")
+        self.functions = list(functions)
+        self.peak_rate = peak_rate_per_s
+        self.weights = zipf_weights(len(self.functions), skew)
+        self.diurnal = diurnal or DiurnalProfile()
+        self.rng = rng or SeededRng()
+        self._cum_weights = []
+        acc = 0.0
+        for weight in self.weights:
+            acc += weight
+            self._cum_weights.append(acc)
+
+    def _pick_function(self) -> str:
+        draw = self.rng.uniform(0.0, 1.0)
+        for name, cum in zip(self.functions, self._cum_weights):
+            if draw <= cum:
+                return name
+        return self.functions[-1]
+
+    def events(self, duration_s: float, start_s: float = 0.0) -> Iterator[TraceEvent]:
+        """Yield events over ``[start_s, start_s + duration_s)``.
+
+        Uses thinning: candidate arrivals at the peak rate, accepted
+        with the diurnal factor, which yields an inhomogeneous Poisson
+        process.
+        """
+        if duration_s <= 0:
+            raise WorkloadError(f"duration must be positive: {duration_s}")
+        now = start_s
+        end = start_s + duration_s
+        while True:
+            now += self.rng.exponential(1.0 / self.peak_rate)
+            if now >= end:
+                return
+            if self.rng.uniform(0.0, 1.0) <= self.diurnal.factor(now):
+                yield TraceEvent(time_s=now, function=self._pick_function())
+
+    def replay(self, sim, invoke, duration_s: float, trace_log: list | None = None):
+        """Generator: replay the trace against a runtime.
+
+        ``invoke(function_name)`` must return a fresh invocation
+        generator; each request runs as its own process.
+        """
+        for event in self.events(duration_s, start_s=sim.now):
+            delay = event.time_s - sim.now
+            if delay > 0:
+                yield sim.timeout(delay)
+            if trace_log is not None:
+                trace_log.append(event)
+            sim.spawn(invoke(event.function))
+
+
+def head_share(weights: Sequence[float], head: int) -> float:
+    """Fraction of traffic captured by the ``head`` hottest functions."""
+    if head < 0:
+        raise WorkloadError(f"negative head size: {head}")
+    return sum(sorted(weights, reverse=True)[:head])

@@ -1,0 +1,34 @@
+"""XPU-Shim: distributed capabilities, XPUcalls and neighbour IPC."""
+
+from repro.xpu.capability import (
+    CapabilityTable,
+    CapGroup,
+    ObjectId,
+    Permission,
+    XpuPid,
+)
+from repro.xpu.fifo import FifoEnd, XpuFifo, XpuFifoHandle
+from repro.xpu.shim import ShimCluster, XpuShim
+from repro.xpu.sync import SyncManager, SyncStrategy
+from repro.xpu.threading import QueueDiscipline, ShimThreadPool
+from repro.xpu.xpucall import MpscQueue, XpucallTransport, default_transport
+
+__all__ = [
+    "CapGroup",
+    "CapabilityTable",
+    "FifoEnd",
+    "MpscQueue",
+    "ObjectId",
+    "Permission",
+    "QueueDiscipline",
+    "ShimCluster",
+    "ShimThreadPool",
+    "SyncManager",
+    "SyncStrategy",
+    "XpuFifo",
+    "XpuFifoHandle",
+    "XpuPid",
+    "XpuShim",
+    "XpucallTransport",
+    "default_transport",
+]

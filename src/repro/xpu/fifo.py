@@ -1,0 +1,113 @@
+"""XPU-FIFO: the neighbour-IPC primitive (§3.3).
+
+An XPU-FIFO is a distributed FIFO identified by a global UUID.  Its
+buffer lives on the *home* PU (where it was created).  A same-PU access
+degenerates to a plain local FIFO (fast-path IPC); a cross-PU access is
+*neighbour IPC*: an XPUcall into the local shim plus a transfer over
+the hardware interconnect (RDMA/DMA), with no network stack or API
+gateway in the path.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional, TYPE_CHECKING
+
+from repro.errors import FifoError
+from repro.sim import Simulator, Store
+from repro.xpu.capability import ObjectId, Permission
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.pu import ProcessingUnit
+
+
+class FifoEnd(enum.Enum):
+    """Which rights a handle carries."""
+
+    READ = "read"
+    WRITE = "write"
+    BOTH = "both"
+
+    def permission(self) -> Permission:
+        """The capability bits this end requires."""
+        if self is FifoEnd.READ:
+            return Permission.READ
+        if self is FifoEnd.WRITE:
+            return Permission.WRITE
+        return Permission.READ | Permission.WRITE
+
+
+class XpuFifo:
+    """The distributed FIFO object (an ``IPC`` distributed object)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        global_uuid: str,
+        local_uuid: str,
+        home_pu: "ProcessingUnit",
+    ):
+        self.sim = sim
+        self.global_uuid = global_uuid
+        self.local_uuid = local_uuid
+        self.home_pu = home_pu
+        self.obj_id = ObjectId("fifo", global_uuid)
+        self._buffer: Store = Store(sim)
+        self.closed = False
+        #: Open handles; the FIFO's resources are revoked at zero (§5
+        #: lazy synchronisation of the freed UUID).
+        self.ref_count = 0
+        #: Message counters for tests and reports.
+        self.messages_written = 0
+
+    def deposit(self, payload: Any, size: int) -> None:
+        """Place a message into the home-side buffer."""
+        self._require_open()
+        self._buffer.put((payload, size))
+        self.messages_written += 1
+
+    def take(self):
+        """Event yielding the next (payload, size) tuple."""
+        self._require_open()
+        return self._buffer.get()
+
+    @property
+    def pending(self) -> int:
+        """Messages deposited but not yet taken."""
+        return len(self._buffer)
+
+    def _require_open(self) -> None:
+        if self.closed:
+            raise FifoError(f"XPU-FIFO {self.global_uuid!r} is closed")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<XpuFifo {self.global_uuid} home={self.home_pu.name}>"
+
+
+class XpuFifoHandle:
+    """A process's open descriptor (``xpu_fd``) for one XPU-FIFO."""
+
+    def __init__(self, fifo: XpuFifo, end: FifoEnd, holder_pu: "ProcessingUnit"):
+        self.fifo = fifo
+        self.end = end
+        self.holder_pu = holder_pu
+        self.open = True
+        fifo.ref_count += 1
+
+    @property
+    def is_local(self) -> bool:
+        """True when the holder runs on the FIFO's home PU."""
+        return self.holder_pu.pu_id == self.fifo.home_pu.pu_id
+
+    def close(self) -> int:
+        """Release the descriptor; returns the remaining ref count."""
+        if not self.open:
+            raise FifoError("handle already closed")
+        self.open = False
+        self.fifo.ref_count -= 1
+        return self.fifo.ref_count
+
+    def require_open(self) -> None:
+        """Raise if this descriptor was closed."""
+        if not self.open:
+            raise FifoError("operation on closed xpu_fd")

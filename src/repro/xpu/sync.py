@@ -1,0 +1,102 @@
+"""Inter-PU state synchronisation (§5 "Inter-PU synchronization").
+
+XPU-Shim follows multikernel designs and synchronises global state by
+explicit message passing, with three strategies:
+
+* **static partition** — no synchronisation: xpu_pids encode the PU id,
+  so process create/destroy is handled entirely locally;
+* **immediate** — globally-unique names (XPU-FIFO UUIDs) and every
+  capability update are pushed to all peers right away, so permission
+  checks always complete locally;
+* **lazy** — harmless stale state (e.g. freed-UUID garbage collection)
+  is batched and flushed after a window.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, TYPE_CHECKING
+
+from repro import config
+from repro.sim import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.machine import HeterogeneousComputer
+
+
+class SyncStrategy(enum.Enum):
+    """How one class of global state is kept consistent."""
+
+    STATIC_PARTITION = "static-partition"
+    IMMEDIATE = "immediate"
+    LAZY = "lazy"
+
+
+class SyncManager:
+    """Executes synchronisation rounds over the machine's interconnect."""
+
+    def __init__(self, sim: Simulator, machine: "HeterogeneousComputer"):
+        self.sim = sim
+        self.machine = machine
+        #: Counters for tests and the sync-strategy ablation bench.
+        self.immediate_rounds = 0
+        self.lazy_pending: list[Callable[[], None]] = []
+        self.lazy_flushes = 0
+        self._flusher_armed = False
+
+    def _peer_pus(self, origin_pu_id: int) -> list[int]:
+        return [
+            pu.pu_id
+            for pu in self.machine.general_purpose_pus()
+            if pu.pu_id != origin_pu_id
+        ]
+
+    def immediate_sync_time(self, origin_pu_id: int, message_bytes: int = 64) -> float:
+        """Wall time of one immediate synchronisation round.
+
+        Peers are updated in parallel; the round completes when the
+        slowest acknowledgment returns (one message each way).
+        """
+        peers = self._peer_pus(origin_pu_id)
+        if not peers:
+            return 0.0
+        per_peer = []
+        for peer in peers:
+            route = self.machine.interconnect.route(origin_pu_id, peer)
+            round_trip = 2 * route.transfer_time(message_bytes)
+            per_peer.append(round_trip + config.SYNC_ROUND_TRIP_US * config.US)
+        return max(per_peer)
+
+    def immediate(self, origin_pu_id: int, apply: Callable[[], None]):
+        """Generator: apply a state change and push it to every peer."""
+        apply()
+        cost = self.immediate_sync_time(origin_pu_id)
+        if cost:
+            yield self.sim.timeout(cost)
+        self.immediate_rounds += 1
+
+    def lazy(self, apply: Callable[[], None]) -> None:
+        """Queue a state change for batched propagation.
+
+        The local effect is immediate (stale remote views are harmless
+        by design); remote propagation happens at the next flush.
+        """
+        self.lazy_pending.append(apply)
+        if not self._flusher_armed:
+            self._flusher_armed = True
+            self.sim.spawn(self._flush_after_window())
+
+    def _flush_after_window(self):
+        yield self.sim.timeout(config.LAZY_SYNC_WINDOW_S)
+        self.flush()
+
+    def flush(self) -> int:
+        """Apply every pending lazy update in one batch; returns count."""
+        applied = len(self.lazy_pending)
+        for apply in self.lazy_pending:
+            apply()
+        self.lazy_pending.clear()
+        self._flusher_armed = False
+        if applied:
+            self.lazy_flushes += 1
+        return applied

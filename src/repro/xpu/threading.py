@@ -1,0 +1,127 @@
+"""Multi-threaded XPUcall handling (§5).
+
+For XPUcall-intensive scenarios the shim runs several handler threads.
+Two designs from the paper:
+
+* **per-thread MPSC queues** (the prototype's choice): each thread owns
+  a queue; callers are statically assigned, so a skewed assignment can
+  leave threads idle while one is saturated;
+* **a shared MPMC queue with work stealing** (the alternative the paper
+  cites): any idle thread serves any pending call.
+
+Both are implemented over the event kernel so the trade-off can be
+measured (see ``bench_ablations``/tests).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import XpuError
+from repro.hardware.pu import ProcessingUnit
+from repro.sim import Event, Simulator, Store
+
+
+class QueueDiscipline(enum.Enum):
+    """How calls are distributed over shim handler threads."""
+
+    MPSC_PER_THREAD = "mpsc-per-thread"
+    MPMC_WORK_STEALING = "mpmc-work-stealing"
+
+
+@dataclass
+class _Call:
+    caller_id: int
+    service_s: float
+    done: Event
+
+
+class ShimThreadPool:
+    """N shim handler threads draining XPUcall queues."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pu: ProcessingUnit,
+        threads: int = 2,
+        discipline: QueueDiscipline = QueueDiscipline.MPSC_PER_THREAD,
+    ):
+        if threads < 1:
+            raise XpuError(f"thread count must be >= 1: {threads}")
+        self.sim = sim
+        self.pu = pu
+        self.threads = threads
+        self.discipline = discipline
+        if discipline is QueueDiscipline.MPMC_WORK_STEALING:
+            self._queues = [Store(sim)]
+        else:
+            self._queues = [Store(sim) for _ in range(threads)]
+        self.handled = [0] * threads
+        for index in range(threads):
+            sim.spawn(self._worker(index), name=f"shim-thread-{index}")
+
+    def _queue_for(self, caller_id: int) -> Store:
+        if self.discipline is QueueDiscipline.MPMC_WORK_STEALING:
+            return self._queues[0]
+        # Static assignment: callers hash onto their thread's queue.
+        return self._queues[caller_id % len(self._queues)]
+
+    def _worker(self, index: int):
+        if self.discipline is QueueDiscipline.MPMC_WORK_STEALING:
+            queue = self._queues[0]
+        else:
+            queue = self._queues[index]
+        while True:
+            call = yield queue.get()
+            # Dequeue bookkeeping + the call's service time.
+            yield self.sim.timeout(self.pu.op_time())
+            yield self.sim.timeout(call.service_s)
+            self.handled[index] += 1
+            call.done.succeed(self.sim.now)
+
+    def submit(self, caller_id: int, service_s: float) -> Event:
+        """Enqueue one call; the returned event fires at completion."""
+        if service_s < 0:
+            raise XpuError(f"negative service time: {service_s}")
+        done = self.sim.event()
+        call = _Call(caller_id=caller_id, service_s=service_s, done=done)
+        self._queue_for(caller_id).put(call)
+        return done
+
+    @property
+    def load_imbalance(self) -> float:
+        """max/mean handled-calls ratio (1.0 = perfectly balanced)."""
+        total = sum(self.handled)
+        if total == 0:
+            return 1.0
+        mean = total / self.threads
+        return max(self.handled) / mean
+
+
+def burst_completion_time(
+    sim: Simulator,
+    pool: ShimThreadPool,
+    calls: int,
+    service_s: float,
+    skewed: bool = False,
+) -> float:
+    """Run a burst of ``calls`` XPUcalls and return the makespan.
+
+    ``skewed=True`` sends every call from the same caller — the worst
+    case for static per-thread assignment, which work stealing fixes.
+    """
+    begin = sim.now
+    events = []
+    for index in range(calls):
+        caller = 0 if skewed else index
+        events.append(pool.submit(caller, service_s))
+
+    def waiter(sim):
+        yield sim.all_of(events)
+
+    proc = sim.spawn(waiter(sim))
+    sim.run()
+    if not proc.processed:
+        raise XpuError("burst did not complete")
+    return sim.now - begin

@@ -1,0 +1,93 @@
+"""XPUcall transports (Fig. 7).
+
+An XPUcall crosses from a user process into the XPU-Shim daemon on the
+same PU.  The paper implements and measures three transports:
+
+* **FIFO** (Fig. 7a): request and response each traverse a kernel FIFO —
+  two IPC round trips (4 notifications).  ~100us on Bluefield-1,
+  ~20us on the host CPU (§5).
+* **MPSC** (Fig. 7b): requests go through a shared multi-producer
+  single-consumer queue the shim polls; only the response uses a FIFO.
+* **MPSC_POLL** (Fig. 7c): the process also polls shared memory for the
+  response, eliminating kernel IPC entirely (the paper's default on
+  devices).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+from repro.sim import Simulator, Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.pu import ProcessingUnit
+
+
+class XpucallTransport(enum.Enum):
+    """How a process reaches the local shim daemon."""
+
+    FIFO = "fifo"
+    MPSC = "mpsc"
+    MPSC_POLL = "mpsc_poll"
+
+    def request_time(self, pu: "ProcessingUnit") -> float:
+        """Cost of delivering the request into the shim."""
+        if self is XpucallTransport.FIFO:
+            # write FIFO-req (notify) + shim wakeup (notify) + parse op
+            return 2 * pu.ipc_notify_time() + pu.op_time()
+        # enqueue into the MPSC queue + shim poll pickup
+        return pu.op_time(2)
+
+    def response_time(self, pu: "ProcessingUnit") -> float:
+        """Cost of delivering the shim's response back to the process."""
+        if self is XpucallTransport.MPSC_POLL:
+            # shim writes per-process shared memory + process polls it
+            return pu.op_time(2)
+        # write FIFO-res (notify) + process wakeup (notify) + parse op
+        return 2 * pu.ipc_notify_time() + pu.op_time()
+
+    def round_trip_time(self, pu: "ProcessingUnit") -> float:
+        """Total user<->shim overhead of one XPUcall."""
+        return self.request_time(pu) + self.response_time(pu)
+
+
+def default_transport(pu: "ProcessingUnit") -> XpucallTransport:
+    """The paper's default choice per PU.
+
+    §6.1: the polling optimisations are applied on devices (where the
+    naive XPUcall costs ~100us) but *not* on the CPU (where it costs
+    only ~20us).
+    """
+    from repro.hardware.pu import PuKind
+
+    if pu.kind is PuKind.DPU:
+        return XpucallTransport.MPSC_POLL
+    return XpucallTransport.FIFO
+
+
+class MpscQueue:
+    """The shared multi-producer single-consumer request queue.
+
+    For security the queue only carries *which process* issued a call;
+    the invocation arguments live in per-process shared memory, so a
+    malicious producer can at worst DoS the queue, never read another
+    process's arguments (§5).
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._store = Store(sim)
+        self.enqueued = 0
+
+    def enqueue(self, xpu_pid) -> None:
+        """Producer side: publish that ``xpu_pid`` has a pending call."""
+        self._store.put(xpu_pid)
+        self.enqueued += 1
+
+    def dequeue(self):
+        """Consumer (shim) side: event yielding the next caller pid."""
+        return self._store.get()
+
+    def __len__(self) -> int:
+        return len(self._store)

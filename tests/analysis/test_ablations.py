@@ -1,0 +1,44 @@
+"""Tests for the ablation studies."""
+
+import pytest
+
+from repro.analysis import ablations
+
+
+def test_transport_ablation_covers_all_pairs():
+    rows = ablations.xpucall_transport_ablation()
+    assert len(rows) == 9  # 3 PUs x 3 transports
+    by_key = {(r.pu, r.transport): r.round_trip_us for r in rows}
+    # On every PU the ordering base > mpsc > poll holds.
+    for pu in ("cpu", "bf1", "bf2"):
+        assert by_key[(pu, "fifo")] > by_key[(pu, "mpsc")] > by_key[(pu, "mpsc_poll")]
+    # The optimisation matters most where notifies are dearest.
+    gain_bf1 = by_key[("bf1", "fifo")] / by_key[("bf1", "mpsc_poll")]
+    gain_cpu = by_key[("cpu", "fifo")] / by_key[("cpu", "mpsc_poll")]
+    assert gain_bf1 == pytest.approx(gain_cpu, rel=0.3) or gain_bf1 > gain_cpu
+
+
+def test_sync_strategy_ablation():
+    result = ablations.sync_strategy_ablation(num_dpus=2)
+    assert result.static_partition_us == 0.0
+    assert result.lazy_us == 0.0  # off the critical path
+    assert result.immediate_us > 10.0  # a real cross-PU round
+
+
+def test_sync_immediate_grows_with_peers():
+    one = ablations.sync_strategy_ablation(num_dpus=1)
+    two = ablations.sync_strategy_ablation(num_dpus=2)
+    assert two.immediate_us >= one.immediate_us
+
+
+def test_keepalive_ablation_hit_rate_grows_with_capacity():
+    rows = ablations.keepalive_ablation(capacities=(1, 4), functions_count=4, rounds=4)
+    small, large = rows[0], rows[1]
+    assert large.hit_rate > small.hit_rate
+    assert large.mean_latency_ms < small.mean_latency_ms
+
+
+def test_dag_direct_vs_bus():
+    result = ablations.dag_direct_vs_bus()
+    assert result.bus_total_ms > result.direct_total_ms
+    assert 1.0 < result.improvement < 1.5

@@ -1,0 +1,84 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.analysis.charts import ChartError, bar_chart, line_chart, speedup_chart
+
+
+def test_bar_chart_scales_to_max():
+    out = bar_chart({"a": 10.0, "b": 20.0}, width=20)
+    lines = out.splitlines()
+    assert lines[0].count("#") == 10
+    assert lines[1].count("#") == 20
+    assert "20" in lines[1]
+
+
+def test_bar_chart_log_scale_compresses():
+    out = bar_chart({"tiny": 1.0, "huge": 1000.0}, width=30, log_scale=True)
+    tiny_line, huge_line = out.splitlines()
+    assert 0 <= tiny_line.count("#") <= 2
+    assert huge_line.count("#") == 30
+
+
+def test_bar_chart_validation():
+    with pytest.raises(ChartError):
+        bar_chart({})
+    with pytest.raises(ChartError):
+        bar_chart({"a": -1.0})
+
+
+def test_bar_chart_zero_value_has_no_bar():
+    out = bar_chart({"zero": 0.0, "one": 1.0})
+    assert out.splitlines()[0].count("#") == 0
+
+
+def test_line_chart_legend_and_bounds():
+    out = line_chart(
+        {"up": [1.0, 2.0, 3.0], "down": [3.0, 2.0, 1.0]},
+        x_labels=["start", "end"],
+        height=6,
+        width=24,
+    )
+    assert "a = up" in out and "b = down" in out
+    assert "start .. end" in out
+    assert out.splitlines()[0].lstrip().startswith("3")
+
+
+def test_line_chart_validation():
+    with pytest.raises(ChartError):
+        line_chart({}, x_labels=[0, 1])
+    with pytest.raises(ChartError):
+        line_chart({"a": [1.0], "b": [1.0, 2.0]}, x_labels=[0, 1])
+
+
+def test_line_chart_constant_series():
+    out = line_chart({"flat": [5.0, 5.0, 5.0]}, x_labels=[0, 2], height=4, width=10)
+    assert "a = flat" in out
+
+
+def test_speedup_chart_annotates_ratio():
+    out = speedup_chart({"alexa": (38.6, 19.3)})
+    assert "(2.00x)" in out
+    assert "base" in out and "ours" in out
+
+
+def test_speedup_chart_validation():
+    with pytest.raises(ChartError):
+        speedup_chart({})
+    with pytest.raises(ChartError):
+        speedup_chart({"bad": (1.0, 0.0)})
+
+
+def test_cli_plot_command(capsys):
+    from repro.cli import main
+
+    assert main(["plot", "fig2a"]) == 0
+    out = capsys.readouterr().out
+    assert "=== fig2a ===" in out and "#" in out
+
+
+def test_cli_plot_unknown_figure(capsys):
+    from repro.cli import main
+
+    assert main(["plot", "nope"]) == 2
+    assert "unknown figure" in capsys.readouterr().err

@@ -1,0 +1,79 @@
+"""Tests for statistics and report formatting."""
+
+import pytest
+
+from repro.analysis import (
+    LatencyStats,
+    format_artifact_block,
+    format_comparison,
+    format_table,
+    normalized,
+    percentile,
+)
+
+
+def test_percentile_nearest_rank():
+    samples = list(range(1, 101))
+    assert percentile(samples, 50) == 50
+    assert percentile(samples, 99) == 99
+    assert percentile(samples, 100) == 100
+    assert percentile(samples, 0) == 1
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1], 150)
+
+
+def test_latency_stats_summary():
+    stats = LatencyStats()
+    stats.extend([1.0, 2.0, 3.0, 4.0])
+    summary = stats.summary()
+    assert summary.avg == pytest.approx(2.5)
+    assert summary.p50 == 2.0
+    assert summary.p99 == 4.0
+    assert len(summary.as_row()) == 6
+
+
+def test_latency_stats_empty_mean_raises():
+    with pytest.raises(ValueError):
+        LatencyStats().mean()
+
+
+def test_latency_stats_samples_copy():
+    stats = LatencyStats()
+    stats.add(1.0)
+    samples = stats.samples
+    samples.append(99.0)
+    assert len(stats) == 1
+
+
+def test_format_table_aligns():
+    out = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert "long-name" in lines[3]
+    assert lines[0].startswith("name")
+
+
+def test_format_artifact_block_shape():
+    stats = LatencyStats(unit="ms")
+    stats.extend([6.4, 5.0, 8.0, 9.0])
+    block = format_artifact_block("fork-startup result", stats)
+    assert "fork-startup result" in block
+    assert "latency (ms):" in block
+    assert "avg" in block and "99%" in block
+
+
+def test_format_comparison_computes_speedup():
+    out = format_comparison("startup", [("case-a", 100.0, 10.0)])
+    assert "10.00x" in out
+    assert "case-a" in out
+
+
+def test_normalized():
+    assert normalized([2.0, 4.0], 2.0) == [1.0, 2.0]
+    with pytest.raises(ValueError):
+        normalized([1.0], 0.0)

@@ -1,0 +1,63 @@
+"""Tests for the conformance suite."""
+
+import pytest
+
+from repro.analysis.validation import (
+    Claim,
+    ClaimResult,
+    scorecard,
+    validate_all,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return validate_all()
+
+
+def test_all_claims_pass(results):
+    failing = [r for r in results if not r.passed]
+    assert not failing, f"failing claims: {[r.claim_id for r in failing]}"
+
+
+def test_claim_coverage(results):
+    # Every evaluation figure/table with a quantitative claim is covered.
+    ids = {r.claim_id for r in results}
+    for prefix in ("fig2a", "fig2b", "fig8", "fig9", "fig10", "fig11",
+                   "fig12", "fig13", "fig14a", "fig14e", "fig14f",
+                   "fig14g", "table4"):
+        assert any(claim_id.startswith(prefix) for claim_id in ids), prefix
+
+
+def test_scorecard_format(results):
+    text = scorecard(results)
+    assert "[PASS]" in text
+    assert f"{len(results)}/{len(results)} claims hold" in text
+
+
+def test_failing_claim_reported_not_raised():
+    def boom():
+        raise RuntimeError("broken probe")
+
+    claim = Claim("x", "always fails", boom)
+    from repro.analysis import validation
+
+    result = validation.ClaimResult("x", "s", passed=False)
+    # Run through the machinery by monkey-patching the claim list.
+    original = validation._claims
+    validation._claims = lambda: [claim]
+    try:
+        [outcome] = validation.validate_all()
+    finally:
+        validation._claims = original
+    assert not outcome.passed
+    assert "RuntimeError" in outcome.error
+    assert "[FAIL]" in scorecard([outcome])
+
+
+def test_cli_validate_exit_code(capsys):
+    from repro.cli import main
+
+    assert main(["validate"]) == 0
+    out = capsys.readouterr().out
+    assert "claims hold" in out

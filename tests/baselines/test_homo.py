@@ -1,0 +1,130 @@
+"""Tests for the Molecule-homo baseline."""
+
+import pytest
+
+from repro import FunctionCode, FunctionDef, Language, PuKind, WorkProfile
+from repro.baselines import MoleculeHomo
+from repro.errors import SchedulingError
+from repro.hardware import specs
+from repro.workloads import serverlessbench
+
+
+def fn(name="f", warm_ms=10.0, language=Language.PYTHON, import_ms=0.0):
+    return FunctionDef(
+        name=name,
+        code=FunctionCode(name, language=language, import_ms=import_ms),
+        work=WorkProfile(warm_exec_ms=warm_ms),
+        profiles=(PuKind.CPU, PuKind.DPU),
+    )
+
+
+def test_cold_start_is_full_container_boot():
+    homo = MoleculeHomo()
+    homo.deploy(fn())
+    result = homo.invoke_now("f")
+    assert result.cold
+    # container create + python boot ~171ms on the reference CPU
+    assert 0.150 < result.startup_s < 0.200
+
+
+def test_warm_start_reuses_instance():
+    homo = MoleculeHomo()
+    homo.deploy(fn())
+    homo.invoke_now("f")
+    warm = homo.invoke_now("f")
+    assert not warm.cold
+    assert warm.startup_s == pytest.approx(0.0)
+
+
+def test_force_cold():
+    homo = MoleculeHomo()
+    homo.deploy(fn())
+    homo.invoke_now("f")
+    assert homo.invoke_now("f", force_cold=True).cold
+
+
+def test_on_dpu_everything_slower():
+    cpu = MoleculeHomo(pu_spec=specs.XEON_8160)
+    cpu.deploy(fn())
+    dpu = MoleculeHomo(pu_spec=specs.BLUEFIELD1)
+    dpu.deploy(fn())
+    assert dpu.invoke_now("f").total_s > 4 * cpu.invoke_now("f").total_s
+
+
+def test_exec_time_override():
+    homo = MoleculeHomo()
+    homo.deploy(fn())
+    homo.invoke_now("f")
+    result = homo.invoke_now("f", exec_time_s=0.5)
+    assert result.exec_s == pytest.approx(0.5)
+
+
+def test_chain_uses_http_hops():
+    homo = MoleculeHomo()
+    for function in serverlessbench.alexa_functions():
+        homo.deploy(function)
+    result = homo.run_chain_now(serverlessbench.alexa_chain())
+    # Fig. 14e: baseline Alexa on CPU is ~38.6ms.
+    assert 36.0 < result.total_s / 1e-3 < 41.0
+    assert len(result.edge_latencies_s) == 4
+    # Express hops are milliseconds, not the microseconds of IPC.
+    for edge in result.edge_latencies_s:
+        assert edge > 2e-3
+
+
+def test_mapreduce_chain_cpu_total():
+    homo = MoleculeHomo()
+    for function in serverlessbench.mapreduce_functions():
+        homo.deploy(function)
+    result = homo.run_chain_now(serverlessbench.mapreduce_chain())
+    # Fig. 14e: baseline MapReduce on CPU is ~20.0ms.
+    assert 18.0 < result.total_s / 1e-3 < 22.0
+
+
+def test_flask_hops_cost_more_than_express():
+    homo = MoleculeHomo()
+    for function in serverlessbench.alexa_functions():
+        homo.deploy(function)
+    for function in serverlessbench.mapreduce_functions():
+        homo.deploy(function)
+    alexa = homo.run_chain_now(serverlessbench.alexa_chain())
+    mapreduce = homo.run_chain_now(serverlessbench.mapreduce_chain())
+    assert mapreduce.edge_latencies_s[0] > alexa.edge_latencies_s[0]
+
+
+def test_cross_pu_edges_cost_more():
+    homo = MoleculeHomo()
+    for function in serverlessbench.alexa_functions():
+        homo.deploy(function)
+    local = homo.run_chain_now(serverlessbench.alexa_chain())
+    cross = homo.run_chain_now(
+        serverlessbench.alexa_chain(), cross_pu_edges=[True] * 4
+    )
+    assert cross.total_s > local.total_s
+
+
+def test_cross_pu_edges_length_checked():
+    homo = MoleculeHomo()
+    for function in serverlessbench.alexa_functions():
+        homo.deploy(function)
+    with pytest.raises(SchedulingError):
+        homo.run_chain_now(serverlessbench.alexa_chain(), cross_pu_edges=[True])
+
+
+def test_commercial_models_sample_within_jitter():
+    from repro.baselines import aws_lambda, openwhisk
+
+    lam = aws_lambda()
+    ow = openwhisk()
+    assert 1100 < lam.mean_startup_ms() < 1500
+    assert 900 < ow.mean_startup_ms() < 1200
+    assert lam.mean_comm_ms() > ow.mean_comm_ms()
+
+
+def test_commercial_models_deterministic_given_seed():
+    from repro.baselines import aws_lambda
+    from repro.sim import SeededRng
+
+    a = aws_lambda(rng=SeededRng(5))
+    b = aws_lambda(rng=SeededRng(5))
+    assert a.sample() == b.sample()

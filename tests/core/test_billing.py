@@ -1,0 +1,96 @@
+"""Tests for the pay-as-you-go billing ledger."""
+
+import pytest
+
+from repro.core.billing import BillingError, BillingLedger
+from repro.hardware import ProcessingUnit, PuKind, specs
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def pus():
+    sim = Simulator()
+    return {
+        "cpu": ProcessingUnit(sim, 0, "cpu0", specs.XEON_8160),
+        "dpu": ProcessingUnit(sim, 1, "dpu0", specs.BLUEFIELD1),
+        "fpga": ProcessingUnit(sim, 2, "fpga0", specs.ULTRASCALE_PLUS),
+    }
+
+
+def test_charge_records_entry(pus):
+    ledger = BillingLedger()
+    entry = ledger.charge(1, "f", pus["cpu"], duration_s=0.010)
+    assert entry.billed_ms == 10
+    assert entry.cost == pytest.approx(10 * 1.0)
+    assert len(ledger) == 1
+
+
+def test_one_ms_minimum_granularity(pus):
+    # §1: billing granularity is 1ms.
+    ledger = BillingLedger()
+    tiny = ledger.charge(1, "f", pus["cpu"], duration_s=0.0001)
+    assert tiny.billed_ms == 1
+
+
+def test_negative_duration_rejected(pus):
+    with pytest.raises(BillingError):
+        BillingLedger().charge(1, "f", pus["cpu"], duration_s=-1.0)
+
+
+def test_price_classes_affect_cost(pus):
+    ledger = BillingLedger()
+    cpu = ledger.charge(1, "f", pus["cpu"], 0.010)
+    dpu = ledger.charge(2, "f", pus["dpu"], 0.010)
+    fpga = ledger.charge(3, "f", pus["fpga"], 0.010)
+    assert dpu.cost < cpu.cost < fpga.cost
+
+
+def test_summaries(pus):
+    ledger = BillingLedger()
+    ledger.charge(1, "a", pus["cpu"], 0.010)
+    ledger.charge(2, "a", pus["dpu"], 0.010)
+    ledger.charge(3, "b", pus["cpu"], 0.020)
+    total = ledger.total()
+    assert total.invocations == 3
+    assert total.billed_ms == 40
+    assert ledger.by_function("a").invocations == 2
+    assert ledger.by_pu_kind(PuKind.CPU).billed_ms == 30
+
+
+def test_summary_merge(pus):
+    ledger = BillingLedger()
+    ledger.charge(1, "a", pus["cpu"], 0.010)
+    ledger.charge(2, "b", pus["cpu"], 0.020)
+    merged = ledger.by_function("a").merged(ledger.by_function("b"))
+    assert merged.invocations == 2
+    assert merged.billed_ms == 30
+
+
+def test_cheapest_kind_for(pus):
+    ledger = BillingLedger()
+    # Same wall time: DPU is cheaper per ms.
+    ledger.charge(1, "f", pus["cpu"], 0.010)
+    ledger.charge(2, "f", pus["dpu"], 0.010)
+    assert ledger.cheapest_kind_for("f") is PuKind.DPU
+    assert ledger.cheapest_kind_for("ghost") is None
+
+
+def test_runtime_charges_ledger_per_invocation():
+    from repro import (
+        FunctionCode, FunctionDef, Language, MoleculeRuntime, PuKind, WorkProfile,
+    )
+
+    runtime = MoleculeRuntime.create(num_dpus=0)
+    runtime.deploy_now(
+        FunctionDef(
+            name="f",
+            code=FunctionCode("f", language=Language.PYTHON),
+            work=WorkProfile(warm_exec_ms=10.0),
+            profiles=(PuKind.CPU,),
+        )
+    )
+    result = runtime.invoke_now("f")
+    runtime.invoke_now("f")
+    assert len(runtime.ledger) == 2
+    assert runtime.ledger.total().cost > 0
+    assert result.billed_cost == runtime.ledger.entries[0].cost

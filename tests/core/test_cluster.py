@@ -1,0 +1,135 @@
+"""Tests for the multi-machine global manager (§4.1)."""
+
+import pytest
+
+from repro import (
+    FunctionCode,
+    FunctionDef,
+    Language,
+    MoleculeRuntime,
+    PuKind,
+    Simulator,
+    WorkProfile,
+    build_full_machine,
+)
+from repro.core.cluster import GlobalManager
+from repro.errors import SchedulingError
+from repro.hardware import FabricResources, KernelSpec
+from repro.workloads import serverlessbench
+
+
+def py_fn(name="f", profiles=(PuKind.CPU, PuKind.DPU)):
+    return FunctionDef(
+        name=name,
+        code=FunctionCode(name, language=Language.PYTHON, memory_mb=60),
+        work=WorkProfile(warm_exec_ms=5.0),
+        profiles=profiles,
+    )
+
+
+@pytest.fixture
+def fleet():
+    manager = GlobalManager()
+    manager.build_worker("w1", num_dpus=1)
+    manager.build_worker("w2", num_dpus=2)
+    return manager
+
+
+def test_workers_share_one_simulator(fleet):
+    assert fleet.worker("w1").runtime.sim is fleet.sim
+    assert fleet.worker("w2").runtime.sim is fleet.sim
+
+
+def test_foreign_simulator_rejected(fleet):
+    other = MoleculeRuntime.create(num_dpus=0)
+    with pytest.raises(SchedulingError):
+        fleet.add_worker("bad", other)
+
+
+def test_duplicate_worker_rejected(fleet):
+    with pytest.raises(SchedulingError):
+        fleet.build_worker("w1")
+
+
+def test_deploy_reaches_all_eligible_machines(fleet):
+    fleet.deploy_now(py_fn())
+    assert "f" in fleet.worker("w1").runtime.registry
+    assert "f" in fleet.worker("w2").runtime.registry
+
+
+def test_deploy_requires_capable_machine(fleet):
+    kernel_fn = FunctionDef(
+        name="k",
+        code=FunctionCode(
+            "k", kernel=KernelSpec("k", FabricResources(luts=1), exec_time_s=1e-3)
+        ),
+        work=WorkProfile(warm_exec_ms=1.0, fpga_exec_ms=0.1),
+        profiles=(PuKind.FPGA,),
+    )
+    with pytest.raises(SchedulingError):
+        fleet.deploy_now(kernel_fn)  # no FPGA in the fleet
+
+
+def test_fpga_function_routes_to_fpga_machine():
+    manager = GlobalManager()
+    manager.build_worker("cpu-only", num_dpus=0)
+    sim = manager.sim
+    machine = build_full_machine(sim, num_dpus=0, num_fpgas=1, num_gpus=0)
+    fpga_runtime = MoleculeRuntime(sim, machine)
+    fpga_runtime.start()
+    manager.add_worker("fpga-box", fpga_runtime)
+    kernel_fn = FunctionDef(
+        name="k",
+        code=FunctionCode(
+            "k", kernel=KernelSpec("k", FabricResources(luts=1), exec_time_s=1e-3)
+        ),
+        work=WorkProfile(warm_exec_ms=1.0, fpga_exec_ms=0.1),
+        profiles=(PuKind.FPGA,),
+    )
+    manager.deploy_now(kernel_fn)
+    result = manager.invoke_now("k")
+    assert result.pu_kind is PuKind.FPGA
+    assert manager.routed == {"fpga-box": 1}
+
+
+def test_warm_first_routing_sticks_to_machine(fleet):
+    fleet.deploy_now(py_fn())
+    first = fleet.invoke_now("f")
+    second = fleet.invoke_now("f")
+    assert not second.cold  # the warm machine was preferred
+    assert sum(fleet.routed.values()) == 2
+    assert len(fleet.routed) == 1  # both went to the same worker
+
+
+def test_unknown_function_rejected(fleet):
+    with pytest.raises(SchedulingError):
+        fleet.invoke_now("ghost")
+
+
+def test_chain_runs_on_single_machine(fleet):
+    for fn in serverlessbench.alexa_functions():
+        fleet.deploy_now(fn)
+    chain = serverlessbench.alexa_chain()
+    kinds = [PuKind.CPU, PuKind.DPU, PuKind.CPU, PuKind.DPU, PuKind.CPU]
+    proc = fleet.sim.spawn(fleet.run_chain(chain, kinds))
+    fleet.sim.run()
+    result = proc.value
+    placements = set(result.placements)
+    # All stages on one worker's PUs (cpu0/dpu0 of a single machine).
+    assert placements <= {"cpu0", "dpu0"}
+
+
+def test_chain_requires_full_deployment(fleet):
+    chain = serverlessbench.alexa_chain()
+    with pytest.raises(SchedulingError):
+        proc = fleet.sim.spawn(fleet.run_chain(chain))
+        fleet.sim.run()
+
+
+def test_chain_placement_kind_mismatch(fleet):
+    for fn in serverlessbench.alexa_functions():
+        fleet.deploy_now(fn)
+    chain = serverlessbench.alexa_chain()
+    with pytest.raises(SchedulingError):
+        proc = fleet.sim.spawn(fleet.run_chain(chain, [PuKind.CPU]))
+        fleet.sim.run()

@@ -1,0 +1,88 @@
+"""Tests for core contention: execution occupies PU cores."""
+
+import dataclasses
+
+import pytest
+
+from repro import (
+    FunctionCode,
+    FunctionDef,
+    Language,
+    MoleculeRuntime,
+    PuKind,
+    Simulator,
+    WorkProfile,
+)
+from repro.hardware import specs
+from repro.hardware.machine import build_cpu_dpu_machine
+
+
+def fn(name="f", warm_ms=10.0):
+    return FunctionDef(
+        name=name,
+        code=FunctionCode(name, language=Language.PYTHON, memory_mb=1.0),
+        work=WorkProfile(warm_exec_ms=warm_ms),
+        profiles=(PuKind.CPU,),
+    )
+
+
+def make_runtime_with_cores(cores: int) -> MoleculeRuntime:
+    sim = Simulator()
+    machine = build_cpu_dpu_machine(
+        sim, num_dpus=0,
+        cpu_spec=dataclasses.replace(specs.XEON_8160, cores=cores),
+    )
+    runtime = MoleculeRuntime(sim, machine)
+    runtime.start()
+    runtime.deploy_now(fn())
+    return runtime
+
+
+def run_burst(runtime, count):
+    def burst(sim):
+        procs = [sim.spawn(runtime.invoke("f")) for _ in range(count)]
+        yield sim.all_of(procs)
+        return [p.value for p in procs]
+
+    proc = runtime.sim.spawn(burst(runtime.sim))
+    runtime.sim.run()
+    return proc.value
+
+
+def test_requests_beyond_core_count_queue():
+    runtime = make_runtime_with_cores(cores=2)
+    start = runtime.sim.now
+    results = run_burst(runtime, 6)
+    makespan = runtime.sim.now - start
+    # 6 requests / 2 cores at 10ms each: >= 3 serial waves of exec.
+    assert makespan > 0.030
+    assert len(results) == 6
+
+
+def test_enough_cores_no_queueing():
+    runtime = make_runtime_with_cores(cores=8)
+    # Pre-warm instances to exclude startup serialization.
+    run_burst(runtime, 8)
+    start = runtime.sim.now
+    run_burst(runtime, 8)
+    makespan = runtime.sim.now - start
+    # Fully parallel warm burst: ~one exec duration plus gateway fan-out.
+    assert makespan < 0.015
+
+
+def test_queueing_grows_tail_latency():
+    few = make_runtime_with_cores(cores=1)
+    run_burst(few, 4)  # warm up
+    results_few = run_burst(few, 4)
+    many = make_runtime_with_cores(cores=4)
+    run_burst(many, 4)
+    results_many = run_burst(many, 4)
+    worst_few = max(r.total_s for r in results_few)
+    worst_many = max(r.total_s for r in results_many)
+    assert worst_few > 2 * worst_many
+
+
+def test_core_released_after_each_request():
+    runtime = make_runtime_with_cores(cores=2)
+    run_burst(runtime, 10)
+    assert runtime.machine.host_cpu.cores.in_use == 0

@@ -1,0 +1,104 @@
+"""Failure-injection tests: dead instances must never serve requests."""
+
+import pytest
+
+from repro import (
+    FunctionCode,
+    FunctionDef,
+    Language,
+    MoleculeRuntime,
+    PuKind,
+    WorkProfile,
+)
+
+
+def fn(name="f"):
+    return FunctionDef(
+        name=name,
+        code=FunctionCode(name, language=Language.PYTHON, memory_mb=60),
+        work=WorkProfile(warm_exec_ms=5.0),
+        profiles=(PuKind.CPU,),
+    )
+
+
+@pytest.fixture
+def runtime():
+    molecule = MoleculeRuntime.create(num_dpus=0)
+    molecule.deploy_now(fn())
+    return molecule
+
+
+def _kill_warm_instance(runtime):
+    """Simulate a crash of the pooled warm instance's process."""
+    pool = runtime.invoker.pools[0]
+    [bucket] = pool._idle.values()
+    _since, instance = bucket[0]
+    instance.sandbox.backend.process.exit()
+    return instance
+
+
+def test_crashed_warm_instance_triggers_cold_start(runtime):
+    runtime.invoke_now("f")  # leaves one warm instance
+    _kill_warm_instance(runtime)
+    result = runtime.invoke_now("f")
+    assert result.cold  # the dead instance was reaped, not reused
+
+
+def test_crashed_instance_is_reaped_and_memory_freed(runtime):
+    runtime.invoke_now("f")
+    cpu = runtime.machine.host_cpu
+    used_before = cpu.dram_used_mb
+    _kill_warm_instance(runtime)
+    runtime.invoke_now("f")
+    runtime.sim.run()  # let the async destroy finish
+    # One live warm instance remains reserved; the dead one was released.
+    assert cpu.dram_used_mb == used_before
+
+
+def test_healthy_instances_unaffected_by_one_crash(runtime):
+    # Two warm instances; kill one; the other still serves warm.
+    runtime.run(_concurrent_pair(runtime))
+    pool = runtime.invoker.pools[0]
+    assert len(pool) == 2
+    _kill_warm_instance(runtime)
+    result = runtime.invoke_now("f")
+    assert not result.cold  # second instance survived
+
+
+def _concurrent_pair(runtime):
+    def both(sim):
+        a = sim.spawn(runtime.invoke("f"))
+        b = sim.spawn(runtime.invoke("f"))
+        yield sim.all_of([a, b])
+
+    return both(runtime.sim)
+
+
+def test_eviction_destroys_sandbox_and_releases_memory():
+    molecule = MoleculeRuntime.create(num_dpus=0, warm_pool_capacity=1)
+    molecule.deploy_now(fn("a"))
+    molecule.deploy_now(fn("b"))
+    molecule.invoke_now("a")
+    molecule.invoke_now("b")  # evicts a's instance (capacity 1)
+    molecule.sim.run()
+    cpu = molecule.machine.host_cpu
+    assert cpu.dram_used_mb == pytest.approx(60.0)  # only b's instance
+    pool = molecule.invoker.pools[0]
+    assert len(pool) == 1
+
+
+def test_force_cold_storm_respects_admission():
+    from repro.errors import SchedulingError
+
+    molecule = MoleculeRuntime.create(num_dpus=0)
+    tiny_machine_fn = FunctionDef(
+        name="big",
+        code=FunctionCode("big", language=Language.PYTHON, memory_mb=25000.0),
+        work=WorkProfile(warm_exec_ms=1.0),
+        profiles=(PuKind.CPU,),
+    )
+    molecule.deploy_now(tiny_machine_fn)
+    molecule.invoke_now("big", force_cold=True)
+    molecule.invoke_now("big", force_cold=True)
+    with pytest.raises(SchedulingError):
+        molecule.invoke_now("big", force_cold=True)

@@ -1,0 +1,107 @@
+"""Tests for multi-FPGA scheduling and machine-wide kernel caching."""
+
+import pytest
+
+from repro import (
+    FunctionCode,
+    FunctionDef,
+    MoleculeRuntime,
+    PuKind,
+    Simulator,
+    WorkProfile,
+    build_cpu_fpga_machine,
+)
+from repro.hardware import FabricResources, KernelSpec
+
+
+def fpga_fn(name):
+    return FunctionDef(
+        name=name,
+        code=FunctionCode(
+            name,
+            kernel=KernelSpec(
+                name, FabricResources(luts=4000, regs=7000, brams=20, dsps=40),
+                exec_time_s=1e-3,
+            ),
+        ),
+        work=WorkProfile(warm_exec_ms=10.0, fpga_exec_ms=1.0),
+        profiles=(PuKind.FPGA,),
+    )
+
+
+def make_runtime(num_fpgas):
+    sim = Simulator()
+    machine = build_cpu_fpga_machine(sim, num_fpgas=num_fpgas)
+    runtime = MoleculeRuntime(sim, machine)
+    runtime.start()
+    return runtime
+
+
+def test_second_function_uses_second_device():
+    runtime = make_runtime(num_fpgas=2)
+    runtime.deploy_now(fpga_fn("a"))
+    runtime.deploy_now(fpga_fn("b"))
+    ra = runtime.invoke_now("a")
+    rb = runtime.invoke_now("b")
+    assert ra.pu_name != rb.pu_name  # least-programmed device chosen
+    # Both stay cached: warm on second invocation of each.
+    assert not runtime.invoke_now("a").cold
+    assert not runtime.invoke_now("b").cold
+
+
+def test_cached_device_preferred_over_idle_one():
+    runtime = make_runtime(num_fpgas=2)
+    runtime.deploy_now(fpga_fn("a"))
+    first = runtime.invoke_now("a")
+    again = runtime.invoke_now("a")
+    assert again.pu_name == first.pu_name
+    assert not again.cold
+
+
+def test_single_device_thrashes_between_many_functions():
+    # One FPGA: the 13th distinct function cannot be cached alongside
+    # twelve others (max_instances=12), so the planner repacks.
+    runtime = make_runtime(num_fpgas=1)
+    names = [f"k{i}" for i in range(4)]
+    for name in names:
+        runtime.deploy_now(fpga_fn(name))
+    for name in names:
+        runtime.invoke_now(name)
+    # With copies_each reduced, all four still fit one image: warm hits.
+    assert not runtime.invoke_now("k0").cold
+
+
+def test_eight_devices_cache_96_instances():
+    # §6.4: 12-instance images x 8 FPGAs = 96 cached instances.
+    runtime = make_runtime(num_fpgas=8)
+    for i in range(8):
+        for suffix in ("x", "y", "z"):
+            name = f"fn{i}{suffix}"
+            if name not in runtime.registry:
+                runtime.deploy_now(fpga_fn(name))
+    # Invoke one function group per device (3 kernels x 4 copies = 12).
+    for i in range(8):
+        # Co-pack the group by invoking them back to back; the planner
+        # keeps resident kernels when repacking.
+        for suffix in ("x", "y", "z"):
+            runtime.invoke_now(f"fn{i}{suffix}")
+    total_instances = 0
+    for pu in runtime.machine.pus_of_kind(PuKind.FPGA):
+        runf = runtime.runf_on(pu.pu_id)
+        if runf.device.image is not None:
+            total_instances += len(runf.device.image.instances)
+    assert total_instances == 96
+    # And everything is warm now.
+    for i in range(8):
+        for suffix in ("x", "y", "z"):
+            assert not runtime.invoke_now(f"fn{i}{suffix}").cold
+
+
+def test_no_fpga_raises():
+    from repro.errors import SchedulingError
+
+    runtime = MoleculeRuntime.create(num_dpus=1)
+    fn = fpga_fn("a")
+    runtime.registry.register(fn)
+    with pytest.raises(SchedulingError):
+        runtime.invoke_now("a", kind=PuKind.FPGA)

@@ -1,0 +1,102 @@
+"""Tests for warm pools and FPGA image planning."""
+
+import pytest
+
+from repro.core.keepalive import FpgaImagePlanner, WarmPool
+from repro.errors import SchedulingError
+
+
+class FakeInstance:
+    def __init__(self, name):
+        self.function = type("F", (), {"name": name})()
+
+
+def test_pool_miss_then_hit():
+    pool = WarmPool(capacity=4)
+    assert pool.acquire("f") is None
+    inst = FakeInstance("f")
+    pool.release(inst)
+    assert pool.acquire("f") is inst
+    assert pool.hits == 1 and pool.misses == 1
+    assert pool.hit_rate == 0.5
+
+
+def test_pool_lru_eviction():
+    pool = WarmPool(capacity=2)
+    a, b, c = FakeInstance("a"), FakeInstance("b"), FakeInstance("c")
+    assert pool.release(a) == []
+    assert pool.release(b) == []
+    evicted = pool.release(c)
+    assert evicted == [a]  # least recently used function evicted
+    assert len(pool) == 2
+
+
+def test_pool_acquire_refreshes_lru():
+    pool = WarmPool(capacity=2)
+    a, b = FakeInstance("a"), FakeInstance("b")
+    pool.release(a)
+    pool.release(b)
+    got = pool.acquire("a")  # refresh a
+    pool.release(got)
+    evicted = pool.release(FakeInstance("c"))
+    assert evicted[0].function.name == "b"
+
+
+def test_pool_drop_all():
+    pool = WarmPool(capacity=8)
+    for _ in range(3):
+        pool.release(FakeInstance("f"))
+    dropped = pool.drop_all("f")
+    assert len(dropped) == 3
+    assert len(pool) == 0
+
+
+def test_pool_invalid_capacity():
+    with pytest.raises(SchedulingError):
+        WarmPool(capacity=0)
+
+
+def test_pool_hit_rate_empty_is_zero():
+    assert WarmPool().hit_rate == 0.0
+
+
+# -- FPGA image planner -----------------------------------------------------------
+
+
+def test_planner_packs_paper_wrapper_12_instances():
+    # Table 4: 4 copies each of 3 kernels = 12 instances in one image.
+    planner = FpgaImagePlanner(copies_each=4, max_instances=12)
+    plan = planner.plan(["madd", "mmult", "mscale"])
+    assert plan.func_names == ("madd", "mmult", "mscale")
+    assert plan.copies_each == 4
+
+
+def test_planner_reduces_copies_for_many_functions():
+    planner = FpgaImagePlanner(copies_each=4, max_instances=12)
+    plan = planner.plan([f"k{i}" for i in range(6)])
+    assert len(plan.func_names) * plan.copies_each <= 12
+    assert plan.copies_each >= 1
+
+
+def test_planner_drops_least_recent_when_overfull():
+    planner = FpgaImagePlanner(copies_each=1, max_instances=2)
+    plan = planner.plan(["a", "b", "c"])
+    assert plan.func_names == ("a", "b")
+
+
+def test_planner_dedupes_predictions():
+    planner = FpgaImagePlanner(copies_each=4, max_instances=12)
+    plan = planner.plan(["a", "a", "b"])
+    assert plan.func_names == ("a", "b")
+
+
+def test_planner_empty_prediction_rejected():
+    with pytest.raises(SchedulingError):
+        FpgaImagePlanner().plan([])
+
+
+def test_planner_invalid_config_rejected():
+    with pytest.raises(SchedulingError):
+        FpgaImagePlanner(copies_each=0)
+    with pytest.raises(SchedulingError):
+        FpgaImagePlanner(copies_each=4, max_instances=2)

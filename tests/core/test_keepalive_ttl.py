@@ -1,0 +1,116 @@
+"""Tests for TTL-based keep-alive reaping."""
+
+import pytest
+
+from repro import (
+    FunctionCode,
+    FunctionDef,
+    Language,
+    MoleculeRuntime,
+    PuKind,
+    WorkProfile,
+)
+from repro.core.keepalive import WarmPool
+from repro.errors import SchedulingError
+
+
+def fn(name="f"):
+    return FunctionDef(
+        name=name,
+        code=FunctionCode(name, language=Language.PYTHON, memory_mb=60),
+        work=WorkProfile(warm_exec_ms=5.0),
+        profiles=(PuKind.CPU,),
+    )
+
+
+# -- pool-level TTL ----------------------------------------------------------------
+
+
+class FakeInstance:
+    def __init__(self, name):
+        self.function = type("F", (), {"name": name})()
+
+
+def test_pool_reap_respects_ttl():
+    pool = WarmPool(capacity=8, keep_alive_ttl_s=10.0)
+    young, old = FakeInstance("a"), FakeInstance("a")
+    pool.release(old, now=0.0)
+    pool.release(young, now=8.0)
+    reaped = pool.reap_expired(now=12.0)
+    assert reaped == [old]
+    assert pool.expired == 1
+    assert len(pool) == 1
+
+
+def test_pool_without_ttl_never_reaps():
+    pool = WarmPool(capacity=8)
+    pool.release(FakeInstance("a"), now=0.0)
+    assert pool.reap_expired(now=1e9) == []
+
+
+def test_pool_invalid_ttl_rejected():
+    with pytest.raises(SchedulingError):
+        WarmPool(capacity=4, keep_alive_ttl_s=0.0)
+
+
+# -- runtime-level TTL -----------------------------------------------------------------
+
+
+def test_idle_instances_reaped_and_memory_freed():
+    runtime = MoleculeRuntime.create(num_dpus=0, keep_alive_ttl_s=2.0)
+    runtime.deploy_now(fn())
+    cpu = runtime.machine.host_cpu
+    observed = {}
+
+    def scenario(sim):
+        yield from runtime.invoke("f")
+        observed["while_warm"] = cpu.dram_used_mb
+        yield sim.timeout(0.5)  # still inside the TTL
+        observed["within_ttl"] = cpu.dram_used_mb
+
+    runtime.run(scenario(runtime.sim))
+    # Running to quiescence ages the idle instance past the TTL; the
+    # reaper destroys it and releases its memory.
+    assert observed["while_warm"] == pytest.approx(60.0)
+    assert observed["within_ttl"] == pytest.approx(60.0)
+    assert cpu.dram_used_mb == 0.0
+    assert runtime.invoker.pools[0].expired == 1
+
+
+def test_requests_within_ttl_stay_warm():
+    runtime = MoleculeRuntime.create(num_dpus=0, keep_alive_ttl_s=5.0)
+    runtime.deploy_now(fn())
+    results = []
+
+    def client(sim):
+        for _ in range(4):
+            result = yield from runtime.invoke("f")
+            results.append(result)
+            yield sim.timeout(1.0)  # well within the TTL
+
+    runtime.run(client(runtime.sim))
+    assert results[0].cold
+    assert not any(r.cold for r in results[1:])
+
+
+def test_requests_beyond_ttl_go_cold_again():
+    runtime = MoleculeRuntime.create(num_dpus=0, keep_alive_ttl_s=2.0)
+    runtime.deploy_now(fn())
+    results = []
+
+    def client(sim):
+        for _ in range(3):
+            result = yield from runtime.invoke("f")
+            results.append(result)
+            yield sim.timeout(10.0)  # far beyond the TTL
+
+    runtime.run(client(runtime.sim))
+    assert all(r.cold for r in results)  # each gap expired the instance
+
+
+def test_reaper_does_not_hang_the_simulation():
+    runtime = MoleculeRuntime.create(num_dpus=0, keep_alive_ttl_s=1.0)
+    runtime.deploy_now(fn())
+    runtime.invoke_now("f")
+    runtime.sim.run()  # must terminate (event-driven reaper)
+    assert len(runtime.invoker.pools[0]) == 0

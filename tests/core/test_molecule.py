@@ -1,0 +1,197 @@
+"""Integration tests for the MoleculeRuntime facade: deployment,
+cold/warm invocation on CPU and DPU, remote cfork, FPGA path."""
+
+import pytest
+
+from repro import (
+    FunctionCode,
+    FunctionDef,
+    Language,
+    MoleculeRuntime,
+    PuKind,
+    Simulator,
+    WorkProfile,
+    build_full_machine,
+)
+from repro.errors import SchedulingError
+from repro.hardware import FabricResources, KernelSpec
+
+
+def py_fn(name="img", warm_ms=14.1, import_ms=12.8, profiles=(PuKind.CPU, PuKind.DPU)):
+    return FunctionDef(
+        name=name,
+        code=FunctionCode(name, language=Language.PYTHON, import_ms=import_ms),
+        work=WorkProfile(warm_exec_ms=warm_ms),
+        profiles=profiles,
+    )
+
+
+@pytest.fixture
+def molecule():
+    runtime = MoleculeRuntime.create(num_dpus=2)
+    runtime.deploy_now(py_fn())
+    return runtime
+
+
+def test_create_boots_executors_on_dpus(molecule):
+    assert molecule.executor_client(1) is not None
+    assert molecule.executor_client(2) is not None
+    assert molecule.executor_client(0) is None  # host manages itself
+
+
+def test_cold_then_warm_invocation(molecule):
+    cold = molecule.invoke_now("img")
+    warm = molecule.invoke_now("img")
+    assert cold.cold and not warm.cold
+    assert warm.total_s < cold.total_s
+    assert cold.pu_kind is PuKind.CPU
+
+
+def test_warm_start_is_mostly_exec(molecule):
+    molecule.invoke_now("img")
+    warm = molecule.invoke_now("img")
+    assert warm.startup_s == pytest.approx(0.0)
+    assert warm.exec_s == pytest.approx(0.0141, rel=0.01)
+
+
+def test_cold_cfork_startup_under_25ms_on_cpu(molecule):
+    cold = molecule.invoke_now("img")
+    assert cold.startup_s < 0.025  # cfork, not a full container boot
+
+
+def test_remote_cfork_costs_1_to_3ms_more_than_local():
+    # Fig. 10: forking a remote template adds ~1-3ms via XPU-Shim.
+    runtime = MoleculeRuntime.create(num_dpus=1)
+    fn_cpu = py_fn("a", profiles=(PuKind.CPU,))
+    runtime.deploy_now(fn_cpu)
+    local = runtime.invoke_now("a")
+
+    # Same function, but the instance must be cforked on the DPU; use a
+    # CPU-speed DPU model so only the nIPC overhead differs.
+    from repro.hardware import specs
+    from repro.hardware.machine import build_cpu_dpu_machine
+    from repro.hardware.pu import PuSpec
+    import dataclasses
+
+    sim = Simulator()
+    fast_dpu = dataclasses.replace(specs.BLUEFIELD1, speed=1.0, costs=specs.XEON_8160.costs)
+    machine = build_cpu_dpu_machine(sim, num_dpus=1)
+    machine.pus[1].spec = fast_dpu
+    runtime2 = MoleculeRuntime(sim=sim, machine=machine)
+    runtime2.start()
+    fn_dpu = py_fn("a", profiles=(PuKind.DPU,))
+    runtime2.deploy_now(fn_dpu)
+    remote = runtime2.invoke_now("a")
+    extra = remote.startup_s - local.startup_s
+    assert 0.001 < extra < 0.003
+
+
+def test_invoke_on_dpu_slower_execution(molecule):
+    dpu_result = molecule.invoke_now("img", kind=PuKind.DPU)
+    cpu_result = molecule.invoke_now("img", kind=PuKind.CPU, force_cold=True)
+    assert 4.0 < dpu_result.exec_s / cpu_result.exec_s < 7.5
+
+
+def test_force_cold_bypasses_pool(molecule):
+    molecule.invoke_now("img")
+    again = molecule.invoke_now("img", force_cold=True)
+    assert again.cold
+
+
+def test_invoke_unknown_kind_rejected(molecule):
+    with pytest.raises(SchedulingError):
+        molecule.invoke_now("img", kind=PuKind.FPGA)
+
+
+def test_warm_pool_hit_rate_tracked(molecule):
+    for _ in range(5):
+        molecule.invoke_now("img")
+    pool = molecule.invoker.pools[0]
+    assert pool.hits == 4
+
+
+def test_billing_charged_per_invocation(molecule):
+    result = molecule.invoke_now("img")
+    assert result.billed_cost > 0
+    dpu_result = molecule.invoke_now("img", kind=PuKind.DPU)
+    # DPU runs longer but is cheaper per ms; with 6x runtime the bill
+    # is still larger, but less than 6x larger.
+    assert dpu_result.billed_cost < 6 * result.billed_cost
+
+
+def test_without_cfork_falls_back_to_full_cold_boot():
+    runtime = MoleculeRuntime.create(num_dpus=0, use_cfork=False)
+    runtime.deploy_now(py_fn(profiles=(PuKind.CPU,)))
+    cold = runtime.invoke_now("img")
+    assert cold.startup_s > 0.150  # full container + runtime boot
+
+
+def test_cfork_vs_baseline_cold_speedup():
+    with_cfork = MoleculeRuntime.create(num_dpus=0)
+    with_cfork.deploy_now(py_fn(profiles=(PuKind.CPU,)))
+    fast = with_cfork.invoke_now("img")
+
+    without = MoleculeRuntime.create(num_dpus=0, use_cfork=False)
+    without.deploy_now(py_fn(profiles=(PuKind.CPU,)))
+    slow = without.invoke_now("img")
+    assert slow.startup_s / fast.startup_s > 8.0
+
+
+def test_fpga_invocation_cold_then_cached():
+    sim = Simulator()
+    machine = build_full_machine(sim, num_dpus=0, num_fpgas=1, num_gpus=0)
+    runtime = MoleculeRuntime(sim=sim, machine=machine)
+    runtime.start()
+    kernel = KernelSpec(
+        "vmult", FabricResources(luts=7500, regs=12000, brams=32, dsps=100),
+        exec_time_s=1651e-6,
+    )
+    fn = FunctionDef(
+        name="vmult",
+        code=FunctionCode("vmult", kernel=kernel),
+        work=WorkProfile(warm_exec_ms=3.551, fpga_exec_ms=1.651),
+        profiles=(PuKind.FPGA,),
+    )
+    runtime.deploy_now(fn)
+    cold = runtime.invoke_now("vmult")
+    warm = runtime.invoke_now("vmult")
+    assert cold.cold and not warm.cold
+    # Cold: load image (no erase) + prep sandbox ~ 3.8s (Fig. 10c).
+    assert 3.5 < cold.startup_s < 4.5
+    assert warm.startup_s == pytest.approx(0.0)
+    # Warm invoke ~ 53ms overhead + kernel exec.
+    assert 0.050 < warm.total_s < 0.060
+
+
+def test_gpu_invocation_via_rung():
+    sim = Simulator()
+    machine = build_full_machine(sim, num_dpus=0, num_fpgas=0, num_gpus=1)
+    runtime = MoleculeRuntime(sim=sim, machine=machine)
+    runtime.start()
+    kernel = KernelSpec("vecadd", FabricResources(), exec_time_s=200e-6)
+    fn = FunctionDef(
+        name="vecadd",
+        code=FunctionCode("vecadd", kernel=kernel),
+        work=WorkProfile(warm_exec_ms=2.0, gpu_exec_ms=0.2),
+        profiles=(PuKind.GPU,),
+    )
+    runtime.deploy_now(fn)
+    cold = runtime.invoke_now("vecadd")
+    warm = runtime.invoke_now("vecadd")
+    assert cold.cold and not warm.cold
+    assert warm.total_s < cold.total_s
+
+
+def test_support_matrix_covers_all_pus():
+    sim = Simulator()
+    machine = build_full_machine(sim, num_dpus=1, num_fpgas=1, num_gpus=1)
+    runtime = MoleculeRuntime(sim=sim, machine=machine)
+    matrix = runtime.support_matrix()
+    kinds = {row["kind"] for row in matrix.values()}
+    assert kinds == {"cpu", "dpu", "fpga", "gpu"}
+    fpga_row = next(r for r in matrix.values() if r["kind"] == "fpga")
+    assert fpga_row["vectorized_sandbox"].startswith("runf")
+    assert fpga_row["xpu_shim"] == "virtual (host)"
+    dpu_row = next(r for r in matrix.values() if r["kind"] == "dpu")
+    assert dpu_row["communication"] == "RDMA"
+    assert dpu_row["cfork"] is True

@@ -1,0 +1,88 @@
+"""Tests for profile-selection policies."""
+
+import pytest
+
+from repro import FunctionCode, FunctionDef, Language, PuKind, WorkProfile
+from repro.core.billing import BillingLedger
+from repro.core.policies import (
+    ChainLocalityPolicy,
+    CheapestPolicy,
+    CostAwarePolicy,
+    FastestPolicy,
+    UserOrderPolicy,
+    choose_pu,
+)
+from repro.errors import SchedulingError
+from repro.hardware import ProcessingUnit, build_cpu_dpu_machine, specs
+from repro.sim import Simulator
+
+
+def fn(profiles=(PuKind.CPU, PuKind.DPU), warm_ms=10.0):
+    return FunctionDef(
+        name="f",
+        code=FunctionCode("f", language=Language.PYTHON),
+        work=WorkProfile(warm_exec_ms=warm_ms),
+        profiles=profiles,
+    )
+
+
+def test_user_order_policy_preserves_profiles():
+    policy = UserOrderPolicy()
+    assert policy.kind_order(fn((PuKind.DPU, PuKind.CPU))) == [PuKind.DPU, PuKind.CPU]
+
+
+def test_cheapest_policy_puts_dpu_first():
+    policy = CheapestPolicy()
+    assert policy.kind_order(fn((PuKind.CPU, PuKind.DPU))) == [PuKind.DPU, PuKind.CPU]
+
+
+def test_fastest_policy_puts_cpu_first():
+    sim = Simulator()
+    machine = build_cpu_dpu_machine(sim, num_dpus=1)
+    policy = FastestPolicy(machine)
+    assert policy.kind_order(fn((PuKind.DPU, PuKind.CPU))) == [PuKind.CPU, PuKind.DPU]
+
+
+def test_cost_aware_policy_uses_ledger_history():
+    sim = Simulator()
+    cpu = ProcessingUnit(sim, 0, "cpu0", specs.XEON_8160)
+    dpu = ProcessingUnit(sim, 1, "dpu0", specs.BLUEFIELD1)
+    ledger = BillingLedger()
+    policy = CostAwarePolicy(ledger)
+    # No history: falls back to price order (DPU first).
+    assert policy.kind_order(fn())[0] is PuKind.DPU
+    # History shows CPU was cheaper for this function (it ran 10x faster).
+    ledger.charge(1, "f", cpu, 0.010)
+    ledger.charge(2, "f", dpu, 0.100)
+    assert policy.kind_order(fn())[0] is PuKind.CPU
+
+
+def test_chain_locality_pins_and_unpins():
+    policy = ChainLocalityPolicy(UserOrderPolicy())
+    function = fn((PuKind.CPU, PuKind.DPU))
+    policy.pin_chain(["f"], PuKind.DPU)
+    assert policy.kind_order(function)[0] is PuKind.DPU
+    policy.unpin_chain(["f"])
+    assert policy.kind_order(function)[0] is PuKind.CPU
+
+
+def test_chain_locality_rejects_invalid_pin():
+    policy = ChainLocalityPolicy(UserOrderPolicy())
+    policy.pin_chain(["f"], PuKind.FPGA)
+    with pytest.raises(SchedulingError):
+        policy.kind_order(fn((PuKind.CPU,)))
+
+
+def test_choose_pu_respects_capacity_predicate():
+    sim = Simulator()
+    machine = build_cpu_dpu_machine(sim, num_dpus=1)
+    function = fn((PuKind.DPU, PuKind.CPU))
+    # DPU "full": falls through to the CPU.
+    chosen = choose_pu(
+        machine,
+        UserOrderPolicy(),
+        function,
+        has_capacity=lambda pu: pu.kind is PuKind.CPU,
+    )
+    assert chosen is machine.host_cpu
+    assert choose_pu(machine, UserOrderPolicy(), function, lambda pu: False) is None

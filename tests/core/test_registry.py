@@ -1,0 +1,121 @@
+"""Tests for the function registry and work profiles."""
+
+import pytest
+
+from repro import FunctionCode, FunctionDef, Language, PuKind, WorkProfile
+from repro.core.registry import FunctionRegistry
+from repro.errors import RegistryError, WorkloadError
+from repro.hardware import FabricResources, KernelSpec, ProcessingUnit, specs
+from repro.sim import Simulator
+
+
+def py_fn(name="f", **kwargs):
+    defaults = dict(
+        code=FunctionCode(name, language=Language.PYTHON),
+        work=WorkProfile(warm_exec_ms=10.0),
+        profiles=(PuKind.CPU,),
+    )
+    defaults.update(kwargs)
+    return FunctionDef(name=name, **defaults)
+
+
+def test_register_and_get():
+    registry = FunctionRegistry()
+    fn = py_fn("hello")
+    registry.register(fn)
+    assert registry.get("hello") is fn
+    assert "hello" in registry
+    assert len(registry) == 1
+    assert registry.names() == ["hello"]
+
+
+def test_duplicate_registration_rejected():
+    registry = FunctionRegistry()
+    registry.register(py_fn("x"))
+    with pytest.raises(RegistryError):
+        registry.register(py_fn("x"))
+
+
+def test_unknown_lookup_rejected():
+    with pytest.raises(RegistryError):
+        FunctionRegistry().get("ghost")
+
+
+def test_unregister():
+    registry = FunctionRegistry()
+    registry.register(py_fn("x"))
+    registry.unregister("x")
+    assert "x" not in registry
+    with pytest.raises(RegistryError):
+        registry.unregister("x")
+
+
+def test_profiles_must_be_nonempty():
+    with pytest.raises(RegistryError):
+        py_fn("f", profiles=())
+
+
+def test_fpga_profile_requires_kernel():
+    with pytest.raises(RegistryError):
+        py_fn("f", profiles=(PuKind.CPU, PuKind.FPGA))
+
+
+def test_gp_profile_requires_language():
+    kernel = KernelSpec("k", FabricResources(luts=1), exec_time_s=1e-3)
+    with pytest.raises(RegistryError):
+        FunctionDef(
+            name="f",
+            code=FunctionCode("f", kernel=kernel),
+            work=WorkProfile(warm_exec_ms=1.0, fpga_exec_ms=0.1),
+            profiles=(PuKind.CPU,),
+        )
+
+
+def test_supports():
+    fn = py_fn("f", profiles=(PuKind.CPU, PuKind.DPU))
+    assert fn.supports(PuKind.DPU)
+    assert not fn.supports(PuKind.FPGA)
+
+
+# -- WorkProfile ------------------------------------------------------------------
+
+
+def test_work_profile_scales_by_pu_speed():
+    sim = Simulator()
+    cpu = ProcessingUnit(sim, 0, "c", specs.XEON_8160)
+    dpu = ProcessingUnit(sim, 1, "d", specs.BLUEFIELD1)
+    work = WorkProfile(warm_exec_ms=16.0)
+    assert work.exec_time(cpu) == pytest.approx(0.016)
+    assert work.exec_time(dpu) == pytest.approx(0.016 / 0.16)
+
+
+def test_work_profile_dpu_slowdown_override():
+    sim = Simulator()
+    dpu = ProcessingUnit(sim, 1, "d", specs.BLUEFIELD1)
+    work = WorkProfile(warm_exec_ms=10.0, dpu_slowdown=2.0)
+    assert work.exec_time(dpu) == pytest.approx(0.020)
+
+
+def test_work_profile_fpga_requires_profile():
+    sim = Simulator()
+    fpga = ProcessingUnit(sim, 1, "f", specs.ULTRASCALE_PLUS)
+    with pytest.raises(WorkloadError):
+        WorkProfile(warm_exec_ms=10.0).exec_time(fpga)
+    assert WorkProfile(warm_exec_ms=10.0, fpga_exec_ms=2.0).exec_time(
+        fpga
+    ) == pytest.approx(0.002)
+
+
+def test_work_profile_gpu_profile():
+    sim = Simulator()
+    gpu = ProcessingUnit(sim, 1, "g", specs.GENERIC_GPU)
+    assert WorkProfile(warm_exec_ms=10.0, gpu_exec_ms=1.0).exec_time(
+        gpu
+    ) == pytest.approx(0.001)
+    with pytest.raises(WorkloadError):
+        WorkProfile(warm_exec_ms=10.0).exec_time(gpu)
+
+
+def test_work_profile_rejects_negative():
+    with pytest.raises(WorkloadError):
+        WorkProfile(warm_exec_ms=-1.0)

@@ -1,0 +1,194 @@
+"""Tests for the FPGA device model."""
+
+import pytest
+
+from repro import config
+from repro.errors import FpgaResourceError, FpgaStateError
+from repro.hardware import (
+    F1_TOTALS,
+    FabricResources,
+    FpgaImage,
+    KernelSpec,
+    WRAPPER_OVERHEAD,
+    build_cpu_fpga_machine,
+)
+from repro.sim import Simulator
+
+
+SMALL_KERNEL = KernelSpec(
+    name="madd", resources=FabricResources(luts=4000, regs=7000, brams=20, dsps=40),
+    exec_time_s=115e-6,
+)
+
+
+def make_device(sim=None, **kwargs):
+    sim = sim or Simulator()
+    machine = build_cpu_fpga_machine(sim, num_fpgas=1, **kwargs)
+    fpga_pu = machine.pu(1)
+    return sim, machine.fpga_device(fpga_pu)
+
+
+def run(sim, gen):
+    proc = sim.spawn(gen)
+    sim.run()
+    return proc.value
+
+
+# -- fabric resources ---------------------------------------------------------
+
+
+def test_fabric_resources_add_and_scale():
+    a = FabricResources(luts=10, regs=20, brams=1, dsps=2)
+    b = a + a
+    assert b.luts == 20 and b.dsps == 4
+    assert a.scaled(3).regs == 60
+
+
+def test_fabric_fits_within():
+    small = FabricResources(luts=10)
+    assert small.fits_within(F1_TOTALS)
+    huge = FabricResources(luts=F1_TOTALS.luts + 1)
+    assert not huge.fits_within(F1_TOTALS)
+
+
+def test_fraction_of_totals():
+    frac = WRAPPER_OVERHEAD.fraction_of(F1_TOTALS)
+    # §6.4: wrapper base overhead is ~5% of F1 lookup tables.
+    assert frac["luts"] == pytest.approx(0.05, abs=0.005)
+
+
+# -- images -------------------------------------------------------------------
+
+
+def test_image_requires_kernels():
+    with pytest.raises(FpgaResourceError):
+        FpgaImage("empty", [])
+
+
+def test_image_resources_include_wrapper():
+    image = FpgaImage("img", [SMALL_KERNEL])
+    total = image.resources()
+    assert total.luts == WRAPPER_OVERHEAD.luts + 4000
+
+
+def test_image_vectorized_packing_and_lookup():
+    image = FpgaImage("img", [SMALL_KERNEL] * 3)
+    assert image.count("madd") == 3
+    assert image.find_instance("madd").slot == 0
+    assert image.find_instance("nope") is None
+    assert image.kernel_names == ["madd"] * 3
+
+
+# -- programming --------------------------------------------------------------
+
+
+def test_fresh_device_programs_without_erase():
+    sim, device = make_device()
+    image = FpgaImage("img", [SMALL_KERNEL])
+    run(sim, device.program(image))
+    assert device.image is image
+    assert device.erase_count == 0
+    # Only the load phase was paid.
+    assert sim.now == pytest.approx(config.FPGA_COSTS.load_image_s)
+
+
+def test_reprogram_with_erase_pays_erase_cost():
+    sim, device = make_device()
+    run(sim, device.program(FpgaImage("a", [SMALL_KERNEL])))
+    start = sim.now
+    run(sim, device.program(FpgaImage("b", [SMALL_KERNEL]), erase_first=True))
+    elapsed = sim.now - start
+    assert elapsed == pytest.approx(
+        config.FPGA_COSTS.erase_s + config.FPGA_COSTS.load_image_s
+    )
+    assert device.erase_count == 1
+
+
+def test_no_erase_optimization_skips_erase():
+    # Fig. 10c: "No-Erase" loads directly over the stale image.
+    sim, device = make_device()
+    run(sim, device.program(FpgaImage("a", [SMALL_KERNEL])))
+    start = sim.now
+    run(sim, device.program(FpgaImage("b", [SMALL_KERNEL]), erase_first=False))
+    assert sim.now - start == pytest.approx(config.FPGA_COSTS.load_image_s)
+    assert device.erase_count == 0
+
+
+def test_oversized_image_rejected():
+    sim, device = make_device()
+    big = KernelSpec(
+        name="huge",
+        resources=FabricResources(luts=F1_TOTALS.luts),
+        exec_time_s=1.0,
+    )
+    with pytest.raises(FpgaResourceError):
+        run(sim, device.program(FpgaImage("big", [big])))
+
+
+def test_twelve_instance_wrapper_fits_f1():
+    # Table 4: 12 packed instances use ~10% of LUTs - easily fits.
+    image = FpgaImage("vector", [SMALL_KERNEL] * 12)
+    frac = image.resources().fraction_of(F1_TOTALS)
+    assert frac["luts"] < 0.15
+
+
+# -- DRAM banks / retention -----------------------------------------------------
+
+
+def test_bank_assignment_is_static_and_exclusive():
+    sim, device = make_device()
+    bank0 = device.assign_bank(slot=0)
+    bank0_again = device.assign_bank(slot=0)
+    assert bank0 is bank0_again
+    bank1 = device.assign_bank(slot=1)
+    assert bank1 is not bank0
+
+
+def test_bank_exhaustion_raises():
+    sim, device = make_device()
+    for slot in range(len(device.banks)):
+        device.assign_bank(slot)
+    with pytest.raises(FpgaStateError):
+        device.assign_bank(slot=99)
+
+
+def test_data_retention_survives_reprogramming():
+    # §4.3: DRAM data retention enables zero-copy FPGA chains.
+    sim, device = make_device()
+    run(sim, device.program(FpgaImage("a", [SMALL_KERNEL])))
+    device.banks[0].payload = "intermediate-result"
+    run(sim, device.program(FpgaImage("b", [SMALL_KERNEL]), erase_first=False))
+    assert device.bank_with_payload("intermediate-result") is device.banks[0]
+
+
+def test_without_retention_payloads_cleared():
+    sim, device = make_device(data_retention=False)
+    run(sim, device.program(FpgaImage("a", [SMALL_KERNEL])))
+    device.banks[0].payload = "data"
+    run(sim, device.program(FpgaImage("b", [SMALL_KERNEL]), erase_first=False))
+    assert device.bank_with_payload("data") is None
+
+
+# -- execution --------------------------------------------------------------------
+
+
+def test_invoke_requires_programmed_device():
+    sim, device = make_device()
+    with pytest.raises(FpgaStateError):
+        run(sim, device.invoke("madd"))
+
+
+def test_invoke_unknown_kernel_rejected():
+    sim, device = make_device()
+    run(sim, device.program(FpgaImage("a", [SMALL_KERNEL])))
+    with pytest.raises(FpgaStateError):
+        run(sim, device.invoke("other"))
+
+
+def test_invoke_takes_kernel_exec_time():
+    sim, device = make_device()
+    run(sim, device.program(FpgaImage("a", [SMALL_KERNEL])))
+    start = sim.now
+    run(sim, device.invoke("madd"))
+    assert sim.now - start == pytest.approx(SMALL_KERNEL.exec_time_s)
+    assert device.has_kernel("madd")

@@ -1,0 +1,113 @@
+"""Tests for the interconnect graph and routing."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.hardware import LinkKind, build_cpu_dpu_machine, build_full_machine
+from repro.hardware.interconnect import Interconnect, Link
+from repro.sim import Simulator
+
+
+def test_link_transfer_time_has_latency_floor():
+    link = Link(0, 1, LinkKind.RDMA)
+    tiny = link.transfer_time(16)
+    assert tiny >= 3e-6  # RDMA base latency
+    assert link.transfer_time(1 << 20) > tiny
+
+
+def test_dma_matches_paper_4kb_cost():
+    # §6.5: DMA moves 4KB between CPU and FPGA in 50-100us; the wire
+    # component alone is ~41us, the rest is software copy cost.
+    link = Link(0, 1, LinkKind.DMA)
+    wire = link.transfer_time(4096)
+    assert 30e-6 < wire < 100e-6
+
+
+def test_loopback_is_free_ish():
+    link = Link(0, 0, LinkKind.LOOPBACK)
+    assert link.transfer_time(4096) < 1e-6
+
+
+def test_route_same_pu_is_loopback():
+    sim = Simulator()
+    machine = build_cpu_dpu_machine(sim, num_dpus=1)
+    cpu = machine.host_cpu
+    route = machine.route(cpu, cpu)
+    assert route.hop_count == 1
+    assert route.links[0].kind is LinkKind.LOOPBACK
+
+
+def test_route_direct_cpu_dpu_is_rdma():
+    sim = Simulator()
+    machine = build_cpu_dpu_machine(sim, num_dpus=2)
+    cpu, dpu = machine.pu(0), machine.pu(1)
+    route = machine.route(cpu, dpu)
+    assert route.hop_count == 1
+    assert route.links[0].kind is LinkKind.RDMA
+    assert route.intercepted_by is None
+
+
+def test_dpu_to_dpu_is_cpu_intercepted():
+    sim = Simulator()
+    machine = build_cpu_dpu_machine(sim, num_dpus=2)
+    dpu1, dpu2 = machine.pu(1), machine.pu(2)
+    route = machine.route(dpu1, dpu2)
+    assert route.hop_count == 2
+    assert route.intercepted_by == machine.host_cpu.pu_id
+
+
+def test_dpu_to_fpga_is_cpu_intercepted():
+    # §5 Limitations: DPU<->FPGA data is forwarded by the host CPU.
+    sim = Simulator()
+    machine = build_full_machine(sim, num_dpus=1, num_fpgas=1, num_gpus=0)
+    dpu = machine.pu(1)
+    fpga = [p for p in machine.pus.values() if p.name.startswith("fpga")][0]
+    route = machine.route(dpu, fpga)
+    assert route.intercepted_by == machine.host_cpu.pu_id
+    kinds = [link.kind for link in route.links]
+    assert kinds == [LinkKind.RDMA, LinkKind.DMA]
+
+
+def test_multi_hop_transfer_time_sums_links():
+    sim = Simulator()
+    machine = build_cpu_dpu_machine(sim, num_dpus=2)
+    direct = machine.route(machine.pu(0), machine.pu(1))
+    via_cpu = machine.route(machine.pu(1), machine.pu(2))
+    assert via_cpu.transfer_time(4096) == pytest.approx(
+        2 * direct.transfer_time(4096)
+    )
+
+
+def test_no_route_raises():
+    net = Interconnect()
+    with pytest.raises(RoutingError):
+        net.route(0, 1)
+
+
+def test_self_link_rejected():
+    sim = Simulator()
+    machine = build_cpu_dpu_machine(sim, num_dpus=1)
+    cpu = machine.host_cpu
+    with pytest.raises(RoutingError):
+        machine.connect(cpu, cpu, LinkKind.RDMA)
+
+
+def test_bfs_fallback_for_long_chains():
+    # A line topology a-b-c-d (no shared neighbour between a and d).
+    from repro.hardware import ProcessingUnit, specs
+
+    sim = Simulator()
+    net = Interconnect()
+    pus = [ProcessingUnit(sim, i, f"p{i}", specs.XEON_8160) for i in range(4)]
+    for a, b in zip(pus, pus[1:]):
+        net.add_link(a, b, LinkKind.NETWORK)
+    route = net.route(0, 3)
+    assert route.hop_count == 3
+    assert route.intercepted_by == 1
+
+
+def test_neighbors_listing():
+    sim = Simulator()
+    machine = build_cpu_dpu_machine(sim, num_dpus=2)
+    assert list(machine.interconnect.neighbors(0)) == [1, 2]
+    assert list(machine.interconnect.neighbors(1)) == [0]

@@ -1,0 +1,83 @@
+"""Tests for machine builders and topology queries."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hardware import (
+    PuKind,
+    build_cpu_dpu_machine,
+    build_cpu_fpga_machine,
+    build_full_machine,
+)
+from repro.sim import Simulator
+
+
+def test_cpu_dpu_machine_topology():
+    machine = build_cpu_dpu_machine(Simulator(), num_dpus=2)
+    assert len(machine.pus) == 3
+    assert machine.host_cpu.pu_id == 0
+    assert len(machine.pus_of_kind(PuKind.DPU)) == 2
+    assert len(machine.general_purpose_pus()) == 3
+
+
+def test_cpu_dpu_machine_bf2_model():
+    machine = build_cpu_dpu_machine(Simulator(), num_dpus=1, dpu_model="bf2")
+    dpu = machine.pu(1)
+    assert dpu.spec.model.startswith("Nvidia Bluefield-2")
+
+
+def test_cpu_dpu_rejects_non_dpu_model():
+    with pytest.raises(HardwareError):
+        build_cpu_dpu_machine(Simulator(), num_dpus=1, dpu_model="gpu")
+
+
+def test_cpu_dpu_rejects_negative_count():
+    with pytest.raises(HardwareError):
+        build_cpu_dpu_machine(Simulator(), num_dpus=-1)
+
+
+def test_cpu_fpga_machine_attaches_devices():
+    machine = build_cpu_fpga_machine(Simulator(), num_fpgas=8)
+    fpgas = machine.pus_of_kind(PuKind.FPGA)
+    assert len(fpgas) == 8
+    for fpga in fpgas:
+        assert machine.fpga_device(fpga) is not None
+        assert fpga.host_pu is machine.host_cpu
+
+
+def test_cpu_fpga_requires_at_least_one():
+    with pytest.raises(HardwareError):
+        build_cpu_fpga_machine(Simulator(), num_fpgas=0)
+
+
+def test_full_machine_has_every_kind():
+    machine = build_full_machine(Simulator(), num_dpus=1, num_fpgas=1, num_gpus=1)
+    kinds = {pu.kind for pu in machine.pus.values()}
+    assert kinds == {PuKind.CPU, PuKind.DPU, PuKind.FPGA, PuKind.GPU}
+
+
+def test_unknown_pu_id_raises():
+    machine = build_cpu_dpu_machine(Simulator(), num_dpus=0)
+    with pytest.raises(HardwareError):
+        machine.pu(42)
+
+
+def test_fpga_device_lookup_requires_attachment():
+    machine = build_cpu_dpu_machine(Simulator(), num_dpus=1)
+    with pytest.raises(HardwareError):
+        machine.fpga_device(machine.pu(1))
+
+
+def test_host_cpu_requires_cpu_pu():
+    from repro.hardware.machine import HeterogeneousComputer
+
+    machine = HeterogeneousComputer(Simulator())
+    with pytest.raises(HardwareError):
+        _ = machine.host_cpu
+
+
+def test_describe_lists_every_pu():
+    machine = build_full_machine(Simulator(), num_dpus=1, num_fpgas=1, num_gpus=1)
+    text = machine.describe()
+    for pu in machine.pus.values():
+        assert pu.name in text

@@ -1,0 +1,120 @@
+"""Tests for partial reconfiguration regions (§3.5's contrast case)."""
+
+import pytest
+
+from repro import config
+from repro.errors import FpgaResourceError, FpgaStateError
+from repro.hardware import (
+    FabricResources,
+    FpgaImage,
+    KernelSpec,
+    build_cpu_fpga_machine,
+)
+from repro.sim import Simulator
+
+
+def small_kernel(name, exec_us=100.0):
+    return KernelSpec(
+        name, FabricResources(luts=4000, regs=7000, brams=20, dsps=40),
+        exec_time_s=exec_us * 1e-6,
+    )
+
+
+def make_device():
+    sim = Simulator()
+    machine = build_cpu_fpga_machine(sim, num_fpgas=1)
+    return sim, machine.fpga_device(machine.pu(1))
+
+
+def run(sim, gen):
+    proc = sim.spawn(gen)
+    sim.run()
+    return proc.value
+
+
+def test_enable_partitions_fabric():
+    sim, device = make_device()
+    device.enable_partial_reconfiguration(4)
+    assert device.partial_reconfig_enabled
+    assert device.region_kernel_names() == [None] * 4
+
+
+def test_region_count_limited():
+    # "one FPGA can only support very limited regions"
+    sim, device = make_device()
+    with pytest.raises(FpgaStateError):
+        device.enable_partial_reconfiguration(0)
+    with pytest.raises(FpgaStateError):
+        device.enable_partial_reconfiguration(64)
+
+
+def test_cannot_partition_loaded_fabric():
+    sim, device = make_device()
+    run(sim, device.program(FpgaImage("img", [small_kernel("a")])))
+    with pytest.raises(FpgaStateError):
+        device.enable_partial_reconfiguration(2)
+
+
+def test_full_image_program_refused_after_partition():
+    sim, device = make_device()
+    device.enable_partial_reconfiguration(2)
+    with pytest.raises(FpgaStateError):
+        run(sim, device.program(FpgaImage("img", [small_kernel("a")])))
+
+
+def test_region_program_faster_than_full_load():
+    sim, device = make_device()
+    device.enable_partial_reconfiguration(4)
+    begin = sim.now
+    run(sim, device.program_region(0, small_kernel("a")))
+    elapsed = sim.now - begin
+    assert elapsed == pytest.approx(config.FPGA_COSTS.load_image_s / 4)
+
+
+def test_region_reprogram_leaves_others_resident():
+    sim, device = make_device()
+    device.enable_partial_reconfiguration(2)
+    run(sim, device.program_region(0, small_kernel("a")))
+    run(sim, device.program_region(1, small_kernel("b")))
+    run(sim, device.program_region(0, small_kernel("c")))
+    assert device.region_kernel_names() == ["c", "b"]
+    assert device.has_kernel("b") and not device.has_kernel("a")
+
+
+def test_kernel_must_fit_region_slice():
+    sim, device = make_device()
+    device.enable_partial_reconfiguration(8)
+    big = KernelSpec(
+        "big", FabricResources(luts=400_000), exec_time_s=1e-3
+    )  # > 1/8 of the fabric
+    with pytest.raises(FpgaResourceError):
+        run(sim, device.program_region(0, big))
+
+
+def test_invalid_region_index():
+    sim, device = make_device()
+    device.enable_partial_reconfiguration(2)
+    with pytest.raises(FpgaStateError):
+        run(sim, device.program_region(5, small_kernel("a")))
+
+
+def test_invoke_from_region():
+    sim, device = make_device()
+    device.enable_partial_reconfiguration(2)
+    run(sim, device.program_region(0, small_kernel("a", exec_us=250.0)))
+    begin = sim.now
+    run(sim, device.invoke("a"))
+    assert sim.now - begin == pytest.approx(250e-6)
+    with pytest.raises(FpgaStateError):
+        run(sim, device.invoke("ghost"))
+
+
+def test_vectorized_image_beats_regions_in_capacity():
+    # The paper's motivation for vectorized sandboxes: a full image
+    # packs 12 instances; 8 regions cap at 8 kernels.
+    sim, device = make_device()
+    image = FpgaImage("vector", [small_kernel("k")] * 12)
+    assert image.resources().fits_within(device.totals)
+    sim2, device2 = make_device()
+    device2.enable_partial_reconfiguration(8)
+    assert len(device2.regions) < 12

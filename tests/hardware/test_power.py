@@ -1,0 +1,96 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hardware import ProcessingUnit, specs
+from repro.hardware.power import (
+    DEFAULT_POWER,
+    EnergyMeter,
+    PowerSpec,
+    energy_per_request,
+)
+from repro.hardware.pu import PuKind
+from repro.sim import Simulator
+
+
+def make_pu(spec=specs.XEON_8160):
+    sim = Simulator()
+    return sim, ProcessingUnit(sim, 0, "pu", spec)
+
+
+def busy_for(sim, pu, seconds):
+    def proc(sim):
+        pu.clock.mark_busy()
+        yield sim.timeout(seconds)
+        pu.clock.mark_idle()
+
+    sim.spawn(proc(sim))
+    sim.run()
+
+
+def test_power_spec_validation():
+    with pytest.raises(HardwareError):
+        PowerSpec(idle_watts=-1.0, busy_watts=10.0)
+    with pytest.raises(HardwareError):
+        PowerSpec(idle_watts=50.0, busy_watts=10.0)
+
+
+def test_default_power_dpu_far_below_cpu():
+    assert DEFAULT_POWER[PuKind.DPU].busy_watts < DEFAULT_POWER[PuKind.CPU].busy_watts / 5
+
+
+def test_idle_machine_burns_idle_power():
+    sim, pu = make_pu()
+    meter = EnergyMeter(pu)
+    sim.timeout(10.0)
+    sim.run()
+    expected = 10.0 * DEFAULT_POWER[PuKind.CPU].idle_watts
+    assert meter.energy_joules() == pytest.approx(expected)
+    assert meter.busy_energy_joules() == 0.0
+
+
+def test_busy_time_adds_marginal_power():
+    sim, pu = make_pu()
+    meter = EnergyMeter(pu)
+    busy_for(sim, pu, 4.0)
+    spec = DEFAULT_POWER[PuKind.CPU]
+    assert meter.busy_s == pytest.approx(4.0)
+    assert meter.energy_joules() == pytest.approx(4.0 * spec.busy_watts)
+    assert meter.busy_energy_joules() == pytest.approx(
+        4.0 * (spec.busy_watts - spec.idle_watts)
+    )
+
+
+def test_reset_restarts_window():
+    sim, pu = make_pu()
+    meter = EnergyMeter(pu)
+    busy_for(sim, pu, 4.0)
+    meter.reset()
+    assert meter.busy_s == 0.0
+    assert meter.window_s == 0.0
+
+
+def test_energy_per_request():
+    sim, pu = make_pu()
+    meter = EnergyMeter(pu)
+    busy_for(sim, pu, 2.0)
+    per_request = energy_per_request(meter, requests=4)
+    assert per_request == pytest.approx(meter.busy_energy_joules() / 4)
+    with pytest.raises(HardwareError):
+        energy_per_request(meter, requests=0)
+
+
+def test_dpu_request_cheaper_in_energy_despite_longer_runtime():
+    # The §6.6 argument: BF-1 runs ~6x longer but at ~10x lower marginal
+    # power, so joules-per-request still favour the DPU.
+    work_ref_s = 0.016
+
+    def joules_on(spec):
+        sim, pu = make_pu(spec)
+        meter = EnergyMeter(pu)
+        busy_for(sim, pu, pu.compute_time(work_ref_s))
+        return meter.busy_energy_joules()
+
+    assert joules_on(specs.BLUEFIELD1) < joules_on(specs.XEON_8160)
+    assert joules_on(specs.BLUEFIELD2) < joules_on(specs.XEON_8160)

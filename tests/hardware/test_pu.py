@@ -1,0 +1,103 @@
+"""Tests for processing-unit models and the spec catalog."""
+
+import pytest
+
+from repro import config
+from repro.errors import HardwareError
+from repro.hardware import PriceClass, ProcessingUnit, PuKind, specs
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def cpu():
+    return ProcessingUnit(Simulator(), 0, "cpu0", specs.XEON_8160)
+
+
+@pytest.fixture
+def dpu():
+    return ProcessingUnit(Simulator(), 1, "dpu0", specs.BLUEFIELD1)
+
+
+def test_kind_general_purpose_flags():
+    assert PuKind.CPU.general_purpose
+    assert PuKind.DPU.general_purpose
+    assert not PuKind.FPGA.general_purpose
+    assert not PuKind.GPU.general_purpose
+
+
+def test_catalog_contains_paper_hardware():
+    assert specs.XEON_8160.cores == 96
+    assert specs.BLUEFIELD1.freq_ghz == 0.8
+    assert specs.BLUEFIELD2.freq_ghz == 2.75
+    assert specs.ULTRASCALE_PLUS.kind is PuKind.FPGA
+    assert set(specs.CATALOG) >= {"xeon", "bf1", "bf2", "f1-fpga", "gpu", "desktop"}
+
+
+def test_compute_time_scales_with_speed(cpu, dpu):
+    work = 0.1  # reference seconds
+    assert cpu.compute_time(work) == pytest.approx(0.1)
+    # BF-1 is 4-7x slower than the host CPU (Fig. 14c).
+    ratio = dpu.compute_time(work) / cpu.compute_time(work)
+    assert 4.0 <= ratio <= 7.0
+
+
+def test_compute_time_rejects_negative(cpu):
+    with pytest.raises(HardwareError):
+        cpu.compute_time(-1.0)
+
+
+def test_bf2_is_3_to_4x_faster_than_bf1():
+    # Fig. 14d: BF-2 functions are 3-4x faster than BF-1.
+    sim = Simulator()
+    bf1 = ProcessingUnit(sim, 0, "a", specs.BLUEFIELD1)
+    bf2 = ProcessingUnit(sim, 1, "b", specs.BLUEFIELD2)
+    ratio = bf1.compute_time(1.0) / bf2.compute_time(1.0)
+    assert 3.0 <= ratio <= 6.0
+
+
+def test_ipc_notify_matches_xpucall_calibration(cpu, dpu):
+    # §6.1: naive XPUcall (4 notifies) is ~100us on BF-1 and ~20us on CPU.
+    assert 4 * dpu.ipc_notify_time() == pytest.approx(100e-6)
+    assert 4 * cpu.ipc_notify_time() == pytest.approx(20e-6)
+
+
+def test_copy_time_slower_on_dpu(cpu, dpu):
+    assert dpu.copy_time(4096) > cpu.copy_time(4096)
+    assert cpu.copy_time(0) == 0.0
+
+
+def test_dram_reservation_and_release(cpu):
+    usable = cpu.spec.usable_dram_mb()
+    assert cpu.try_reserve_dram(usable)
+    assert not cpu.try_reserve_dram(1.0)
+    cpu.release_dram(usable)
+    assert cpu.dram_used_mb == 0.0
+
+
+def test_dram_reserve_rejects_negative(cpu):
+    with pytest.raises(HardwareError):
+        cpu.try_reserve_dram(-5.0)
+
+
+def test_density_calibration_cpu_1000_dpu_256():
+    # Fig. 2a: the host CPU fits 1000 instances, each DPU fits 256.
+    footprint = config.MEMORY.density_instance_mb
+    assert int(specs.XEON_8160.usable_dram_mb() // footprint) == 1000
+    assert int(specs.BLUEFIELD1.usable_dram_mb() // footprint) == 256
+
+
+def test_price_classes_ordered():
+    # §4.1: DPU cheapest, FPGA most expensive.
+    assert (
+        PriceClass.DPU.value
+        < PriceClass.CPU.value
+        < PriceClass.GPU.value
+        < PriceClass.FPGA.value
+    )
+
+
+def test_billing_has_1ms_granularity():
+    # §1: pay-as-you-go with 1ms granularity.
+    fast = PriceClass.CPU.cost(0.0004)
+    assert fast == PriceClass.CPU.cost(0.001)
+    assert PriceClass.CPU.cost(0.010) == pytest.approx(10 * PriceClass.CPU.value)

@@ -1,0 +1,144 @@
+"""Tests for COW memory accounting (RSS/PSS)."""
+
+import pytest
+
+from repro.errors import OsError_
+from repro.hardware import ProcessingUnit, specs
+from repro.multios import OsInstance, SharedSegment, average_pss_mb, average_rss_mb
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def os_instance():
+    sim = Simulator()
+    pu = ProcessingUnit(sim, 0, "cpu0", specs.XEON_8160)
+    return OsInstance(sim, pu)
+
+
+def make_process(os_instance, name="p"):
+    sim = os_instance.sim
+    proc = sim.spawn(os_instance.spawn(name))
+    sim.run()
+    return proc.value
+
+
+def test_private_allocation_counts_in_rss_and_pss(os_instance):
+    p = make_process(os_instance)
+    p.memory.allocate_private(10.0)
+    assert p.memory.rss_mb == 10.0
+    assert p.memory.pss_mb == 10.0
+
+
+def test_negative_allocation_rejected(os_instance):
+    p = make_process(os_instance)
+    with pytest.raises(OsError_):
+        p.memory.allocate_private(-1.0)
+
+
+def test_free_private_bounds(os_instance):
+    p = make_process(os_instance)
+    p.memory.allocate_private(5.0)
+    p.memory.free_private(2.0)
+    assert p.memory.private_mb == 3.0
+    with pytest.raises(OsError_):
+        p.memory.free_private(10.0)
+
+
+def test_shared_segment_splits_pss_not_rss(os_instance):
+    a = make_process(os_instance, "a")
+    b = make_process(os_instance, "b")
+    seg = SharedSegment("libs", 8.0)
+    a.memory.map_segment(seg)
+    b.memory.map_segment(seg)
+    assert a.memory.rss_mb == 8.0
+    assert a.memory.pss_mb == 4.0
+    assert b.memory.pss_mb == 4.0
+
+
+def test_unmap_restores_full_share(os_instance):
+    a = make_process(os_instance, "a")
+    b = make_process(os_instance, "b")
+    seg = SharedSegment("libs", 8.0)
+    a.memory.map_segment(seg)
+    b.memory.map_segment(seg)
+    b.memory.unmap_segment(seg)
+    assert a.memory.pss_mb == 8.0
+    assert b.memory.rss_mb == 0.0
+
+
+def test_unmap_unmapped_segment_rejected(os_instance):
+    a = make_process(os_instance)
+    with pytest.raises(OsError_):
+        a.memory.unmap_segment(SharedSegment("x", 1.0))
+
+
+def test_cow_write_grows_private_keeps_mapping(os_instance):
+    a = make_process(os_instance, "a")
+    b = make_process(os_instance, "b")
+    seg = SharedSegment("cow", 6.0)
+    a.memory.map_segment(seg)
+    b.memory.map_segment(seg)
+    a.memory.cow_write(seg, 2.0)
+    assert a.memory.private_mb == 2.0
+    assert seg in a.memory.segments
+    # b's view is unchanged.
+    assert b.memory.pss_mb == 3.0
+
+
+def test_cow_write_cannot_exceed_segment(os_instance):
+    a = make_process(os_instance)
+    seg = SharedSegment("cow", 6.0)
+    a.memory.map_segment(seg)
+    with pytest.raises(OsError_):
+        a.memory.cow_write(seg, 7.0)
+
+
+def test_fork_shares_parent_private_as_cow(os_instance):
+    parent = make_process(os_instance, "template")
+    parent.memory.allocate_private(10.0)
+    sim = os_instance.sim
+    proc = sim.spawn(os_instance.fork(parent))
+    sim.run()
+    child = proc.value
+    # Parent's former private pages are now a 2-way shared segment.
+    assert parent.memory.private_mb == 0.0
+    assert parent.memory.pss_mb == pytest.approx(5.0)
+    assert child.memory.pss_mb == pytest.approx(5.0)
+    assert child.memory.rss_mb == pytest.approx(10.0)
+
+
+def test_many_forks_amortize_template_pss(os_instance):
+    # The Fig. 11c effect: PSS per instance drops as fork count grows.
+    template = make_process(os_instance, "template")
+    template.memory.allocate_private(10.0)
+    sim = os_instance.sim
+    children = []
+    for _ in range(9):
+        proc = sim.spawn(os_instance.fork(template))
+        sim.run()
+        children.append(proc.value)
+    # 10 mappers (template + 9 children) of a 10MB segment -> 1MB each.
+    assert children[0].memory.pss_mb == pytest.approx(1.0)
+    assert children[0].memory.rss_mb == pytest.approx(10.0)
+    assert average_pss_mb(children) == pytest.approx(1.0)
+    assert average_rss_mb(children) == pytest.approx(10.0)
+
+
+def test_exit_releases_mappings(os_instance):
+    a = make_process(os_instance, "a")
+    b = make_process(os_instance, "b")
+    seg = SharedSegment("libs", 8.0)
+    a.memory.map_segment(seg)
+    b.memory.map_segment(seg)
+    b.exit()
+    assert a.memory.pss_mb == 8.0
+
+
+def test_averages_of_empty_set_are_zero():
+    assert average_rss_mb([]) == 0.0
+    assert average_pss_mb([]) == 0.0
+
+
+def test_negative_segment_size_rejected():
+    with pytest.raises(OsError_):
+        SharedSegment("bad", -1.0)

@@ -1,0 +1,239 @@
+"""Tests for OS instances: processes, fork, FIFOs, cgroups."""
+
+import pytest
+
+from repro import config
+from repro.errors import FifoError, OsError_, UnknownProcessError
+from repro.hardware import ProcessingUnit, specs
+from repro.multios import CpusetLockMode, OsInstance, ProcessState
+from repro.sim import Simulator
+
+
+def make_os(spec=specs.XEON_8160, **kwargs):
+    sim = Simulator()
+    pu = ProcessingUnit(sim, 0, "pu0", spec)
+    return sim, OsInstance(sim, pu, **kwargs)
+
+
+def run(sim, gen):
+    proc = sim.spawn(gen)
+    sim.run()
+    return proc.value
+
+
+def test_os_requires_general_purpose_pu():
+    sim = Simulator()
+    fpga = ProcessingUnit(sim, 0, "fpga0", specs.ULTRASCALE_PLUS)
+    with pytest.raises(OsError_):
+        OsInstance(sim, fpga)
+
+
+def test_spawn_creates_running_process():
+    sim, os_ = make_os()
+    p = run(sim, os_.spawn("worker"))
+    assert p.alive
+    assert p.state is ProcessState.RUNNING
+    assert os_.process(p.pid) is p
+
+
+def test_spawn_charges_exec_cost_scaled_by_speed():
+    sim, os_ = make_os(specs.BLUEFIELD1)
+    run(sim, os_.spawn("worker", exec_ms=10.0))
+    assert sim.now == pytest.approx(0.010 / config.SPEED_BF1)
+
+
+def test_spawn_rejects_negative_cost():
+    sim, os_ = make_os()
+    with pytest.raises(OsError_):
+        run(sim, os_.spawn("p", exec_ms=-1.0))
+
+
+def test_pids_are_unique_and_increasing():
+    sim, os_ = make_os()
+    p1 = run(sim, os_.spawn("a"))
+    p2 = run(sim, os_.spawn("b"))
+    assert p2.pid > p1.pid
+
+
+def test_pids_not_globally_unique_across_oses():
+    # §3.2: Linux PIDs are only unique per local PU - the reason
+    # XPU-Shim needs globally identifiable xpu_pids.
+    sim = Simulator()
+    cpu = ProcessingUnit(sim, 0, "cpu0", specs.XEON_8160)
+    dpu = ProcessingUnit(sim, 1, "dpu0", specs.BLUEFIELD1)
+    os_a, os_b = OsInstance(sim, cpu), OsInstance(sim, dpu)
+    p_a = run(sim, os_a.spawn("a"))
+    p_b = run(sim, os_b.spawn("b"))
+    assert p_a.pid == p_b.pid  # collision across OSes is expected
+
+
+def test_fork_requires_single_thread():
+    sim, os_ = make_os()
+    parent = run(sim, os_.spawn("multi"))
+    parent.spawn_thread(3)
+    with pytest.raises(OsError_, match="forking thread"):
+        run(sim, os_.fork(parent))
+
+
+def test_forkable_runtime_merge_fork_expand():
+    # §4.2: merge threads -> fork -> expand in the child.
+    sim, os_ = make_os()
+    parent = run(sim, os_.spawn("runtime"))
+    parent.spawn_thread(3)
+    assert not parent.fork_safe
+    parked = parent.merge_threads()
+    assert parked == 3 and parent.fork_safe
+    child = run(sim, os_.fork(parent))
+    restored = parent.expand_threads()
+    assert restored == 3 and parent.threads == 4
+    assert child.alive
+
+
+def test_fork_dead_parent_rejected():
+    sim, os_ = make_os()
+    parent = run(sim, os_.spawn("p"))
+    parent.exit()
+    with pytest.raises(OsError_):
+        run(sim, os_.fork(parent))
+
+
+def test_fork_cost_scales_with_pu_speed():
+    sim_cpu, os_cpu = make_os(specs.XEON_8160)
+    parent = run(sim_cpu, os_cpu.spawn("p"))
+    t0 = sim_cpu.now
+    run(sim_cpu, os_cpu.fork(parent))
+    cpu_cost = sim_cpu.now - t0
+
+    sim_dpu, os_dpu = make_os(specs.BLUEFIELD1)
+    parent = run(sim_dpu, os_dpu.spawn("p"))
+    t0 = sim_dpu.now
+    run(sim_dpu, os_dpu.fork(parent))
+    dpu_cost = sim_dpu.now - t0
+    assert dpu_cost == pytest.approx(cpu_cost / config.SPEED_BF1 * config.SPEED_XEON)
+
+
+def test_kill_and_reap():
+    sim, os_ = make_os()
+    p = run(sim, os_.spawn("victim"))
+    os_.kill(p.pid)
+    assert not p.alive
+    os_.reap(p.pid)
+    with pytest.raises(UnknownProcessError):
+        os_.process(p.pid)
+
+
+def test_reap_live_process_rejected():
+    sim, os_ = make_os()
+    p = run(sim, os_.spawn("p"))
+    with pytest.raises(OsError_):
+        os_.reap(p.pid)
+
+
+def test_live_processes_listing():
+    sim, os_ = make_os()
+    a = run(sim, os_.spawn("a"))
+    b = run(sim, os_.spawn("b"))
+    os_.kill(a.pid)
+    assert os_.live_processes == [b]
+
+
+# -- FIFOs -----------------------------------------------------------------------
+
+
+def test_fifo_roundtrip_delivers_payload():
+    sim, os_ = make_os()
+    fifo = os_.create_fifo("chan")
+    received = []
+
+    def reader(sim):
+        payload = yield from fifo.read()
+        received.append((sim.now, payload))
+
+    def writer(sim):
+        yield from fifo.write({"msg": "hi"}, size=64)
+
+    sim.spawn(reader(sim))
+    sim.spawn(writer(sim))
+    sim.run()
+    assert received and received[0][1] == {"msg": "hi"}
+
+
+def test_fifo_latency_cpu_vs_dpu():
+    # Fig. 8: the DPU's slow cores make its local FIFO several times
+    # slower than the CPU's.
+    def measure(spec, size):
+        sim = Simulator()
+        pu = ProcessingUnit(sim, 0, "pu", spec)
+        os_ = OsInstance(sim, pu)
+        fifo = os_.create_fifo("f")
+        done = {}
+
+        def reader(sim):
+            yield from fifo.read()
+            done["t"] = sim.now
+
+        sim.spawn(reader(sim))
+        sim.spawn(fifo.write(b"", size))
+        sim.run()
+        return done["t"]
+
+    cpu = measure(specs.XEON_8160, 1024)
+    dpu = measure(specs.BLUEFIELD1, 1024)
+    assert 2.0 < dpu / cpu < 12.0
+
+
+def test_fifo_duplicate_name_rejected():
+    sim, os_ = make_os()
+    os_.create_fifo("x")
+    with pytest.raises(FifoError):
+        os_.create_fifo("x")
+
+
+def test_fifo_open_unknown_rejected():
+    sim, os_ = make_os()
+    with pytest.raises(FifoError):
+        os_.open_fifo("ghost")
+
+
+def test_fifo_remove_then_use_rejected():
+    sim, os_ = make_os()
+    fifo = os_.create_fifo("x")
+    os_.remove_fifo("x")
+    with pytest.raises(FifoError):
+        run(sim, fifo.write(b"", 8))
+
+
+def test_fifo_negative_size_rejected():
+    sim, os_ = make_os()
+    fifo = os_.create_fifo("x")
+    with pytest.raises(FifoError):
+        run(sim, fifo.write(b"", -1))
+
+
+# -- cgroups ------------------------------------------------------------------------
+
+
+def test_cgroup_attach_semaphore_vs_mutex_cost():
+    # Fig. 11a: the cpuset patch cuts attach cost by ~4x.
+    sim_a, os_sem = make_os(cpuset_lock=CpusetLockMode.SEMAPHORE)
+    sim_b, os_mut = make_os(cpuset_lock=CpusetLockMode.MUTEX)
+    assert os_sem.cgroups.attach_time() > 3 * os_mut.cgroups.attach_time()
+
+
+def test_cgroup_attach_moves_process():
+    sim, os_ = make_os()
+    p = run(sim, os_.spawn("p"))
+    g1 = os_.cgroups.create("g1")
+    g2 = os_.cgroups.create("g2")
+    run(sim, os_.cgroups.attach(p, g1))
+    assert os_.cgroups.cgroup_of(p) is g1
+    run(sim, os_.cgroups.attach(p, g2))
+    assert os_.cgroups.cgroup_of(p) is g2
+    assert p not in g1
+
+
+def test_cgroup_duplicate_create_rejected():
+    sim, os_ = make_os()
+    os_.cgroups.create("g")
+    with pytest.raises(OsError_):
+        os_.cgroups.create("g")

@@ -1,0 +1,136 @@
+"""Property-based tests for the simulation kernel (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Container, Resource, Simulator, Store
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6,
+                                 allow_nan=False, allow_infinity=False),
+                       min_size=1, max_size=50))
+def test_events_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+
+    def proc(sim, delay):
+        yield sim.timeout(delay)
+        fired.append(sim.now)
+
+    for delay in delays:
+        sim.spawn(proc(sim, delay))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert sim.now == max(delays)
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0,
+                                 allow_nan=False), min_size=1, max_size=30))
+def test_clock_never_goes_backwards(delays):
+    sim = Simulator()
+    observations = []
+
+    def proc(sim, delay):
+        before = sim.now
+        yield sim.timeout(delay)
+        observations.append((before, sim.now))
+
+    for delay in delays:
+        sim.spawn(proc(sim, delay))
+    sim.run()
+    for before, after in observations:
+        assert after >= before
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    workers=st.integers(min_value=1, max_value=30),
+    hold=st.floats(min_value=0.001, max_value=1.0, allow_nan=False),
+)
+def test_resource_never_exceeds_capacity(capacity, workers, hold):
+    sim = Simulator()
+    resource = Resource(sim, capacity=capacity)
+    max_seen = [0]
+
+    def worker(sim):
+        request = resource.request()
+        yield request
+        max_seen[0] = max(max_seen[0], resource.in_use)
+        assert resource.in_use <= capacity
+        yield sim.timeout(hold)
+        resource.release(request)
+
+    for _ in range(workers):
+        sim.spawn(worker(sim))
+    sim.run()
+    assert resource.in_use == 0
+    assert max_seen[0] <= capacity
+
+
+@given(items=st.lists(st.integers(), min_size=1, max_size=50))
+def test_store_preserves_fifo_order(items):
+    sim = Simulator()
+    store = Store(sim)
+    received = []
+
+    def consumer(sim):
+        for _ in items:
+            value = yield store.get()
+            received.append(value)
+
+    def producer(sim):
+        for item in items:
+            yield store.put(item)
+            yield sim.timeout(0.01)
+
+    sim.spawn(consumer(sim))
+    sim.spawn(producer(sim))
+    sim.run()
+    assert received == items
+
+
+@given(
+    capacity=st.floats(min_value=1.0, max_value=1000.0, allow_nan=False),
+    amounts=st.lists(
+        st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    ),
+)
+def test_container_level_always_within_bounds(capacity, amounts):
+    sim = Simulator()
+    tank = Container(sim, capacity=capacity, init=capacity / 2)
+
+    def churn(sim):
+        for amount in amounts:
+            amount = min(amount, capacity)
+            yield tank.put(amount)
+            assert 0.0 <= tank.level <= capacity + 1e-9
+            yield tank.get(amount)
+            assert 0.0 <= tank.level <= capacity + 1e-9
+
+    sim.spawn(churn(sim))
+    sim.run(until=1.0)
+    assert 0.0 <= tank.level <= capacity + 1e-9
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_identical_seeds_identical_traces(seed):
+    from repro.sim import SeededRng
+
+    def trace(seed):
+        rng = SeededRng(seed)
+        sim = Simulator()
+        log = []
+
+        def proc(sim):
+            for _ in range(5):
+                yield sim.timeout(rng.exponential(1.0))
+                log.append(sim.now)
+
+        sim.spawn(proc(sim))
+        sim.run()
+        return log
+
+    assert trace(seed) == trace(seed)

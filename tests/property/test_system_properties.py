@@ -1,0 +1,250 @@
+"""Property-based tests for system invariants (capabilities, memory,
+fabric, scheduling, stats)."""
+
+import math
+
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.analysis.stats import percentile
+from repro.hardware import FabricResources, ProcessingUnit, specs
+from repro.hardware.fpga import F1_TOTALS
+from repro.multios import OsInstance, SharedSegment
+from repro.sim import Simulator
+from repro.xpu import CapGroup, ObjectId, Permission, XpuPid
+
+
+# -- XpuPid encoding ---------------------------------------------------------------
+
+
+@given(
+    pu_id=st.integers(min_value=0, max_value=2**20),
+    local_uid=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_xpu_pid_roundtrip(pu_id, local_uid):
+    pid = XpuPid(pu_id, local_uid)
+    assert XpuPid.decode(pid.encode()) == pid
+
+
+@given(
+    a=st.tuples(st.integers(0, 1000), st.integers(0, 2**32 - 1)),
+    b=st.tuples(st.integers(0, 1000), st.integers(0, 2**32 - 1)),
+)
+def test_xpu_pid_encoding_injective(a, b):
+    assume(a != b)
+    assert XpuPid(*a).encode() != XpuPid(*b).encode()
+
+
+# -- capabilities --------------------------------------------------------------------
+
+_PERMS = st.sampled_from([Permission.READ, Permission.WRITE, Permission.OWNER])
+
+
+@given(ops=st.lists(st.tuples(st.booleans(), _PERMS), max_size=40))
+def test_capability_state_matches_op_replay(ops):
+    """A CapGroup's final state equals a naive set-based replay."""
+    group = CapGroup(XpuPid(0, 1))
+    obj = ObjectId("fifo", "x")
+    expected: set[Permission] = set()
+    for add, perm in ops:
+        if add:
+            group.add(obj, perm)
+            expected.add(perm)
+        else:
+            group.remove(obj, perm)
+            expected.discard(perm)
+    for perm in (Permission.READ, Permission.WRITE, Permission.OWNER):
+        assert group.has(obj, perm) == (perm in expected)
+
+
+# -- memory accounting -----------------------------------------------------------------
+
+
+@given(
+    privates=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=8,
+    ),
+    shared_mb=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+)
+def test_rss_at_least_pss_and_shared_conserved(privates, shared_mb):
+    sim = Simulator()
+    pu = ProcessingUnit(sim, 0, "pu", specs.XEON_8160)
+    os_instance = OsInstance(sim, pu)
+    segment = SharedSegment("seg", shared_mb)
+    processes = []
+    for i, private in enumerate(privates):
+        proc = sim.spawn(os_instance.spawn(f"p{i}"))
+        sim.run()
+        process = proc.value
+        process.memory.allocate_private(private)
+        process.memory.map_segment(segment)
+        processes.append(process)
+    for process in processes:
+        assert process.memory.rss_mb >= process.memory.pss_mb - 1e-9
+    # PSS is conservative: summed over all mappers it equals total memory.
+    total_pss = sum(p.memory.pss_mb for p in processes)
+    expected = sum(privates) + shared_mb
+    assert math.isclose(total_pss, expected, rel_tol=1e-9, abs_tol=1e-6)
+
+
+# -- FPGA fabric arithmetic -----------------------------------------------------------------
+
+
+_fabric = st.builds(
+    FabricResources,
+    luts=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    regs=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    brams=st.floats(min_value=0, max_value=1e4, allow_nan=False),
+    dsps=st.floats(min_value=0, max_value=1e4, allow_nan=False),
+)
+
+
+@given(a=_fabric, b=_fabric)
+def test_fabric_addition_commutative_and_monotone(a, b):
+    assert a + b == b + a
+    total = a + b
+    assert a.fits_within(total) and b.fits_within(total)
+
+
+@given(a=_fabric, count=st.integers(min_value=0, max_value=10))
+def test_fabric_scaling_equals_repeated_addition(a, count):
+    total = FabricResources()
+    for _ in range(count):
+        total = total + a
+    scaled = a.scaled(count)
+    assert math.isclose(total.luts, scaled.luts, rel_tol=1e-9, abs_tol=1e-6)
+    assert math.isclose(total.dsps, scaled.dsps, rel_tol=1e-9, abs_tol=1e-6)
+
+
+@given(a=_fabric)
+def test_fabric_fraction_consistent_with_fits(a):
+    fractions = a.fraction_of(F1_TOTALS)
+    if all(value <= 1.0 for value in fractions.values()):
+        assert a.fits_within(F1_TOTALS)
+    else:
+        assert not a.fits_within(F1_TOTALS)
+
+
+# -- scheduler admission ------------------------------------------------------------------------
+
+
+@given(
+    footprint=st.floats(min_value=1.0, max_value=5000.0, allow_nan=False),
+    num_dpus=st.integers(min_value=0, max_value=3),
+)
+def test_density_equals_floor_sum(footprint, num_dpus):
+    from repro import FunctionCode, FunctionDef, Language, PuKind, WorkProfile
+    from repro.core.scheduler import Scheduler
+    from repro.hardware import build_cpu_dpu_machine
+
+    sim = Simulator()
+    machine = build_cpu_dpu_machine(sim, num_dpus=num_dpus)
+    scheduler = Scheduler(machine)
+    function = FunctionDef(
+        name="f",
+        code=FunctionCode("f", language=Language.PYTHON, memory_mb=footprint),
+        work=WorkProfile(warm_exec_ms=1.0),
+        profiles=(PuKind.CPU, PuKind.DPU),
+    )
+    density = scheduler.max_density(function, [PuKind.CPU, PuKind.DPU])
+    expected = sum(
+        int(pu.dram_free_mb // footprint)
+        for pu in machine.general_purpose_pus()
+    )
+    assert density == expected
+
+
+@given(
+    footprint=st.floats(min_value=10.0, max_value=20000.0, allow_nan=False),
+    attempts=st.integers(min_value=1, max_value=50),
+)
+def test_placement_never_overcommits_dram(footprint, attempts):
+    from repro import FunctionCode, FunctionDef, Language, PuKind, WorkProfile
+    from repro.core.scheduler import Scheduler
+    from repro.errors import SchedulingError
+    from repro.hardware import build_cpu_dpu_machine
+
+    sim = Simulator()
+    machine = build_cpu_dpu_machine(sim, num_dpus=1)
+    scheduler = Scheduler(machine)
+    function = FunctionDef(
+        name="f",
+        code=FunctionCode("f", language=Language.PYTHON, memory_mb=footprint),
+        work=WorkProfile(warm_exec_ms=1.0),
+        profiles=(PuKind.CPU, PuKind.DPU),
+    )
+    for _ in range(attempts):
+        try:
+            scheduler.place(function)
+        except SchedulingError:
+            break
+    for pu in machine.general_purpose_pus():
+        assert pu.dram_used_mb <= pu.dram.capacity + 1e-6
+
+
+# -- warm pool --------------------------------------------------------------------------------
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=10),
+    names=st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=50),
+)
+def test_warm_pool_never_exceeds_capacity(capacity, names):
+    from repro.core.keepalive import WarmPool
+
+    class Instance:
+        def __init__(self, name):
+            self.function = type("F", (), {"name": name})()
+
+    pool = WarmPool(capacity)
+    for name in names:
+        pool.release(Instance(name))
+        assert len(pool) <= capacity
+
+
+# -- percentiles --------------------------------------------------------------------------------
+
+
+@given(
+    samples=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=100,
+    ),
+    p=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+)
+def test_percentile_within_sample_range(samples, p):
+    value = percentile(samples, p)
+    assert min(samples) <= value <= max(samples)
+    assert value in samples
+
+
+@given(
+    samples=st.lists(
+        st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_percentile_monotone_in_p(samples):
+    values = [percentile(samples, p) for p in (0, 25, 50, 75, 90, 99, 100)]
+    assert values == sorted(values)
+
+
+# -- interconnect -------------------------------------------------------------------------------
+
+
+@given(
+    size_a=st.integers(min_value=0, max_value=1 << 24),
+    size_b=st.integers(min_value=0, max_value=1 << 24),
+)
+def test_transfer_time_monotone_in_size(size_a, size_b):
+    from repro.hardware import Link, LinkKind
+
+    assume(size_a <= size_b)
+    for kind in (LinkKind.RDMA, LinkKind.DMA, LinkKind.NETWORK):
+        link = Link(0, 1, kind)
+        assert link.transfer_time(size_a) <= link.transfer_time(size_b)
+        assert link.transfer_time(size_a) >= 0

@@ -1,0 +1,111 @@
+"""Tests for the generic OCI + vectorized sandbox interface (Table 3)."""
+
+import pytest
+
+from repro.errors import SandboxError, SandboxStateError
+from repro.hardware import ProcessingUnit, specs
+from repro.multios import OsInstance
+from repro.sandbox import (
+    FunctionCode,
+    Language,
+    RuncRuntime,
+    SandboxState,
+    SignalNum,
+)
+from repro.sim import Simulator
+
+PY = FunctionCode("f", language=Language.PYTHON, memory_mb=60)
+
+
+def make_runtime():
+    sim = Simulator()
+    pu = ProcessingUnit(sim, 0, "cpu", specs.XEON_8160)
+    return sim, RuncRuntime(sim, OsInstance(sim, pu))
+
+
+def run(sim, gen):
+    proc = sim.spawn(gen)
+    sim.run()
+    return proc.value
+
+
+def test_state_vector_queries_many(sim_runtime=None):
+    sim, runtime = make_runtime()
+    for i in range(3):
+        run(sim, runtime.create(f"s{i}", PY))
+    run(sim, runtime.start("s1"))
+    states = runtime.state_vector(["s0", "s1", "s2"])
+    assert states == [
+        SandboxState.CREATED,
+        SandboxState.RUNNING,
+        SandboxState.CREATED,
+    ]
+
+
+def test_create_vector_default_loops_scalars():
+    sim, runtime = make_runtime()
+    created = run(
+        sim, runtime.create_vector([(f"s{i}", PY) for i in range(4)])
+    )
+    assert [s.sandbox_id for s in created] == ["s0", "s1", "s2", "s3"]
+    assert all(s.state is SandboxState.CREATED for s in created)
+
+
+def test_start_vector_runs_concurrently():
+    sim, runtime = make_runtime()
+    run(sim, runtime.create_vector([(f"s{i}", PY) for i in range(3)]))
+    begin = sim.now
+    started = run(sim, runtime.start_vector(["s0", "s1", "s2"]))
+    elapsed = sim.now - begin
+    assert all(s.state is SandboxState.RUNNING for s in started)
+    # Concurrent: total time ~= one start, not three.
+    single_sim, single_runtime = make_runtime()
+    run(single_sim, single_runtime.create("s", PY))
+    t0 = single_sim.now
+    run(single_sim, single_runtime.start("s"))
+    one = single_sim.now - t0
+    assert elapsed == pytest.approx(one, rel=0.01)
+
+
+def test_kill_vector():
+    sim, runtime = make_runtime()
+    run(sim, runtime.create_vector([(f"s{i}", PY) for i in range(2)]))
+    run(sim, runtime.start_vector(["s0", "s1"]))
+    killed = run(
+        sim, runtime.kill_vector([("s0", SignalNum.SIGTERM), ("s1", SignalNum.SIGKILL)])
+    )
+    assert all(s.state is SandboxState.STOPPED for s in killed)
+
+
+def test_delete_vector():
+    sim, runtime = make_runtime()
+    run(sim, runtime.create_vector([(f"s{i}", PY) for i in range(2)]))
+    deleted = run(sim, runtime.delete_vector(["s0", "s1"]))
+    assert all(s.state is SandboxState.DELETED for s in deleted)
+    with pytest.raises(SandboxError):
+        runtime.state("s0")
+
+
+def test_sandboxes_filter_by_state():
+    sim, runtime = make_runtime()
+    run(sim, runtime.create_vector([(f"s{i}", PY) for i in range(3)]))
+    run(sim, runtime.start("s0"))
+    assert len(runtime.sandboxes(SandboxState.RUNNING)) == 1
+    assert len(runtime.sandboxes(SandboxState.CREATED)) == 2
+    assert len(runtime.sandboxes()) == 3
+
+
+def test_require_state_message_names_states():
+    sim, runtime = make_runtime()
+    sandbox = run(sim, runtime.create("s", PY))
+    with pytest.raises(SandboxStateError, match="created"):
+        sandbox.require_state(SandboxState.RUNNING)
+
+
+def test_forget_is_idempotent():
+    sim, runtime = make_runtime()
+    run(sim, runtime.create("s", PY))
+    runtime.forget("s")
+    runtime.forget("s")  # no raise
+    with pytest.raises(SandboxError):
+        runtime.get("s")

@@ -1,0 +1,303 @@
+"""Tests for the runc container runtime, templates and cfork.
+
+The Fig. 11a breakdown numbers (desktop i7, speed=2.0) are asserted
+exactly: baseline 85.55ms, naive cfork 47.25ms, +FuncContainer 30.05ms,
++cpuset-opt 8.40ms.
+"""
+
+import pytest
+
+from repro import config
+from repro.errors import SandboxError, SandboxStateError
+from repro.hardware import ProcessingUnit, specs
+from repro.multios import CpusetLockMode, OsInstance
+from repro.sandbox import FunctionCode, Language, RuncRuntime, SandboxState
+from repro.sim import Simulator
+
+
+def make_runtime(spec=specs.XEON_8160, lock=CpusetLockMode.SEMAPHORE):
+    sim = Simulator()
+    pu = ProcessingUnit(sim, 0, "pu0", spec)
+    os_instance = OsInstance(sim, pu, cpuset_lock=lock)
+    return sim, RuncRuntime(sim, os_instance)
+
+
+def run(sim, gen):
+    proc = sim.spawn(gen)
+    sim.run()
+    return proc.value
+
+
+PYFN = FunctionCode(func_id="img", language=Language.PYTHON, memory_mb=60)
+
+
+def cold_boot(sim, runtime, code=PYFN, sandbox_id="s1"):
+    run(sim, runtime.create(sandbox_id, code))
+    return run(sim, runtime.start(sandbox_id))
+
+
+# -- FunctionCode validation ---------------------------------------------------
+
+
+def test_function_code_needs_language_or_kernel():
+    with pytest.raises(SandboxError):
+        FunctionCode(func_id="bad")
+
+
+def test_function_code_rejects_negative_costs():
+    with pytest.raises(SandboxError):
+        FunctionCode(func_id="bad", language=Language.PYTHON, import_ms=-1)
+
+
+# -- baseline cold path -----------------------------------------------------------
+
+
+def test_cold_boot_reaches_running():
+    sim, runtime = make_runtime()
+    sandbox = cold_boot(sim, runtime)
+    assert sandbox.state is SandboxState.RUNNING
+    assert runtime.state("s1") is SandboxState.RUNNING
+    assert runtime.cold_boots == 1
+
+
+def test_cold_boot_latency_desktop_matches_fig11_baseline():
+    sim, runtime = make_runtime(specs.DESKTOP_I7)
+    cold_boot(sim, runtime)
+    assert sim.now == pytest.approx(85.55e-3, rel=1e-6)
+
+
+def test_cold_boot_on_server_cpu_around_175ms():
+    # Fig. 10a: Python baseline cold start on the Xeon is ~175ms.
+    sim, runtime = make_runtime(specs.XEON_8160)
+    cold_boot(sim, runtime)
+    assert 0.150 < sim.now < 0.200
+
+
+def test_cold_boot_dpu_is_4_to_7x_slower():
+    sim_c, rt_c = make_runtime(specs.XEON_8160)
+    cold_boot(sim_c, rt_c)
+    sim_d, rt_d = make_runtime(specs.BLUEFIELD1)
+    cold_boot(sim_d, rt_d)
+    assert 4.0 <= sim_d.now / sim_c.now <= 7.0
+
+
+def test_cold_boot_nodejs_slower_than_python():
+    sim_p, rt_p = make_runtime()
+    cold_boot(sim_p, rt_p)
+    sim_n, rt_n = make_runtime()
+    cold_boot(sim_n, rt_n, FunctionCode(func_id="js", language=Language.NODEJS))
+    assert sim_n.now > sim_p.now
+
+
+def test_cold_boot_pays_import_cost():
+    sim_a, rt_a = make_runtime()
+    cold_boot(sim_a, rt_a)
+    sim_b, rt_b = make_runtime()
+    heavy = FunctionCode(func_id="np", language=Language.PYTHON, import_ms=100)
+    cold_boot(sim_b, rt_b, heavy)
+    assert sim_b.now - sim_a.now == pytest.approx(0.100)
+
+
+def test_start_requires_created_state():
+    sim, runtime = make_runtime()
+    with pytest.raises(SandboxError):
+        run(sim, runtime.start("ghost"))
+    cold_boot(sim, runtime)
+    with pytest.raises(SandboxStateError):
+        run(sim, runtime.start("s1"))  # already running
+
+
+def test_create_kernel_function_rejected():
+    from repro.hardware import FabricResources, KernelSpec
+
+    sim, runtime = make_runtime()
+    code = FunctionCode(
+        func_id="k",
+        kernel=KernelSpec("k", FabricResources(luts=1), exec_time_s=1e-3),
+    )
+    with pytest.raises(SandboxError):
+        run(sim, runtime.create("s1", code))
+
+
+def test_duplicate_sandbox_id_rejected():
+    sim, runtime = make_runtime()
+    run(sim, runtime.create("dup", PYFN))
+    with pytest.raises(SandboxError):
+        run(sim, runtime.create("dup", PYFN))
+
+
+def test_kill_then_delete():
+    sim, runtime = make_runtime()
+    sandbox = cold_boot(sim, runtime)
+    run(sim, runtime.kill("s1"))
+    assert sandbox.state is SandboxState.STOPPED
+    assert not sandbox.backend.process.alive
+    run(sim, runtime.delete("s1"))
+    with pytest.raises(SandboxError):
+        runtime.state("s1")
+
+
+def test_kill_requires_live_state():
+    sim, runtime = make_runtime()
+    cold_boot(sim, runtime)
+    run(sim, runtime.kill("s1"))
+    with pytest.raises(SandboxStateError):
+        run(sim, runtime.kill("s1"))
+
+
+# -- cfork ------------------------------------------------------------------------------
+
+
+def test_cfork_requires_template():
+    sim, runtime = make_runtime()
+    with pytest.raises(SandboxError, match="no template"):
+        run(sim, runtime.cfork("c1", PYFN))
+
+
+def test_cfork_naive_breakdown_desktop():
+    sim, runtime = make_runtime(specs.DESKTOP_I7)
+    run(sim, runtime.ensure_template(Language.PYTHON))
+    start = sim.now
+    run(sim, runtime.cfork("c1", PYFN))
+    assert (sim.now - start) == pytest.approx(47.25e-3, rel=1e-6)
+
+
+def test_cfork_funccontainer_breakdown_desktop():
+    sim, runtime = make_runtime(specs.DESKTOP_I7)
+    run(sim, runtime.ensure_template(Language.PYTHON))
+    run(sim, runtime.prepare_containers(1))
+    start = sim.now
+    run(sim, runtime.cfork("c1", PYFN))
+    assert (sim.now - start) == pytest.approx(30.05e-3, rel=1e-6)
+
+
+def test_cfork_cpuset_opt_breakdown_desktop():
+    sim, runtime = make_runtime(specs.DESKTOP_I7, lock=CpusetLockMode.MUTEX)
+    run(sim, runtime.ensure_template(Language.PYTHON))
+    run(sim, runtime.prepare_containers(1))
+    start = sim.now
+    run(sim, runtime.cfork("c1", PYFN))
+    assert (sim.now - start) == pytest.approx(8.40e-3, rel=1e-6)
+
+
+def test_full_cfork_10x_faster_than_baseline():
+    # Fig. 11a: all optimisations give >10x faster startup.
+    sim, runtime = make_runtime(specs.DESKTOP_I7, lock=CpusetLockMode.MUTEX)
+    cold_boot(sim, runtime)
+    baseline = sim.now
+    run(sim, runtime.ensure_template(Language.PYTHON))
+    run(sim, runtime.prepare_containers(1))
+    start = sim.now
+    run(sim, runtime.cfork("c1", PYFN))
+    assert baseline / (sim.now - start) > 10.0
+
+
+def test_cfork_under_10ms_on_desktop():
+    # §4.2: cfork is the first container-level fork under 10ms.
+    sim, runtime = make_runtime(specs.DESKTOP_I7, lock=CpusetLockMode.MUTEX)
+    run(sim, runtime.ensure_template(Language.PYTHON))
+    run(sim, runtime.prepare_containers(1))
+    start = sim.now
+    run(sim, runtime.cfork("c1", PYFN))
+    assert sim.now - start < 0.010
+
+
+def test_generic_template_pays_imports_dedicated_skips():
+    heavy = FunctionCode(func_id="np", language=Language.PYTHON, import_ms=120)
+    sim, runtime = make_runtime()
+    run(sim, runtime.ensure_template(Language.PYTHON))
+    start = sim.now
+    run(sim, runtime.cfork("c1", heavy))
+    generic_cost = sim.now - start
+
+    sim2, runtime2 = make_runtime()
+    run(sim2, runtime2.ensure_template(Language.PYTHON, dedicated_to=heavy))
+    start = sim2.now
+    run(sim2, runtime2.cfork("c1", heavy))
+    dedicated_cost = sim2.now - start
+    assert generic_cost - dedicated_cost == pytest.approx(0.120)
+
+
+def test_template_for_prefers_dedicated():
+    heavy = FunctionCode(func_id="np", language=Language.PYTHON, import_ms=120)
+    sim, runtime = make_runtime()
+    run(sim, runtime.ensure_template(Language.PYTHON))
+    run(sim, runtime.ensure_template(Language.PYTHON, dedicated_to=heavy))
+    chosen = runtime.template_for(heavy)
+    assert chosen.dedicated_to == "np"
+    # Other functions still get the generic template.
+    assert runtime.template_for(PYFN).dedicated_to is None
+
+
+def test_ensure_template_is_idempotent():
+    sim, runtime = make_runtime()
+    t1 = run(sim, runtime.ensure_template(Language.PYTHON))
+    t2 = run(sim, runtime.ensure_template(Language.PYTHON))
+    assert t1 is t2
+    assert len(runtime.templates) == 1
+
+
+def test_cfork_child_is_multithreaded_runtime():
+    sim, runtime = make_runtime()
+    run(sim, runtime.ensure_template(Language.PYTHON))
+    sandbox = run(sim, runtime.cfork("c1", PYFN))
+    child = sandbox.backend.process
+    assert child.threads > 1  # re-expanded after fork
+    template_proc = runtime.templates[0].runtime.process
+    assert template_proc.threads > 1  # template recovered too
+
+
+def test_cfork_memory_shares_template_pages():
+    sim, runtime = make_runtime()
+    run(sim, runtime.ensure_template(Language.PYTHON))
+    boxes = []
+    for i in range(16):
+        boxes.append(run(sim, runtime.cfork(f"c{i}", PYFN)))
+    child = boxes[0].backend.process
+    template_pages = (
+        config.MEMORY.template_shared_mb + config.MEMORY.template_extra_mb
+    )
+    libs = config.MEMORY.baseline_shared_lib_mb
+    assert child.memory.rss_mb == pytest.approx(
+        config.MEMORY.molecule_private_mb + template_pages + libs
+    )
+    # 17 mappers: template + 16 children (template COW pages and libs).
+    assert child.memory.pss_mb == pytest.approx(
+        config.MEMORY.molecule_private_mb + (template_pages + libs) / 17
+    )
+
+
+def test_molecule_pss_lower_than_baseline_at_16_instances():
+    # Fig. 11c: ~34% lower PSS at 16 concurrent instances.
+    sim, runtime = make_runtime()
+    run(sim, runtime.ensure_template(Language.PYTHON))
+    molecule = [
+        run(sim, runtime.cfork(f"c{i}", PYFN)).backend.process for i in range(16)
+    ]
+    sim2, runtime2 = make_runtime()
+    baseline = []
+    for i in range(16):
+        run(sim2, runtime2.create(f"s{i}", PYFN))
+        baseline.append(run(sim2, runtime2.start(f"s{i}")).backend.process)
+    from repro.multios import average_pss_mb, average_rss_mb
+
+    pss_molecule = average_pss_mb(molecule)
+    pss_baseline = average_pss_mb(baseline)
+    saving = 1 - pss_molecule / pss_baseline
+    assert 0.25 < saving < 0.45
+    # RSS: Molecule is higher (template resources mapped), Fig. 11b.
+    assert average_rss_mb(molecule) > average_rss_mb(baseline)
+
+
+def test_pool_is_consumed():
+    sim, runtime = make_runtime()
+    run(sim, runtime.ensure_template(Language.PYTHON))
+    run(sim, runtime.prepare_containers(2))
+    assert runtime.pooled_containers == 2
+    run(sim, runtime.cfork("c1", PYFN))
+    assert runtime.pooled_containers == 1
+
+
+def test_first_request_penalty_positive():
+    sim, runtime = make_runtime()
+    assert runtime.first_request_penalty() > 0

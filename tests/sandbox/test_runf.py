@@ -1,0 +1,179 @@
+"""Tests for the runf FPGA runtime: vectorized create, caching,
+empty delete, and the Fig. 10c startup stages."""
+
+import pytest
+
+from repro import config
+from repro.errors import SandboxError, SandboxStateError
+from repro.hardware import FabricResources, KernelSpec, build_cpu_fpga_machine
+from repro.sandbox import FunctionCode, RunfRuntime, SandboxState
+from repro.sim import Simulator
+
+
+def kernel(name, exec_us=100.0):
+    return KernelSpec(
+        name=name,
+        resources=FabricResources(luts=4000, regs=7000, brams=20, dsps=40),
+        exec_time_s=exec_us * 1e-6,
+    )
+
+
+def fn(name, exec_us=100.0):
+    return FunctionCode(func_id=name, kernel=kernel(name, exec_us))
+
+
+def make_runtime(no_erase=True, data_retention=True):
+    sim = Simulator()
+    machine = build_cpu_fpga_machine(sim, num_fpgas=1, data_retention=data_retention)
+    device = machine.fpga_device(machine.pu(1))
+    return sim, RunfRuntime(sim, device, no_erase=no_erase)
+
+
+def run(sim, gen):
+    proc = sim.spawn(gen)
+    sim.run()
+    return proc.value
+
+
+def test_create_programs_device():
+    sim, runtime = make_runtime()
+    sandbox = run(sim, runtime.create("s1", fn("vmult")))
+    assert sandbox.state is SandboxState.CREATED
+    assert runtime.device.has_kernel("vmult")
+
+
+def test_create_vector_packs_one_image():
+    sim, runtime = make_runtime()
+    entries = [(f"s{i}", fn(f"k{i % 3}")) for i in range(12)]
+    created = run(sim, runtime.create_vector(entries))
+    assert len(created) == 12
+    assert runtime.device.program_count == 1  # one flush for 12 sandboxes
+    assert sorted(runtime.resident_function_ids) == ["k0", "k1", "k2"]
+
+
+def test_create_vector_empty_rejected():
+    sim, runtime = make_runtime()
+    with pytest.raises(SandboxError):
+        run(sim, runtime.create_vector([]))
+
+
+def test_create_requires_kernel():
+    from repro.sandbox import Language
+
+    sim, runtime = make_runtime()
+    with pytest.raises(SandboxError):
+        run(sim, runtime.create("s1", FunctionCode(func_id="py", language=Language.PYTHON)))
+
+
+def test_fig10c_baseline_erase_load_prep():
+    # Baseline: erase + load + prep > 20s.
+    sim, runtime = make_runtime(no_erase=False)
+    run(sim, runtime.create("old", fn("old")))  # make the fabric dirty
+    start = sim.now
+    run(sim, runtime.create("s1", fn("vmult")))
+    run(sim, runtime.start("s1"))
+    total = sim.now - start
+    expected = (
+        config.FPGA_COSTS.erase_s
+        + config.FPGA_COSTS.load_image_s
+        + config.FPGA_COSTS.prep_sandbox_s
+    )
+    assert total == pytest.approx(expected)
+    assert total > 20.0
+
+
+def test_fig10c_no_erase_is_3_8s():
+    sim, runtime = make_runtime(no_erase=True)
+    run(sim, runtime.create("old", fn("old")))
+    start = sim.now
+    run(sim, runtime.create("s1", fn("vmult")))
+    run(sim, runtime.start("s1"))
+    assert sim.now - start == pytest.approx(3.8)
+
+
+def test_fig10c_warm_image_is_1_9s():
+    # Kernel already resident; only the software sandbox is prepared.
+    sim, runtime = make_runtime()
+    run(sim, runtime.create("s1", fn("vmult")))
+    start = sim.now
+    run(sim, runtime.start("s1"))
+    assert sim.now - start == pytest.approx(config.FPGA_COSTS.prep_sandbox_s)
+
+
+def test_fig10c_warm_sandbox_is_53ms():
+    sim, runtime = make_runtime()
+    run(sim, runtime.create("s1", fn("vmult", exec_us=0.0)))
+    run(sim, runtime.start("s1"))
+    start = sim.now
+    run(sim, runtime.invoke("s1"))
+    assert sim.now - start == pytest.approx(config.FPGA_COSTS.warm_invoke_s)
+
+
+def test_start_twice_skips_prep():
+    sim, runtime = make_runtime()
+    run(sim, runtime.create("s1", fn("vmult")))
+    run(sim, runtime.start("s1"))
+    start = sim.now
+    run(sim, runtime.start("s1"))
+    assert sim.now - start == pytest.approx(0.0)
+
+
+def test_delete_is_empty_and_keeps_kernel_resident():
+    # §3.5: delete returns immediately; destroy happens at next create.
+    sim, runtime = make_runtime()
+    run(sim, runtime.create("s1", fn("vmult")))
+    start = sim.now
+    sandbox = run(sim, runtime.delete("s1"))
+    assert sim.now - start == pytest.approx(0.0)
+    assert sandbox.state is SandboxState.DELETED
+    assert runtime.device.has_kernel("vmult")  # still flushed
+    assert runtime.device.erase_count == 0
+
+
+def test_next_create_replaces_previous_sandboxes():
+    sim, runtime = make_runtime()
+    old = run(sim, runtime.create("s1", fn("a")))
+    run(sim, runtime.create("s2", fn("b")))
+    assert old.state is SandboxState.DELETED
+    assert not runtime.device.has_kernel("a")
+    assert runtime.device.has_kernel("b")
+
+
+def test_cached_sandbox_lookup():
+    sim, runtime = make_runtime()
+    run(sim, runtime.create_vector([("s1", fn("a")), ("s2", fn("b"))]))
+    hit = runtime.cached_sandbox_for("a")
+    assert hit is not None and hit.sandbox_id == "s1"
+    assert runtime.cached_sandbox_for("zzz") is None
+
+
+def test_invoke_requires_running_state():
+    sim, runtime = make_runtime()
+    run(sim, runtime.create("s1", fn("a")))
+    with pytest.raises(SandboxStateError):
+        run(sim, runtime.invoke("s1"))
+
+
+def test_invoke_with_explicit_exec_time():
+    sim, runtime = make_runtime()
+    run(sim, runtime.create("s1", fn("gzip")))
+    run(sim, runtime.start("s1"))
+    start = sim.now
+    run(sim, runtime.invoke("s1", exec_time_s=0.5))
+    assert sim.now - start == pytest.approx(0.5 + config.FPGA_COSTS.warm_invoke_s)
+
+
+def test_invoke_after_replacement_rejected():
+    sim, runtime = make_runtime()
+    run(sim, runtime.create("s1", fn("a")))
+    run(sim, runtime.start("s1"))
+    run(sim, runtime.create("s2", fn("b")))
+    with pytest.raises(SandboxError):
+        run(sim, runtime.invoke("s1"))
+
+
+def test_dram_banks_assigned_per_slot():
+    sim, runtime = make_runtime()
+    created = run(sim, runtime.create_vector([("s1", fn("a")), ("s2", fn("b"))]))
+    banks = {s.backend.instance.dram_bank for s in created}
+    assert len(banks) == 2  # §5: static bank partitioning

@@ -1,0 +1,106 @@
+"""Tests for the runG GPU runtime (§6.8 generality)."""
+
+import pytest
+
+from repro.errors import SandboxError, SandboxStateError
+from repro.hardware import FabricResources, KernelSpec, ProcessingUnit, specs
+from repro.sandbox import FunctionCode, RungRuntime, SandboxState
+from repro.sandbox import rung
+from repro.sim import Simulator
+
+
+def gpu_fn(name, exec_us=200.0):
+    return FunctionCode(
+        func_id=name,
+        kernel=KernelSpec(name=name, resources=FabricResources(), exec_time_s=exec_us * 1e-6),
+    )
+
+
+def make_runtime():
+    sim = Simulator()
+    pu = ProcessingUnit(sim, 0, "gpu0", specs.GENERIC_GPU)
+    return sim, RungRuntime(sim, pu)
+
+
+def run(sim, gen):
+    proc = sim.spawn(gen)
+    sim.run()
+    return proc.value
+
+
+def test_requires_gpu_pu():
+    sim = Simulator()
+    cpu = ProcessingUnit(sim, 0, "cpu0", specs.XEON_8160)
+    with pytest.raises(SandboxError):
+        RungRuntime(sim, cpu)
+
+
+def test_create_start_invoke_lifecycle():
+    sim, runtime = make_runtime()
+    run(sim, runtime.create("g1", gpu_fn("vecadd")))
+    sandbox = run(sim, runtime.start("g1"))
+    assert sandbox.state is SandboxState.RUNNING
+    assert sandbox.backend.stream_id == 0
+    start = sim.now
+    run(sim, runtime.invoke("g1"))
+    assert sim.now - start == pytest.approx(rung.KERNEL_LAUNCH_S + 200e-6)
+
+
+def test_context_created_once_and_reused():
+    # MPS: the wrapper context is shared by all modules.
+    sim, runtime = make_runtime()
+    run(sim, runtime.create("g1", gpu_fn("a")))
+    first = sim.now
+    run(sim, runtime.create("g2", gpu_fn("b")))
+    second = sim.now - first
+    assert first == pytest.approx(rung.CONTEXT_CREATE_S + rung.MODULE_LOAD_S)
+    assert second == pytest.approx(rung.MODULE_LOAD_S)
+
+
+def test_create_vector_amortizes_context():
+    sim, runtime = make_runtime()
+    created = run(
+        sim, runtime.create_vector([("g1", gpu_fn("a")), ("g2", gpu_fn("b"))])
+    )
+    assert len(created) == 2
+    assert sim.now == pytest.approx(rung.CONTEXT_CREATE_S + 2 * rung.MODULE_LOAD_S)
+
+
+def test_create_requires_kernel():
+    from repro.sandbox import Language
+
+    sim, runtime = make_runtime()
+    with pytest.raises(SandboxError):
+        run(sim, runtime.create("g1", FunctionCode(func_id="x", language=Language.PYTHON)))
+
+
+def test_streams_are_distinct():
+    sim, runtime = make_runtime()
+    run(sim, runtime.create_vector([("g1", gpu_fn("a")), ("g2", gpu_fn("b"))]))
+    s1 = run(sim, runtime.start("g1"))
+    s2 = run(sim, runtime.start("g2"))
+    assert s1.backend.stream_id != s2.backend.stream_id
+
+
+def test_invoke_requires_running():
+    sim, runtime = make_runtime()
+    run(sim, runtime.create("g1", gpu_fn("a")))
+    with pytest.raises(SandboxStateError):
+        run(sim, runtime.invoke("g1"))
+
+
+def test_delete_unloads():
+    sim, runtime = make_runtime()
+    run(sim, runtime.create("g1", gpu_fn("a")))
+    run(sim, runtime.delete("g1"))
+    with pytest.raises(SandboxError):
+        runtime.state("g1")
+
+
+def test_invoke_with_explicit_exec_time():
+    sim, runtime = make_runtime()
+    run(sim, runtime.create("g1", gpu_fn("a")))
+    run(sim, runtime.start("g1"))
+    start = sim.now
+    run(sim, runtime.invoke("g1", exec_time_s=1e-3))
+    assert sim.now - start == pytest.approx(rung.KERNEL_LAUNCH_S + 1e-3)

@@ -1,0 +1,112 @@
+"""Tests for snapshot-based startup (the fork alternative, §6.7)."""
+
+import pytest
+
+from repro.errors import SandboxError
+from repro.hardware import ProcessingUnit, specs
+from repro.multios import CpusetLockMode, OsInstance
+from repro.sandbox import FunctionCode, Language, RuncRuntime, SandboxState
+from repro.sandbox.snapshot import SnapshotManager
+from repro.sim import Simulator
+
+PROBE = FunctionCode("probe", language=Language.PYTHON, memory_mb=60.0)
+
+
+def make():
+    sim = Simulator()
+    pu = ProcessingUnit(sim, 0, "cpu", specs.XEON_8160)
+    os_instance = OsInstance(sim, pu, cpuset_lock=CpusetLockMode.MUTEX)
+    runc = RuncRuntime(sim, os_instance)
+    return sim, runc, SnapshotManager(runc)
+
+
+def run(sim, gen):
+    proc = sim.spawn(gen)
+    sim.run()
+    return proc.value
+
+
+def warm_instance(sim, runc, sandbox_id="warm"):
+    run(sim, runc.create(sandbox_id, PROBE))
+    return run(sim, runc.start(sandbox_id))
+
+
+def test_checkpoint_requires_running_instance():
+    sim, runc, snap = make()
+    run(sim, runc.create("s", PROBE))
+    with pytest.raises(Exception):
+        run(sim, snap.checkpoint("s"))  # created but not started
+
+
+def test_checkpoint_then_restore_roundtrip():
+    sim, runc, snap = make()
+    warm_instance(sim, runc)
+    snapshot = run(sim, snap.checkpoint("warm"))
+    assert snapshot.image_mb > 0
+    assert snap.snapshot_for("probe") is snapshot
+    restored = run(sim, snap.restore("r1", PROBE))
+    assert restored.state is SandboxState.RUNNING
+    assert restored.backend.process.alive
+    assert snap.checkpoints == 1 and snap.restores == 1
+
+
+def test_restore_without_snapshot_rejected():
+    sim, runc, snap = make()
+    with pytest.raises(SandboxError):
+        run(sim, snap.restore("r1", PROBE))
+
+
+def test_restore_faster_than_cold_boot_slower_than_cfork():
+    # Fig. 15 placement: snapshots are "fast" (tens of ms), cfork is
+    # "extreme" (<=10ms on the desktop, ~17ms on the server CPU).
+    sim, runc, snap = make()
+    warm_instance(sim, runc)
+    run(sim, snap.checkpoint("warm"))
+
+    begin = sim.now
+    run(sim, snap.restore("r1", PROBE))
+    restore_time = sim.now - begin
+
+    sim2, runc2, _ = make()
+    begin = sim2.now
+    warm_instance(sim2, runc2)
+    cold_time = sim2.now - begin
+
+    sim3, runc3, _ = make()
+    run(sim3, runc3.ensure_template(Language.PYTHON, dedicated_to=PROBE))
+    run(sim3, runc3.prepare_containers(1))
+    begin = sim3.now
+    run(sim3, runc3.cfork("c", PROBE))
+    cfork_time = sim3.now - begin
+
+    assert cfork_time < restore_time < cold_time
+
+
+def test_restored_memory_is_private_no_pss_sharing():
+    # Unlike cfork children, restored instances share nothing.
+    sim, runc, snap = make()
+    warm_instance(sim, runc)
+    run(sim, snap.checkpoint("warm"))
+    a = run(sim, snap.restore("r1", PROBE)).backend.process
+    b = run(sim, snap.restore("r2", PROBE)).backend.process
+    assert a.memory.pss_mb == pytest.approx(a.memory.rss_mb)
+    assert b.memory.pss_mb == pytest.approx(b.memory.rss_mb)
+
+
+def test_restore_cost_scales_with_image_size():
+    sim, runc, snap = make()
+    warm_instance(sim, runc)
+    # Inflate the instance before checkpointing.
+    runc.get("warm").backend.process.memory.allocate_private(500.0)
+    run(sim, snap.checkpoint("warm"))
+    begin = sim.now
+    run(sim, snap.restore("r1", PROBE))
+    big_restore = sim.now - begin
+
+    sim2, runc2, snap2 = make()
+    warm_instance(sim2, runc2)
+    run(sim2, snap2.checkpoint("warm"))
+    begin = sim2.now
+    run(sim2, snap2.restore("r1", PROBE))
+    small_restore = sim2.now - begin
+    assert big_restore > small_restore

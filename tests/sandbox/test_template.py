@@ -1,0 +1,114 @@
+"""Unit tests for template containers and the forkable runtime."""
+
+import pytest
+
+from repro import config
+from repro.errors import SandboxError
+from repro.hardware import ProcessingUnit, specs
+from repro.multios import OsInstance
+from repro.sandbox import FunctionCode, Language, boot_template, runtime_init_ms
+from repro.sandbox.template import RUNTIME_WORKER_THREADS
+from repro.sim import Simulator
+
+
+def make_os(spec=specs.XEON_8160):
+    sim = Simulator()
+    pu = ProcessingUnit(sim, 0, "pu", spec)
+    return sim, OsInstance(sim, pu)
+
+
+def run(sim, gen):
+    proc = sim.spawn(gen)
+    sim.run()
+    return proc.value
+
+
+def test_runtime_init_costs_per_language():
+    assert runtime_init_ms(Language.PYTHON) == config.STARTUP.runtime_init_python_ms
+    assert runtime_init_ms(Language.NODEJS) == config.STARTUP.runtime_init_nodejs_ms
+    assert runtime_init_ms(Language.NODEJS) > runtime_init_ms(Language.PYTHON)
+
+
+def test_boot_template_pays_full_cold_path():
+    sim, os_instance = make_os()
+    run(sim, boot_template(os_instance, Language.PYTHON))
+    expected = (
+        config.STARTUP.container_create_ms + config.STARTUP.runtime_init_python_ms
+    ) * config.MS
+    assert sim.now == pytest.approx(expected)
+
+
+def test_dedicated_template_pays_imports_once():
+    heavy = FunctionCode("np", language=Language.PYTHON, import_ms=100.0)
+    sim, os_instance = make_os()
+    run(sim, boot_template(os_instance, Language.PYTHON, dedicated_to=heavy))
+    generic_sim, generic_os = make_os()
+    run(generic_sim, boot_template(generic_os, Language.PYTHON))
+    assert sim.now - generic_sim.now == pytest.approx(0.100)
+
+
+def test_dedicated_template_language_mismatch_rejected():
+    js = FunctionCode("js", language=Language.NODEJS)
+    sim, os_instance = make_os()
+    with pytest.raises(SandboxError):
+        run(sim, boot_template(os_instance, Language.PYTHON, dedicated_to=js))
+
+
+def test_template_runtime_is_multithreaded():
+    sim, os_instance = make_os()
+    template = run(sim, boot_template(os_instance, Language.PYTHON))
+    assert template.runtime.process.threads == 1 + RUNTIME_WORKER_THREADS
+    assert not template.runtime.process.fork_safe
+
+
+def test_template_covers_matching_functions():
+    sim, os_instance = make_os()
+    generic = run(sim, boot_template(os_instance, Language.PYTHON))
+    py = FunctionCode("a", language=Language.PYTHON)
+    js = FunctionCode("b", language=Language.NODEJS)
+    assert generic.covers(py)
+    assert not generic.covers(js)
+    assert not generic.skips_imports_for(py)
+
+    dedicated = run(
+        sim, boot_template(os_instance, Language.PYTHON, dedicated_to=py)
+    )
+    assert dedicated.covers(py)
+    assert dedicated.skips_imports_for(py)
+    other = FunctionCode("c", language=Language.PYTHON)
+    assert not dedicated.covers(other)
+
+
+def test_forkable_runtime_restores_thread_counts():
+    sim, os_instance = make_os()
+    template = run(sim, boot_template(os_instance, Language.PYTHON))
+    parent = template.runtime.process
+    threads_before = parent.threads
+    child = run(sim, template.runtime.fork(os_instance))
+    assert parent.threads == threads_before
+    assert child.threads == threads_before  # contexts re-expanded in child
+
+
+def test_forkable_runtime_refuses_dead_process():
+    sim, os_instance = make_os()
+    template = run(sim, boot_template(os_instance, Language.PYTHON))
+    template.runtime.process.exit()
+    with pytest.raises(SandboxError):
+        run(sim, template.runtime.fork(os_instance))
+
+
+def test_template_memory_footprint():
+    sim, os_instance = make_os()
+    template = run(sim, boot_template(os_instance, Language.PYTHON))
+    process = template.runtime.process
+    expected = config.MEMORY.template_shared_mb + config.MEMORY.template_extra_mb
+    assert process.memory.private_mb == pytest.approx(expected)
+    assert os_instance.shared_libraries in process.memory.segments
+
+
+def test_template_boot_slower_on_dpu():
+    sim_cpu, os_cpu = make_os(specs.XEON_8160)
+    run(sim_cpu, boot_template(os_cpu, Language.PYTHON))
+    sim_dpu, os_dpu = make_os(specs.BLUEFIELD1)
+    run(sim_dpu, boot_template(os_dpu, Language.PYTHON))
+    assert 4.0 < sim_dpu.now / sim_cpu.now < 7.0

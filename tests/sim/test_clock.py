@@ -1,0 +1,64 @@
+"""Tests for the nesting utilisation clock."""
+
+import pytest
+
+from repro.sim import PreemptibleClock, Simulator
+
+
+def test_single_activity():
+    sim = Simulator()
+    clock = PreemptibleClock(sim)
+
+    def proc(sim):
+        clock.mark_busy()
+        yield sim.timeout(2.0)
+        clock.mark_idle()
+        yield sim.timeout(2.0)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert clock.busy_time == pytest.approx(2.0)
+    assert clock.utilization() == pytest.approx(0.5)
+
+
+def test_overlapping_activities_count_union():
+    sim = Simulator()
+    clock = PreemptibleClock(sim)
+
+    def activity(sim, start, duration):
+        yield sim.timeout(start)
+        clock.mark_busy()
+        yield sim.timeout(duration)
+        clock.mark_idle()
+
+    # [0,2] and [1,3]: union busy time is 3, not 4.
+    sim.spawn(activity(sim, 0.0, 2.0))
+    sim.spawn(activity(sim, 1.0, 2.0))
+    sim.run()
+    assert clock.busy_time == pytest.approx(3.0)
+
+
+def test_mark_idle_without_busy_is_noop():
+    sim = Simulator()
+    clock = PreemptibleClock(sim)
+    clock.mark_idle()
+    assert clock.busy_time == 0.0
+
+
+def test_utilization_counts_open_interval():
+    sim = Simulator()
+    clock = PreemptibleClock(sim)
+
+    def proc(sim):
+        clock.mark_busy()
+        yield sim.timeout(4.0)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert clock.utilization() == pytest.approx(1.0)
+
+
+def test_utilization_empty_window_zero():
+    sim = Simulator()
+    clock = PreemptibleClock(sim)
+    assert clock.utilization() == 0.0

@@ -1,0 +1,223 @@
+"""Unit tests for Resource, Store and Container."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Container, Resource, Simulator, Store
+
+
+# -- Resource ----------------------------------------------------------------
+
+
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    r1, r2, r3 = res.request(), res.request(), res.request()
+    assert r1.triggered and r2.triggered and not r3.triggered
+    assert res.in_use == 2 and res.queue_length == 1
+
+
+def test_resource_release_grants_waiter():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    r1 = res.request()
+    r2 = res.request()
+    assert not r2.triggered
+    res.release(r1)
+    assert r2.triggered
+
+
+def test_resource_fifo_fairness():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def worker(sim, name, hold):
+        req = res.request()
+        yield req
+        order.append(name)
+        yield sim.timeout(hold)
+        res.release(req)
+
+    for name in ("a", "b", "c"):
+        sim.spawn(worker(sim, name, 1.0))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_resource_cancel_waiting_request():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    r1 = res.request()
+    r2 = res.request()
+    res.release(r2)  # cancel before grant
+    res.release(r1)
+    assert not r2.triggered
+    assert res.in_use == 0
+
+
+def test_resource_invalid_capacity():
+    with pytest.raises(SimulationError):
+        Resource(Simulator(), capacity=0)
+
+
+def test_resource_serializes_processes():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    finish_times = []
+
+    def worker(sim):
+        req = res.request()
+        yield req
+        yield sim.timeout(2.0)
+        res.release(req)
+        finish_times.append(sim.now)
+
+    for _ in range(3):
+        sim.spawn(worker(sim))
+    sim.run()
+    assert finish_times == [2.0, 4.0, 6.0]
+
+
+# -- Store --------------------------------------------------------------------
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("x")
+    got = store.get()
+    assert got.triggered and got.value == "x"
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    log = []
+
+    def consumer(sim):
+        item = yield store.get()
+        log.append((sim.now, item))
+
+    def producer(sim):
+        yield sim.timeout(2.0)
+        yield store.put("hello")
+
+    sim.spawn(consumer(sim))
+    sim.spawn(producer(sim))
+    sim.run()
+    assert log == [(2.0, "hello")]
+
+
+def test_store_is_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    for item in (1, 2, 3):
+        store.put(item)
+    values = [store.get().value for _ in range(3)]
+    assert values == [1, 2, 3]
+
+
+def test_store_capacity_blocks_putters():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    first = store.put("a")
+    second = store.put("b")
+    assert first.triggered and not second.triggered
+    got = store.get()
+    assert got.value == "a"
+    assert second.triggered
+    assert store.get().value == "b"
+
+
+def test_store_len():
+    sim = Simulator()
+    store = Store(sim)
+    assert len(store) == 0
+    store.put(1)
+    assert len(store) == 1
+
+
+def test_store_invalid_capacity():
+    with pytest.raises(SimulationError):
+        Store(Simulator(), capacity=0)
+
+
+def test_store_multiple_waiting_getters_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    log = []
+
+    def consumer(sim, name):
+        item = yield store.get()
+        log.append((name, item))
+
+    sim.spawn(consumer(sim, "first"))
+    sim.spawn(consumer(sim, "second"))
+
+    def producer(sim):
+        yield sim.timeout(1.0)
+        store.put("a")
+        store.put("b")
+
+    sim.spawn(producer(sim))
+    sim.run()
+    assert log == [("first", "a"), ("second", "b")]
+
+
+# -- Container ------------------------------------------------------------------
+
+
+def test_container_levels():
+    sim = Simulator()
+    tank = Container(sim, capacity=100.0, init=40.0)
+    assert tank.level == 40.0
+    tank.get(15.0)
+    assert tank.level == 25.0
+    tank.put(10.0)
+    assert tank.level == 35.0
+
+
+def test_container_get_blocks_until_put():
+    sim = Simulator()
+    tank = Container(sim, capacity=10.0)
+    log = []
+
+    def consumer(sim):
+        yield tank.get(5.0)
+        log.append(sim.now)
+
+    def producer(sim):
+        yield sim.timeout(3.0)
+        yield tank.put(5.0)
+
+    sim.spawn(consumer(sim))
+    sim.spawn(producer(sim))
+    sim.run()
+    assert log == [3.0]
+
+
+def test_container_put_blocks_at_capacity():
+    sim = Simulator()
+    tank = Container(sim, capacity=10.0, init=8.0)
+    put = tank.put(5.0)
+    assert not put.triggered
+    tank.get(4.0)
+    assert put.triggered
+    assert tank.level == 9.0
+
+
+def test_container_rejects_bad_amounts():
+    sim = Simulator()
+    tank = Container(sim, capacity=10.0)
+    with pytest.raises(SimulationError):
+        tank.get(-1.0)
+    with pytest.raises(SimulationError):
+        tank.put(-1.0)
+    with pytest.raises(SimulationError):
+        tank.get(11.0)
+
+
+def test_container_invalid_init():
+    with pytest.raises(SimulationError):
+        Container(Simulator(), capacity=5.0, init=6.0)

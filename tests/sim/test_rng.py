@@ -1,0 +1,70 @@
+"""Tests for the seeded RNG streams."""
+
+import pytest
+
+from repro.sim import SeededRng
+
+
+def test_same_seed_same_stream():
+    a = SeededRng(7)
+    b = SeededRng(7)
+    assert [a.uniform(0, 1) for _ in range(5)] == [b.uniform(0, 1) for _ in range(5)]
+
+
+def test_different_seed_different_stream():
+    a = SeededRng(7)
+    b = SeededRng(8)
+    assert [a.uniform(0, 1) for _ in range(5)] != [b.uniform(0, 1) for _ in range(5)]
+
+
+def test_fork_is_deterministic_and_independent():
+    root = SeededRng(1)
+    child1 = root.fork("nipc")
+    child2 = SeededRng(1).fork("nipc")
+    other = root.fork("startup")
+    s1 = [child1.uniform(0, 1) for _ in range(3)]
+    s2 = [child2.uniform(0, 1) for _ in range(3)]
+    s3 = [other.uniform(0, 1) for _ in range(3)]
+    assert s1 == s2
+    assert s1 != s3
+
+
+def test_exponential_mean_roughly_correct():
+    rng = SeededRng(3)
+    samples = [rng.exponential(10.0) for _ in range(4000)]
+    mean = sum(samples) / len(samples)
+    assert 9.0 < mean < 11.0
+
+
+def test_exponential_rejects_nonpositive_mean():
+    with pytest.raises(ValueError):
+        SeededRng(1).exponential(0.0)
+
+
+def test_jitter_never_negative_and_tracks_value():
+    rng = SeededRng(9)
+    for _ in range(1000):
+        sample = rng.jitter(100.0, fraction=0.1)
+        assert sample >= 50.0
+        assert sample < 200.0
+
+
+def test_jitter_passes_through_zero():
+    assert SeededRng(1).jitter(0.0) == 0.0
+
+
+def test_randint_bounds():
+    rng = SeededRng(4)
+    values = {rng.randint(1, 3) for _ in range(200)}
+    assert values == {1, 2, 3}
+
+
+def test_choice_and_shuffle_deterministic():
+    rng = SeededRng(5)
+    items = list(range(10))
+    rng.shuffle(items)
+    rng2 = SeededRng(5)
+    items2 = list(range(10))
+    rng2.shuffle(items2)
+    assert items == items2
+    assert rng.choice([1, 2, 3]) == rng2.choice([1, 2, 3])

@@ -1,0 +1,44 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+from repro.hardware import build_cpu_dpu_machine, build_full_machine
+from repro.multios import OsInstance
+from repro.sim import Simulator
+from repro.xpu import ShimCluster
+
+
+class Testbed:
+    """A wired-up machine: PUs + OSes + XPU-Shim cluster."""
+
+    def __init__(self, sim, machine, cluster, oses):
+        self.sim = sim
+        self.machine = machine
+        self.cluster = cluster
+        self.oses = oses  # pu_id -> OsInstance
+
+    def run(self, gen):
+        """Spawn a generator, run to completion, return its value."""
+        proc = self.sim.spawn(gen)
+        self.sim.run()
+        return proc.value
+
+
+def build_testbed(num_dpus: int = 1, dpu_model: str = "bf1", full: bool = False) -> Testbed:
+    """A CPU+DPU (optionally +FPGA/GPU) machine with shims installed."""
+    sim = Simulator()
+    if full:
+        machine = build_full_machine(sim, num_dpus=num_dpus, dpu_model=dpu_model)
+    else:
+        machine = build_cpu_dpu_machine(sim, num_dpus=num_dpus, dpu_model=dpu_model)
+    cluster = ShimCluster(sim, machine)
+    oses = {}
+    for pu in machine.general_purpose_pus():
+        os_instance = OsInstance(sim, pu)
+        oses[pu.pu_id] = os_instance
+        cluster.install(pu, os_instance)
+    host_shim = cluster.shim_on(machine.host_cpu.pu_id)
+    for pu in machine.pus.values():
+        if not pu.is_general_purpose:
+            cluster.install_virtual(pu, host_shim)
+    return Testbed(sim, machine, cluster, oses)

@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+def test_list_prints_all_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out.split()
+    assert set(out) == set(EXPERIMENTS)
+
+
+def test_run_single_experiment(capsys):
+    assert main(["run", "fig2a"]) == 0
+    out = capsys.readouterr().out
+    assert "=== fig2a ===" in out
+    assert "1000" in out and "1512" in out
+
+
+def test_run_multiple_experiments(capsys):
+    assert main(["run", "fig2b", "table4"]) == 0
+    out = capsys.readouterr().out
+    assert "=== fig2b ===" in out
+    assert "=== table4 ===" in out
+
+
+def test_run_unknown_experiment_fails(capsys):
+    assert main(["run", "bogus"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
+    assert "fig2a" in err  # lists the valid names
+
+
+def test_report_emits_markdown(capsys):
+    assert main(["report"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("# EXPERIMENTS")
+    assert "Figure 11a" in out
+
+
+def test_all_printers_run(capsys):
+    # Smoke: every registered experiment prints without raising.
+    for name in EXPERIMENTS:
+        EXPERIMENTS[name]()
+    out = capsys.readouterr().out
+    assert len(out) > 1000
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,93 @@
+"""Calibration consistency checks: the derivations documented in
+config.py must actually hold (guards against constant drift)."""
+
+import pytest
+
+from repro import config
+from repro.hardware import specs
+
+
+def test_fig11a_decomposition_identities():
+    # Desktop numbers are the reference-CPU costs halved (speed=2.0).
+    speed = config.SPEED_DESKTOP
+    baseline = (
+        config.STARTUP.container_create_ms + config.STARTUP.runtime_init_python_ms
+    ) / speed
+    naive = (
+        config.STARTUP.container_create_ms
+        + config.STARTUP.cfork_propagate_ms
+        + config.STARTUP.cgroup_attach_semaphore_ms
+    ) / speed
+    func_container = (
+        config.STARTUP.cfork_propagate_ms
+        + config.STARTUP.cgroup_attach_semaphore_ms
+    ) / speed
+    cpuset = (
+        config.STARTUP.cfork_propagate_ms + config.STARTUP.cgroup_attach_mutex_ms
+    ) / speed
+    assert baseline == pytest.approx(85.55)
+    assert naive == pytest.approx(47.25)
+    assert func_container == pytest.approx(30.05)
+    assert cpuset == pytest.approx(8.40)
+
+
+def test_xpucall_calibration_identity():
+    # §5: base XPUcall = 4 notifies = ~100us on BF-1, ~20us on CPU.
+    assert 4 * config.BF1_COSTS.ipc_notify_us == pytest.approx(100.0)
+    assert 4 * config.CPU_COSTS.ipc_notify_us == pytest.approx(20.0)
+
+
+def test_density_calibration_identity():
+    footprint = config.MEMORY.density_instance_mb
+    cpu_usable = config.CPU_DRAM_MB - config.CPU_DRAM_RESERVED_MB
+    dpu_usable = config.DPU_DRAM_MB - config.DPU_DRAM_RESERVED_MB
+    assert cpu_usable // footprint == 1000
+    assert dpu_usable // footprint == 256
+
+
+def test_fig9_commercial_anchors():
+    # The published bars: Lambda > OpenWhisk > 1s startup scale.
+    assert config.COMMERCIAL.lambda_startup_ms > config.COMMERCIAL.openwhisk_startup_ms > 900
+    assert config.COMMERCIAL.lambda_comm_ms > config.COMMERCIAL.openwhisk_comm_ms
+
+
+def test_fig14e_chain_anchors():
+    from repro.workloads import serverlessbench as sb
+
+    alexa_total = 5 * sb.ALEXA_EXEC_MS + 4 * config.BASELINE_DAG.express_hop_cpu_ms
+    mapreduce_total = (
+        3 * sb.MAPREDUCE_EXEC_MS + 2 * config.BASELINE_DAG.flask_hop_cpu_ms
+    )
+    assert alexa_total == pytest.approx(38.6, abs=1.0)
+    assert mapreduce_total == pytest.approx(20.0, abs=1.0)
+
+
+def test_speed_bands():
+    # Fig. 14c: BF-1 4-7x slower; Fig. 14d: BF-2 close to the CPU.
+    assert 1 / 7 <= config.SPEED_BF1 <= 1 / 4
+    assert 0.7 <= config.SPEED_BF2 <= 1.0
+    assert config.SPEED_DESKTOP > config.SPEED_XEON
+
+
+def test_fpga_stage_identities():
+    costs = config.FPGA_COSTS
+    assert costs.erase_s + costs.load_image_s + costs.prep_sandbox_s > 20.0
+    assert costs.load_image_s + costs.prep_sandbox_s == pytest.approx(3.8)
+    assert costs.prep_sandbox_s == pytest.approx(1.9)
+    assert costs.warm_invoke_s == pytest.approx(0.053)
+
+
+def test_table4_wrapper_base_is_5pct_luts():
+    assert config.WRAPPER_LUTS / config.F1_FABRIC.luts == pytest.approx(0.05, abs=0.002)
+
+
+def test_baseline_python_boot_near_175ms():
+    total = config.STARTUP.container_create_ms + config.STARTUP.runtime_init_python_ms
+    assert 160.0 < total < 185.0  # Fig. 10a baseline band
+
+
+def test_spec_catalog_consistent_with_config():
+    assert specs.XEON_8160.speed == config.SPEED_XEON
+    assert specs.BLUEFIELD1.speed == config.SPEED_BF1
+    assert specs.BLUEFIELD2.speed == config.SPEED_BF2
+    assert specs.BLUEFIELD1.costs == config.BF1_COSTS

@@ -1,0 +1,145 @@
+"""System-level integration tests: a full mixed deployment on a
+CPU+DPU+FPGA+GPU machine serving singles, chains and accelerated
+functions concurrently, with ledger / pool / utilisation accounting
+checked at the end."""
+
+import pytest
+
+from repro import (
+    Chain,
+    ChainStage,
+    FunctionCode,
+    FunctionDef,
+    Language,
+    MoleculeRuntime,
+    PuKind,
+    Simulator,
+    WorkProfile,
+    build_full_machine,
+)
+from repro.analysis.trace import Tracer
+from repro.hardware import FabricResources, KernelSpec
+from repro.workloads import functionbench, serverlessbench
+
+
+@pytest.fixture
+def system():
+    sim = Simulator()
+    machine = build_full_machine(sim, num_dpus=2, num_fpgas=1, num_gpus=1)
+    runtime = MoleculeRuntime(sim, machine)
+    runtime.start()
+    # FunctionBench singles on CPU/DPU.
+    for function in functionbench.all_functions():
+        runtime.deploy_now(function)
+    # The Alexa chain.
+    for function in serverlessbench.alexa_functions():
+        runtime.deploy_now(function)
+    # One FPGA kernel and one GPU kernel.
+    fpga_fn = FunctionDef(
+        name="fpga-k",
+        code=FunctionCode(
+            "fpga-k",
+            kernel=KernelSpec("fpga-k", FabricResources(luts=4000), exec_time_s=1e-3),
+        ),
+        work=WorkProfile(warm_exec_ms=10.0, fpga_exec_ms=1.0),
+        profiles=(PuKind.FPGA,),
+    )
+    gpu_fn = FunctionDef(
+        name="gpu-k",
+        code=FunctionCode(
+            "gpu-k",
+            kernel=KernelSpec("gpu-k", FabricResources(), exec_time_s=2e-4),
+        ),
+        work=WorkProfile(warm_exec_ms=5.0, gpu_exec_ms=0.2),
+        profiles=(PuKind.GPU,),
+    )
+    runtime.deploy_now(fpga_fn)
+    runtime.deploy_now(gpu_fn)
+    return runtime
+
+
+def test_mixed_workload_end_to_end(system):
+    # Singles on CPU and DPU.
+    for name in ("image_resize", "matmul", "pyaes"):
+        cpu = system.invoke_now(name, kind=PuKind.CPU)
+        dpu = system.invoke_now(name, kind=PuKind.DPU)
+        assert cpu.pu_kind is PuKind.CPU and dpu.pu_kind is PuKind.DPU
+
+    # Accelerated functions.
+    fpga = system.invoke_now("fpga-k")
+    gpu = system.invoke_now("gpu-k")
+    assert fpga.pu_kind is PuKind.FPGA and gpu.pu_kind is PuKind.GPU
+
+    # A chain spanning CPU and both DPUs.
+    chain = serverlessbench.alexa_chain()
+    cpu_pu = system.machine.host_cpu
+    dpu1, dpu2 = system.machine.pu(1), system.machine.pu(2)
+    placements = [cpu_pu, dpu1, cpu_pu, dpu2, cpu_pu]
+    system.run(system.dag.prepare(chain, placements))
+    result = system.run(system.run_chain(chain, placements))
+    assert result.total_s > 0
+    assert len(result.edge_latencies_s) == 4
+
+    # Accounting is consistent.
+    ledger = system.ledger
+    assert ledger.total().invocations == system.gateway.requests_admitted
+    assert ledger.by_pu_kind(PuKind.FPGA).invocations == 1
+    assert ledger.by_pu_kind(PuKind.GPU).invocations == 1
+
+
+def test_concurrent_requests_share_warm_instances(system):
+    def burst(sim):
+        procs = [sim.spawn(system.invoke("image_resize")) for _ in range(10)]
+        yield sim.all_of(procs)
+        return [p.value for p in procs]
+
+    results = system.run(burst(system.sim))
+    assert len(results) == 10
+    colds = [r for r in results if r.cold]
+    # Concurrent arrivals fork several instances, but far fewer than 10
+    # once the pool starts serving.
+    assert 1 <= len(colds) <= 10
+    again = system.run(burst(system.sim))
+    assert not any(r.cold for r in again)  # fully warm second burst
+
+
+def test_tracer_records_request_breakdown(system):
+    tracer = Tracer(system.sim)
+    system.invoker.tracer = tracer
+    system.invoke_now("matmul", kind=PuKind.CPU)
+    [request] = tracer.find("request")
+    startup, exec_span = request.children
+    assert startup.name == "startup" and startup.attributes["cold"] is True
+    assert exec_span.name == "exec"
+    assert request.duration_s == pytest.approx(
+        startup.duration_s + exec_span.duration_s, rel=0.2
+    )
+    system.invoker.tracer = None
+
+
+def test_utilization_clocks_advance(system):
+    system.invoke_now("linpack", kind=PuKind.CPU)
+    system.invoke_now("linpack", kind=PuKind.DPU)
+    assert system.machine.host_cpu.clock.busy_time > 0
+    assert system.machine.pu(1).clock.busy_time > 0
+
+
+def test_video_processing_dominated_by_exec(system):
+    result = system.invoke_now("video_processing", kind=PuKind.CPU)
+    assert result.exec_s > 30.0  # ~34s simulated
+    assert result.startup_s < 0.1
+    # Fig. 14a: startup optimisation is immaterial for long functions.
+    assert result.exec_s / result.total_s > 0.98
+
+
+def test_energy_accounting_over_mixed_load(system):
+    from repro.hardware.power import EnergyMeter
+
+    cpu_meter = EnergyMeter(system.machine.host_cpu)
+    dpu_meter = EnergyMeter(system.machine.pu(1))
+    for _ in range(5):
+        system.invoke_now("pyaes", kind=PuKind.CPU)
+        system.invoke_now("pyaes", kind=PuKind.DPU)
+    # DPU spent more busy time but less marginal energy (§6.6).
+    assert dpu_meter.busy_s > cpu_meter.busy_s
+    assert dpu_meter.busy_energy_joules() < cpu_meter.busy_energy_joules()

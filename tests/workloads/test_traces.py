@@ -1,0 +1,121 @@
+"""Tests for the Azure-style trace generator."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim import SeededRng, Simulator
+from repro.workloads.traces import (
+    AzureLikeTrace,
+    DiurnalProfile,
+    TraceEvent,
+    head_share,
+    zipf_weights,
+)
+
+
+def test_zipf_weights_normalized_and_skewed():
+    weights = zipf_weights(10, skew=1.1)
+    assert sum(weights) == pytest.approx(1.0)
+    assert weights == sorted(weights, reverse=True)
+    assert weights[0] > 3 * weights[-1]
+
+
+def test_zipf_validation():
+    with pytest.raises(WorkloadError):
+        zipf_weights(0)
+    with pytest.raises(WorkloadError):
+        zipf_weights(5, skew=0.0)
+
+
+def test_head_share_captures_most_traffic():
+    weights = zipf_weights(50, skew=1.2)
+    assert head_share(weights, 5) > 0.45
+    assert head_share(weights, 50) == pytest.approx(1.0)
+    with pytest.raises(WorkloadError):
+        head_share(weights, -1)
+
+
+def test_diurnal_profile_bounds_and_peak():
+    profile = DiurnalProfile(period_s=86_400, trough_fraction=0.25)
+    factors = [profile.factor(t) for t in range(0, 86_400, 3_600)]
+    assert all(0.25 - 1e-9 <= f <= 1.0 + 1e-9 for f in factors)
+    assert profile.factor(0.0) == pytest.approx(0.25)
+    assert profile.factor(43_200.0) == pytest.approx(1.0)
+
+
+def test_trace_events_ordered_and_within_window():
+    trace = AzureLikeTrace(["a", "b", "c"], peak_rate_per_s=50.0, rng=SeededRng(7))
+    events = list(trace.events(duration_s=60.0))
+    assert events
+    times = [e.time_s for e in events]
+    assert times == sorted(times)
+    assert all(0 <= t < 60.0 for t in times)
+
+
+def test_trace_skew_matches_zipf():
+    trace = AzureLikeTrace(
+        [f"f{i}" for i in range(10)], peak_rate_per_s=200.0, skew=1.2,
+        rng=SeededRng(11),
+    )
+    events = list(trace.events(duration_s=120.0))
+    counts = {}
+    for event in events:
+        counts[event.function] = counts.get(event.function, 0) + 1
+    assert counts.get("f0", 0) > 4 * counts.get("f9", 1)
+
+
+def test_trace_diurnal_modulates_rate():
+    profile = DiurnalProfile(period_s=1_000.0, trough_fraction=0.1)
+    trace = AzureLikeTrace(
+        ["f"], peak_rate_per_s=100.0, diurnal=profile, rng=SeededRng(3),
+    )
+    events = list(trace.events(duration_s=1_000.0))
+    trough = sum(1 for e in events if e.time_s % 1_000 < 200)
+    peak = sum(1 for e in events if 400 <= e.time_s % 1_000 < 600)
+    assert peak > 2 * trough
+
+
+def test_trace_deterministic_given_seed():
+    def make():
+        trace = AzureLikeTrace(["a", "b"], peak_rate_per_s=30.0, rng=SeededRng(5))
+        return [(e.time_s, e.function) for e in trace.events(30.0)]
+
+    assert make() == make()
+
+
+def test_trace_validation():
+    with pytest.raises(WorkloadError):
+        AzureLikeTrace([], peak_rate_per_s=1.0)
+    with pytest.raises(WorkloadError):
+        AzureLikeTrace(["f"], peak_rate_per_s=0.0)
+    trace = AzureLikeTrace(["f"], peak_rate_per_s=1.0)
+    with pytest.raises(WorkloadError):
+        list(trace.events(duration_s=0.0))
+
+
+def test_replay_drives_runtime():
+    from repro import (
+        FunctionCode, FunctionDef, Language, MoleculeRuntime, PuKind, WorkProfile,
+    )
+
+    molecule = MoleculeRuntime.create(num_dpus=0)
+    for i in range(3):
+        molecule.deploy_now(FunctionDef(
+            name=f"f{i}",
+            code=FunctionCode(f"f{i}", language=Language.PYTHON, memory_mb=60),
+            work=WorkProfile(warm_exec_ms=2.0),
+            profiles=(PuKind.CPU,),
+        ))
+    trace = AzureLikeTrace(
+        [f"f{i}" for i in range(3)], peak_rate_per_s=50.0, rng=SeededRng(9),
+    )
+    log: list[TraceEvent] = []
+
+    def invoke(name):
+        return molecule.invoke(name)
+
+    molecule.run(trace.replay(molecule.sim, invoke, duration_s=5.0, trace_log=log))
+    molecule.sim.run()
+    assert log
+    assert molecule.gateway.requests_admitted == len(log)
+    assert molecule.invoker.warm_invocations > 0  # hot head stays warm

@@ -1,0 +1,207 @@
+"""Tests for the workload suites."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.hardware import PuKind
+from repro.workloads import fpga_apps, functionbench, serverlessbench
+
+
+# -- FunctionBench ----------------------------------------------------------------
+
+
+def test_eight_workloads_in_paper_order():
+    assert functionbench.workload_names() == [
+        "image_resize",
+        "chameleon",
+        "linpack",
+        "matmul",
+        "pyaes",
+        "video_processing",
+        "dd",
+        "gzip_compression",
+    ]
+
+
+def test_spec_lookup():
+    spec = functionbench.spec("matmul")
+    assert spec.warm_ms == 1.4
+    with pytest.raises(WorkloadError):
+        functionbench.spec("nope")
+
+
+def test_calibration_consistent_with_paper_cold_numbers():
+    # cold ~= runtime boot (171.1) + imports + data + warm, within the
+    # clamping slack for the three negative-residual workloads.
+    runtime_boot = 171.1
+    for spec in functionbench.FUNCTIONBENCH:
+        modeled = runtime_boot + spec.import_ms + spec.data_ms + spec.warm_ms
+        assert modeled == pytest.approx(spec.paper_cold_cpu_ms, rel=0.20)
+
+
+def test_to_function_is_deployable():
+    function = functionbench.spec("linpack").to_function()
+    assert function.supports(PuKind.CPU) and function.supports(PuKind.DPU)
+    assert function.code.import_ms == 194.5
+
+
+def test_all_functions():
+    functions = functionbench.all_functions()
+    assert len(functions) == 8
+    assert {f.name for f in functions} == set(functionbench.workload_names())
+
+
+def test_bf1_paper_baselines_are_4_to_7x_cpu():
+    for spec in functionbench.FUNCTIONBENCH:
+        ratio = spec.paper_cold_bf1_ms / spec.paper_cold_cpu_ms
+        assert 3.5 <= ratio <= 8.0
+
+
+# -- ServerlessBench chains ---------------------------------------------------------
+
+
+def test_alexa_chain_shape():
+    chain = serverlessbench.alexa_chain()
+    assert len(chain.stages) == 5
+    assert chain.function_names == list(serverlessbench.ALEXA_STAGES)
+    assert len(serverlessbench.ALEXA_EDGE_NAMES) == 4
+
+
+def test_alexa_baseline_calibration():
+    # exec*5 + 4 Express hops ~= 38.6ms (Fig. 14e label).
+    from repro import config
+
+    total = 5 * serverlessbench.ALEXA_EXEC_MS + 4 * (
+        config.BASELINE_DAG.express_hop_cpu_ms
+    )
+    assert total == pytest.approx(38.5, abs=1.0)
+
+
+def test_mapreduce_chain_shape():
+    chain = serverlessbench.mapreduce_chain()
+    assert len(chain.stages) == 3
+    from repro import config
+
+    total = 3 * serverlessbench.MAPREDUCE_EXEC_MS + 2 * (
+        config.BASELINE_DAG.flask_hop_cpu_ms
+    )
+    assert total == pytest.approx(20.0, abs=1.0)
+
+
+def test_chain_functions_have_dpu_profiles():
+    for function in serverlessbench.alexa_functions():
+        assert function.supports(PuKind.DPU)
+        assert function.work.dpu_slowdown is not None
+
+
+# -- FPGA applications -----------------------------------------------------------------
+
+
+def test_matrix_speedups_match_fig2b_band():
+    low, high = fpga_apps.PAPER_MATRIX_SPEEDUP
+    for name in ("mscale", "madd", "vmult"):
+        speedup = fpga_apps.MATRIX_CPU_US[name] / fpga_apps.MATRIX_FPGA_US[name]
+        assert low - 0.05 <= speedup <= high + 0.05
+
+
+def test_matrix_functions_deployable_on_cpu_and_fpga():
+    for function in fpga_apps.matrix_functions():
+        assert function.supports(PuKind.CPU)
+        assert function.supports(PuKind.FPGA)
+        assert function.code.kernel is not None
+
+
+def test_gzip_models():
+    assert fpga_apps.gzip_cpu_ms(112.0) == pytest.approx(4480.0)
+    assert fpga_apps.gzip_fpga_ms(112.0) == pytest.approx(562.0)
+    # CPU wins for tiny files; FPGA wins for big ones.
+    assert fpga_apps.gzip_cpu_ms(0.001) < fpga_apps.gzip_fpga_ms(0.001)
+    assert fpga_apps.gzip_cpu_ms(112.0) > fpga_apps.gzip_fpga_ms(112.0)
+    with pytest.raises(WorkloadError):
+        fpga_apps.gzip_cpu_ms(-1.0)
+
+
+def test_aml_models_match_fig14g_band():
+    low, high = fpga_apps.PAPER_AML_SPEEDUP
+    small = fpga_apps.aml_cpu_ms(6_000) / fpga_apps.aml_fpga_ms(6_000)
+    large = fpga_apps.aml_cpu_ms(6_000_000) / fpga_apps.aml_fpga_ms(6_000_000)
+    assert low - 0.5 <= small <= high
+    assert low <= large <= high + 0.5
+    with pytest.raises(WorkloadError):
+        fpga_apps.aml_fpga_ms(-1)
+
+
+def test_vector_chain_kernels():
+    kernels = fpga_apps.vector_chain_kernels(5)
+    assert len(kernels) == 5
+    assert len({k.name for k in kernels}) == 5
+    with pytest.raises(WorkloadError):
+        fpga_apps.vector_chain_kernels(0)
+
+
+def test_table4_kernel_resources_sum_to_paper_wrapper():
+    from repro.hardware import FpgaImage
+
+    kernels = []
+    for name in ("madd", "mmult", "mscale"):
+        kernels.extend([fpga_apps.matrix_kernel(name)] * 4)
+    demand = FpgaImage("t4", kernels).resources()
+    assert demand.luts == pytest.approx(fpga_apps.PAPER_TABLE4_WRAPPER["luts"], rel=0.001)
+    assert demand.regs == pytest.approx(fpga_apps.PAPER_TABLE4_WRAPPER["regs"], rel=0.001)
+    assert demand.brams == pytest.approx(fpga_apps.PAPER_TABLE4_WRAPPER["brams"], rel=0.001)
+    assert demand.dsps == pytest.approx(fpga_apps.PAPER_TABLE4_WRAPPER["dsps"], rel=0.001)
+
+
+# -- generators ---------------------------------------------------------------------------
+
+
+def test_poisson_generator_open_loop():
+    from repro.sim import Simulator
+    from repro.workloads import PoissonGenerator
+
+    sim = Simulator()
+    gen = PoissonGenerator(sim, rate_per_s=100.0)
+
+    def invoke():
+        yield sim.timeout(0.001)
+
+    sim.spawn(gen.run(invoke, duration_s=1.0))
+    sim.run()
+    # ~100 requests expected; generous band for seeded randomness.
+    assert 60 < gen.trace.completed < 150
+    assert all(latency == pytest.approx(0.001) for latency in gen.trace.latencies_s)
+
+
+def test_poisson_generator_rejects_bad_rate():
+    from repro.sim import Simulator
+    from repro.workloads import PoissonGenerator
+
+    with pytest.raises(WorkloadError):
+        PoissonGenerator(Simulator(), rate_per_s=0.0)
+
+
+def test_closed_loop_client():
+    from repro.sim import Simulator
+    from repro.workloads import ClosedLoopClient
+
+    sim = Simulator()
+    client = ClosedLoopClient(sim)
+
+    def invoke():
+        yield sim.timeout(0.01)
+
+    sim.spawn(client.run(invoke, requests=5))
+    sim.run()
+    assert client.trace.completed == 5
+    assert sim.now == pytest.approx(0.05)
+
+
+def test_closed_loop_rejects_negative():
+    from repro.sim import Simulator
+    from repro.workloads import ClosedLoopClient
+
+    sim = Simulator()
+    client = ClosedLoopClient(sim)
+    with pytest.raises(WorkloadError):
+        proc = sim.spawn(client.run(lambda: iter(()), requests=-1))
+        sim.run()

@@ -1,0 +1,110 @@
+"""Tests for the distributed capability system."""
+
+import pytest
+
+from repro.errors import CapabilityError, UnknownObjectError
+from repro.xpu import CapGroup, CapabilityTable, ObjectId, Permission, XpuPid
+
+
+def test_xpu_pid_encode_decode_roundtrip():
+    pid = XpuPid(pu_id=3, local_uid=4242)
+    assert XpuPid.decode(pid.encode()) == pid
+
+
+def test_xpu_pid_encoding_partitions_by_pu():
+    # §3.2: PU id in the high bits statically partitions the id space.
+    a = XpuPid(1, 100).encode()
+    b = XpuPid(2, 100).encode()
+    assert a != b
+    assert XpuPid.decode(a).pu_id == 1
+
+
+def test_permissions_are_flags():
+    rw = Permission.READ | Permission.WRITE
+    assert Permission.READ & rw
+    assert not (Permission.OWNER & rw)
+    assert Permission.ALL & Permission.OWNER
+
+
+def test_cap_group_add_and_check():
+    group = CapGroup(XpuPid(0, 1))
+    obj = ObjectId("fifo", "u1")
+    assert not group.has(obj, Permission.READ)
+    group.add(obj, Permission.READ)
+    assert group.has(obj, Permission.READ)
+    assert not group.has(obj, Permission.READ | Permission.WRITE)
+
+
+def test_cap_group_add_is_union():
+    group = CapGroup(XpuPid(0, 1))
+    obj = ObjectId("fifo", "u1")
+    group.add(obj, Permission.READ)
+    group.add(obj, Permission.WRITE)
+    assert group.has(obj, Permission.READ | Permission.WRITE)
+
+
+def test_cap_group_remove_partial_and_full():
+    group = CapGroup(XpuPid(0, 1))
+    obj = ObjectId("fifo", "u1")
+    group.add(obj, Permission.READ | Permission.WRITE)
+    group.remove(obj, Permission.WRITE)
+    assert group.has(obj, Permission.READ)
+    group.remove(obj, Permission.READ)
+    assert group.permissions_for(obj) is Permission.NONE
+    assert obj not in group.capabilities()
+
+
+def test_require_raises_capability_error():
+    group = CapGroup(XpuPid(0, 1))
+    obj = ObjectId("fifo", "u1")
+    with pytest.raises(CapabilityError):
+        group.require(obj, Permission.WRITE)
+    group.add(obj, Permission.WRITE)
+    group.require(obj, Permission.WRITE)  # no raise
+
+
+def test_table_group_registration_and_lookup():
+    table = CapabilityTable()
+    group = CapGroup(XpuPid(0, 7))
+    table.register_group(group)
+    assert table.group(XpuPid(0, 7)) is group
+    assert table.known_pids() == [XpuPid(0, 7)]
+
+
+def test_table_duplicate_group_rejected():
+    table = CapabilityTable()
+    table.register_group(CapGroup(XpuPid(0, 7)))
+    with pytest.raises(CapabilityError):
+        table.register_group(CapGroup(XpuPid(0, 7)))
+
+
+def test_table_unknown_group_raises():
+    with pytest.raises(UnknownObjectError):
+        CapabilityTable().group(XpuPid(9, 9))
+
+
+def test_table_drop_group():
+    table = CapabilityTable()
+    table.register_group(CapGroup(XpuPid(0, 7)))
+    table.drop_group(XpuPid(0, 7))
+    with pytest.raises(UnknownObjectError):
+        table.group(XpuPid(0, 7))
+
+
+def test_table_object_lifecycle():
+    table = CapabilityTable()
+    obj_id = ObjectId("fifo", "u1")
+    sentinel = object()
+    table.register_object(obj_id, sentinel)
+    assert table.lookup(obj_id) is sentinel
+    assert table.has_object(obj_id)
+    with pytest.raises(CapabilityError):
+        table.register_object(obj_id, object())
+    table.drop_object(obj_id)
+    assert not table.has_object(obj_id)
+    with pytest.raises(UnknownObjectError):
+        table.lookup(obj_id)
+
+
+def test_object_id_str():
+    assert str(ObjectId("fifo", "abc")) == "fifo:abc"

@@ -1,0 +1,289 @@
+"""Integration tests for the XPU-Shim cluster: capabilities, nIPC, xSpawn."""
+
+import pytest
+
+from repro.errors import CapabilityError, FifoError, XpuError
+from repro.xpu import FifoEnd, ObjectId, Permission
+from repro.xpu.xpucall import XpucallTransport
+
+from tests.support import build_testbed
+
+
+@pytest.fixture
+def bed():
+    return build_testbed(num_dpus=2)
+
+
+def register(bed, pu_id, name):
+    return bed.cluster.register_process(pu_id, name=name)
+
+
+def test_register_process_mints_global_pids(bed):
+    a = register(bed, 0, "a")
+    b = register(bed, 1, "b")
+    assert a.xpu_pid.pu_id == 0
+    assert b.xpu_pid.pu_id == 1
+    assert a.xpu_pid != b.xpu_pid
+
+
+def test_get_xpupid_returns_callers_pid(bed):
+    group = register(bed, 0, "p")
+    shim = bed.cluster.shim_on(0)
+    pid = bed.run(shim.get_xpupid(group))
+    assert pid == group.xpu_pid
+
+
+def test_xfifo_init_grants_owner_all(bed):
+    group = register(bed, 0, "creator")
+    shim = bed.cluster.shim_on(0)
+    handle = bed.run(shim.xfifo_init(group, "local-1", "global-1"))
+    assert group.has(handle.fifo.obj_id, Permission.ALL)
+    assert handle.fifo.home_pu.pu_id == 0
+
+
+def test_xfifo_uuid_collision_rejected(bed):
+    group = register(bed, 0, "creator")
+    shim = bed.cluster.shim_on(0)
+    bed.run(shim.xfifo_init(group, "l", "dup"))
+    with pytest.raises(FifoError):
+        bed.run(shim.xfifo_init(group, "l2", "dup"))
+
+
+def test_connect_without_capability_denied(bed):
+    creator = register(bed, 0, "creator")
+    stranger = register(bed, 1, "stranger")
+    cpu_shim = bed.cluster.shim_on(0)
+    dpu_shim = bed.cluster.shim_on(1)
+    bed.run(cpu_shim.xfifo_init(creator, "l", "guarded"))
+    with pytest.raises(CapabilityError):
+        bed.run(dpu_shim.xfifo_connect(stranger, "guarded"))
+
+
+def test_grant_then_connect_succeeds(bed):
+    creator = register(bed, 0, "creator")
+    peer = register(bed, 1, "peer")
+    cpu_shim = bed.cluster.shim_on(0)
+    dpu_shim = bed.cluster.shim_on(1)
+    handle = bed.run(cpu_shim.xfifo_init(creator, "l", "chan"))
+    bed.run(
+        cpu_shim.grant_cap(creator, peer.xpu_pid, handle.fifo.obj_id, Permission.WRITE)
+    )
+    peer_handle = bed.run(dpu_shim.xfifo_connect(peer, "chan", FifoEnd.WRITE))
+    assert not peer_handle.is_local
+
+
+def test_grant_requires_owner(bed):
+    creator = register(bed, 0, "creator")
+    peer = register(bed, 1, "peer")
+    other = register(bed, 1, "other")
+    cpu_shim = bed.cluster.shim_on(0)
+    dpu_shim = bed.cluster.shim_on(1)
+    handle = bed.run(cpu_shim.xfifo_init(creator, "l", "chan"))
+    bed.run(
+        cpu_shim.grant_cap(creator, peer.xpu_pid, handle.fifo.obj_id, Permission.WRITE)
+    )
+    # peer has WRITE but not OWNER: cannot grant onwards.
+    with pytest.raises(CapabilityError):
+        bed.run(
+            dpu_shim.grant_cap(peer, other.xpu_pid, handle.fifo.obj_id, Permission.WRITE)
+        )
+
+
+def test_revoke_cap_blocks_future_connect(bed):
+    creator = register(bed, 0, "creator")
+    peer = register(bed, 1, "peer")
+    cpu_shim = bed.cluster.shim_on(0)
+    dpu_shim = bed.cluster.shim_on(1)
+    handle = bed.run(cpu_shim.xfifo_init(creator, "l", "chan"))
+    obj = handle.fifo.obj_id
+    bed.run(cpu_shim.grant_cap(creator, peer.xpu_pid, obj, Permission.WRITE))
+    bed.run(cpu_shim.revoke_cap(creator, peer.xpu_pid, obj, Permission.WRITE))
+    with pytest.raises(CapabilityError):
+        bed.run(dpu_shim.xfifo_connect(peer, "chan", FifoEnd.WRITE))
+
+
+def test_nipc_write_read_roundtrip_cross_pu(bed):
+    """A DPU process writes into a CPU-homed XPU-FIFO (neighbour IPC)."""
+    reader_group = register(bed, 0, "reader")
+    writer_group = register(bed, 1, "writer")
+    cpu_shim = bed.cluster.shim_on(0)
+    dpu_shim = bed.cluster.shim_on(1)
+    received = []
+
+    def scenario(sim):
+        handle = yield from cpu_shim.xfifo_init(reader_group, "l", "rx")
+        yield from cpu_shim.grant_cap(
+            reader_group, writer_group.xpu_pid, handle.fifo.obj_id, Permission.WRITE
+        )
+        w_handle = yield from dpu_shim.xfifo_connect(writer_group, "rx", FifoEnd.WRITE)
+
+        def reader(sim):
+            payload = yield from cpu_shim.xfifo_read(reader_group, handle)
+            received.append((sim.now, payload))
+
+        sim.spawn(reader(sim))
+        yield from dpu_shim.xfifo_write(writer_group, w_handle, {"x": 1}, size=256)
+
+    bed.run(scenario(bed.sim))
+    assert received and received[0][1] == {"x": 1}
+
+
+def test_nipc_cross_pu_slower_than_local(bed):
+    """nIPC pays the interconnect; local IPC does not."""
+
+    def measure(writer_pu, home_pu):
+        local_bed = build_testbed(num_dpus=2)
+        reader_group = local_bed.cluster.register_process(home_pu, name="r")
+        writer_group = local_bed.cluster.register_process(writer_pu, name="w")
+        home_shim = local_bed.cluster.shim_on(home_pu)
+        writer_shim = local_bed.cluster.shim_on(writer_pu)
+        times = {}
+
+        def scenario(sim):
+            handle = yield from home_shim.xfifo_init(reader_group, "l", "rx")
+            yield from home_shim.grant_cap(
+                reader_group, writer_group.xpu_pid, handle.fifo.obj_id, Permission.WRITE
+            )
+            w = yield from writer_shim.xfifo_connect(writer_group, "rx", FifoEnd.WRITE)
+            start = sim.now
+            yield from writer_shim.xfifo_write(writer_group, w, b"", size=64)
+            times["write"] = sim.now - start
+
+        local_bed.run(scenario(local_bed.sim))
+        return times["write"]
+
+    local = measure(writer_pu=0, home_pu=0)
+    cross = measure(writer_pu=1, home_pu=0)
+    assert cross > local
+
+
+def test_write_with_readonly_handle_rejected(bed):
+    creator = register(bed, 0, "creator")
+    peer = register(bed, 1, "peer")
+    cpu_shim = bed.cluster.shim_on(0)
+    dpu_shim = bed.cluster.shim_on(1)
+    handle = bed.run(cpu_shim.xfifo_init(creator, "l", "chan"))
+    bed.run(
+        cpu_shim.grant_cap(creator, peer.xpu_pid, handle.fifo.obj_id, Permission.READ)
+    )
+    r_handle = bed.run(dpu_shim.xfifo_connect(peer, "chan", FifoEnd.READ))
+    with pytest.raises(CapabilityError):
+        bed.run(dpu_shim.xfifo_write(peer, r_handle, b"", 8))
+
+
+def test_close_to_zero_refs_closes_fifo_lazily(bed):
+    from repro import config
+
+    creator = register(bed, 0, "creator")
+    shim = bed.cluster.shim_on(0)
+    checks = {}
+
+    def scenario(sim):
+        handle = yield from shim.xfifo_init(creator, "l", "temp")
+        yield from shim.xfifo_close(creator, handle)
+        checks["closed"] = handle.fifo.closed
+        # The UUID reclamation is lazy: still registered inside the window.
+        checks["still_there"] = bed.cluster.captable.has_object(handle.fifo.obj_id)
+        yield sim.timeout(2 * config.LAZY_SYNC_WINDOW_S)
+        checks["gone"] = not bed.cluster.captable.has_object(handle.fifo.obj_id)
+
+    bed.run(scenario(bed.sim))
+    assert checks == {"closed": True, "still_there": True, "gone": True}
+    assert bed.cluster.sync.lazy_flushes == 1
+
+
+def test_use_after_close_rejected(bed):
+    creator = register(bed, 0, "creator")
+    shim = bed.cluster.shim_on(0)
+    handle = bed.run(shim.xfifo_init(creator, "l", "temp"))
+    bed.run(shim.xfifo_close(creator, handle))
+    with pytest.raises(FifoError):
+        bed.run(shim.xfifo_write(creator, handle, b"", 8))
+
+
+def test_xspawn_creates_process_on_neighbor_pu(bed):
+    parent = register(bed, 0, "molecule")
+    cpu_shim = bed.cluster.shim_on(0)
+    pid, group, process = bed.run(
+        cpu_shim.xspawn(parent, target_pu_id=1, name="executor")
+    )
+    assert pid.pu_id == 1
+    assert process in bed.oses[1].live_processes
+    assert bed.cluster.captable.group(pid) is group
+
+
+def test_xspawn_passes_capv_explicitly(bed):
+    parent = register(bed, 0, "molecule")
+    cpu_shim = bed.cluster.shim_on(0)
+    handle = bed.run(cpu_shim.xfifo_init(parent, "l", "cmd"))
+    obj = handle.fifo.obj_id
+    pid, group, _ = bed.run(
+        cpu_shim.xspawn(
+            parent, 1, "executor", capv=[(obj, Permission.READ | Permission.WRITE)]
+        )
+    )
+    assert group.has(obj, Permission.READ | Permission.WRITE)
+    # No implicit permissions: an object not in capv is not shared.
+    other = bed.run(cpu_shim.xfifo_init(parent, "l2", "other"))
+    assert not group.has(other.fifo.obj_id, Permission.READ)
+
+
+def test_xspawn_capv_requires_owner(bed):
+    parent = register(bed, 0, "molecule")
+    stranger = register(bed, 0, "stranger")
+    cpu_shim = bed.cluster.shim_on(0)
+    handle = bed.run(cpu_shim.xfifo_init(parent, "l", "cmd"))
+    with pytest.raises(CapabilityError):
+        bed.run(
+            cpu_shim.xspawn(
+                stranger, 1, "executor", capv=[(handle.fifo.obj_id, Permission.READ)]
+            )
+        )
+
+
+def test_xspawn_to_accelerator_lands_on_host_via_virtual_shim():
+    # §4.1: accelerators cannot launch generic programs; their virtual
+    # XPU-Shim instance runs the executor on the neighbouring CPU.
+    bed = build_testbed(num_dpus=1, full=True)
+    parent = bed.cluster.register_process(0, name="p")
+    cpu_shim = bed.cluster.shim_on(0)
+    fpga_pu = next(p for p in bed.machine.pus.values() if p.name.startswith("fpga"))
+    pid, _group, process = bed.run(
+        cpu_shim.xspawn(parent, fpga_pu.pu_id, "fpga-executor")
+    )
+    assert process in bed.oses[bed.machine.host_cpu.pu_id].live_processes
+    assert pid.pu_id == fpga_pu.pu_id
+
+
+def test_virtual_shim_runs_on_host_pu():
+    bed = build_testbed(num_dpus=1, full=True)
+    fpga_pu = next(p for p in bed.machine.pus.values() if p.name.startswith("fpga"))
+    shim = bed.cluster.shim_on(fpga_pu.pu_id)
+    assert shim.exec_pu is bed.machine.host_cpu
+    assert shim.pu is fpga_pu
+
+
+def test_install_rejects_duplicates_and_wrong_kinds():
+    bed = build_testbed(num_dpus=1, full=True)
+    cpu = bed.machine.host_cpu
+    with pytest.raises(XpuError):
+        bed.cluster.install(cpu, bed.oses[0])
+    fpga_pu = next(p for p in bed.machine.pus.values() if p.name.startswith("fpga"))
+    with pytest.raises(XpuError):
+        bed.cluster.install(fpga_pu)
+
+
+def test_immediate_sync_counted_per_capability_update(bed):
+    before = bed.cluster.sync.immediate_rounds
+    creator = register(bed, 0, "c")
+    peer = register(bed, 1, "p")
+    shim = bed.cluster.shim_on(0)
+    handle = bed.run(shim.xfifo_init(creator, "l", "chan"))
+    bed.run(shim.grant_cap(creator, peer.xpu_pid, handle.fifo.obj_id, Permission.READ))
+    # xfifo_init syncs the UUID; grant_cap syncs the capability.
+    assert bed.cluster.sync.immediate_rounds == before + 2
+
+
+def test_dpu_shim_defaults_to_polling_transport(bed):
+    assert bed.cluster.shim_on(1).transport is XpucallTransport.MPSC_POLL
+    assert bed.cluster.shim_on(0).transport is XpucallTransport.FIFO

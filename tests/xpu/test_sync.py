@@ -1,0 +1,79 @@
+"""Unit tests for the synchronisation strategies (§5)."""
+
+import pytest
+
+from repro import config
+from repro.hardware import build_cpu_dpu_machine
+from repro.sim import Simulator
+from repro.xpu.sync import SyncManager
+
+
+def make(num_dpus=2):
+    sim = Simulator()
+    machine = build_cpu_dpu_machine(sim, num_dpus=num_dpus)
+    return sim, SyncManager(sim, machine)
+
+
+def run(sim, gen):
+    proc = sim.spawn(gen)
+    sim.run()
+    return proc.value
+
+
+def test_immediate_applies_and_charges(sim_mgr=None):
+    sim, sync = make()
+    state = []
+    run(sim, sync.immediate(0, lambda: state.append("applied")))
+    assert state == ["applied"]
+    assert sync.immediate_rounds == 1
+    assert sim.now > 0  # a real cross-PU round was paid
+
+
+def test_immediate_with_no_peers_is_free():
+    sim, sync = make(num_dpus=0)
+    run(sim, sync.immediate(0, lambda: None))
+    assert sim.now == 0.0
+
+
+def test_immediate_cost_is_max_over_peers_not_sum():
+    sim1, sync1 = make(num_dpus=1)
+    sim2, sync2 = make(num_dpus=2)
+    # Peers are contacted in parallel: same round time for 1 and 2 DPUs
+    # (identical links).
+    assert sync2.immediate_sync_time(0) == pytest.approx(
+        sync1.immediate_sync_time(0)
+    )
+
+
+def test_lazy_applies_only_on_flush():
+    sim, sync = make()
+    state = []
+    sync.lazy(lambda: state.append("a"))
+    sync.lazy(lambda: state.append("b"))
+    assert state == []
+    applied = sync.flush()
+    assert applied == 2
+    assert state == ["a", "b"]
+    assert sync.lazy_flushes == 1
+
+
+def test_lazy_auto_flushes_after_window():
+    sim, sync = make()
+    state = []
+    sync.lazy(lambda: state.append("x"))
+    sim.run(until=config.LAZY_SYNC_WINDOW_S * 2)
+    assert state == ["x"]
+
+
+def test_lazy_batches_into_one_flush():
+    sim, sync = make()
+    for i in range(5):
+        sync.lazy(lambda i=i: None)
+    sim.run(until=config.LAZY_SYNC_WINDOW_S * 2)
+    assert sync.lazy_flushes == 1
+
+
+def test_flush_empty_is_noop():
+    sim, sync = make()
+    assert sync.flush() == 0
+    assert sync.lazy_flushes == 0

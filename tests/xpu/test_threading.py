@@ -1,0 +1,77 @@
+"""Tests for multi-threaded XPUcall handling (§5)."""
+
+import pytest
+
+from repro.errors import XpuError
+from repro.hardware import ProcessingUnit, specs
+from repro.sim import Simulator
+from repro.xpu.threading import (
+    QueueDiscipline,
+    ShimThreadPool,
+    burst_completion_time,
+)
+
+
+def make_pool(threads=2, discipline=QueueDiscipline.MPSC_PER_THREAD):
+    sim = Simulator()
+    pu = ProcessingUnit(sim, 0, "dpu", specs.BLUEFIELD1)
+    return sim, ShimThreadPool(sim, pu, threads=threads, discipline=discipline)
+
+
+def test_single_call_completes():
+    sim, pool = make_pool()
+    done = pool.submit(caller_id=0, service_s=0.001)
+
+    def waiter(sim):
+        t = yield done
+        return t
+
+    proc = sim.spawn(waiter(sim))
+    sim.run()
+    assert proc.value > 0.001
+
+
+def test_invalid_configuration_rejected():
+    sim = Simulator()
+    pu = ProcessingUnit(sim, 0, "dpu", specs.BLUEFIELD1)
+    with pytest.raises(XpuError):
+        ShimThreadPool(sim, pu, threads=0)
+    pool = ShimThreadPool(sim, pu, threads=1)
+    with pytest.raises(XpuError):
+        pool.submit(0, service_s=-1.0)
+
+
+def test_two_threads_halve_balanced_burst():
+    sim1, pool1 = make_pool(threads=1)
+    t1 = burst_completion_time(sim1, pool1, calls=8, service_s=0.01)
+    sim2, pool2 = make_pool(threads=2)
+    t2 = burst_completion_time(sim2, pool2, calls=8, service_s=0.01)
+    assert t2 == pytest.approx(t1 / 2, rel=0.1)
+
+
+def test_skewed_burst_starves_static_assignment():
+    # All calls from one caller land on one MPSC queue: no speedup.
+    sim, pool = make_pool(threads=4)
+    skewed = burst_completion_time(sim, pool, calls=8, service_s=0.01, skewed=True)
+    sim2, pool2 = make_pool(threads=4)
+    balanced = burst_completion_time(sim2, pool2, calls=8, service_s=0.01)
+    assert skewed > 3 * balanced
+
+
+def test_work_stealing_fixes_skew():
+    sim, pool = make_pool(threads=4, discipline=QueueDiscipline.MPMC_WORK_STEALING)
+    skewed = burst_completion_time(sim, pool, calls=8, service_s=0.01, skewed=True)
+    sim2, pool2 = make_pool(threads=4)
+    static_skewed = burst_completion_time(
+        sim2, pool2, calls=8, service_s=0.01, skewed=True
+    )
+    assert skewed < static_skewed / 3
+
+
+def test_load_imbalance_metric():
+    sim, pool = make_pool(threads=4)
+    burst_completion_time(sim, pool, calls=8, service_s=0.001, skewed=True)
+    assert pool.load_imbalance == pytest.approx(4.0)  # one thread did all
+    sim2, pool2 = make_pool(threads=4, discipline=QueueDiscipline.MPMC_WORK_STEALING)
+    burst_completion_time(sim2, pool2, calls=8, service_s=0.001, skewed=True)
+    assert pool2.load_imbalance < 3.0

@@ -1,0 +1,92 @@
+"""Tests for XPUcall transports (Fig. 7 / §6.1 calibration)."""
+
+import pytest
+
+from repro.hardware import ProcessingUnit, PuKind, specs
+from repro.sim import Simulator
+from repro.xpu import MpscQueue, XpucallTransport, default_transport
+
+
+@pytest.fixture
+def cpu():
+    return ProcessingUnit(Simulator(), 0, "cpu", specs.XEON_8160)
+
+
+@pytest.fixture
+def dpu():
+    return ProcessingUnit(Simulator(), 1, "dpu", specs.BLUEFIELD1)
+
+
+def test_naive_xpucall_costs_match_paper(cpu, dpu):
+    # §5: two IPC round trips cost ~100us on Bluefield-1, ~20us on CPU.
+    base = XpucallTransport.FIFO
+    assert base.round_trip_time(dpu) == pytest.approx(110e-6, rel=0.15)
+    assert base.round_trip_time(cpu) == pytest.approx(22e-6, rel=0.15)
+
+
+def test_transport_ordering_on_dpu(dpu):
+    # Fig. 7: each optimisation strictly reduces the overhead.
+    base = XpucallTransport.FIFO.round_trip_time(dpu)
+    mpsc = XpucallTransport.MPSC.round_trip_time(dpu)
+    poll = XpucallTransport.MPSC_POLL.round_trip_time(dpu)
+    assert base > mpsc > poll
+
+
+def test_mpsc_halves_ipc_round_trips(dpu):
+    # Fig. 7b removes one of the two FIFO round trips.
+    base = XpucallTransport.FIFO.round_trip_time(dpu)
+    mpsc = XpucallTransport.MPSC.round_trip_time(dpu)
+    assert mpsc < 0.65 * base
+
+
+def test_polling_eliminates_kernel_ipc(dpu):
+    # Fig. 7c: pure user-space polling, no notifications at all.
+    poll = XpucallTransport.MPSC_POLL.round_trip_time(dpu)
+    assert poll == pytest.approx(4 * dpu.op_time())
+    assert poll < 25e-6
+
+
+def test_request_plus_response_equals_round_trip(cpu):
+    for transport in XpucallTransport:
+        total = transport.request_time(cpu) + transport.response_time(cpu)
+        assert total == pytest.approx(transport.round_trip_time(cpu))
+
+
+def test_default_transport_polls_only_on_devices():
+    # §6.1: optimisations applied on DPUs, not on the CPU.
+    sim = Simulator()
+    cpu = ProcessingUnit(sim, 0, "cpu", specs.XEON_8160)
+    dpu = ProcessingUnit(sim, 1, "dpu", specs.BLUEFIELD1)
+    assert default_transport(cpu) is XpucallTransport.FIFO
+    assert default_transport(dpu) is XpucallTransport.MPSC_POLL
+
+
+def test_mpsc_queue_fifo_order():
+    sim = Simulator()
+    queue = MpscQueue(sim)
+    queue.enqueue("p1")
+    queue.enqueue("p2")
+    assert len(queue) == 2
+    first = queue.dequeue()
+    second = queue.dequeue()
+    assert first.value == "p1" and second.value == "p2"
+    assert queue.enqueued == 2
+
+
+def test_mpsc_queue_consumer_blocks_until_producer():
+    sim = Simulator()
+    queue = MpscQueue(sim)
+    log = []
+
+    def consumer(sim):
+        pid = yield queue.dequeue()
+        log.append((sim.now, pid))
+
+    def producer(sim):
+        yield sim.timeout(1.0)
+        queue.enqueue("caller")
+
+    sim.spawn(consumer(sim))
+    sim.spawn(producer(sim))
+    sim.run()
+    assert log == [(1.0, "caller")]

@@ -55,6 +55,45 @@ def format_comparison(
     return f"== {title} ==\n{body}"
 
 
+def format_phase_breakdown(snapshot: dict) -> str:
+    """Per-phase latency table from a runtime metrics snapshot.
+
+    ``snapshot`` is :meth:`MoleculeRuntime.metrics_snapshot` output; the
+    table aggregates ``repro_phase_seconds`` series per lifecycle phase
+    (count, mean, p50/p95/p99 in milliseconds).
+    """
+    family = snapshot["metrics"]["repro_phase_seconds"]
+    rows = []
+    for series in family["series"]:
+        labels = series["labels"]
+        mean_ms = series["sum"] / series["count"] * 1e3 if series["count"] else 0.0
+        rows.append((
+            labels["phase"],
+            labels["function"],
+            f"{labels['pu_kind']}/{labels['start_kind']}",
+            series["count"],
+            f"{mean_ms:.3f}",
+            f"{series['p50'] * 1e3:.3f}",
+            f"{series['p95'] * 1e3:.3f}",
+            f"{series['p99'] * 1e3:.3f}",
+        ))
+    return format_table(
+        ["phase", "function", "pu/start", "count",
+         "mean (ms)", "p50 (ms)", "p95 (ms)", "p99 (ms)"],
+        rows,
+    )
+
+
+def format_start_kinds(snapshot: dict) -> str:
+    """Cold/fork/warm start counter table from a metrics snapshot."""
+    family = snapshot["metrics"]["repro_starts_total"]
+    rows = [
+        (series["labels"]["start_kind"], int(series["value"]))
+        for series in family["series"]
+    ]
+    return format_table(["start kind", "count"], rows)
+
+
 def normalized(values: Sequence[float], reference: float) -> list[float]:
     """Values divided by a reference (the paper's normalized plots)."""
     if reference == 0:

@@ -6,6 +6,7 @@ Usage::
     python -m repro run fig2a fig8      # run selected experiments
     python -m repro run all             # run everything
     python -m repro report              # emit EXPERIMENTS.md to stdout
+    python -m repro metrics              # demo run + metrics exposition
 """
 
 from __future__ import annotations
@@ -277,6 +278,58 @@ PLOTS: dict[str, Callable[[], None]] = {
 }
 
 
+def _run_metrics_demo():
+    """A quickstart-style run exercising cold, fork and warm paths."""
+    from repro import (
+        FunctionCode,
+        FunctionDef,
+        Language,
+        MoleculeRuntime,
+        PuKind,
+        WorkProfile,
+    )
+
+    molecule = MoleculeRuntime.create(num_dpus=1)
+    hello = FunctionDef(
+        name="hello",
+        code=FunctionCode("hello", language=Language.PYTHON, import_ms=120.0),
+        work=WorkProfile(warm_exec_ms=15.0),
+        profiles=(PuKind.CPU, PuKind.DPU),
+    )
+    molecule.deploy_now(hello)  # boots cfork templates -> fork starts
+    molecule.invoke_now("hello", kind=PuKind.CPU)   # fork start
+    molecule.invoke_now("hello", kind=PuKind.CPU)   # warm start
+    molecule.invoke_now("hello", kind=PuKind.DPU)   # fork on the DPU
+    bare = FunctionDef(
+        name="bare",
+        code=FunctionCode("bare", language=Language.NODEJS, import_ms=200.0),
+        work=WorkProfile(warm_exec_ms=8.0),
+    )
+    molecule.registry.register(bare)  # no deploy: no template to fork
+    molecule.invoke_now("bare")       # baseline cold start
+    return molecule
+
+
+def _print_metrics(as_json: bool) -> None:
+    import json
+
+    from repro.analysis.report import format_phase_breakdown, format_start_kinds
+
+    molecule = _run_metrics_demo()
+    if as_json:
+        print(json.dumps(molecule.metrics_snapshot(), indent=2, sort_keys=True))
+        return
+    snapshot = molecule.metrics_snapshot()
+    print("== start kinds ==")
+    print(format_start_kinds(snapshot))
+    print()
+    print("== lifecycle phases ==")
+    print(format_phase_breakdown(snapshot))
+    print()
+    print("== exposition ==")
+    print(molecule.metrics_exposition(), end="")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser."""
     parser = argparse.ArgumentParser(
@@ -293,6 +346,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help=f"one of: {', '.join(PLOTS)}")
     sub.add_parser("report", help="emit the full EXPERIMENTS.md to stdout")
     sub.add_parser("validate", help="check every paper claim (conformance)")
+    metrics = sub.add_parser(
+        "metrics",
+        help="run a small demo workload and dump its metrics",
+    )
+    metrics.add_argument("--json", action="store_true",
+                         help="emit the JSON snapshot instead of tables")
     return parser
 
 
@@ -307,6 +366,9 @@ def main(argv: list[str] | None = None) -> int:
         from repro.analysis.writeup import generate
 
         print(generate(), end="")
+        return 0
+    if args.command == "metrics":
+        _print_metrics(args.json)
         return 0
     if args.command == "validate":
         from repro.analysis.validation import scorecard, validate_all

@@ -10,22 +10,35 @@ point of §4.3.
 from __future__ import annotations
 
 import itertools
+from typing import Optional, TYPE_CHECKING
 
 from repro import config
 from repro.sim import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
 
 
 class ApiGateway:
     """Request admission for one worker machine."""
 
-    def __init__(self, sim: Simulator, overhead_ms: float = config.GATEWAY_OVERHEAD_MS):
+    def __init__(
+        self,
+        sim: Simulator,
+        overhead_ms: float = config.GATEWAY_OVERHEAD_MS,
+        obs: Optional["Observability"] = None,
+    ):
         self.sim = sim
         self.overhead_ms = overhead_ms
+        self.obs = obs
         self._request_ids = itertools.count(1)
         self.requests_admitted = 0
 
     def admit(self):
         """Generator: admit one request, returning its request id."""
+        began = self.sim.now
         yield self.sim.timeout(self.overhead_ms * config.MS)
         self.requests_admitted += 1
+        if self.obs is not None:
+            self.obs.on_gateway_admit(self.sim.now - began)
         return next(self._request_ids)

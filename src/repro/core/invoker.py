@@ -22,6 +22,7 @@ from repro.errors import SandboxError, SchedulingError, WorkloadError
 from repro.hardware.pu import ProcessingUnit, PuKind
 from repro.core.keepalive import WarmPool
 from repro.core.registry import FunctionDef
+from repro.obs.spans import NULL_TRACE, START_COLD, START_FORK, START_WARM
 from repro.sandbox.base import Sandbox, SandboxState
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -83,9 +84,9 @@ class Invoker:
         self._sandbox_ids = itertools.count(1)
         self.cold_invocations = 0
         self.warm_invocations = 0
-        #: Optional span tracer; set to a Tracer to record per-request
-        #: request/startup/exec timelines.
-        self.tracer = None
+        #: Observability hub (lifecycle spans + metrics); None keeps the
+        #: invoker instrumentation-free for unit tests.
+        self.obs = getattr(runtime, "obs", None)
         self._reaper_wakeup = None
         if keep_alive_ttl_s is not None:
             self.runtime.sim.spawn(
@@ -107,14 +108,18 @@ class Invoker:
         the simulation to quiescence ages idle instances past the TTL.
         """
         while True:
-            if all(len(pool) == 0 for pool in self.pools.values()):
+            if all(not pool.idle_instances() for pool in self.pools.values()):
                 self._reaper_wakeup = self.sim.event()
                 yield self._reaper_wakeup
                 self._reaper_wakeup = None
             yield self.sim.timeout(period_s)
+            reaped = 0
             for pool in self.pools.values():
                 for instance in pool.reap_expired(self.sim.now):
                     self.sim.spawn(self._destroy(instance))
+                    reaped += 1
+            if self.obs is not None:
+                self.obs.on_keepalive_reaped(reaped)
 
     @property
     def sim(self):
@@ -141,24 +146,37 @@ class Invoker:
         for input-dependent workloads (file size, entry count).
         """
         function = self.runtime.registry.get(name)
-        start = self.sim.now
-        request_id = yield from self.runtime.gateway.admit()
         if pu is not None and kind is None:
             kind = pu.kind
         if kind is not None and not function.supports(kind):
             raise SchedulingError(
                 f"function {name!r} has no {kind.value} profile"
             )
-        if (kind or function.profiles[0]) in (PuKind.FPGA, PuKind.GPU):
-            result = yield from self._invoke_accelerated(
-                function, request_id, kind or function.profiles[0],
-                payload_bytes, exec_time_s, start,
-            )
-            return result
-        result = yield from self._invoke_general(
-            function, request_id, kind, pu, force_cold,
-            payload_bytes, exec_time_s, start,
+        start = self.sim.now
+        trace = (
+            self.obs.begin_invocation(function.name)
+            if self.obs is not None
+            else NULL_TRACE
         )
+        try:
+            admit_span = trace.begin_phase("admit")
+            request_id = yield from self.runtime.gateway.admit()
+            trace.end_phase(admit_span)
+            trace.annotate(request_id=request_id)
+            if (kind or function.profiles[0]) in (PuKind.FPGA, PuKind.GPU):
+                result = yield from self._invoke_accelerated(
+                    function, request_id, kind or function.profiles[0],
+                    payload_bytes, exec_time_s, start, trace,
+                )
+            else:
+                result = yield from self._invoke_general(
+                    function, request_id, kind, pu, force_cold,
+                    payload_bytes, exec_time_s, start, trace,
+                )
+        except Exception as exc:
+            trace.fail(type(exc).__name__)
+            raise
+        trace.finish()
         return result
 
     # -- CPU/DPU path -----------------------------------------------------------------
@@ -193,28 +211,37 @@ class Invoker:
 
     def _invoke_general(
         self, function, request_id, kind, pu, force_cold,
-        payload_bytes, exec_time_s, start,
+        payload_bytes, exec_time_s, start, trace=NULL_TRACE,
     ):
-        request_span = None
-        if self.tracer is not None:
-            request_span = self.tracer.begin(
-                "request", function=function.name, request_id=request_id
-            )
-            startup_span = self.tracer.begin("startup")
         startup_begin = self.sim.now
+        schedule_span = trace.begin_phase("schedule")
         instance = None if force_cold else self._find_warm(function, kind, pu)
         cold = instance is None
         if cold:
             target = pu or self.runtime.scheduler.place(function, kind)
-            instance = yield from self._cold_start(function, target)
+            schedule_span.attributes["pu"] = target.name
+            trace.end_phase(schedule_span)
+            sandbox_span = trace.begin_phase("sandbox_start")
+            instance = yield from self._cold_start(function, target, trace)
+            sandbox_span.attributes["forked"] = instance.forked
+            trace.end_phase(sandbox_span)
             self.cold_invocations += 1
         else:
+            schedule_span.attributes["pu"] = instance.pu.name
+            trace.end_phase(schedule_span)
             self.warm_invocations += 1
         startup_s = self.sim.now - startup_begin
-        if self.tracer is not None:
-            startup_span.attributes["cold"] = cold
-            self.tracer.end(startup_span)
-            exec_span = self.tracer.begin("exec", pu=instance.pu.name)
+        start_kind = (
+            START_WARM if not cold
+            else START_FORK if instance.forked
+            else START_COLD
+        )
+        trace.annotate(
+            pu=instance.pu.name,
+            pu_kind=instance.pu.kind.value,
+            start_kind=start_kind,
+        )
+        exec_span = trace.begin_phase("exec", pu=instance.pu.name)
 
         exec_begin = self.sim.now
         if cold and function.code.data_ms:
@@ -238,19 +265,20 @@ class Invoker:
         instance.pu.cores.release(core)
         instance.requests_served += 1
         exec_s = self.sim.now - exec_begin
-        if self.tracer is not None:
-            self.tracer.end(exec_span)
-            self.tracer.end(request_span)
+        trace.end_phase(exec_span)
 
+        respond_span = trace.begin_phase("respond")
         evicted = self.pools[instance.pu.pu_id].release(instance, now=self.sim.now)
         self.notify_idle()
         for old in evicted:
             self.sim.spawn(self._destroy(old))
+        trace.end_phase(respond_span)
         return self._result(
             function, request_id, instance.pu, cold, startup_s, exec_s, 0.0, start
         )
 
-    def _cold_start(self, function: FunctionDef, pu: ProcessingUnit):
+    def _cold_start(self, function: FunctionDef, pu: ProcessingUnit,
+                    trace=NULL_TRACE):
         """Generator: create a new instance on ``pu`` (cfork preferred)."""
         runc = self.runtime.runc_on(pu.pu_id)
         sandbox_id = self._next_sandbox_id(function)
@@ -258,23 +286,30 @@ class Invoker:
             self.runtime.use_cfork
             and runc.template_for(function.code) is not None
         )
+        client = self.runtime.executor_client(pu.pu_id)
         if use_cfork:
-            client = self.runtime.executor_client(pu.pu_id)
             if client is None:  # Molecule's own PU: local cfork
                 sandbox = yield from runc.cfork(sandbox_id, function.code)
             else:  # neighbour PU: command over nIPC
+                nipc_span = trace.begin_phase(
+                    "nipc", transport="xpu-fifo", target=pu.name, verb="cfork"
+                )
                 sandbox = yield from client.call(
                     "cfork", sandbox_id=sandbox_id, code=function.code
                 )
+                trace.end_phase(nipc_span)
         else:
-            client = self.runtime.executor_client(pu.pu_id)
             if client is None:
                 yield from runc.create(sandbox_id, function.code)
                 sandbox = yield from runc.start(sandbox_id)
             else:
+                nipc_span = trace.begin_phase(
+                    "nipc", transport="xpu-fifo", target=pu.name, verb="cold_start"
+                )
                 sandbox = yield from client.call(
                     "cold_start", sandbox_id=sandbox_id, code=function.code
                 )
+                trace.end_phase(nipc_span)
         return FunctionInstance(
             function=function, pu=pu, sandbox=sandbox, forked=use_cfork
         )
@@ -289,24 +324,30 @@ class Invoker:
     # -- accelerator path ---------------------------------------------------------------
 
     def _invoke_accelerated(
-        self, function, request_id, kind, payload_bytes, exec_time_s, start
+        self, function, request_id, kind, payload_bytes, exec_time_s, start,
+        trace=NULL_TRACE,
     ):
         if kind is PuKind.FPGA:
             result = yield from self._invoke_fpga(
-                function, request_id, payload_bytes, exec_time_s, start
+                function, request_id, payload_bytes, exec_time_s, start, trace
             )
             return result
         result = yield from self._invoke_gpu(
-            function, request_id, payload_bytes, exec_time_s, start
+            function, request_id, payload_bytes, exec_time_s, start, trace
         )
         return result
 
-    def _transfer(self, pu: ProcessingUnit, nbytes: int):
+    def _transfer(self, pu: ProcessingUnit, nbytes: int, trace=NULL_TRACE,
+                  direction: str = "in"):
         """Generator: DMA a payload between the host and an accelerator."""
+        span = trace.begin_phase(
+            "nipc", transport="dma", target=pu.name, direction=direction
+        )
         host = pu.host_pu or self.runtime.machine.host_cpu
         route = self.runtime.machine.route(host, pu)
         yield self.sim.timeout(route.transfer_time(nbytes))
         yield self.sim.timeout(host.copy_time(nbytes))
+        trace.end_phase(span)
 
     def _choose_fpga(self, function):
         """Pick the FPGA for a request: a device already caching the
@@ -326,12 +367,17 @@ class Invoker:
             key=lambda pu: self.runtime.runf_on(pu.pu_id).device.program_count,
         )
 
-    def _invoke_fpga(self, function, request_id, payload_bytes, exec_time_s, start):
+    def _invoke_fpga(self, function, request_id, payload_bytes, exec_time_s,
+                     start, trace=NULL_TRACE):
+        schedule_span = trace.begin_phase("schedule")
         pu = self._choose_fpga(function)
+        schedule_span.attributes["pu"] = pu.name
+        trace.end_phase(schedule_span)
         runf = self.runtime.runf_on(pu.pu_id)
         startup_begin = self.sim.now
         sandbox = runf.cached_sandbox_for(function.name)
         cold = sandbox is None
+        sandbox_span = trace.begin_phase("sandbox_start")
         if cold:
             # Repack the image: keep resident-hot kernels, add this one.
             predicted = [function.name] + [
@@ -352,27 +398,39 @@ class Invoker:
             self.warm_invocations += 1
         if sandbox.state is SandboxState.CREATED:
             yield from runf.start(sandbox.sandbox_id)
+        trace.end_phase(sandbox_span)
         startup_s = self.sim.now - startup_begin
+        trace.annotate(
+            pu=pu.name, pu_kind=pu.kind.value,
+            start_kind=START_COLD if cold else START_WARM,
+        )
 
         exec_begin = self.sim.now
-        yield from self._transfer(pu, payload_bytes)  # args in
+        exec_span = trace.begin_phase("exec", pu=pu.name)
+        yield from self._transfer(pu, payload_bytes, trace, "in")  # args in
         duration = (
             exec_time_s
             if exec_time_s is not None
             else function.work.exec_time(pu)
         )
         yield from runf.invoke(sandbox.sandbox_id, exec_time_s=duration)
-        yield from self._transfer(pu, payload_bytes)  # results out
+        yield from self._transfer(pu, payload_bytes, trace, "out")  # results out
+        trace.end_phase(exec_span)
         exec_s = self.sim.now - exec_begin
         return self._result(
             function, request_id, pu, cold, startup_s, exec_s, 0.0, start
         )
 
-    def _invoke_gpu(self, function, request_id, payload_bytes, exec_time_s, start):
+    def _invoke_gpu(self, function, request_id, payload_bytes, exec_time_s,
+                    start, trace=NULL_TRACE):
+        schedule_span = trace.begin_phase("schedule")
         pu = self.runtime.scheduler.place(function, PuKind.GPU)
+        schedule_span.attributes["pu"] = pu.name
+        trace.end_phase(schedule_span)
         rung = self.runtime.rung_on(pu.pu_id)
         startup_begin = self.sim.now
         sandbox_id = f"gpu-{function.name}"
+        sandbox_span = trace.begin_phase("sandbox_start")
         try:
             sandbox = rung.get(sandbox_id)
             cold = False
@@ -382,16 +440,23 @@ class Invoker:
             sandbox = yield from rung.start(sandbox_id)
             cold = True
             self.cold_invocations += 1
+        trace.end_phase(sandbox_span)
         startup_s = self.sim.now - startup_begin
+        trace.annotate(
+            pu=pu.name, pu_kind=pu.kind.value,
+            start_kind=START_COLD if cold else START_WARM,
+        )
         exec_begin = self.sim.now
-        yield from self._transfer(pu, payload_bytes)
+        exec_span = trace.begin_phase("exec", pu=pu.name)
+        yield from self._transfer(pu, payload_bytes, trace, "in")
         duration = (
             exec_time_s
             if exec_time_s is not None
             else function.work.exec_time(pu)
         )
         yield from rung.invoke(sandbox_id, exec_time_s=duration)
-        yield from self._transfer(pu, payload_bytes)
+        yield from self._transfer(pu, payload_bytes, trace, "out")
+        trace.end_phase(exec_span)
         exec_s = self.sim.now - exec_begin
         return self._result(
             function, request_id, pu, cold, startup_s, exec_s, 0.0, start

@@ -90,6 +90,21 @@ class WarmPool:
         self.expired += len(reaped)
         return reaped
 
+    def idle_instances(
+        self, func_name: Optional[str] = None
+    ) -> list["FunctionInstance"]:
+        """The idle instances currently pooled (without removing them).
+
+        Public read-only view — tests and observability code should use
+        this instead of reaching into the pool's internal buckets.
+        ``func_name`` narrows the view to one function.
+        """
+        if func_name is not None:
+            return [inst for _since, inst in self._idle.get(func_name, [])]
+        return [
+            inst for bucket in self._idle.values() for _since, inst in bucket
+        ]
+
     def drop_all(self, func_name: str) -> list["FunctionInstance"]:
         """Remove every idle instance of one function."""
         return [inst for _since, inst in self._idle.pop(func_name, [])]

@@ -36,6 +36,7 @@ from repro.core.invoker import Invoker
 from repro.core.keepalive import FpgaImagePlanner
 from repro.core.registry import FunctionDef, FunctionRegistry
 from repro.core.scheduler import Scheduler
+from repro.obs import Observability
 from repro.sandbox.runc import RuncRuntime
 from repro.sandbox.runf import RunfRuntime
 from repro.sandbox.rung import RungRuntime
@@ -58,16 +59,21 @@ class MoleculeRuntime:
         warm_pool_capacity: int = 4096,
         keep_alive_ttl_s: Optional[float] = None,
         prefer_cheapest: bool = False,
+        obs: Optional[Observability] = None,
     ):
         self.sim = sim or Simulator()
         self.machine = machine or build_cpu_dpu_machine(self.sim, num_dpus=2)
         self.use_cfork = use_cfork
         self.registry = FunctionRegistry()
         self.ledger = BillingLedger()
-        self.gateway = ApiGateway(self.sim)
-        self.scheduler = Scheduler(self.machine, prefer_cheapest=prefer_cheapest)
+        #: The observability hub every component reports through.
+        self.obs = obs or Observability(self.sim)
+        self.gateway = ApiGateway(self.sim, obs=self.obs)
+        self.scheduler = Scheduler(
+            self.machine, prefer_cheapest=prefer_cheapest, obs=self.obs
+        )
         self.image_planner = FpgaImagePlanner()
-        self.cluster = ShimCluster(self.sim, self.machine)
+        self.cluster = ShimCluster(self.sim, self.machine, obs=self.obs)
 
         lock = CpusetLockMode.MUTEX if cpuset_opt else CpusetLockMode.SEMAPHORE
         self.oses: dict[int, OsInstance] = {}
@@ -78,7 +84,9 @@ class MoleculeRuntime:
             os_instance = OsInstance(self.sim, pu, cpuset_lock=lock)
             self.oses[pu.pu_id] = os_instance
             self.cluster.install(pu, os_instance)
-            self.runcs[pu.pu_id] = RuncRuntime(self.sim, os_instance)
+            runc = RuncRuntime(self.sim, os_instance)
+            runc.obs = self.obs
+            self.runcs[pu.pu_id] = runc
         host = self.machine.host_cpu
         host_shim = self.cluster.shim_on(host.pu_id)
         for pu in self.machine.pus.values():
@@ -87,9 +95,13 @@ class MoleculeRuntime:
             self.cluster.install_virtual(pu, host_shim)
             if pu.kind is PuKind.FPGA:
                 device = self.machine.fpga_device(pu)
-                self.runfs[pu.pu_id] = RunfRuntime(self.sim, device, no_erase=no_erase)
+                runf = RunfRuntime(self.sim, device, no_erase=no_erase)
+                runf.obs = self.obs
+                self.runfs[pu.pu_id] = runf
             elif pu.kind is PuKind.GPU:
-                self.rungs[pu.pu_id] = RungRuntime(self.sim, pu)
+                rung = RungRuntime(self.sim, pu)
+                rung.obs = self.obs
+                self.rungs[pu.pu_id] = rung
 
         #: Molecule's own CAP_Group (the runtime process on the host).
         self.group = self.cluster.register_process(host.pu_id, name="molecule")
@@ -284,6 +296,37 @@ class MoleculeRuntime:
         return result
 
     # -- reports ------------------------------------------------------------------------
+
+    def _refresh_gauges(self) -> None:
+        """Sample point-in-time state (pools, DRAM) into the gauges."""
+        registry = self.obs.registry
+        pool_size = registry.get("repro_warm_pool_size")
+        pool_hits = registry.get("repro_warm_pool_hits")
+        pool_misses = registry.get("repro_warm_pool_misses")
+        dram_used = registry.get("repro_pu_dram_used_mb")
+        for pu_id, pool in self.invoker.pools.items():
+            pu = self.machine.pus[pu_id]
+            pool_size.labels(pu=pu.name).set(len(pool))
+            pool_hits.labels(pu=pu.name).set(pool.hits)
+            pool_misses.labels(pu=pu.name).set(pool.misses)
+            dram_used.labels(pu=pu.name).set(pu.dram_used_mb)
+
+    def metrics_snapshot(self) -> dict:
+        """A JSON-friendly dump of every metric family, gauges freshly
+        sampled, plus summary counters tests and reports key on."""
+        self._refresh_gauges()
+        return {
+            "sim_time_s": self.sim.now,
+            "requests_admitted": self.gateway.requests_admitted,
+            "cold_invocations": self.invoker.cold_invocations,
+            "warm_invocations": self.invoker.warm_invocations,
+            "metrics": self.obs.registry.to_dict(),
+        }
+
+    def metrics_exposition(self) -> str:
+        """Prometheus text-format exposition of every metric family."""
+        self._refresh_gauges()
+        return self.obs.registry.expose()
 
     def support_matrix(self) -> dict[str, dict[str, object]]:
         """The Table 1 / Table 5 support matrix of this deployment."""

@@ -14,12 +14,15 @@ PU for a new instance:
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, TYPE_CHECKING
 
 from repro.errors import SchedulingError
 from repro.hardware.machine import HeterogeneousComputer
 from repro.hardware.pu import ProcessingUnit, PuKind
 from repro.core.registry import FunctionDef
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
 
 #: Kind preference when the user allows several (cheapest first, §4.1).
 _KIND_PRICE_ORDER = (PuKind.DPU, PuKind.CPU, PuKind.GPU, PuKind.FPGA)
@@ -28,11 +31,17 @@ _KIND_PRICE_ORDER = (PuKind.DPU, PuKind.CPU, PuKind.GPU, PuKind.FPGA)
 class Scheduler:
     """Places function instances onto PUs."""
 
-    def __init__(self, machine: HeterogeneousComputer, prefer_cheapest: bool = False):
+    def __init__(
+        self,
+        machine: HeterogeneousComputer,
+        prefer_cheapest: bool = False,
+        obs: Optional["Observability"] = None,
+    ):
         self.machine = machine
         #: When False (default), kinds are tried in the order the user
         #: listed them in the function's profiles.
         self.prefer_cheapest = prefer_cheapest
+        self.obs = obs
 
     def _kind_order(self, function: FunctionDef) -> list[PuKind]:
         if self.prefer_cheapest:
@@ -69,15 +78,23 @@ class Scheduler:
         for pu in candidates:
             if pu.kind.general_purpose:
                 if pu.try_reserve_dram(function.code.memory_mb):
+                    self._observe_placement(pu)
                     return pu
             else:
                 # Accelerator capacity is governed by its runtime
                 # (fabric resources / contexts), not host-style DRAM.
+                self._observe_placement(pu)
                 return pu
+        if self.obs is not None:
+            self.obs.on_placement_failure()
         raise SchedulingError(
             f"no PU has capacity for {function.name!r} "
             f"({function.code.memory_mb}MB over {[p.name for p in candidates]})"
         )
+
+    def _observe_placement(self, pu: ProcessingUnit) -> None:
+        if self.obs is not None:
+            self.obs.on_placement(pu.kind.value)
 
     def release(self, function: FunctionDef, pu: ProcessingUnit) -> None:
         """Return the memory reservation of a dead instance."""

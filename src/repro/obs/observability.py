@@ -1,0 +1,221 @@
+"""The runtime's observability hub.
+
+One :class:`Observability` instance per :class:`MoleculeRuntime` owns
+the metrics registry and the per-request span store, and exposes the
+narrow hooks the runtime layers call:
+
+* gateway      -> :meth:`on_gateway_admit`
+* scheduler    -> :meth:`on_placement` / :meth:`on_placement_failure`
+* invoker      -> :meth:`begin_invocation` (lifecycle spans), keep-alive
+                  reaping via :meth:`on_keepalive_reaped`
+* sandboxes    -> :meth:`on_sandbox_verb` (runc/runf/runG OCI verbs)
+* XPU-Shim     -> :meth:`on_xpucall` / :meth:`on_nipc_message`
+
+Every layer treats its hook as optional (``obs=None`` keeps the
+component observability-free for unit tests), so the subsystem adds no
+coupling below ``core.molecule``, which wires everything.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import RequestTrace
+
+#: Finer buckets for sub-millisecond paths (XPUcalls, nIPC, admission).
+MICRO_BUCKETS = (
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4,
+    5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 0.1, 1.0,
+)
+
+
+class Observability:
+    """Metrics registry + lifecycle span store for one runtime."""
+
+    def __init__(
+        self,
+        sim,
+        registry: Optional[MetricsRegistry] = None,
+        max_traces: int = 10_000,
+    ):
+        self.sim = sim
+        self.registry = registry or MetricsRegistry()
+        #: Completed request traces, oldest evicted first.
+        self.traces: deque[RequestTrace] = deque(maxlen=max_traces)
+
+        r = self.registry
+        # -- request lifecycle -----------------------------------------------------
+        self.requests_total = r.counter(
+            "repro_requests_total",
+            "Completed invocations by function, PU kind and start kind.",
+            ("function", "pu_kind", "start_kind"),
+        )
+        self.request_seconds = r.histogram(
+            "repro_request_seconds",
+            "End-to-end request latency.",
+            ("function", "pu_kind", "start_kind"),
+        )
+        self.phase_seconds = r.histogram(
+            "repro_phase_seconds",
+            "Per-phase latency (admit/schedule/sandbox_start/exec/respond).",
+            ("phase", "function", "pu_kind", "start_kind"),
+        )
+        self.starts_total = r.counter(
+            "repro_starts_total",
+            "Instance starts by kind (cold | fork | warm).",
+            ("start_kind",),
+        )
+        self.failures_total = r.counter(
+            "repro_invocation_failures_total",
+            "Invocations abandoned by an error, by error type.",
+            ("function", "error"),
+        )
+        # -- gateway ---------------------------------------------------------------
+        self.gateway_requests = r.counter(
+            "repro_gateway_requests_total",
+            "Requests admitted by the API gateway.",
+        )
+        self.gateway_admit_seconds = r.histogram(
+            "repro_gateway_admit_seconds",
+            "Gateway admission overhead.",
+            buckets=MICRO_BUCKETS,
+        )
+        # -- scheduler -------------------------------------------------------------
+        self.placements_total = r.counter(
+            "repro_scheduler_placements_total",
+            "Successful instance placements by PU kind.",
+            ("pu_kind",),
+        )
+        self.placement_failures_total = r.counter(
+            "repro_scheduler_placement_failures_total",
+            "Placements rejected by admission control.",
+        )
+        # -- keep-alive ------------------------------------------------------------
+        self.keepalive_reaped_total = r.counter(
+            "repro_keepalive_reaped_total",
+            "Warm instances evicted by the keep-alive TTL reaper.",
+        )
+        self.pool_size = r.gauge(
+            "repro_warm_pool_size",
+            "Idle warm instances per PU (refreshed at snapshot time).",
+            ("pu",),
+        )
+        self.pool_hits = r.gauge(
+            "repro_warm_pool_hits",
+            "Warm-pool hits per PU (refreshed at snapshot time).",
+            ("pu",),
+        )
+        self.pool_misses = r.gauge(
+            "repro_warm_pool_misses",
+            "Warm-pool misses per PU (refreshed at snapshot time).",
+            ("pu",),
+        )
+        self.dram_used_mb = r.gauge(
+            "repro_pu_dram_used_mb",
+            "DRAM reserved on a general-purpose PU (snapshot time).",
+            ("pu",),
+        )
+        # -- sandboxes -------------------------------------------------------------
+        self.sandbox_verb_seconds = r.histogram(
+            "repro_sandbox_verb_seconds",
+            "Sandbox runtime verb latency (create/start/cfork/...).",
+            ("runtime", "verb"),
+        )
+        # -- XPU-Shim --------------------------------------------------------------
+        self.xpucalls_total = r.counter(
+            "repro_xpucalls_total",
+            "XPUcalls served by shim instances.",
+            ("pu_kind", "transport"),
+        )
+        self.xpucall_seconds = r.histogram(
+            "repro_xpucall_seconds",
+            "XPUcall user<->shim round-trip overhead.",
+            ("pu_kind", "transport"),
+            buckets=MICRO_BUCKETS,
+        )
+        self.nipc_messages_total = r.counter(
+            "repro_nipc_messages_total",
+            "XPU-FIFO messages written (local fast path vs cross-PU nIPC).",
+            ("path",),
+        )
+        self.nipc_bytes_total = r.counter(
+            "repro_nipc_bytes_total",
+            "XPU-FIFO payload bytes written.",
+            ("path",),
+        )
+
+    # -- lifecycle spans -----------------------------------------------------------
+
+    def begin_invocation(self, function: str) -> RequestTrace:
+        """Open the span tree for one request."""
+        return RequestTrace(self, function)
+
+    def record(self, trace: RequestTrace) -> None:
+        """Publish a finished trace into the metric families."""
+        root = trace.root
+        attrs = root.attributes
+        labels = {
+            "function": str(attrs.get("function", trace.function)),
+            "pu_kind": str(attrs.get("pu_kind", "unknown")),
+            "start_kind": str(attrs.get("start_kind", "unknown")),
+        }
+        self.requests_total.labels(**labels).inc()
+        self.request_seconds.labels(**labels).observe(root.duration_s)
+        self.starts_total.labels(start_kind=labels["start_kind"]).inc()
+        for child in root.children:
+            self.phase_seconds.labels(phase=child.name, **labels).observe(
+                child.duration_s
+            )
+        self.traces.append(trace)
+
+    def record_failure(self, trace: RequestTrace) -> None:
+        """Count an abandoned trace without polluting the histograms."""
+        self.failures_total.labels(
+            function=trace.function,
+            error=str(trace.root.attributes.get("error", "unknown")),
+        ).inc()
+        self.traces.append(trace)
+
+    def completed_traces(self) -> list[RequestTrace]:
+        """Recorded traces that finished cleanly (no error attribute)."""
+        return [t for t in self.traces if "error" not in t.root.attributes]
+
+    # -- component hooks -----------------------------------------------------------
+
+    def on_gateway_admit(self, duration_s: float) -> None:
+        """One request admitted by the gateway."""
+        self.gateway_requests.inc()
+        self.gateway_admit_seconds.observe(duration_s)
+
+    def on_placement(self, pu_kind: str) -> None:
+        """One instance placed onto a PU."""
+        self.placements_total.labels(pu_kind=pu_kind).inc()
+
+    def on_placement_failure(self) -> None:
+        """One placement rejected by admission control."""
+        self.placement_failures_total.inc()
+
+    def on_keepalive_reaped(self, count: int) -> None:
+        """``count`` idle instances evicted by the TTL reaper."""
+        if count:
+            self.keepalive_reaped_total.inc(count)
+
+    def on_sandbox_verb(self, runtime: str, verb: str, duration_s: float) -> None:
+        """One sandbox-runtime verb completed."""
+        self.sandbox_verb_seconds.labels(runtime=runtime, verb=verb).observe(
+            duration_s
+        )
+
+    def on_xpucall(self, pu_kind: str, transport: str, duration_s: float) -> None:
+        """One XPUcall served by a shim."""
+        self.xpucalls_total.labels(pu_kind=pu_kind, transport=transport).inc()
+        self.xpucall_seconds.labels(pu_kind=pu_kind, transport=transport).observe(
+            duration_s
+        )
+
+    def on_nipc_message(self, path: str, nbytes: int) -> None:
+        """One XPU-FIFO write (``path`` is ``local`` or ``cross``)."""
+        self.nipc_messages_total.labels(path=path).inc()
+        self.nipc_bytes_total.labels(path=path).inc(nbytes)

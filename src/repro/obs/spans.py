@@ -1,0 +1,136 @@
+"""Per-invocation lifecycle spans over the simulated clock.
+
+Each admitted request gets a :class:`RequestTrace`: a dedicated
+:class:`~repro.analysis.trace.Tracer` whose root ``request`` span holds
+the lifecycle phases the paper's breakdowns reason about::
+
+    request{function, request_id, pu, pu_kind, start_kind}
+      admit           gateway admission
+      schedule        warm-pool lookup + placement decision
+      sandbox_start   cold path only: cfork / create+start / repack
+        nipc          remote cfork command over the executor channel
+      exec            data prep + COW penalty + core queueing + run
+        nipc          accelerator DMA transfers (transport="dma")
+      respond         pool release + billing
+
+A per-request tracer (rather than one global tracer) is what makes the
+trees correct under concurrency: interleaved requests in the simulator
+would corrupt a single tracer's span stack.
+
+``start_kind`` distinguishes the three start paths: ``cold`` (baseline
+container boot), ``fork`` (cfork from a template), ``warm`` (pool hit).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.trace import Span, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.observability import Observability
+
+#: The lifecycle phase names, in request order (sandbox_start appears
+#: only on cold starts).
+LIFECYCLE_PHASES = ("admit", "schedule", "sandbox_start", "exec", "respond")
+
+#: start_kind label values.
+START_COLD = "cold"
+START_FORK = "fork"
+START_WARM = "warm"
+
+
+class RequestTrace:
+    """The span tree of one request, recorded against sim time."""
+
+    def __init__(self, obs: "Observability", function: str):
+        self.obs = obs
+        self.function = function
+        self.tracer = Tracer(obs.sim)
+        self.root = self.tracer.begin("request", function=function)
+        self.finished = False
+
+    def begin_phase(self, name: str, **attributes) -> Span:
+        """Open a span nested under the innermost open one."""
+        return self.tracer.begin(name, **attributes)
+
+    def end_phase(self, span: Span) -> Span:
+        """Close the innermost open span."""
+        return self.tracer.end(span)
+
+    def phase(self, name: str, **attributes):
+        """Context-manager form of begin/end."""
+        return self.tracer.span(name, **attributes)
+
+    def annotate(self, **attributes) -> None:
+        """Attach attributes to the root ``request`` span."""
+        self.root.attributes.update(attributes)
+
+    def finish(self) -> None:
+        """Close the request span and publish the trace's metrics."""
+        if self.finished:
+            return
+        self.tracer.end(self.root)
+        self.finished = True
+        self.obs.record(self)
+
+    def fail(self, error: str) -> None:
+        """Abandon the trace on an error: unwind every open span, tag
+        the root with the error, and count the failure (the phase
+        histograms only ever see completed requests)."""
+        if self.finished:
+            return
+        while self.tracer._stack:
+            self.tracer.end(self.tracer._stack[-1])
+        self.finished = True
+        self.annotate(error=error)
+        self.obs.record_failure(self)
+
+    def phases(self) -> dict[str, float]:
+        """Phase name -> duration (direct children of the root)."""
+        return {span.name: span.duration_s for span in self.root.children}
+
+    def render(self) -> str:
+        """Indented text timeline of the request."""
+        return self.tracer.render()
+
+
+class _NullSpan:
+    """Inert span handed out when observability is disabled."""
+
+    __slots__ = ("attributes",)
+
+    def __init__(self):
+        self.attributes: dict[str, object] = {}
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return None
+
+
+class NullRequestTrace:
+    """No-op stand-in so instrumented code never branches on None."""
+
+    def begin_phase(self, name: str, **attributes) -> _NullSpan:
+        return _NullSpan()
+
+    def end_phase(self, span) -> None:
+        return None
+
+    def phase(self, name: str, **attributes) -> _NullSpan:
+        return _NullSpan()
+
+    def annotate(self, **attributes) -> None:
+        return None
+
+    def finish(self) -> None:
+        return None
+
+    def fail(self, error: str) -> None:
+        return None
+
+
+#: Shared inert instance (stateless, safe to reuse).
+NULL_TRACE = NullRequestTrace()

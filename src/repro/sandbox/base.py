@@ -111,6 +111,15 @@ class SandboxRuntime:
     def __init__(self, sim: Simulator):
         self.sim = sim
         self._sandboxes: dict[str, Sandbox] = {}
+        #: Optional :class:`repro.obs.Observability` hub; when set, the
+        #: runtime reports per-verb latencies through it.
+        self.obs = None
+
+    def observe_verb(self, verb: str, began_s: float) -> None:
+        """Report one OCI verb's duration (``began_s`` is the sim time
+        captured at the verb's entry)."""
+        if self.obs is not None:
+            self.obs.on_sandbox_verb(self.runtime_name, verb, self.sim.now - began_s)
 
     # -- OCI scalar interface -------------------------------------------------------
 

@@ -87,12 +87,14 @@ class RuncRuntime(SandboxRuntime):
         """OCI ``create``: cold-path container creation (runc create)."""
         if code.language is None:
             raise SandboxError(f"runc cannot host kernel function {code.func_id!r}")
+        began = self.sim.now
         sandbox = self.register(
             Sandbox(sandbox_id, code, created_at=self.sim.now)
         )
         yield self.sim.timeout(self._scaled(config.STARTUP.container_create_ms))
         sandbox.backend = ContainerBackend(cgroup=self._new_cgroup(sandbox_id))
         sandbox.state = SandboxState.CREATED
+        self.observe_verb("create", began)
         return sandbox
 
     def start(self, sandbox_id: str):
@@ -103,6 +105,7 @@ class RuncRuntime(SandboxRuntime):
         """
         sandbox = self.get(sandbox_id)
         sandbox.require_state(SandboxState.CREATED)
+        began = self.sim.now
         code = sandbox.code
         yield self.sim.timeout(self._scaled(runtime_init_ms(code.language)))
         if code.import_ms:
@@ -115,6 +118,7 @@ class RuncRuntime(SandboxRuntime):
         sandbox.state = SandboxState.RUNNING
         sandbox.started_at = self.sim.now
         self.cold_boots += 1
+        self.observe_verb("start", began)
         return sandbox
 
     def kill(self, sandbox_id: str, signal: SignalNum = SignalNum.SIGTERM):
@@ -131,12 +135,14 @@ class RuncRuntime(SandboxRuntime):
         sandbox.require_state(
             SandboxState.CREATED, SandboxState.RUNNING, SandboxState.STOPPED
         )
+        began = self.sim.now
         backend = sandbox.backend
         if backend and backend.process and backend.process.alive:
             backend.process.exit()
         yield self.sim.timeout(self._scaled(1.0))  # runc delete is cheap
         sandbox.state = SandboxState.DELETED
         self.forget(sandbox_id)
+        self.observe_verb("delete", began)
         return sandbox
 
     # -- templates & cfork ---------------------------------------------------------------
@@ -192,6 +198,7 @@ class RuncRuntime(SandboxRuntime):
                 f"no template container for {code.func_id!r} "
                 f"({code.language}) on {self.os.name}"
             )
+        began = self.sim.now
         sandbox = self.register(Sandbox(sandbox_id, code, created_at=self.sim.now))
         if self._pool:
             prepared = self._pool.pop(0)
@@ -211,6 +218,7 @@ class RuncRuntime(SandboxRuntime):
         sandbox.started_at = self.sim.now
         template.fork_count += 1
         self.cforks += 1
+        self.observe_verb("cfork", began)
         return sandbox
 
     def first_request_penalty(self) -> float:

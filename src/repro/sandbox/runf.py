@@ -65,6 +65,7 @@ class RunfRuntime(SandboxRuntime):
         """
         if not entries:
             raise SandboxError("create_vector needs at least one sandbox")
+        began = self.sim.now
         kernels = []
         for _sandbox_id, code in entries:
             if code.kernel is None:
@@ -98,6 +99,7 @@ class RunfRuntime(SandboxRuntime):
             sandbox.state = SandboxState.CREATED
             self._resident[sandbox_id] = sandbox
             created.append(sandbox)
+        self.observe_verb("create_vector", began)
         return created
 
     def start(self, sandbox_id: str):
@@ -105,12 +107,14 @@ class RunfRuntime(SandboxRuntime):
         kernel (Fig. 10c "Prep.-sandbox", skipped when already warm)."""
         sandbox = self.get(sandbox_id)
         sandbox.require_state(SandboxState.CREATED, SandboxState.RUNNING)
+        began = self.sim.now
         backend: FpgaBackend = sandbox.backend
         if not backend.warmed:
             yield self.sim.timeout(self.device.costs.prep_sandbox_s)
             backend.warmed = True
         sandbox.state = SandboxState.RUNNING
         sandbox.started_at = self.sim.now
+        self.observe_verb("start", began)
         return sandbox
 
     def kill(self, sandbox_id: str, signal: SignalNum = SignalNum.SIGTERM):
@@ -122,8 +126,10 @@ class RunfRuntime(SandboxRuntime):
         """OCI ``delete``: **empty** — returns immediately after a state
         update; the fabric is reclaimed by the next ``create`` (§3.5)."""
         sandbox = self.get(sandbox_id)
+        began = self.sim.now
         yield self.sim.timeout(0.0)
         sandbox.state = SandboxState.DELETED
+        self.observe_verb("delete", began)
         # Intentionally NOT forgotten/erased: the kernel stays resident
         # until the next create replaces the image.
         return sandbox
@@ -138,6 +144,7 @@ class RunfRuntime(SandboxRuntime):
         """
         sandbox = self.get(sandbox_id)
         sandbox.require_state(SandboxState.RUNNING)
+        began = self.sim.now
         backend: FpgaBackend = sandbox.backend
         if not self.device.has_kernel(backend.instance.kernel.name):
             raise SandboxStateError(
@@ -150,6 +157,7 @@ class RunfRuntime(SandboxRuntime):
             self.device.pu.clock.mark_busy()
             yield self.sim.timeout(exec_time_s)
             self.device.pu.clock.mark_idle()
+        self.observe_verb("invoke", began)
         return sandbox
 
     # -- cache queries -------------------------------------------------------------------

@@ -68,6 +68,7 @@ class RungRuntime(SandboxRuntime):
         """Vectorized ``create``: one context, many modules (MPS)."""
         if not entries:
             raise SandboxError("create_vector needs at least one sandbox")
+        began = self.sim.now
         yield from self._ensure_context()
         created = []
         for sandbox_id, code in entries:
@@ -80,25 +81,30 @@ class RungRuntime(SandboxRuntime):
             sandbox.backend = GpuBackend(module_name=code.kernel.name)
             sandbox.state = SandboxState.CREATED
             created.append(sandbox)
+        self.observe_verb("create_vector", began)
         return created
 
     def start(self, sandbox_id: str):
         """OCI ``start``: create the instance's CUDA stream."""
         sandbox = self.get(sandbox_id)
         sandbox.require_state(SandboxState.CREATED)
+        began = self.sim.now
         yield self.sim.timeout(STREAM_CREATE_S)
         sandbox.backend.stream_id = self._next_stream
         self._next_stream += 1
         sandbox.state = SandboxState.RUNNING
         sandbox.started_at = self.sim.now
+        self.observe_verb("start", began)
         return sandbox
 
     def delete(self, sandbox_id: str):
         """OCI ``delete``: unload the module (cheap on GPUs)."""
         sandbox = self.get(sandbox_id)
+        began = self.sim.now
         yield self.sim.timeout(STREAM_CREATE_S)
         sandbox.state = SandboxState.DELETED
         self.forget(sandbox_id)
+        self.observe_verb("delete", began)
         return sandbox
 
     # -- invocation ----------------------------------------------------------------------
@@ -107,9 +113,11 @@ class RungRuntime(SandboxRuntime):
         """Generator: launch the kernel on the sandbox's stream."""
         sandbox = self.get(sandbox_id)
         sandbox.require_state(SandboxState.RUNNING)
+        began = self.sim.now
         yield self.sim.timeout(KERNEL_LAUNCH_S)
         duration = exec_time_s if exec_time_s is not None else sandbox.code.kernel.exec_time_s
         self.pu.clock.mark_busy()
         yield self.sim.timeout(duration)
         self.pu.clock.mark_idle()
+        self.observe_verb("invoke", began)
         return sandbox

@@ -38,13 +38,21 @@ from repro.xpu.xpucall import XpucallTransport, default_transport
 class ShimCluster:
     """The distributed XPU-Shim deployment on one machine."""
 
-    def __init__(self, sim: Simulator, machine: HeterogeneousComputer):
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: HeterogeneousComputer,
+        obs: Optional[object] = None,
+    ):
         self.sim = sim
         self.machine = machine
         self.captable = CapabilityTable()
         self.sync = SyncManager(sim, machine)
         self.shims: dict[int, "XpuShim"] = {}
         self._uid_counters: dict[int, itertools.count] = {}
+        #: Optional :class:`repro.obs.Observability` hub; every shim
+        #: instance reports XPUcall and nIPC metrics through it.
+        self.obs = obs
 
     # -- deployment --------------------------------------------------------------
 
@@ -138,8 +146,12 @@ class XpuShim:
 
     def _xpucall_overhead(self):
         """Generator: charge the local user<->shim transport cost."""
-        yield self.sim.timeout(self.transport.round_trip_time(self.exec_pu))
+        round_trip = self.transport.round_trip_time(self.exec_pu)
+        yield self.sim.timeout(round_trip)
         self.calls_served += 1
+        obs = self.cluster.obs
+        if obs is not None:
+            obs.on_xpucall(self.pu.kind.value, self.transport.value, round_trip)
 
     def _route_to(self, other_pu_id: int):
         return self.cluster.machine.interconnect.route(self.pu.pu_id, other_pu_id)
@@ -236,10 +248,13 @@ class XpuShim:
         if not handle.end.permission() & Permission.WRITE:
             raise CapabilityError("handle is read-only")
         caller.require(handle.fifo.obj_id, Permission.WRITE)
+        obs = self.cluster.obs
         if handle.is_local:
             yield self.sim.timeout(self.exec_pu.copy_time(size))
             yield self.sim.timeout(self.exec_pu.ipc_notify_time())
             handle.fifo.deposit(payload, size)
+            if obs is not None:
+                obs.on_nipc_message("local", size)
             return size
         yield from self._xpucall_overhead()
         yield self.sim.timeout(self.exec_pu.copy_time(size))
@@ -247,6 +262,8 @@ class XpuShim:
         yield self.sim.timeout(route.transfer_time(size))
         yield self.sim.timeout(handle.fifo.home_pu.op_time())
         handle.fifo.deposit(payload, size)
+        if obs is not None:
+            obs.on_nipc_message("cross", size)
         return size
 
     def xfifo_read(self, caller: CapGroup, handle: XpuFifoHandle):

@@ -31,8 +31,7 @@ def runtime():
 def _kill_warm_instance(runtime):
     """Simulate a crash of the pooled warm instance's process."""
     pool = runtime.invoker.pools[0]
-    [bucket] = pool._idle.values()
-    _since, instance = bucket[0]
+    instance = pool.idle_instances()[0]
     instance.sandbox.backend.process.exit()
     return instance
 

@@ -1,0 +1,226 @@
+"""Unit tests for the metrics primitives: counter/gauge/histogram
+semantics, label-schema enforcement, cardinality caps and quantile
+edge cases."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ObsError,
+)
+
+
+# -- Counter ------------------------------------------------------------------
+
+
+def test_counter_accumulates():
+    c = Counter()
+    assert c.value == 0.0
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+
+
+def test_counter_rejects_negative_increment():
+    c = Counter()
+    with pytest.raises(ObsError):
+        c.inc(-1.0)
+    assert c.value == 0.0
+
+
+def test_counter_allows_zero_increment():
+    c = Counter()
+    c.inc(0.0)
+    assert c.value == 0.0
+
+
+# -- Gauge --------------------------------------------------------------------
+
+
+def test_gauge_set_inc_dec():
+    g = Gauge()
+    g.set(10.0)
+    g.inc(5.0)
+    g.dec(3.0)
+    assert g.value == 12.0
+    g.inc(-20.0)  # gauges may go negative
+    assert g.value == -8.0
+
+
+# -- Histogram ----------------------------------------------------------------
+
+
+def test_histogram_buckets_are_cumulative():
+    h = Histogram(buckets=(1.0, 2.0, 4.0))
+    for v in (0.5, 1.5, 1.5, 3.0, 100.0):
+        h.observe(v)
+    assert h.bucket_counts() == [
+        (1.0, 1), (2.0, 3), (4.0, 4), (math.inf, 5),
+    ]
+    assert h.count == 5
+    assert h.sum == pytest.approx(106.5)
+
+
+def test_histogram_rejects_unsorted_bounds():
+    with pytest.raises(ObsError):
+        Histogram(buckets=(2.0, 1.0))
+    with pytest.raises(ObsError):
+        Histogram(buckets=(1.0, 1.0))
+    with pytest.raises(ObsError):
+        Histogram(buckets=())
+
+
+def test_histogram_explicit_inf_bucket_is_deduped():
+    h = Histogram(buckets=(1.0, math.inf))
+    assert h.bounds == (1.0, math.inf)
+
+
+def test_histogram_quantiles_interpolate():
+    h = Histogram(buckets=(10.0, 20.0))
+    for _ in range(10):
+        h.observe(15.0)  # all land in the (10, 20] bucket
+    # Interpolation is linear within the bucket: q of 0.5 crosses at
+    # half the bucket's span from its lower bound.
+    assert h.quantile(0.5) == pytest.approx(15.0)
+    assert h.quantile(1.0) == pytest.approx(20.0)
+
+
+def test_histogram_quantile_edges():
+    h = Histogram(buckets=(10.0,))
+    assert math.isnan(h.quantile(0.5))  # empty histogram
+    h.observe(5.0)
+    assert h.quantile(0.0) == pytest.approx(0.0)
+    assert h.quantile(1.0) == pytest.approx(10.0)
+    with pytest.raises(ObsError):
+        h.quantile(-0.1)
+    with pytest.raises(ObsError):
+        h.quantile(1.1)
+
+
+def test_histogram_quantile_clamps_inf_bucket():
+    h = Histogram(buckets=(1.0,))
+    h.observe(50.0)  # lands in +Inf
+    # The +Inf bucket has no upper bound; the estimate is clamped to
+    # the last finite boundary.
+    assert h.quantile(0.99) == pytest.approx(1.0)
+
+
+def test_histogram_p50_p95_p99_properties():
+    h = Histogram(buckets=DEFAULT_BUCKETS)
+    for i in range(100):
+        h.observe(0.001 * (i + 1))  # 1ms .. 100ms
+    assert 0.04 <= h.p50 <= 0.06
+    assert 0.08 <= h.p95 <= 0.1
+    assert 0.09 <= h.p99 <= 0.1
+
+
+# -- MetricFamily labels ------------------------------------------------------
+
+
+def test_family_requires_exact_label_set():
+    r = MetricsRegistry()
+    fam = r.counter("x_total", "help.", ("a", "b"))
+    fam.labels(a="1", b="2").inc()
+    with pytest.raises(ObsError):
+        fam.labels(a="1")  # missing b
+    with pytest.raises(ObsError):
+        fam.labels(a="1", b="2", c="3")  # unexpected c
+
+
+def test_family_children_are_distinct_series():
+    r = MetricsRegistry()
+    fam = r.counter("x_total", "help.", ("a",))
+    fam.labels(a="1").inc(3)
+    fam.labels(a="2").inc(4)
+    assert fam.labels(a="1").value == 3
+    assert fam.labels(a="2").value == 4
+    assert fam.total() == 7
+
+
+def test_family_labelless_delegation():
+    r = MetricsRegistry()
+    c = r.counter("plain_total", "help.")
+    c.inc(2)
+    assert c.value == 2
+    g = r.gauge("g", "help.")
+    g.set(7)
+    assert g.value == 7
+    h = r.histogram("h_seconds", "help.", buckets=(1.0,))
+    h.observe(0.5)
+    assert h.labels().count == 1
+
+
+def test_family_labelless_delegation_rejected_with_labels():
+    r = MetricsRegistry()
+    fam = r.counter("x_total", "help.", ("a",))
+    with pytest.raises(ObsError):
+        fam.inc()
+
+
+def test_family_cardinality_cap():
+    r = MetricsRegistry(max_series_per_family=3)
+    fam = r.counter("x_total", "help.", ("a",))
+    for i in range(3):
+        fam.labels(a=str(i)).inc()
+    with pytest.raises(ObsError):
+        fam.labels(a="unbounded")
+    # Existing series stay reachable.
+    fam.labels(a="0").inc()
+    assert fam.labels(a="0").value == 2
+
+
+def test_histogram_family_has_no_total():
+    r = MetricsRegistry()
+    fam = r.histogram("h_seconds", "help.", ("a",), buckets=(1.0,))
+    fam.labels(a="1").observe(0.5)
+    with pytest.raises(ObsError):
+        fam.total()
+
+
+# -- MetricsRegistry ----------------------------------------------------------
+
+
+def test_registry_rejects_duplicate_names():
+    r = MetricsRegistry()
+    r.counter("x_total", "help.")
+    with pytest.raises(ObsError):
+        r.gauge("x_total", "help.")
+
+
+def test_registry_validates_names_and_labels():
+    r = MetricsRegistry()
+    with pytest.raises(ObsError):
+        r.counter("0bad", "help.")
+    with pytest.raises(ObsError):
+        r.counter("ok_total", "help.", ("0bad",))
+    with pytest.raises(ObsError):
+        r.histogram("h_seconds", "help.", ("le",))  # reserved
+
+
+def test_registry_get_and_families():
+    r = MetricsRegistry()
+    a = r.counter("a_total", "help.")
+    b = r.gauge("b", "help.")
+    assert r.get("a_total") is a
+    assert list(r.families()) == [a, b]
+    with pytest.raises(ObsError):
+        r.get("missing")
+
+
+def test_registry_to_dict_shape():
+    r = MetricsRegistry()
+    fam = r.histogram("h_seconds", "help.", ("a",), buckets=(1.0, 2.0))
+    fam.labels(a="x").observe(0.5)
+    d = r.to_dict()
+    [series] = d["h_seconds"]["series"]
+    assert d["h_seconds"]["type"] == "histogram"
+    assert series["labels"] == {"a": "x"}
+    assert series["count"] == 1
+    assert series["buckets"] == {"1": 1, "2": 1, "+Inf": 1}
+    assert series["p50"] == pytest.approx(0.5)

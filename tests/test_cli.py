@@ -50,3 +50,23 @@ def test_all_printers_run(capsys):
 def test_missing_command_rejected():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_metrics_prints_tables_and_exposition(capsys):
+    assert main(["metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "== start kinds ==" in out
+    assert "== lifecycle phases ==" in out
+    assert "# TYPE repro_request_seconds histogram" in out
+    # The demo exercises all three start paths.
+    for kind in ("cold", "fork", "warm"):
+        assert f'repro_starts_total{{start_kind="{kind}"}}' in out
+
+
+def test_metrics_json_is_parseable(capsys):
+    import json
+
+    assert main(["metrics", "--json"]) == 0
+    snapshot = json.loads(capsys.readouterr().out)
+    assert snapshot["requests_admitted"] == 4
+    assert "repro_phase_seconds" in snapshot["metrics"]

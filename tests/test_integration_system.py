@@ -17,8 +17,8 @@ from repro import (
     WorkProfile,
     build_full_machine,
 )
-from repro.analysis.trace import Tracer
 from repro.hardware import FabricResources, KernelSpec
+from repro.obs.spans import LIFECYCLE_PHASES
 from repro.workloads import functionbench, serverlessbench
 
 
@@ -103,18 +103,18 @@ def test_concurrent_requests_share_warm_instances(system):
     assert not any(r.cold for r in again)  # fully warm second burst
 
 
-def test_tracer_records_request_breakdown(system):
-    tracer = Tracer(system.sim)
-    system.invoker.tracer = tracer
+def test_obs_records_request_breakdown(system):
     system.invoke_now("matmul", kind=PuKind.CPU)
-    [request] = tracer.find("request")
-    startup, exec_span = request.children
-    assert startup.name == "startup" and startup.attributes["cold"] is True
-    assert exec_span.name == "exec"
-    assert request.duration_s == pytest.approx(
-        startup.duration_s + exec_span.duration_s, rel=0.2
-    )
-    system.invoker.tracer = None
+    [trace] = [t for t in system.obs.completed_traces()
+               if t.function == "matmul"]
+    request = trace.root
+    assert [c.name for c in request.children] == list(LIFECYCLE_PHASES)
+    # deploy() boots cfork templates, so the first start is a fork.
+    assert request.attributes["start_kind"] == "fork"
+    assert request.attributes["pu_kind"] == "cpu"
+    phases = trace.phases()
+    assert sum(phases.values()) <= request.duration_s + 1e-9
+    assert phases["exec"] > 0
 
 
 def test_utilization_clocks_advance(system):

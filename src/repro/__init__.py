@@ -32,6 +32,8 @@ from repro.core import (
     MoleculeRuntime,
     WorkProfile,
 )
+from repro.core.reliability import RetryPolicy
+from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
 from repro.hardware import (
     HeterogeneousComputer,
     PuKind,
@@ -48,6 +50,10 @@ __all__ = [
     "Chain",
     "ChainResult",
     "ChainStage",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
     "FunctionCode",
     "FunctionDef",
     "FunctionRegistry",
@@ -56,6 +62,7 @@ __all__ = [
     "Language",
     "MoleculeRuntime",
     "PuKind",
+    "RetryPolicy",
     "Simulator",
     "WorkProfile",
     "build_cpu_dpu_machine",

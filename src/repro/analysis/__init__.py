@@ -3,6 +3,9 @@
 from repro.analysis.report import (
     format_artifact_block,
     format_comparison,
+    format_phase_breakdown,
+    format_reliability,
+    format_start_kinds,
     format_table,
     normalized,
 )
@@ -16,6 +19,9 @@ __all__ = [
     "Tracer",
     "format_artifact_block",
     "format_comparison",
+    "format_phase_breakdown",
+    "format_reliability",
+    "format_start_kinds",
     "format_table",
     "normalized",
     "percentile",

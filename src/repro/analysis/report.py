@@ -94,6 +94,52 @@ def format_start_kinds(snapshot: dict) -> str:
     return format_table(["start kind", "count"], rows)
 
 
+def _family_total(snapshot: dict, name: str) -> float:
+    family = snapshot["metrics"].get(name)
+    if not family:
+        return 0.0
+    return sum(series.get("value", 0.0) for series in family["series"])
+
+
+def format_reliability(snapshot: dict) -> str:
+    """Reliability summary from a runtime metrics snapshot: request
+    accounting (admitted / answered / dead-lettered), retry and
+    degradation rates, and per-PU breaker state."""
+    admitted = snapshot.get("requests_admitted", 0)
+    answered = _family_total(snapshot, "repro_requests_total")
+    dead = snapshot.get("dead_letters", 0)
+    retries = _family_total(snapshot, "repro_retries_total")
+    degraded = _family_total(snapshot, "repro_degraded_total")
+    deadline = _family_total(snapshot, "repro_deadline_exceeded_total")
+    faults = _family_total(snapshot, "repro_faults_injected_total")
+
+    def rate(count: float) -> str:
+        return f"{count / admitted:.1%}" if admitted else "n/a"
+
+    rows = [
+        ("requests admitted", int(admitted), ""),
+        ("requests answered", int(answered), rate(answered)),
+        ("dead letters", int(dead), rate(dead)),
+        ("retries", int(retries), rate(retries)),
+        ("degraded to fallback PU", int(degraded), rate(degraded)),
+        ("deadline exceeded", int(deadline), rate(deadline)),
+        ("faults injected", int(faults), ""),
+    ]
+    out = [format_table(["reliability", "count", "rate"], rows)]
+    breaker = snapshot["metrics"].get("repro_breaker_state")
+    if breaker and breaker["series"]:
+        state_names = {0: "closed", 1: "half-open", 2: "open", 3: "down"}
+        breaker_rows = [
+            (
+                series["labels"]["pu"],
+                state_names.get(int(series["value"]), str(series["value"])),
+            )
+            for series in breaker["series"]
+        ]
+        out.append(format_table(["pu", "breaker"], breaker_rows))
+    return "\n\n".join(out)
+
+
 def normalized(values: Sequence[float], reference: float) -> list[float]:
     """Values divided by a reference (the paper's normalized plots)."""
     if reference == 0:

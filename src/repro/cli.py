@@ -7,6 +7,7 @@ Usage::
     python -m repro run all             # run everything
     python -m repro report              # emit EXPERIMENTS.md to stdout
     python -m repro metrics              # demo run + metrics exposition
+    python -m repro faults --check       # fault scenarios, zero-lost gate
 """
 
 from __future__ import annotations
@@ -313,7 +314,11 @@ def _run_metrics_demo():
 def _print_metrics(as_json: bool) -> None:
     import json
 
-    from repro.analysis.report import format_phase_breakdown, format_start_kinds
+    from repro.analysis.report import (
+        format_phase_breakdown,
+        format_reliability,
+        format_start_kinds,
+    )
 
     molecule = _run_metrics_demo()
     if as_json:
@@ -326,8 +331,56 @@ def _print_metrics(as_json: bool) -> None:
     print("== lifecycle phases ==")
     print(format_phase_breakdown(snapshot))
     print()
+    print("== reliability ==")
+    print(format_reliability(snapshot))
+    print()
     print("== exposition ==")
     print(molecule.metrics_exposition(), end="")
+
+
+def _print_faults(args) -> int:
+    """``repro faults``: run fault scenarios and report the accounting."""
+    import json
+
+    from repro.analysis.report import format_reliability, format_table
+    from repro.faults import FaultPlan, run_scenario, scenario_names
+
+    names = args.scenarios or scenario_names()
+    unknown = [name for name in names if name not in scenario_names()]
+    if unknown:
+        print(f"unknown scenario(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(scenario_names())}", file=sys.stderr)
+        return 2
+    plan = None
+    if args.plan:
+        with open(args.plan, encoding="utf-8") as handle:
+            plan = FaultPlan.from_json(handle.read())
+    lost_total = 0
+    for name in names:
+        summary = run_scenario(name, seed=args.seed, plan=plan)
+        lost_total += summary["lost"]
+        if args.json:
+            summary.pop("snapshot")
+            print(json.dumps(summary, indent=2, sort_keys=True, default=str))
+            continue
+        print(f"=== {name} (seed {summary['seed']}) ===")
+        print(format_table(
+            ["submitted", "answered", "dead-lettered", "lost",
+             "retried", "degraded"],
+            [(summary["submitted"], summary["answered"],
+              summary["dead_lettered"], summary["lost"],
+              summary["retried_requests"], summary["degraded_requests"])],
+        ))
+        for fault in summary["faults_injected"]:
+            fired_at = fault.pop("at_s")
+            print(f"fault @ {fired_at:.3f}s: {fault}")
+        print()
+        print(format_reliability(summary["snapshot"]))
+        print()
+    if args.check and lost_total:
+        print(f"LOST REQUESTS: {lost_total}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -352,6 +405,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metrics.add_argument("--json", action="store_true",
                          help="emit the JSON snapshot instead of tables")
+    faults = sub.add_parser(
+        "faults",
+        help="run deterministic fault-injection scenarios",
+    )
+    faults.add_argument("scenarios", nargs="*",
+                        help="scenario names (default: all)")
+    faults.add_argument("--seed", type=int, default=None,
+                        help="simulation seed (default: config default)")
+    faults.add_argument("--plan", metavar="FILE", default=None,
+                        help="JSON fault plan overriding the canned one")
+    faults.add_argument("--json", action="store_true",
+                        help="emit JSON summaries instead of tables")
+    faults.add_argument("--check", action="store_true",
+                        help="exit 1 if any request is lost "
+                             "(neither answered nor dead-lettered)")
     return parser
 
 
@@ -370,6 +438,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "metrics":
         _print_metrics(args.json)
         return 0
+    if args.command == "faults":
+        return _print_faults(args)
     if args.command == "validate":
         from repro.analysis.validation import scorecard, validate_all
 

@@ -265,6 +265,37 @@ LAZY_SYNC_WINDOW_S = 0.010
 GATEWAY_OVERHEAD_MS = 0.35
 
 
+# ---------------------------------------------------------------------------
+# Reliability defaults (retry/backoff, circuit breakers, deadlines).
+#
+# Not paper-calibrated: Molecule's prototype has no failure handling;
+# these defaults model the commodity policies of production FaaS
+# platforms (bounded retries with exponential backoff, per-backend
+# breakers) so injected faults are survivable.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReliabilityDefaults:
+    """Default retry/backoff/breaker parameters."""
+
+    #: Total attempts per request (first try + retries).
+    max_attempts: int = 3
+    #: First backoff pause; doubles per retry up to the cap.
+    backoff_base_ms: float = 10.0
+    backoff_multiplier: float = 2.0
+    backoff_max_ms: float = 1000.0
+    #: Deterministic jitter fraction applied to each backoff pause.
+    backoff_jitter: float = 0.1
+    #: Consecutive failures that trip a PU's circuit breaker open.
+    breaker_failure_threshold: int = 3
+    #: How long an open breaker rejects a PU before half-open probing.
+    breaker_open_s: float = 5.0
+
+
+RELIABILITY = ReliabilityDefaults()
+
+
 def default_seed() -> int:
     """The library-wide default RNG seed."""
     return 42

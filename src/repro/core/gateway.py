@@ -10,7 +10,7 @@ point of §4.3.
 from __future__ import annotations
 
 import itertools
-from typing import Optional, TYPE_CHECKING
+from typing import Callable, Optional, TYPE_CHECKING
 
 from repro import config
 from repro.sim import Simulator
@@ -20,25 +20,55 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class ApiGateway:
-    """Request admission for one worker machine."""
+    """Request admission for one worker machine.
+
+    With ``default_deadline_s`` configured, every admitted request is
+    stamped with an absolute deadline; the invoker abandons attempts
+    that would overrun it and raises
+    :class:`~repro.errors.DeadlineExceeded`.
+    """
 
     def __init__(
         self,
         sim: Simulator,
         overhead_ms: float = config.GATEWAY_OVERHEAD_MS,
         obs: Optional["Observability"] = None,
+        default_deadline_s: Optional[float] = None,
     ):
         self.sim = sim
         self.overhead_ms = overhead_ms
         self.obs = obs
+        self.default_deadline_s = default_deadline_s
         self._request_ids = itertools.count(1)
         self.requests_admitted = 0
+        self._deadlines: dict[int, float] = {}
+        #: Called with the running admitted count after each admission
+        #: (the fault injector's after-N-requests triggers hook in here).
+        self._admit_listeners: list[Callable[[int], None]] = []
 
-    def admit(self):
-        """Generator: admit one request, returning its request id."""
+    def add_admit_listener(self, listener: Callable[[int], None]) -> None:
+        """Subscribe to admissions (called with the admitted count)."""
+        self._admit_listeners.append(listener)
+
+    def deadline_for(self, request_id: int) -> Optional[float]:
+        """Absolute sim-time deadline of a request (None if unbounded)."""
+        return self._deadlines.get(request_id)
+
+    def admit(self, deadline_s: Optional[float] = None):
+        """Generator: admit one request, returning its request id.
+
+        ``deadline_s`` (relative) overrides the gateway default for
+        this one request.
+        """
         began = self.sim.now
         yield self.sim.timeout(self.overhead_ms * config.MS)
         self.requests_admitted += 1
         if self.obs is not None:
             self.obs.on_gateway_admit(self.sim.now - began)
-        return next(self._request_ids)
+        request_id = next(self._request_ids)
+        budget = deadline_s if deadline_s is not None else self.default_deadline_s
+        if budget is not None:
+            self._deadlines[request_id] = self.sim.now + budget
+        for listener in self._admit_listeners:
+            listener(self.requests_admitted)
+        return request_id

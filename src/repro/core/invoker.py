@@ -18,12 +18,32 @@ from dataclasses import dataclass, field
 from typing import Optional, TYPE_CHECKING
 
 from repro import config
-from repro.errors import SandboxError, SchedulingError, WorkloadError
+from repro.errors import (
+    DeadlineExceeded,
+    FaultInjectedError,
+    RegistryError,
+    ReliabilityError,
+    ReproError,
+    RetriesExhaustedError,
+    SandboxError,
+    SchedulingError,
+    WorkloadError,
+)
 from repro.hardware.pu import ProcessingUnit, PuKind
 from repro.core.keepalive import WarmPool
 from repro.core.registry import FunctionDef
-from repro.obs.spans import NULL_TRACE, START_COLD, START_FORK, START_WARM
+from repro.core.reliability import DeadLetter, RetryPolicy
+from repro.obs.spans import (
+    DetachableTrace,
+    NULL_TRACE,
+    START_COLD,
+    START_FORK,
+    START_WARM,
+)
 from repro.sandbox.base import Sandbox, SandboxState
+from repro.sandbox.runc import ContainerBackend
+from repro.sandbox.runf import FpgaBackend
+from repro.sandbox.rung import GpuBackend
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.molecule import MoleculeRuntime
@@ -59,11 +79,23 @@ class InvocationResult:
     comm_s: float
     total_s: float
     billed_cost: float
+    #: Attempts the request took (1 = first attempt succeeded).
+    attempts: int = 1
+    #: Last transient error retried before success, if any.
+    error: Optional[str] = None
+    #: True when the request fell back from an accelerator profile to a
+    #: general-purpose one because the accelerator was down.
+    degraded: bool = False
 
     @property
     def total_ms(self) -> float:
         """End-to-end latency in milliseconds."""
         return self.total_s / config.MS
+
+    @property
+    def retried(self) -> bool:
+        """True if the request needed more than one attempt."""
+        return self.attempts > 1
 
 
 class Invoker:
@@ -87,6 +119,16 @@ class Invoker:
         #: Observability hub (lifecycle spans + metrics); None keeps the
         #: invoker instrumentation-free for unit tests.
         self.obs = getattr(runtime, "obs", None)
+        #: Reliability wiring (all optional so unit tests can run a bare
+        #: runtime): retry policy, per-PU health, dead letters.
+        self.retry_policy: RetryPolicy = (
+            getattr(runtime, "retry_policy", None) or RetryPolicy()
+        )
+        self.health = getattr(runtime, "health", None)
+        self.dead_letters = getattr(runtime, "dead_letters", None)
+        rng = getattr(runtime, "rng", None)
+        #: Seeded stream for backoff jitter (None disables jitter).
+        self._retry_rng = rng.fork("invoker-retry") if rng is not None else None
         self._reaper_wakeup = None
         if keep_alive_ttl_s is not None:
             self.runtime.sim.spawn(
@@ -139,11 +181,19 @@ class Invoker:
         force_cold: bool = False,
         payload_bytes: int = 1024,
         exec_time_s: Optional[float] = None,
+        deadline_s: Optional[float] = None,
+        max_attempts: Optional[int] = None,
     ):
         """Generator: run one request end to end.
 
         ``exec_time_s`` overrides the function's warm execution model
         for input-dependent workloads (file size, entry count).
+
+        Transient failures (injected faults, dead sandboxes, exhausted
+        capacity) are retried with exponential backoff up to
+        ``max_attempts`` (default: the runtime's retry policy); requests
+        out of attempts or past their deadline are dead-lettered and
+        raise :class:`RetriesExhaustedError` / :class:`DeadlineExceeded`.
         """
         function = self.runtime.registry.get(name)
         if pu is not None and kind is None:
@@ -160,24 +210,217 @@ class Invoker:
         )
         try:
             admit_span = trace.begin_phase("admit")
-            request_id = yield from self.runtime.gateway.admit()
+            request_id = yield from self.runtime.gateway.admit(
+                deadline_s=deadline_s
+            )
             trace.end_phase(admit_span)
             trace.annotate(request_id=request_id)
-            if (kind or function.profiles[0]) in (PuKind.FPGA, PuKind.GPU):
-                result = yield from self._invoke_accelerated(
-                    function, request_id, kind or function.profiles[0],
-                    payload_bytes, exec_time_s, start, trace,
-                )
-            else:
-                result = yield from self._invoke_general(
-                    function, request_id, kind, pu, force_cold,
-                    payload_bytes, exec_time_s, start, trace,
-                )
+            result = yield from self._invoke_with_retries(
+                function, request_id, kind, pu, force_cold,
+                payload_bytes, exec_time_s, start, trace,
+                max_attempts or self.retry_policy.max_attempts,
+            )
         except Exception as exc:
             trace.fail(type(exc).__name__)
             raise
         trace.finish()
         return result
+
+    # -- retry / deadline loop -------------------------------------------------------
+
+    def _invoke_with_retries(
+        self, function, request_id, kind, pu, force_cold,
+        payload_bytes, exec_time_s, start, trace, max_attempts,
+    ):
+        """Generator: drive attempts until success, exhaustion or
+        deadline.
+
+        Each attempt runs as its own process raced against the request
+        deadline.  When the deadline fires first the attempt is
+        *orphaned*, not interrupted: it finishes in the background so
+        every resource it holds (cores, DRAM, pool slots) is released
+        through the normal paths, while its trace proxy is detached so
+        it can no longer touch this request's span tree.
+        """
+        deadline_at = self.runtime.gateway.deadline_for(request_id)
+        errors: list[str] = []
+        attempts = 0
+        degraded_any = False
+        while True:
+            if deadline_at is not None and self.sim.now >= deadline_at:
+                self._expire(function, request_id, attempts, errors)
+            attempts += 1
+            dispatch_kind = kind or function.profiles[0]
+            attempt_kind, degraded = self._effective_kind(function, dispatch_kind)
+            if degraded:
+                degraded_any = True
+                if self.obs is not None:
+                    self.obs.on_degraded(
+                        function.name, dispatch_kind.value, attempt_kind.value
+                    )
+                trace.annotate(degraded=True)
+            shield = DetachableTrace(trace)
+            attempt_info: dict = {}
+            proc = self.sim.spawn(
+                self._attempt(
+                    function, request_id,
+                    attempt_kind if degraded else kind,
+                    None if degraded else pu,
+                    force_cold, payload_bytes, exec_time_s, start,
+                    shield, attempt_info,
+                ),
+                name=f"attempt:{function.name}#{request_id}.{attempts}",
+            )
+            race = proc
+            if deadline_at is not None:
+                race = self.sim.any_of(
+                    [proc, self.sim.timeout(deadline_at - self.sim.now)]
+                )
+            try:
+                yield race
+            except Exception as exc:  # the attempt failed
+                failure = exc
+            else:
+                if proc.triggered and proc.ok:
+                    result: InvocationResult = proc.value
+                    result.attempts = attempts
+                    result.degraded = degraded_any
+                    result.error = errors[-1] if errors else None
+                    if attempts > 1:
+                        trace.annotate(attempts=attempts)
+                    used = attempt_info.get("pu")
+                    if self.health is not None and used is not None:
+                        self.health.record_success(used)
+                    return result
+                # The deadline fired first: orphan the attempt.
+                shield.detach()
+                trace.unwind()
+                self._expire(function, request_id, attempts, errors)
+            # -- transient or terminal failure --------------------------------------
+            trace.unwind()
+            errors.append(f"{type(failure).__name__}: {failure}")
+            used = attempt_info.get("pu")
+            if self.health is not None and used is not None:
+                self.health.record_failure(used)
+            if not self._retryable(failure):
+                self._dead_letter(function, request_id, attempts, errors, "error")
+                raise failure
+            if attempts >= max_attempts:
+                self._dead_letter(
+                    function, request_id, attempts, errors, "retries_exhausted"
+                )
+                raise RetriesExhaustedError(
+                    f"request {request_id} for {function.name!r} failed "
+                    f"{attempts} attempt(s): {errors[-1]}",
+                    attempts=attempts,
+                    errors=errors,
+                )
+            if self.obs is not None:
+                self.obs.on_retry(function.name, type(failure).__name__)
+            backoff = self.retry_policy.backoff_s(attempts, self._retry_rng)
+            if deadline_at is not None:
+                backoff = min(backoff, max(0.0, deadline_at - self.sim.now))
+            retry_span = trace.begin_phase(
+                "retry", attempt=attempts, error=type(failure).__name__
+            )
+            yield self.sim.timeout(backoff)
+            trace.end_phase(retry_span)
+
+    def _attempt(
+        self, function, request_id, kind, pu, force_cold,
+        payload_bytes, exec_time_s, start, trace, attempt_info,
+    ):
+        """Generator: one attempt at serving the request."""
+        if (kind or function.profiles[0]) in (PuKind.FPGA, PuKind.GPU):
+            result = yield from self._invoke_accelerated(
+                function, request_id, kind or function.profiles[0],
+                payload_bytes, exec_time_s, start, trace, attempt_info,
+            )
+        else:
+            result = yield from self._invoke_general(
+                function, request_id, kind, pu, force_cold,
+                payload_bytes, exec_time_s, start, trace, attempt_info,
+            )
+        return result
+
+    #: Error classes that must never be retried: terminal reliability
+    #: outcomes and misconfigurations a retry cannot fix.
+    _TERMINAL_ERRORS = (ReliabilityError, RegistryError, WorkloadError)
+
+    def _retryable(self, exc: BaseException) -> bool:
+        """True for transient library errors worth another attempt."""
+        return isinstance(exc, ReproError) and not isinstance(
+            exc, self._TERMINAL_ERRORS
+        )
+
+    def _effective_kind(self, function, dispatch_kind):
+        """Resolve graceful degradation: when every PU of an accelerator
+        kind is unavailable and the function also carries a
+        general-purpose profile, fall back to that profile's kind."""
+        if self.health is None or dispatch_kind.general_purpose:
+            return dispatch_kind, False
+        pus = self.runtime.machine.pus_of_kind(dispatch_kind)
+        if any(self.health.available(pu) for pu in pus):
+            return dispatch_kind, False
+        for fallback in function.profiles:
+            if fallback.general_purpose:
+                return fallback, True
+        return dispatch_kind, False
+
+    def _note_pu(self, attempt_info: Optional[dict], pu: ProcessingUnit) -> None:
+        """Record the PU an attempt targets (breaker attribution +
+        half-open probe claiming + crash-epoch snapshot)."""
+        if attempt_info is None:
+            return
+        attempt_info["pu"] = pu
+        if self.health is not None:
+            attempt_info["epoch"] = self.health.epoch(pu)
+            self.health.begin_attempt(pu)
+
+    def _pu_down(self, pu: ProcessingUnit) -> bool:
+        """True while an injected crash holds this PU down."""
+        return self.health is not None and self.health.is_down(pu)
+
+    def _crashed_during(
+        self, pu: ProcessingUnit, attempt_info: Optional[dict]
+    ) -> bool:
+        """True if ``pu`` crashed while this attempt was on it.
+
+        Compares against the crash epoch snapshotted when the attempt
+        targeted the PU, so a crash followed by a reboot before the
+        attempt finished is still detected.
+        """
+        if self.health is None:
+            return False
+        if self.health.is_down(pu):
+            return True
+        if attempt_info is not None and "epoch" in attempt_info:
+            return self.health.epoch(pu) != attempt_info["epoch"]
+        return False
+
+    def _expire(self, function, request_id, attempts, errors):
+        """Dead-letter a request that ran out of deadline and raise."""
+        if self.obs is not None:
+            self.obs.on_deadline_exceeded(function.name)
+        self._dead_letter(function, request_id, attempts, errors, "deadline")
+        raise DeadlineExceeded(
+            f"request {request_id} for {function.name!r} exceeded its "
+            f"deadline after {attempts} attempt(s)"
+        )
+
+    def _dead_letter(self, function, request_id, attempts, errors, reason):
+        """Park a terminally failed request in the dead-letter queue."""
+        if self.dead_letters is not None:
+            self.dead_letters.push(DeadLetter(
+                request_id=request_id,
+                function=function.name,
+                attempts=attempts,
+                errors=tuple(errors),
+                enqueued_at=self.sim.now,
+                reason=reason,
+            ))
+        if self.obs is not None:
+            self.obs.on_dead_letter(function.name, reason)
 
     # -- CPU/DPU path -----------------------------------------------------------------
 
@@ -200,18 +443,35 @@ class Invoker:
                 self.sim.spawn(self._destroy(instance))
         return None
 
-    @staticmethod
-    def _is_alive(instance: FunctionInstance) -> bool:
-        """True unless the instance's container process has died."""
-        backend = instance.sandbox.backend
+    def _is_alive(self, instance: FunctionInstance) -> bool:
+        """True unless the instance's backing compute has died.
+
+        Dispatches on the backend type so every runtime gets a real
+        liveness check: runc by container process, runf by kernel
+        residency on a healthy device, runG by CUDA context validity.
+        """
+        sandbox = instance.sandbox
+        if sandbox.state is SandboxState.DELETED:
+            return False
+        backend = sandbox.backend
+        if isinstance(backend, ContainerBackend):
+            return backend.process is None or backend.process.alive
+        if isinstance(backend, FpgaBackend):
+            runf = self.runtime.runfs.get(instance.pu.pu_id)
+            return (
+                runf is not None
+                and runf.device.has_kernel(backend.instance.kernel.name)
+            )
+        if isinstance(backend, GpuBackend):
+            rung = self.runtime.rungs.get(instance.pu.pu_id)
+            return rung is not None and rung.context_ready
         process = getattr(backend, "process", None)
-        if process is None:
-            return instance.sandbox.state is not SandboxState.DELETED
-        return process.alive
+        return process is None or process.alive
 
     def _invoke_general(
         self, function, request_id, kind, pu, force_cold,
         payload_bytes, exec_time_s, start, trace=NULL_TRACE,
+        attempt_info: Optional[dict] = None,
     ):
         startup_begin = self.sim.now
         schedule_span = trace.begin_phase("schedule")
@@ -219,6 +479,8 @@ class Invoker:
         cold = instance is None
         if cold:
             target = pu or self.runtime.scheduler.place(function, kind)
+            if attempt_info is not None:
+                self._note_pu(attempt_info, target)
             schedule_span.attributes["pu"] = target.name
             trace.end_phase(schedule_span)
             sandbox_span = trace.begin_phase("sandbox_start")
@@ -226,7 +488,16 @@ class Invoker:
             sandbox_span.attributes["forked"] = instance.forked
             trace.end_phase(sandbox_span)
             self.cold_invocations += 1
+            if self._crashed_during(target, attempt_info):
+                # The PU crashed mid-cold-start: the instance is gone.
+                self.sim.spawn(self._destroy(instance))
+                raise FaultInjectedError(
+                    f"{target.name} crashed during cold start of "
+                    f"{function.name!r}"
+                )
         else:
+            if attempt_info is not None:
+                self._note_pu(attempt_info, instance.pu)
             schedule_span.attributes["pu"] = instance.pu.name
             trace.end_phase(schedule_span)
             self.warm_invocations += 1
@@ -266,6 +537,17 @@ class Invoker:
         instance.requests_served += 1
         exec_s = self.sim.now - exec_begin
         trace.end_phase(exec_span)
+
+        if self._crashed_during(instance.pu, attempt_info) or not self._is_alive(
+            instance
+        ):
+            # The PU crashed (or the sandbox was killed) while this
+            # request ran on it: the response is lost with the PU.
+            self.sim.spawn(self._destroy(instance))
+            raise FaultInjectedError(
+                f"{instance.pu.name} failed while executing "
+                f"{function.name!r}"
+            )
 
         respond_span = trace.begin_phase("respond")
         evicted = self.pools[instance.pu.pu_id].release(instance, now=self.sim.now)
@@ -318,22 +600,28 @@ class Invoker:
         """Generator: tear down an evicted instance and free memory."""
         runc = self.runtime.runc_on(instance.pu.pu_id)
         if instance.sandbox.state is not SandboxState.DELETED:
-            yield from runc.delete(instance.sandbox.sandbox_id)
+            try:
+                yield from runc.delete(instance.sandbox.sandbox_id)
+            except SandboxError:
+                # A crash already reaped the sandbox out from under us.
+                pass
         self.runtime.scheduler.release(instance.function, instance.pu)
 
     # -- accelerator path ---------------------------------------------------------------
 
     def _invoke_accelerated(
         self, function, request_id, kind, payload_bytes, exec_time_s, start,
-        trace=NULL_TRACE,
+        trace=NULL_TRACE, attempt_info: Optional[dict] = None,
     ):
         if kind is PuKind.FPGA:
             result = yield from self._invoke_fpga(
-                function, request_id, payload_bytes, exec_time_s, start, trace
+                function, request_id, payload_bytes, exec_time_s, start,
+                trace, attempt_info,
             )
             return result
         result = yield from self._invoke_gpu(
-            function, request_id, payload_bytes, exec_time_s, start, trace
+            function, request_id, payload_bytes, exec_time_s, start,
+            trace, attempt_info,
         )
         return result
 
@@ -368,9 +656,11 @@ class Invoker:
         )
 
     def _invoke_fpga(self, function, request_id, payload_bytes, exec_time_s,
-                     start, trace=NULL_TRACE):
+                     start, trace=NULL_TRACE, attempt_info: Optional[dict] = None):
         schedule_span = trace.begin_phase("schedule")
         pu = self._choose_fpga(function)
+        if attempt_info is not None:
+            self._note_pu(attempt_info, pu)
         schedule_span.attributes["pu"] = pu.name
         trace.end_phase(schedule_span)
         runf = self.runtime.runf_on(pu.pu_id)
@@ -417,14 +707,21 @@ class Invoker:
         yield from self._transfer(pu, payload_bytes, trace, "out")  # results out
         trace.end_phase(exec_span)
         exec_s = self.sim.now - exec_begin
+        if self._crashed_during(pu, attempt_info):
+            # The FPGA crashed while this request was on it.
+            raise FaultInjectedError(
+                f"{pu.name} failed while executing {function.name!r}"
+            )
         return self._result(
             function, request_id, pu, cold, startup_s, exec_s, 0.0, start
         )
 
     def _invoke_gpu(self, function, request_id, payload_bytes, exec_time_s,
-                    start, trace=NULL_TRACE):
+                    start, trace=NULL_TRACE, attempt_info: Optional[dict] = None):
         schedule_span = trace.begin_phase("schedule")
         pu = self.runtime.scheduler.place(function, PuKind.GPU)
+        if attempt_info is not None:
+            self._note_pu(attempt_info, pu)
         schedule_span.attributes["pu"] = pu.name
         trace.end_phase(schedule_span)
         rung = self.runtime.rung_on(pu.pu_id)
@@ -458,6 +755,11 @@ class Invoker:
         yield from self._transfer(pu, payload_bytes, trace, "out")
         trace.end_phase(exec_span)
         exec_s = self.sim.now - exec_begin
+        if self._crashed_during(pu, attempt_info):
+            # The GPU crashed while this request was on it.
+            raise FaultInjectedError(
+                f"{pu.name} failed while executing {function.name!r}"
+            )
         return self._result(
             function, request_id, pu, cold, startup_s, exec_s, 0.0, start
         )

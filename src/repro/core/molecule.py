@@ -35,12 +35,19 @@ from repro.core.gateway import ApiGateway
 from repro.core.invoker import Invoker
 from repro.core.keepalive import FpgaImagePlanner
 from repro.core.registry import FunctionDef, FunctionRegistry
+from repro.core.reliability import (
+    BREAKER_STATE_VALUE,
+    DeadLetterQueue,
+    HealthRegistry,
+    RetryPolicy,
+)
 from repro.core.scheduler import Scheduler
 from repro.obs import Observability
 from repro.sandbox.runc import RuncRuntime
 from repro.sandbox.runf import RunfRuntime
 from repro.sandbox.rung import RungRuntime
 from repro.sim import Simulator
+from repro.sim.rng import SeededRng
 from repro.xpu.capability import Permission
 from repro.xpu.fifo import FifoEnd
 from repro.xpu.shim import ShimCluster
@@ -60,6 +67,10 @@ class MoleculeRuntime:
         keep_alive_ttl_s: Optional[float] = None,
         prefer_cheapest: bool = False,
         obs: Optional[Observability] = None,
+        seed: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        default_deadline_s: Optional[float] = None,
+        fault_plan=None,
     ):
         self.sim = sim or Simulator()
         self.machine = machine or build_cpu_dpu_machine(self.sim, num_dpus=2)
@@ -68,9 +79,21 @@ class MoleculeRuntime:
         self.ledger = BillingLedger()
         #: The observability hub every component reports through.
         self.obs = obs or Observability(self.sim)
-        self.gateway = ApiGateway(self.sim, obs=self.obs)
+        #: Deterministic randomness root; reliability and fault injection
+        #: fork named sub-streams so runs with the same seed are
+        #: byte-identical.
+        self.rng = SeededRng(seed if seed is not None else config.default_seed())
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.dead_letters = DeadLetterQueue()
+        self.health = HealthRegistry(self.sim, obs=self.obs)
+        self.gateway = ApiGateway(
+            self.sim, obs=self.obs, default_deadline_s=default_deadline_s
+        )
         self.scheduler = Scheduler(
-            self.machine, prefer_cheapest=prefer_cheapest, obs=self.obs
+            self.machine,
+            prefer_cheapest=prefer_cheapest,
+            obs=self.obs,
+            health=self.health,
         )
         self.image_planner = FpgaImagePlanner()
         self.cluster = ShimCluster(self.sim, self.machine, obs=self.obs)
@@ -114,6 +137,13 @@ class MoleculeRuntime:
         self._executors: dict[int, Executor] = {}
         self._clients: dict[int, ExecutorClient] = {}
         self._booted = False
+        #: Optional deterministic fault injection (repro.faults).
+        self.fault_plan = fault_plan
+        self.injector = None
+        if fault_plan is not None:
+            from repro.faults.injector import FaultInjector
+
+            self.injector = FaultInjector(self, fault_plan)
 
     # -- construction helpers -------------------------------------------------------
 
@@ -140,6 +170,8 @@ class MoleculeRuntime:
             return
         self.run(self.boot())
         self._booted = True
+        if self.injector is not None:
+            self.injector.arm()
 
     def boot(self):
         """Generator: xSpawn executors and wire their nIPC channels."""
@@ -310,6 +342,13 @@ class MoleculeRuntime:
             pool_hits.labels(pu=pu.name).set(pool.hits)
             pool_misses.labels(pu=pu.name).set(pool.misses)
             dram_used.labels(pu=pu.name).set(pu.dram_used_mb)
+        breaker_state = registry.get("repro_breaker_state")
+        for pu in self.machine.pus.values():
+            if self.health.is_down(pu):
+                value = 3  # crashed and not yet rebooted
+            else:
+                value = BREAKER_STATE_VALUE[self.health.breaker(pu).state]
+            breaker_state.labels(pu=pu.name).set(value)
 
     def metrics_snapshot(self) -> dict:
         """A JSON-friendly dump of every metric family, gauges freshly
@@ -320,6 +359,7 @@ class MoleculeRuntime:
             "requests_admitted": self.gateway.requests_admitted,
             "cold_invocations": self.invoker.cold_invocations,
             "warm_invocations": self.invoker.warm_invocations,
+            "dead_letters": len(self.dead_letters),
             "metrics": self.obs.registry.to_dict(),
         }
 

@@ -1,0 +1,299 @@
+"""The reliability layer: retry policy, circuit breakers, dead letters.
+
+Molecule spans loosely coupled PUs — DPUs running their own OS behind
+RDMA, FPGAs behind DMA — exactly the setting where partial failure is
+routine.  This module holds the mechanisms the invoker and scheduler
+use to survive it:
+
+* :class:`RetryPolicy` — bounded retries with exponential backoff and
+  deterministic (seeded) jitter;
+* :class:`CircuitBreaker` / :class:`HealthRegistry` — per-PU
+  consecutive-failure breakers with half-open probing, plus hard
+  up/down state driven by injected crashes; the scheduler excludes
+  unavailable PUs from placement candidates;
+* :class:`DeadLetterQueue` — requests exhausted of retries land here
+  rather than vanishing, preserving the invariant that every admitted
+  request is either answered or dead-lettered (never both, never
+  neither).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+from repro import config
+from repro.sim.rng import SeededRng
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.pu import ProcessingUnit
+    from repro.obs import Observability
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff + deterministic jitter."""
+
+    max_attempts: int = config.RELIABILITY.max_attempts
+    backoff_base_ms: float = config.RELIABILITY.backoff_base_ms
+    backoff_multiplier: float = config.RELIABILITY.backoff_multiplier
+    backoff_max_ms: float = config.RELIABILITY.backoff_max_ms
+    jitter: float = config.RELIABILITY.backoff_jitter
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1: {self.max_attempts}")
+        if self.backoff_base_ms < 0 or self.backoff_max_ms < 0:
+            raise ValueError("backoff durations must be non-negative")
+        if not 0 <= self.jitter < 1:
+            raise ValueError(f"jitter must be in [0, 1): {self.jitter}")
+
+    def backoff_s(self, attempt: int, rng: Optional[SeededRng] = None) -> float:
+        """Pause before retry number ``attempt`` (1 = first retry).
+
+        Jitter is drawn from ``rng`` — a seeded stream — so the same
+        seed reproduces the same retry timeline.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1: {attempt}")
+        base = self.backoff_base_ms * self.backoff_multiplier ** (attempt - 1)
+        base = min(base, self.backoff_max_ms)
+        if rng is not None and self.jitter and base > 0:
+            base *= 1.0 + rng.uniform(-self.jitter, self.jitter)
+        return base * config.MS
+
+
+class BreakerState(enum.Enum):
+    """Circuit-breaker lifecycle states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+#: Numeric encoding for the ``repro_breaker_state`` gauge.
+BREAKER_STATE_VALUE = {
+    BreakerState.CLOSED: 0,
+    BreakerState.HALF_OPEN: 1,
+    BreakerState.OPEN: 2,
+}
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker over one PU.
+
+    CLOSED counts consecutive failures; at the threshold it trips OPEN
+    and rejects the PU for ``open_s``.  After that cool-down the next
+    availability check moves it to HALF_OPEN, where exactly one probe
+    attempt is admitted: success closes the breaker, failure re-opens
+    it for another full cool-down.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = config.RELIABILITY.breaker_failure_threshold,
+        open_s: float = config.RELIABILITY.breaker_open_s,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(f"failure threshold must be >= 1: {failure_threshold}")
+        if open_s <= 0:
+            raise ValueError(f"open duration must be positive: {open_s}")
+        self.failure_threshold = failure_threshold
+        self.open_s = open_s
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: Optional[float] = None
+        self.probe_in_flight = False
+        #: (sim_time, new_state) transition log for tests and reports.
+        self.transitions: list[tuple[float, BreakerState]] = []
+
+    def _transition(self, state: BreakerState, now: float) -> None:
+        if state is self.state:
+            return
+        self.state = state
+        self.transitions.append((now, state))
+
+    def allows(self, now: float) -> bool:
+        """True if an attempt may target this PU at ``now``.
+
+        Moves OPEN -> HALF_OPEN once the cool-down elapsed; in
+        HALF_OPEN only one probe is admitted until it resolves.
+        """
+        if self.state is BreakerState.OPEN:
+            if self.opened_at is not None and now - self.opened_at >= self.open_s:
+                self._transition(BreakerState.HALF_OPEN, now)
+                self.probe_in_flight = False
+            else:
+                return False
+        if self.state is BreakerState.HALF_OPEN:
+            return not self.probe_in_flight
+        return True
+
+    def begin_attempt(self, now: float) -> None:
+        """Mark an attempt in flight (claims the half-open probe slot)."""
+        if self.state is BreakerState.HALF_OPEN:
+            self.probe_in_flight = True
+
+    def record_success(self, now: float) -> None:
+        """An attempt on this PU completed: close the breaker."""
+        self.consecutive_failures = 0
+        self.probe_in_flight = False
+        self._transition(BreakerState.CLOSED, now)
+
+    def record_failure(self, now: float) -> None:
+        """An attempt on this PU failed: count it, maybe trip open."""
+        self.probe_in_flight = False
+        if self.state is BreakerState.HALF_OPEN:
+            # The probe failed: straight back to OPEN for a new cool-down.
+            self.opened_at = now
+            self._transition(BreakerState.OPEN, now)
+            return
+        self.consecutive_failures += 1
+        if (
+            self.state is BreakerState.CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self.opened_at = now
+            self._transition(BreakerState.OPEN, now)
+
+
+class HealthRegistry:
+    """Per-PU health: crash state plus a circuit breaker each.
+
+    The scheduler consults :meth:`available` when building placement
+    candidates; the invoker reports attempt outcomes through
+    :meth:`record_success` / :meth:`record_failure`.
+    """
+
+    def __init__(
+        self,
+        sim,
+        failure_threshold: int = config.RELIABILITY.breaker_failure_threshold,
+        open_s: float = config.RELIABILITY.breaker_open_s,
+        obs: Optional["Observability"] = None,
+    ):
+        self.sim = sim
+        self.failure_threshold = failure_threshold
+        self.open_s = open_s
+        self.obs = obs
+        self._breakers: dict[int, CircuitBreaker] = {}
+        self._down: set[int] = set()
+        #: Crash generation per PU: incremented on every mark_down so an
+        #: in-flight attempt can detect "my PU crashed while I ran" even
+        #: if the PU rebooted before the attempt finished.
+        self._epochs: dict[int, int] = {}
+        #: Names for metric labels, filled lazily.
+        self._names: dict[int, str] = {}
+
+    def breaker(self, pu: "ProcessingUnit") -> CircuitBreaker:
+        """The breaker guarding one PU (created on first use)."""
+        self._names[pu.pu_id] = pu.name
+        breaker = self._breakers.get(pu.pu_id)
+        if breaker is None:
+            breaker = CircuitBreaker(self.failure_threshold, self.open_s)
+            self._breakers[pu.pu_id] = breaker
+        return breaker
+
+    # -- crash state -------------------------------------------------------------
+
+    def mark_down(self, pu: "ProcessingUnit") -> None:
+        """A crash took this PU offline (until :meth:`mark_up`)."""
+        self._names[pu.pu_id] = pu.name
+        self._down.add(pu.pu_id)
+        self._epochs[pu.pu_id] = self._epochs.get(pu.pu_id, 0) + 1
+
+    def mark_up(self, pu: "ProcessingUnit") -> None:
+        """The PU rebooted: back in service with a fresh breaker."""
+        self._down.discard(pu.pu_id)
+        breaker = self.breaker(pu)
+        breaker.consecutive_failures = 0
+        breaker.probe_in_flight = False
+        breaker._transition(BreakerState.CLOSED, self.sim.now)
+
+    def is_down(self, pu: "ProcessingUnit") -> bool:
+        """True while the PU is crashed."""
+        return pu.pu_id in self._down
+
+    def epoch(self, pu: "ProcessingUnit") -> int:
+        """How many times this PU has crashed so far."""
+        return self._epochs.get(pu.pu_id, 0)
+
+    # -- availability ------------------------------------------------------------
+
+    def available(self, pu: "ProcessingUnit") -> bool:
+        """True if the scheduler may place onto this PU right now."""
+        if pu.pu_id in self._down:
+            return False
+        return self.breaker(pu).allows(self.sim.now)
+
+    # -- attempt outcomes ----------------------------------------------------------
+
+    def begin_attempt(self, pu: "ProcessingUnit") -> None:
+        """An attempt is about to target ``pu`` (claims probe slots)."""
+        self.breaker(pu).begin_attempt(self.sim.now)
+
+    def record_success(self, pu: "ProcessingUnit") -> None:
+        """An attempt on ``pu`` succeeded."""
+        breaker = self.breaker(pu)
+        before = breaker.state
+        breaker.record_success(self.sim.now)
+        self._observe(pu, before, breaker.state)
+
+    def record_failure(self, pu: "ProcessingUnit") -> None:
+        """An attempt on ``pu`` failed."""
+        breaker = self.breaker(pu)
+        before = breaker.state
+        breaker.record_failure(self.sim.now)
+        self._observe(pu, before, breaker.state)
+
+    def _observe(self, pu, before: BreakerState, after: BreakerState) -> None:
+        if self.obs is not None and before is not after:
+            self.obs.on_breaker_transition(pu.name, after.value)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def states(self) -> dict[str, str]:
+        """PU name -> breaker state (``down`` overrides), for reports."""
+        out: dict[str, str] = {}
+        for pu_id, breaker in sorted(self._breakers.items()):
+            name = self._names.get(pu_id, str(pu_id))
+            out[name] = "down" if pu_id in self._down else breaker.state.value
+        for pu_id in sorted(self._down):
+            out.setdefault(self._names.get(pu_id, str(pu_id)), "down")
+        return out
+
+
+@dataclass
+class DeadLetter:
+    """One request that exhausted its retry budget (or its deadline)."""
+
+    request_id: int
+    function: str
+    attempts: int
+    errors: tuple[str, ...]
+    enqueued_at: float
+    reason: str = "retries_exhausted"
+
+
+class DeadLetterQueue:
+    """Terminal parking lot for undeliverable requests."""
+
+    def __init__(self):
+        self._entries: list[DeadLetter] = []
+
+    def push(self, entry: DeadLetter) -> DeadLetter:
+        """Record one undeliverable request."""
+        self._entries.append(entry)
+        return entry
+
+    def entries(self) -> list[DeadLetter]:
+        """All dead letters, oldest first."""
+        return list(self._entries)
+
+    def request_ids(self) -> set[int]:
+        """The request ids parked here (for the answered-xor-dead check)."""
+        return {entry.request_id for entry in self._entries}
+
+    def __len__(self) -> int:
+        return len(self._entries)

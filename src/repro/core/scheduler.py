@@ -22,6 +22,7 @@ from repro.hardware.pu import ProcessingUnit, PuKind
 from repro.core.registry import FunctionDef
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.reliability import HealthRegistry
     from repro.obs import Observability
 
 #: Kind preference when the user allows several (cheapest first, §4.1).
@@ -36,12 +37,16 @@ class Scheduler:
         machine: HeterogeneousComputer,
         prefer_cheapest: bool = False,
         obs: Optional["Observability"] = None,
+        health: Optional["HealthRegistry"] = None,
     ):
         self.machine = machine
         #: When False (default), kinds are tried in the order the user
         #: listed them in the function's profiles.
         self.prefer_cheapest = prefer_cheapest
         self.obs = obs
+        #: Per-PU health registry; crashed and open-circuit PUs are
+        #: excluded from candidates.  None disables health filtering.
+        self.health = health
 
     def _kind_order(self, function: FunctionDef) -> list[PuKind]:
         if self.prefer_cheapest:
@@ -49,7 +54,11 @@ class Scheduler:
         return list(function.profiles)
 
     def candidates(self, function: FunctionDef, kind: Optional[PuKind] = None) -> list[ProcessingUnit]:
-        """PUs that could host this function, in placement order."""
+        """PUs that could host this function, in placement order.
+
+        Crashed PUs and PUs whose circuit breaker is open are excluded
+        when a health registry is wired in.
+        """
         kinds = [kind] if kind is not None else self._kind_order(function)
         pus: list[ProcessingUnit] = []
         for wanted in kinds:
@@ -58,6 +67,8 @@ class Scheduler:
                     f"function {function.name!r} has no {wanted.value} profile"
                 )
             pus.extend(self.machine.pus_of_kind(wanted))
+        if self.health is not None:
+            pus = [pu for pu in pus if self.health.available(pu)]
         return pus
 
     def place(

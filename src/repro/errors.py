@@ -83,6 +83,37 @@ class SchedulingError(ReproError):
     """The control plane could not place a function instance."""
 
 
+class ReliabilityError(ReproError):
+    """Base class for the reliability layer's terminal request errors."""
+
+
+class DeadlineExceeded(ReliabilityError):
+    """A request overran the deadline stamped at gateway admission."""
+
+
+class RetriesExhaustedError(ReliabilityError):
+    """Every retry attempt of a request failed; it was dead-lettered.
+
+    ``attempts`` is the number of attempts made and ``errors`` the
+    per-attempt error strings, oldest first.
+    """
+
+    def __init__(self, message: str, attempts: int = 0, errors=()):
+        super().__init__(message)
+        self.attempts = attempts
+        self.errors = tuple(errors)
+
+
+class FaultInjectedError(ReproError):
+    """An injected fault (PU crash, bitstream failure, ...) hit this
+    operation.  Transient from the invoker's point of view: attempts
+    failing with it are retried."""
+
+
+class FaultPlanError(ReproError):
+    """A fault plan is malformed (bad trigger, unknown kind, ...)."""
+
+
 class RegistryError(ReproError):
     """Function registry misuse (duplicate or unknown function)."""
 

@@ -1,0 +1,22 @@
+"""Deterministic fault injection (see docs/faults.md).
+
+Declarative :class:`FaultPlan`\\ s drive a :class:`FaultInjector` on the
+simulation loop; the reliability layer (deadlines, retries, per-PU
+circuit breakers, graceful degradation, dead letters — see
+:mod:`repro.core.reliability`) absorbs the damage so that every admitted
+request is either answered or dead-lettered.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.faults.scenarios import default_plan, run_scenario, scenario_names
+
+__all__ = [
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "default_plan",
+    "run_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,166 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultSpec` entries.
+Each spec names a fault *kind*, a *target* (a PU name, a FIFO uuid, a
+link like ``"cpu0<->dpu0"``) and exactly one *trigger*: an absolute
+simulation time (``at_s``) or a gateway admission count
+(``after_requests``).  Plans are pure data — they can be built in code,
+round-tripped through JSON, and shipped to the CLI — and are executed
+by :class:`repro.faults.injector.FaultInjector`.
+
+Determinism: a plan contains no randomness itself.  Probabilistic
+faults (FIFO drop/delay windows) draw from a stream forked off the
+runtime's seeded RNG, so the same seed and plan replay the exact same
+fault history.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field, fields
+from typing import Iterator, Optional, Sequence
+
+from repro.errors import FaultPlanError
+
+
+class FaultKind(enum.Enum):
+    """What an injected fault breaks."""
+
+    #: Crash a whole processing unit (OS processes / FPGA image / GPU
+    #: context die; the PU is marked down until ``reboot_after_s``).
+    PU_CRASH = "pu_crash"
+    #: Kill one sandbox (target is a sandbox id or a ``func_id``).
+    SANDBOX_KILL = "sandbox_kill"
+    #: Drop XPU-FIFO messages (target is a fifo uuid or ``"*"``).
+    FIFO_DROP = "fifo_drop"
+    #: Delay XPU-FIFO messages (target is a fifo uuid or ``"*"``).
+    FIFO_DELAY = "fifo_delay"
+    #: Degrade an interconnect link (target is ``"puA<->puB"``).
+    LINK_DEGRADE = "link_degrade"
+    #: Make the next N bitstream loads on an FPGA fail (target is the
+    #: FPGA's PU name).
+    BITSTREAM_FAIL = "bitstream_fail"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: a kind, a target, and exactly one trigger."""
+
+    kind: FaultKind
+    target: str
+    #: Trigger: fire at this absolute simulation time...
+    at_s: Optional[float] = None
+    #: ...or once this many requests have been admitted by the gateway.
+    after_requests: Optional[int] = None
+    #: PU_CRASH: bring the PU back up after this long (None = stays down).
+    reboot_after_s: Optional[float] = None
+    #: FIFO_DELAY: extra latency added to each affected message.
+    delay_s: float = 0.0
+    #: FIFO_DROP / FIFO_DELAY: chance each message is affected.
+    probability: float = 1.0
+    #: FIFO_* / LINK_DEGRADE: lift the fault this long after firing
+    #: (None = permanent).
+    duration_s: Optional[float] = None
+    #: LINK_DEGRADE: multiply link latency by this factor (>= 1).
+    latency_factor: float = 1.0
+    #: LINK_DEGRADE: divide link bandwidth by this factor (>= 1).
+    bandwidth_factor: float = 1.0
+    #: BITSTREAM_FAIL: how many consecutive loads fail.
+    count: int = 1
+
+    def __post_init__(self):
+        triggers = (self.at_s is not None) + (self.after_requests is not None)
+        if triggers != 1:
+            raise FaultPlanError(
+                f"fault {self.kind.value!r} on {self.target!r} needs exactly "
+                f"one trigger (at_s or after_requests), got {triggers}"
+            )
+        if self.at_s is not None and self.at_s < 0:
+            raise FaultPlanError("at_s must be >= 0")
+        if self.after_requests is not None and self.after_requests < 1:
+            raise FaultPlanError("after_requests must be >= 1")
+        if not (0.0 <= self.probability <= 1.0):
+            raise FaultPlanError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.delay_s < 0:
+            raise FaultPlanError("delay_s must be >= 0")
+        if self.duration_s is not None and self.duration_s <= 0:
+            raise FaultPlanError("duration_s must be > 0")
+        if self.latency_factor < 1.0 or self.bandwidth_factor < 1.0:
+            raise FaultPlanError("degradation factors must be >= 1")
+        if self.count < 1:
+            raise FaultPlanError("count must be >= 1")
+        if not self.target:
+            raise FaultPlanError("target must be non-empty")
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form; defaults are omitted."""
+        out: dict = {"kind": self.kind.value, "target": self.target}
+        for f in fields(self):
+            if f.name in ("kind", "target"):
+                continue
+            value = getattr(self, f.name)
+            if value != f.default:
+                out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        data = dict(data)
+        try:
+            kind = FaultKind(data.pop("kind"))
+        except (KeyError, ValueError) as exc:
+            raise FaultPlanError(f"bad fault kind in {data!r}") from exc
+        known = {f.name for f in fields(cls)} - {"kind"}
+        unknown = set(data) - known
+        if unknown:
+            raise FaultPlanError(
+                f"unknown fault spec fields: {sorted(unknown)}"
+            )
+        return cls(kind=kind, **data)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, immutable collection of fault specs."""
+
+    specs: tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    @classmethod
+    def of(cls, *specs: FaultSpec) -> "FaultPlan":
+        """Convenience constructor: ``FaultPlan.of(spec1, spec2)``."""
+        return cls(specs=tuple(specs))
+
+    def to_dict(self) -> dict:
+        return {"faults": [spec.to_dict() for spec in self.specs]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        if not isinstance(data, dict) or "faults" not in data:
+            raise FaultPlanError('a fault plan needs a "faults" list')
+        faults = data["faults"]
+        if not isinstance(faults, Sequence) or isinstance(faults, (str, bytes)):
+            raise FaultPlanError('"faults" must be a list of specs')
+        return cls(specs=tuple(FaultSpec.from_dict(item) for item in faults))
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"fault plan is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)

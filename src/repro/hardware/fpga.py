@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro import config
-from repro.errors import FpgaResourceError, FpgaStateError
+from repro.errors import FaultInjectedError, FpgaResourceError, FpgaStateError
 from repro.hardware.pu import ProcessingUnit, PuKind
 from repro.sim import Simulator
 
@@ -190,6 +190,9 @@ class FpgaDevice:
         #: Cumulative counts for tests/reports.
         self.erase_count = 0
         self.program_count = 0
+        #: Fault injection: the next N ``program`` calls fail after
+        #: paying the load time (a corrupted / rejected bitstream).
+        self.fail_next_programs = 0
 
     # -- programming -----------------------------------------------------------
 
@@ -223,6 +226,15 @@ class FpgaDevice:
             self.erase_count += 1
             self.dirty = False
         yield self.sim.timeout(self.costs.load_image_s)
+        if self.fail_next_programs > 0:
+            # The load completed but the bitstream did not come up: the
+            # fabric is left without a valid image.
+            self.fail_next_programs -= 1
+            self.image = None
+            self.dirty = True
+            raise FaultInjectedError(
+                f"bitstream load of {image.name!r} failed"
+            )
         self.image = image
         self.dirty = True
         self.program_count += 1

@@ -61,6 +61,26 @@ class Link:
 
 
 @dataclass(frozen=True)
+class DegradedLink(Link):
+    """A link operating under an injected degradation fault.
+
+    Latency is multiplied by ``latency_factor`` and bandwidth divided
+    by ``bandwidth_factor`` (both >= 1 for a degradation).  Routes
+    computed while the fault is active price transfers accordingly.
+    """
+
+    latency_factor: float = 1.0
+    bandwidth_factor: float = 1.0
+
+    def transfer_time(self, nbytes: int) -> float:
+        costs = self.costs
+        bandwidth = costs.bandwidth_gbps / self.bandwidth_factor
+        return costs.latency_us * self.latency_factor * config.US + nbytes / (
+            bandwidth * config.GB
+        )
+
+
+@dataclass(frozen=True)
 class Route:
     """A path between two PUs: an ordered list of links.
 
@@ -90,6 +110,9 @@ class Interconnect:
     def __init__(self):
         self._links: dict[frozenset[int], Link] = {}
         self._neighbors: dict[int, set[int]] = {}
+        #: Active degradation faults: link key -> (latency, bandwidth)
+        #: slowdown factors.
+        self._degraded: dict[frozenset[int], tuple[float, float]] = {}
 
     def add_link(self, a: ProcessingUnit, b: ProcessingUnit, kind: LinkKind) -> Link:
         """Directly connect PUs ``a`` and ``b``."""
@@ -103,8 +126,42 @@ class Interconnect:
         return link
 
     def link_between(self, a: int, b: int) -> Optional[Link]:
-        """The direct link between two PU ids, if one exists."""
-        return self._links.get(frozenset((a, b)))
+        """The direct link between two PU ids, if one exists.
+
+        While a degradation fault is active on the link, a
+        :class:`DegradedLink` view with the fault's slowdown factors is
+        returned instead of the pristine link.
+        """
+        key = frozenset((a, b))
+        link = self._links.get(key)
+        if link is None:
+            return None
+        factors = self._degraded.get(key)
+        if factors is None:
+            return link
+        return DegradedLink(
+            link.a, link.b, link.kind,
+            latency_factor=factors[0], bandwidth_factor=factors[1],
+        )
+
+    def degrade(
+        self, a: int, b: int,
+        latency_factor: float = 1.0, bandwidth_factor: float = 1.0,
+    ) -> None:
+        """Put a degradation fault on the direct link between two PUs."""
+        key = frozenset((a, b))
+        if key not in self._links:
+            raise RoutingError(f"no direct link between PU {a} and PU {b}")
+        if latency_factor < 1.0 or bandwidth_factor < 1.0:
+            raise RoutingError(
+                "degradation factors must be >= 1 "
+                f"(got {latency_factor}, {bandwidth_factor})"
+            )
+        self._degraded[key] = (latency_factor, bandwidth_factor)
+
+    def restore(self, a: int, b: int) -> None:
+        """Lift the degradation fault from a link (no-op when absent)."""
+        self._degraded.pop(frozenset((a, b)), None)
 
     def neighbors(self, pu_id: int) -> Iterable[int]:
         """PU ids directly connected to ``pu_id``."""

@@ -145,6 +145,51 @@ class Observability:
             "XPU-FIFO payload bytes written.",
             ("path",),
         )
+        # -- reliability -------------------------------------------------------------
+        self.retries_total = r.counter(
+            "repro_retries_total",
+            "Attempts retried after a transient failure, by error type.",
+            ("function", "reason"),
+        )
+        self.deadline_exceeded_total = r.counter(
+            "repro_deadline_exceeded_total",
+            "Requests abandoned at their gateway deadline.",
+            ("function",),
+        )
+        self.dead_letters_total = r.counter(
+            "repro_dead_letters_total",
+            "Requests parked in the dead-letter queue, by reason.",
+            ("function", "reason"),
+        )
+        self.degraded_total = r.counter(
+            "repro_degraded_total",
+            "Attempts degraded from an accelerator to a CPU profile.",
+            ("function", "from_kind", "to_kind"),
+        )
+        self.breaker_transitions_total = r.counter(
+            "repro_breaker_transitions_total",
+            "Circuit-breaker state transitions per PU.",
+            ("pu", "to_state"),
+        )
+        self.breaker_state = r.gauge(
+            "repro_breaker_state",
+            "Current breaker state per PU (0 closed, 1 half-open, 2 open, "
+            "3 down; refreshed at snapshot time).",
+            ("pu",),
+        )
+        self.faults_injected_total = r.counter(
+            "repro_faults_injected_total",
+            "Faults fired by the deterministic injector, by kind.",
+            ("kind",),
+        )
+        self.nipc_dropped_total = r.counter(
+            "repro_nipc_dropped_total",
+            "XPU-FIFO messages dropped by injected faults.",
+        )
+        self.nipc_delayed_total = r.counter(
+            "repro_nipc_delayed_total",
+            "XPU-FIFO messages delayed by injected faults.",
+        )
 
     # -- lifecycle spans -----------------------------------------------------------
 
@@ -219,3 +264,39 @@ class Observability:
         """One XPU-FIFO write (``path`` is ``local`` or ``cross``)."""
         self.nipc_messages_total.labels(path=path).inc()
         self.nipc_bytes_total.labels(path=path).inc(nbytes)
+
+    # -- reliability hooks ---------------------------------------------------------
+
+    def on_retry(self, function: str, reason: str) -> None:
+        """One attempt failed transiently and will be retried."""
+        self.retries_total.labels(function=function, reason=reason).inc()
+
+    def on_deadline_exceeded(self, function: str) -> None:
+        """One request ran out of deadline budget."""
+        self.deadline_exceeded_total.labels(function=function).inc()
+
+    def on_dead_letter(self, function: str, reason: str) -> None:
+        """One request was parked in the dead-letter queue."""
+        self.dead_letters_total.labels(function=function, reason=reason).inc()
+
+    def on_degraded(self, function: str, from_kind: str, to_kind: str) -> None:
+        """One attempt fell back from an accelerator to a CPU profile."""
+        self.degraded_total.labels(
+            function=function, from_kind=from_kind, to_kind=to_kind
+        ).inc()
+
+    def on_breaker_transition(self, pu: str, to_state: str) -> None:
+        """One circuit breaker changed state."""
+        self.breaker_transitions_total.labels(pu=pu, to_state=to_state).inc()
+
+    def on_fault_injected(self, kind: str) -> None:
+        """The injector fired one fault."""
+        self.faults_injected_total.labels(kind=kind).inc()
+
+    def on_nipc_dropped(self) -> None:
+        """One XPU-FIFO message dropped by an injected fault."""
+        self.nipc_dropped_total.inc()
+
+    def on_nipc_delayed(self) -> None:
+        """One XPU-FIFO message delayed by an injected fault."""
+        self.nipc_delayed_total.inc()

@@ -86,6 +86,16 @@ class RequestTrace:
         self.annotate(error=error)
         self.obs.record_failure(self)
 
+    def unwind(self) -> None:
+        """Close every open span except the root ``request`` span.
+
+        The retry loop calls this between attempts: a failed or
+        abandoned attempt leaves its phase spans open, and the next
+        attempt's spans must nest directly under the root again.
+        """
+        while len(self.tracer._stack) > 1:
+            self.tracer.end(self.tracer._stack[-1])
+
     def phases(self) -> dict[str, float]:
         """Phase name -> duration (direct children of the root)."""
         return {span.name: span.duration_s for span in self.root.children}
@@ -131,6 +141,40 @@ class NullRequestTrace:
     def fail(self, error: str) -> None:
         return None
 
+    def unwind(self) -> None:
+        return None
+
 
 #: Shared inert instance (stateless, safe to reuse).
 NULL_TRACE = NullRequestTrace()
+
+
+class DetachableTrace:
+    """A severable proxy in front of a trace.
+
+    Each retry attempt writes its spans through one of these.  When the
+    deadline fires first, the invoker *orphans* the attempt — it keeps
+    running in the background so its resources (cores, pool slots,
+    DRAM) are released normally — and calls :meth:`detach` so every
+    later span operation from the orphan lands on :data:`NULL_TRACE`
+    instead of corrupting the request's real span stack.
+    """
+
+    def __init__(self, trace):
+        self._trace = trace
+
+    def detach(self) -> None:
+        """Sever the proxy: all further calls become no-ops."""
+        self._trace = NULL_TRACE
+
+    def begin_phase(self, name: str, **attributes):
+        return self._trace.begin_phase(name, **attributes)
+
+    def end_phase(self, span):
+        return self._trace.end_phase(span)
+
+    def phase(self, name: str, **attributes):
+        return self._trace.phase(name, **attributes)
+
+    def annotate(self, **attributes) -> None:
+        self._trace.annotate(**attributes)

@@ -221,6 +221,23 @@ class RuncRuntime(SandboxRuntime):
         self.observe_verb("cfork", began)
         return sandbox
 
+    # -- failure handling ----------------------------------------------------------------
+
+    def crash(self) -> None:
+        """The PU crashed: every function container dies instantly.
+
+        Templates and the prepared-container pool are deliberately kept —
+        the platform restores infrastructure on reboot; what is lost is
+        function state (warm instances and in-flight requests).  The
+        fault injector calls this for general-purpose PU-crash faults.
+        """
+        for sandbox in list(self._sandboxes.values()):
+            backend = sandbox.backend
+            if backend and backend.process and backend.process.alive:
+                backend.process.exit()
+            sandbox.state = SandboxState.DELETED
+            self.forget(sandbox.sandbox_id)
+
     def first_request_penalty(self) -> float:
         """Extra COW page-fault cost a forked instance pays on its first
         request (why Molecule's warm numbers trail the baseline's in a

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro import config
-from repro.errors import SandboxError, SandboxStateError
+from repro.errors import FaultInjectedError, SandboxError, SandboxStateError
 from repro.hardware.fpga import FpgaDevice, FpgaImage, KernelInstance
 from repro.sandbox.base import (
     FunctionCode,
@@ -75,7 +75,13 @@ class RunfRuntime(SandboxRuntime):
             kernels.append(code.kernel)
         self._image_seq += 1
         image = FpgaImage(f"image-{self._image_seq}", kernels)
-        yield from self.device.program(image, erase_first=not self.no_erase)
+        try:
+            yield from self.device.program(image, erase_first=not self.no_erase)
+        except FaultInjectedError:
+            # A failed bitstream load leaves the fabric without a valid
+            # image: the previous residents are gone too.
+            self._drop_residents()
+            raise
         # Previous residents are gone now (deferred destroy).
         for old in self._resident.values():
             if old.state is not SandboxState.DELETED:
@@ -159,6 +165,25 @@ class RunfRuntime(SandboxRuntime):
             self.device.pu.clock.mark_idle()
         self.observe_verb("invoke", began)
         return sandbox
+
+    # -- failure handling ----------------------------------------------------------------
+
+    def _drop_residents(self) -> None:
+        for old in self._resident.values():
+            if old.state is not SandboxState.DELETED:
+                old.state = SandboxState.DELETED
+            self.forget(old.sandbox_id)
+        self._resident.clear()
+        for bank in self.device.banks:
+            bank.owner_slot = None
+
+    def crash(self) -> None:
+        """The device (or its PU) crashed: the loaded image and every
+        resident sandbox are lost.  The fault injector calls this for
+        FPGA PU-crash faults; recovery is a fresh ``create_vector``."""
+        self._drop_residents()
+        self.device.image = None
+        self.device.dirty = False
 
     # -- cache queries -------------------------------------------------------------------
 

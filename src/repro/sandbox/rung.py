@@ -107,6 +107,18 @@ class RungRuntime(SandboxRuntime):
         self.observe_verb("delete", began)
         return sandbox
 
+    # -- failure handling ----------------------------------------------------------------
+
+    def lose_context(self) -> None:
+        """The GPU (or its MPS wrapper) crashed: the shared context and
+        every stream die with it.  The fault injector calls this for
+        GPU PU-crash faults; the next ``create_vector`` rebuilds the
+        context from scratch."""
+        self.context_ready = False
+        for sandbox in list(self._sandboxes.values()):
+            sandbox.state = SandboxState.DELETED
+            self.forget(sandbox.sandbox_id)
+
     # -- invocation ----------------------------------------------------------------------
 
     def invoke(self, sandbox_id: str, exec_time_s: Optional[float] = None):

@@ -9,6 +9,7 @@ samples physical (non-negative).
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Sequence, TypeVar
 
 T = TypeVar("T")
@@ -25,9 +26,11 @@ class SeededRng:
         """Derive an independent, reproducible child stream.
 
         Children are keyed by ``name`` so adding a new consumer does not
-        perturb the draws seen by existing ones.
+        perturb the draws seen by existing ones.  The derivation uses a
+        stable hash (not the builtin ``hash``, which is randomized per
+        process) so one seed reproduces an experiment across processes.
         """
-        child_seed = hash((self.seed, name)) & 0x7FFFFFFF
+        child_seed = zlib.crc32(f"{self.seed}:{name}".encode()) & 0x7FFFFFFF
         return SeededRng(child_seed)
 
     def uniform(self, low: float, high: float) -> float:

@@ -35,6 +35,52 @@ from repro.xpu.sync import SyncManager
 from repro.xpu.xpucall import XpucallTransport, default_transport
 
 
+class FifoFault:
+    """One active XPU-FIFO fault window, installed by the fault
+    injector.
+
+    ``mode`` is ``"drop"`` (the message is paid for but never
+    deposited) or ``"delay"`` (an extra ``delay_s`` is charged before
+    the deposit).  ``uuid`` scopes the window to one FIFO, or ``"*"``
+    for every FIFO.  ``probability`` draws per message from a seeded
+    stream, keeping runs reproducible; ``until_s`` bounds the window.
+    """
+
+    def __init__(
+        self,
+        uuid: str,
+        mode: str,
+        probability: float = 1.0,
+        delay_s: float = 0.0,
+        until_s: Optional[float] = None,
+        rng=None,
+    ):
+        if mode not in ("drop", "delay"):
+            raise FifoError(f"unknown FIFO fault mode: {mode!r}")
+        self.uuid = uuid
+        self.mode = mode
+        self.probability = probability
+        self.delay_s = delay_s
+        self.until_s = until_s
+        self.rng = rng
+        #: Messages this window actually hit.
+        self.hits = 0
+
+    def matches(self, fifo_uuid: str, now: float) -> bool:
+        """True while the window covers this FIFO at this time."""
+        if self.until_s is not None and now > self.until_s:
+            return False
+        return self.uuid == "*" or self.uuid == fifo_uuid
+
+    def fires(self) -> bool:
+        """Draw whether this message is hit (seeded, reproducible)."""
+        if self.probability >= 1.0:
+            return True
+        if self.rng is None:
+            return False
+        return self.rng.uniform(0.0, 1.0) < self.probability
+
+
 class ShimCluster:
     """The distributed XPU-Shim deployment on one machine."""
 
@@ -53,6 +99,15 @@ class ShimCluster:
         #: Optional :class:`repro.obs.Observability` hub; every shim
         #: instance reports XPUcall and nIPC metrics through it.
         self.obs = obs
+        #: Active XPU-FIFO fault windows (see :class:`FifoFault`).
+        self.fifo_faults: list[FifoFault] = []
+
+    def active_fifo_fault(self, fifo_uuid: str) -> Optional[FifoFault]:
+        """The first fault window covering ``fifo_uuid`` right now."""
+        for fault in self.fifo_faults:
+            if fault.matches(fifo_uuid, self.sim.now):
+                return fault
+        return None
 
     # -- deployment --------------------------------------------------------------
 
@@ -249,9 +304,23 @@ class XpuShim:
             raise CapabilityError("handle is read-only")
         caller.require(handle.fifo.obj_id, Permission.WRITE)
         obs = self.cluster.obs
+        fault = self.cluster.active_fifo_fault(handle.fifo.global_uuid)
+        dropped = False
+        if fault is not None and fault.fires():
+            fault.hits += 1
+            if fault.mode == "delay":
+                yield self.sim.timeout(fault.delay_s)
+                if obs is not None:
+                    obs.on_nipc_delayed()
+            else:  # drop: transport costs are still paid below
+                dropped = True
         if handle.is_local:
             yield self.sim.timeout(self.exec_pu.copy_time(size))
             yield self.sim.timeout(self.exec_pu.ipc_notify_time())
+            if dropped:
+                if obs is not None:
+                    obs.on_nipc_dropped()
+                return size
             handle.fifo.deposit(payload, size)
             if obs is not None:
                 obs.on_nipc_message("local", size)
@@ -261,6 +330,10 @@ class XpuShim:
         route = self._route_to(handle.fifo.home_pu.pu_id)
         yield self.sim.timeout(route.transfer_time(size))
         yield self.sim.timeout(handle.fifo.home_pu.op_time())
+        if dropped:
+            if obs is not None:
+                obs.on_nipc_dropped()
+            return size
         handle.fifo.deposit(payload, size)
         if obs is not None:
             obs.on_nipc_message("cross", size)

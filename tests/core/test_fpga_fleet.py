@@ -98,10 +98,13 @@ def test_eight_devices_cache_96_instances():
 
 
 def test_no_fpga_raises():
-    from repro.errors import SchedulingError
+    from repro.errors import RetriesExhaustedError, SchedulingError
 
     runtime = MoleculeRuntime.create(num_dpus=1)
     fn = fpga_fn("a")
     runtime.registry.register(fn)
-    with pytest.raises(SchedulingError):
+    # Placement fails on every attempt (the machine has no FPGA at all),
+    # so the retry layer exhausts its budget and dead-letters.
+    with pytest.raises(RetriesExhaustedError) as excinfo:
         runtime.invoke_now("a", kind=PuKind.FPGA)
+    assert "SchedulingError" in excinfo.value.errors[-1]

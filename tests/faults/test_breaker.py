@@ -1,0 +1,161 @@
+"""Circuit-breaker transitions and scheduler integration.
+
+Covers the full CLOSED -> OPEN -> HALF_OPEN -> CLOSED lifecycle, probe
+exclusivity in HALF_OPEN, and the scheduler excluding unavailable PUs
+from its placement candidates."""
+
+import pytest
+
+from repro import (
+    FunctionCode,
+    FunctionDef,
+    Language,
+    MoleculeRuntime,
+    PuKind,
+    WorkProfile,
+)
+from repro.core.reliability import BreakerState, CircuitBreaker
+
+
+@pytest.fixture
+def breaker():
+    return CircuitBreaker(failure_threshold=3, open_s=10.0)
+
+
+def test_closed_trips_open_at_threshold(breaker):
+    breaker.record_failure(now=1.0)
+    breaker.record_failure(now=2.0)
+    assert breaker.state is BreakerState.CLOSED
+    breaker.record_failure(now=3.0)
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.opened_at == 3.0
+
+
+def test_success_resets_consecutive_count(breaker):
+    breaker.record_failure(now=1.0)
+    breaker.record_failure(now=2.0)
+    breaker.record_success(now=3.0)
+    breaker.record_failure(now=4.0)
+    breaker.record_failure(now=5.0)
+    assert breaker.state is BreakerState.CLOSED
+
+
+def test_open_blocks_until_cooldown_then_half_open(breaker):
+    for t in (1.0, 2.0, 3.0):
+        breaker.record_failure(now=t)
+    assert not breaker.allows(now=5.0)
+    assert breaker.state is BreakerState.OPEN
+    # Cool-down elapsed: the availability check itself moves to HALF_OPEN.
+    assert breaker.allows(now=13.0)
+    assert breaker.state is BreakerState.HALF_OPEN
+
+
+def test_half_open_admits_exactly_one_probe(breaker):
+    for t in (1.0, 2.0, 3.0):
+        breaker.record_failure(now=t)
+    assert breaker.allows(now=13.0)
+    breaker.begin_attempt(now=13.0)
+    # Probe in flight: a second attempt is rejected.
+    assert not breaker.allows(now=13.5)
+
+
+def test_probe_success_closes(breaker):
+    for t in (1.0, 2.0, 3.0):
+        breaker.record_failure(now=t)
+    breaker.allows(now=13.0)
+    breaker.begin_attempt(now=13.0)
+    breaker.record_success(now=14.0)
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.allows(now=14.0)
+    # The whole journey is on the transition log.
+    assert [s for _, s in breaker.transitions] == [
+        BreakerState.OPEN, BreakerState.HALF_OPEN, BreakerState.CLOSED,
+    ]
+
+
+def test_probe_failure_reopens_for_a_fresh_cooldown(breaker):
+    for t in (1.0, 2.0, 3.0):
+        breaker.record_failure(now=t)
+    breaker.allows(now=13.0)
+    breaker.begin_attempt(now=13.0)
+    breaker.record_failure(now=14.0)
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.opened_at == 14.0
+    assert not breaker.allows(now=20.0)   # 6s into the new 10s cool-down
+    assert breaker.allows(now=24.0)       # ... which then expires again
+
+
+def test_breaker_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(open_s=0.0)
+
+
+# -- health registry + scheduler ----------------------------------------------------
+
+
+def _dpu_fn():
+    return FunctionDef(
+        name="f",
+        code=FunctionCode("f", language=Language.PYTHON),
+        work=WorkProfile(warm_exec_ms=5.0),
+        profiles=(PuKind.DPU, PuKind.CPU),
+    )
+
+
+@pytest.fixture
+def molecule():
+    runtime = MoleculeRuntime.create(num_dpus=2)
+    runtime.deploy_now(_dpu_fn())
+    return runtime
+
+
+def _dpu(molecule, name):
+    [pu] = [p for p in molecule.machine.pus.values() if p.name == name]
+    return pu
+
+
+def test_scheduler_excludes_crashed_pus(molecule):
+    fn = molecule.registry.get("f")
+    before = [pu.name for pu in molecule.scheduler.candidates(fn, kind=PuKind.DPU)]
+    assert "dpu0" in before
+    molecule.health.mark_down(_dpu(molecule, "dpu0"))
+    after = [pu.name for pu in molecule.scheduler.candidates(fn, kind=PuKind.DPU)]
+    assert "dpu0" not in after
+    assert "dpu1" in after
+
+
+def test_scheduler_excludes_open_breaker_pus(molecule):
+    fn = molecule.registry.get("f")
+    dpu0 = _dpu(molecule, "dpu0")
+    for _ in range(molecule.health.failure_threshold):
+        molecule.health.record_failure(dpu0)
+    names = [pu.name for pu in molecule.scheduler.candidates(fn, kind=PuKind.DPU)]
+    assert "dpu0" not in names
+
+
+def test_mark_up_restores_candidacy_and_bumps_epoch(molecule):
+    fn = molecule.registry.get("f")
+    dpu0 = _dpu(molecule, "dpu0")
+    epoch_before = molecule.health.epoch(dpu0)
+    molecule.health.mark_down(dpu0)
+    assert molecule.health.epoch(dpu0) == epoch_before + 1
+    assert molecule.health.is_down(dpu0)
+    molecule.health.mark_up(dpu0)
+    assert not molecule.health.is_down(dpu0)
+    # Epoch survives the reboot: in-flight attempts still see the crash.
+    assert molecule.health.epoch(dpu0) == epoch_before + 1
+    names = [pu.name for pu in molecule.scheduler.candidates(fn, kind=PuKind.DPU)]
+    assert "dpu0" in names
+
+
+def test_breaker_transitions_feed_obs_counter(molecule):
+    dpu0 = _dpu(molecule, "dpu0")
+    for _ in range(molecule.health.failure_threshold):
+        molecule.health.record_failure(dpu0)
+    counter = molecule.obs.registry.get("repro_breaker_transitions_total")
+    by_state = {
+        labels["to_state"]: child.value for labels, child in counter.series()
+    }
+    assert by_state.get("open") == 1

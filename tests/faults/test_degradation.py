@@ -1,0 +1,123 @@
+"""Graceful degradation: accelerator functions fall back to CPU when
+their accelerator is down, and nothing is ever lost.
+
+This is the PR's end-to-end acceptance scenario: kill the only FPGA
+mid-workload and verify zero lost requests with the breaker and
+degradation counters visible in the metrics snapshot."""
+
+import pytest
+
+from repro import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    FunctionCode,
+    FunctionDef,
+    Language,
+    MoleculeRuntime,
+    PuKind,
+    Simulator,
+    WorkProfile,
+    build_full_machine,
+)
+from repro.faults import run_scenario
+from repro.faults.injector import FaultInjector
+from repro.hardware import FabricResources, KernelSpec
+
+
+def _fpga_runtime(**kwargs):
+    sim = Simulator()
+    machine = build_full_machine(sim, num_dpus=0, num_fpgas=1, num_gpus=0)
+    runtime = MoleculeRuntime(sim, machine, **kwargs)
+    runtime.start()
+    fn = FunctionDef(
+        name="vadd",
+        code=FunctionCode(
+            "vadd",
+            language=Language.PYTHON,
+            kernel=KernelSpec("vadd", FabricResources(luts=4000), exec_time_s=1e-3),
+        ),
+        work=WorkProfile(warm_exec_ms=10.0, fpga_exec_ms=1.0),
+        profiles=(PuKind.FPGA, PuKind.CPU),
+    )
+    runtime.deploy_now(fn)
+    return runtime
+
+
+def _fpga0(runtime):
+    [pu] = [p for p in runtime.machine.pus.values() if p.name == "fpga0"]
+    return pu
+
+
+def test_fpga_down_degrades_to_cpu_profile():
+    runtime = _fpga_runtime(seed=3)
+    healthy = runtime.invoke_now("vadd", payload_bytes=4096)
+    assert healthy.pu_kind is PuKind.FPGA
+    assert not healthy.degraded
+    runtime.health.mark_down(_fpga0(runtime))
+    fallback = runtime.invoke_now("vadd", payload_bytes=4096)
+    assert fallback.pu_kind is PuKind.CPU
+    assert fallback.degraded
+    counter = runtime.obs.registry.get("repro_degraded_total")
+    assert counter.total() == 1
+
+
+def test_degradation_requires_a_fallback_profile():
+    from repro.errors import RetriesExhaustedError
+
+    runtime = _fpga_runtime(seed=3)
+    fpga_only = FunctionDef(
+        name="rigid",
+        code=FunctionCode(
+            "rigid",
+            kernel=KernelSpec("rigid", FabricResources(luts=4000), exec_time_s=1e-3),
+        ),
+        work=WorkProfile(warm_exec_ms=10.0, fpga_exec_ms=1.0),
+        profiles=(PuKind.FPGA,),
+    )
+    runtime.deploy_now(fpga_only)
+    runtime.health.mark_down(_fpga0(runtime))
+    # No general-purpose profile to fall back onto: retries exhaust and
+    # the request is dead-lettered instead of silently vanishing.
+    with pytest.raises(RetriesExhaustedError):
+        runtime.invoke_now("rigid", payload_bytes=4096)
+    assert len(runtime.dead_letters) == 1
+
+
+def test_bitstream_failure_is_retried_transparently():
+    runtime = _fpga_runtime(seed=3)
+    injector = FaultInjector(
+        runtime,
+        FaultPlan.of(
+            FaultSpec(FaultKind.BITSTREAM_FAIL, "fpga0", after_requests=1)
+        ),
+    )
+    runtime.injector = injector
+    injector.arm()
+    result = runtime.invoke_now("vadd", payload_bytes=4096)
+    # First attempt hit the corrupted bitstream; the retry reprogrammed
+    # the fabric and completed on the FPGA (one failure does not trip
+    # the breaker).
+    assert result.attempts == 2
+    assert result.retried
+    assert "bitstream" in result.error
+    assert result.pu_kind is PuKind.FPGA
+    assert not result.degraded
+
+
+def test_fpga_killed_mid_workload_loses_nothing():
+    summary = run_scenario("fpga-degrade", seed=5)
+    assert summary["lost"] == 0
+    assert summary["answered"] == summary["submitted"]
+    assert summary["degraded_requests"] > 0
+    assert summary["breaker_states"].get("fpga0") == "down"
+    # The counters back the story in the snapshot itself.
+    metrics = summary["snapshot"]["metrics"]
+    degraded_total = sum(
+        s["value"] for s in metrics["repro_degraded_total"]["series"]
+    )
+    assert degraded_total == summary["degraded_requests"]
+    fault_total = sum(
+        s["value"] for s in metrics["repro_faults_injected_total"]["series"]
+    )
+    assert fault_total >= 1

@@ -87,7 +87,7 @@ def test_eviction_destroys_sandbox_and_releases_memory():
 
 
 def test_force_cold_storm_respects_admission():
-    from repro.errors import SchedulingError
+    from repro.errors import RetriesExhaustedError
 
     molecule = MoleculeRuntime.create(num_dpus=0)
     tiny_machine_fn = FunctionDef(
@@ -99,5 +99,9 @@ def test_force_cold_storm_respects_admission():
     molecule.deploy_now(tiny_machine_fn)
     molecule.invoke_now("big", force_cold=True)
     molecule.invoke_now("big", force_cold=True)
-    with pytest.raises(SchedulingError):
+    # Out of DRAM: each attempt fails scheduling, the retry layer
+    # exhausts its budget, and the request is dead-lettered.
+    with pytest.raises(RetriesExhaustedError):
         molecule.invoke_now("big", force_cold=True)
+    assert len(molecule.dead_letters) == 1
+    assert molecule.dead_letters.entries()[0].reason == "retries_exhausted"

@@ -1,0 +1,137 @@
+"""Races between injected crashes and the rest of the platform: the
+keep-alive reaper, warm DPU pools, and cold starts in flight when the
+PU dies."""
+
+import pytest
+
+from repro import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    FunctionCode,
+    FunctionDef,
+    Language,
+    MoleculeRuntime,
+    PuKind,
+    WorkProfile,
+)
+from repro.faults.injector import FaultInjector
+
+
+def _fn(name="f", profiles=(PuKind.DPU, PuKind.CPU), exec_ms=5.0, import_ms=50.0):
+    return FunctionDef(
+        name=name,
+        code=FunctionCode(
+            name, language=Language.PYTHON, import_ms=import_ms, memory_mb=60
+        ),
+        work=WorkProfile(warm_exec_ms=exec_ms),
+        profiles=profiles,
+    )
+
+
+def _dpu0(runtime):
+    [pu] = [p for p in runtime.machine.pus.values() if p.name == "dpu0"]
+    return pu
+
+
+def _crash(runtime, at_s, reboot_after_s=None):
+    injector = FaultInjector(
+        runtime,
+        FaultPlan.of(
+            FaultSpec(
+                FaultKind.PU_CRASH, "dpu0",
+                at_s=at_s, reboot_after_s=reboot_after_s,
+            )
+        ),
+    )
+    runtime.injector = injector
+    injector.arm()
+    return injector
+
+
+def test_reaper_survives_crash_of_pooled_instances():
+    runtime = MoleculeRuntime.create(
+        num_dpus=1, keep_alive_ttl_s=0.2, seed=3
+    )
+    runtime.deploy_now(_fn())
+    dpu0 = _dpu0(runtime)
+    used_before = dpu0.dram_used_mb
+    # The cold request takes ~150ms and then pools its instance; the
+    # crash at +250ms lands inside the keep-alive window, reaping the
+    # sandbox out from under the keep-alive reaper — which must
+    # tolerate the corpse when the TTL fires at ~350ms.
+    _crash(runtime, at_s=runtime.sim.now + 0.25)
+    answered = []
+
+    def job():
+        result = yield from runtime.invoke("f", kind=PuKind.DPU)
+        answered.append(result)
+
+    runtime.sim.spawn(job())
+    runtime.sim.run()  # request, crash, then the TTL all play out
+    assert len(answered) == 1
+    assert len(runtime.invoker.pools[dpu0.pu_id]) == 0
+    assert dpu0.dram_used_mb == used_before
+
+
+def test_crash_then_reboot_then_reaper_frees_the_pool():
+    runtime = MoleculeRuntime.create(
+        num_dpus=1, keep_alive_ttl_s=0.3, seed=3
+    )
+    runtime.deploy_now(_fn())
+    runtime.invoke_now("f", kind=PuKind.DPU)
+    # Reboot lands BEFORE the TTL expires: the reaper then collects an
+    # instance whose sandbox died in a previous epoch.
+    _crash(runtime, at_s=runtime.sim.now + 0.05, reboot_after_s=0.1)
+    runtime.sim.run()
+    dpu0 = _dpu0(runtime)
+    assert not runtime.health.is_down(dpu0)
+    assert len(runtime.invoker.pools[dpu0.pu_id]) == 0
+    # A fresh request cold-starts cleanly on the rebooted DPU.
+    result = runtime.invoke_now("f", kind=PuKind.DPU)
+    assert result.cold
+    assert result.pu_name == "dpu0"
+
+
+def test_crash_mid_cold_start_retries_elsewhere():
+    runtime = MoleculeRuntime.create(num_dpus=2, seed=3)
+    runtime.deploy_now(_fn(import_ms=200.0))
+    # The cold start takes >= 200ms of import; kill the DPU in the middle.
+    _crash(runtime, at_s=runtime.sim.now + 0.05)
+    result = runtime.invoke_now("f", kind=PuKind.DPU, force_cold=True)
+    # The attempt detected the crash, retried, and landed on the
+    # surviving DPU — never lost, never served by a dead PU.
+    assert result.attempts > 1
+    assert result.pu_name == "dpu1"
+    assert len(runtime.dead_letters) == 0
+
+
+def test_crash_and_fast_reboot_mid_cold_start_is_still_detected():
+    runtime = MoleculeRuntime.create(num_dpus=1, seed=3)
+    runtime.deploy_now(_fn(import_ms=200.0))
+    # Crash AND reboot both land inside the 200ms cold start: plain
+    # is_down checks would miss it, the crash epoch does not.
+    _crash(runtime, at_s=runtime.sim.now + 0.05, reboot_after_s=0.02)
+    result = runtime.invoke_now("f", kind=PuKind.DPU, force_cold=True)
+    assert result.attempts > 1
+    assert len(runtime.dead_letters) == 0
+
+
+def test_warm_dpu_pool_instance_lost_to_crash_cold_starts_next():
+    runtime = MoleculeRuntime.create(num_dpus=2, seed=3)
+    runtime.deploy_now(_fn())
+    first = runtime.invoke_now("f", kind=PuKind.DPU)
+    assert first.pu_name == "dpu0"
+    _crash(runtime, at_s=runtime.sim.now + 0.01, reboot_after_s=0.05)
+    runtime.run(_sleep(runtime, 0.1))  # crash + reboot both done
+    again = runtime.invoke_now("f", kind=PuKind.DPU)
+    # The pooled warm instance died with the crash; the request must not
+    # be served by its corpse.
+    assert again.cold or again.pu_name != "dpu0"
+    assert len(runtime.dead_letters) == 0
+
+
+def _sleep(runtime, seconds):
+    def sleeper():
+        yield runtime.sim.timeout(seconds)
+    return sleeper()

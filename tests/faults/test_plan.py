@@ -1,0 +1,82 @@
+"""FaultPlan / FaultSpec validation and JSON round-tripping."""
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults import FaultKind, FaultPlan, FaultSpec
+
+
+def test_spec_requires_exactly_one_trigger():
+    with pytest.raises(FaultPlanError):
+        FaultSpec(FaultKind.PU_CRASH, "dpu0")
+    with pytest.raises(FaultPlanError):
+        FaultSpec(FaultKind.PU_CRASH, "dpu0", at_s=1.0, after_requests=3)
+    # Either trigger alone is fine.
+    FaultSpec(FaultKind.PU_CRASH, "dpu0", at_s=1.0)
+    FaultSpec(FaultKind.PU_CRASH, "dpu0", after_requests=3)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"at_s": -1.0},
+    {"after_requests": 0},
+    {"at_s": 0.0, "probability": 1.5},
+    {"at_s": 0.0, "probability": -0.1},
+    {"at_s": 0.0, "delay_s": -1.0},
+    {"at_s": 0.0, "duration_s": 0.0},
+    {"at_s": 0.0, "latency_factor": 0.5},
+    {"at_s": 0.0, "bandwidth_factor": 0.9},
+    {"at_s": 0.0, "count": 0},
+])
+def test_spec_rejects_bad_parameters(kwargs):
+    with pytest.raises(FaultPlanError):
+        FaultSpec(FaultKind.FIFO_DELAY, "cmd-dpu0", **kwargs)
+
+
+def test_spec_rejects_empty_target():
+    with pytest.raises(FaultPlanError):
+        FaultSpec(FaultKind.PU_CRASH, "", at_s=0.0)
+
+
+def test_plan_json_round_trip():
+    plan = FaultPlan.of(
+        FaultSpec(FaultKind.PU_CRASH, "dpu0", at_s=0.5, reboot_after_s=2.0),
+        FaultSpec(FaultKind.FIFO_DROP, "*", after_requests=3, probability=0.25),
+        FaultSpec(
+            FaultKind.LINK_DEGRADE, "cpu0<->dpu0", at_s=1.0,
+            latency_factor=4.0, bandwidth_factor=2.0, duration_s=5.0,
+        ),
+        FaultSpec(FaultKind.BITSTREAM_FAIL, "fpga0", after_requests=1, count=2),
+    )
+    assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+def test_plan_dict_omits_defaults():
+    spec = FaultSpec(FaultKind.SANDBOX_KILL, "etl-1", at_s=0.25)
+    assert spec.to_dict() == {
+        "kind": "sandbox_kill", "target": "etl-1", "at_s": 0.25,
+    }
+
+
+def test_plan_from_dict_rejects_garbage():
+    with pytest.raises(FaultPlanError):
+        FaultPlan.from_dict({"nope": []})
+    with pytest.raises(FaultPlanError):
+        FaultPlan.from_dict({"faults": "not-a-list"})
+    with pytest.raises(FaultPlanError):
+        FaultPlan.from_dict({"faults": [{"kind": "warp_core_breach",
+                                         "target": "x", "at_s": 0.0}]})
+    with pytest.raises(FaultPlanError):
+        FaultPlan.from_dict({"faults": [{"kind": "pu_crash", "target": "x",
+                                         "at_s": 0.0, "bogus_field": 1}]})
+    with pytest.raises(FaultPlanError):
+        FaultPlan.from_json("{not json")
+
+
+def test_plan_iteration_and_length():
+    specs = (
+        FaultSpec(FaultKind.PU_CRASH, "dpu0", at_s=0.0),
+        FaultSpec(FaultKind.PU_CRASH, "dpu1", at_s=1.0),
+    )
+    plan = FaultPlan.of(*specs)
+    assert len(plan) == 2
+    assert tuple(plan) == specs

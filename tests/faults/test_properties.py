@@ -1,0 +1,117 @@
+"""Property-based reliability invariants.
+
+The load-bearing one: **no request is ever both answered and
+dead-lettered** — and none is neither.  Every admitted request has
+exactly one fate, under arbitrary workloads and crash timings."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    FunctionCode,
+    FunctionDef,
+    Language,
+    MoleculeRuntime,
+    PuKind,
+    WorkProfile,
+)
+from repro.errors import ReproError
+from repro.faults.injector import FaultInjector
+
+# A small workload: each entry is (start_delay_ticks, force_cold).
+_JOBS = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=8), st.booleans()),
+    min_size=1,
+    max_size=8,
+)
+
+# Crash timing in 10ms ticks after workload start, and an optional
+# reboot delay (None = the DPU stays dead).
+_CRASH = st.tuples(
+    st.integers(min_value=0, max_value=10),
+    st.one_of(st.none(), st.integers(min_value=1, max_value=10)),
+)
+
+
+def _fn():
+    return FunctionDef(
+        name="f",
+        code=FunctionCode("f", language=Language.PYTHON, import_ms=30.0),
+        work=WorkProfile(warm_exec_ms=8.0),
+        profiles=(PuKind.DPU, PuKind.CPU),
+    )
+
+
+def _run(jobs, crash, seed):
+    runtime = MoleculeRuntime.create(
+        num_dpus=2, seed=seed, default_deadline_s=5.0
+    )
+    runtime.deploy_now(_fn())
+    crash_tick, reboot_ticks = crash
+    injector = FaultInjector(
+        runtime,
+        FaultPlan.of(
+            FaultSpec(
+                FaultKind.PU_CRASH,
+                "dpu0",
+                at_s=runtime.sim.now + crash_tick * 0.01,
+                reboot_after_s=(
+                    None if reboot_ticks is None else reboot_ticks * 0.01
+                ),
+            )
+        ),
+    )
+    runtime.injector = injector
+    injector.arm()
+
+    answered = []
+    failed = []
+
+    def submitter(delay_ticks, force_cold):
+        if delay_ticks:
+            yield runtime.sim.timeout(delay_ticks * 0.01)
+        try:
+            result = yield from runtime.invoke(
+                "f", kind=PuKind.DPU, force_cold=force_cold
+            )
+        except ReproError as exc:
+            failed.append(type(exc).__name__)
+        else:
+            answered.append(result)
+
+    for index, (delay, cold) in enumerate(jobs):
+        runtime.sim.spawn(submitter(delay, cold), name=f"job-{index}")
+    runtime.sim.run()
+    return runtime, answered, failed
+
+
+@settings(max_examples=15, deadline=None)
+@given(jobs=_JOBS, crash=_CRASH, seed=st.integers(min_value=0, max_value=2**16))
+def test_no_request_is_both_answered_and_dead_lettered(jobs, crash, seed):
+    runtime, answered, failed = _run(jobs, crash, seed)
+    answered_ids = {r.request_id for r in answered}
+    dead_ids = runtime.dead_letters.request_ids()
+    # Exactly-one-fate: the sets are disjoint...
+    assert answered_ids.isdisjoint(dead_ids)
+    # ... and together they cover every submitted request.
+    assert len(answered_ids) + len(dead_ids) == len(jobs)
+    assert len(answered) == len(answered_ids)  # no double answers either
+    # Every terminal error the caller saw has a matching dead letter.
+    assert len(failed) == len(dead_ids)
+
+
+@settings(max_examples=10, deadline=None)
+@given(jobs=_JOBS, crash=_CRASH, seed=st.integers(min_value=0, max_value=2**16))
+def test_admission_accounting_is_conserved(jobs, crash, seed):
+    runtime, answered, _failed = _run(jobs, crash, seed)
+    snapshot = runtime.metrics_snapshot()
+    answered_total = sum(
+        s["value"]
+        for s in snapshot["metrics"]["repro_requests_total"]["series"]
+    )
+    assert snapshot["requests_admitted"] == len(jobs)
+    assert answered_total == len(answered)
+    assert snapshot["dead_letters"] == len(runtime.dead_letters)

@@ -1,0 +1,140 @@
+"""Unit tests for the reliability primitives: retry policy backoff,
+dead-letter queue, and request deadlines."""
+
+import pytest
+
+from repro import (
+    FunctionCode,
+    FunctionDef,
+    Language,
+    MoleculeRuntime,
+    PuKind,
+    RetryPolicy,
+    WorkProfile,
+)
+from repro.core.reliability import DeadLetter, DeadLetterQueue
+from repro.errors import DeadlineExceeded
+from repro.sim.rng import SeededRng
+
+
+# -- RetryPolicy --------------------------------------------------------------------
+
+
+def test_backoff_grows_exponentially_without_jitter():
+    policy = RetryPolicy(
+        max_attempts=5, backoff_base_ms=10.0, backoff_multiplier=2.0,
+        backoff_max_ms=1000.0, jitter=0.0,
+    )
+    assert policy.backoff_s(1) == pytest.approx(0.010)
+    assert policy.backoff_s(2) == pytest.approx(0.020)
+    assert policy.backoff_s(3) == pytest.approx(0.040)
+
+
+def test_backoff_is_capped():
+    policy = RetryPolicy(
+        backoff_base_ms=10.0, backoff_multiplier=10.0,
+        backoff_max_ms=50.0, jitter=0.0,
+    )
+    assert policy.backoff_s(4) == pytest.approx(0.050)
+
+
+def test_backoff_jitter_is_bounded_and_deterministic():
+    policy = RetryPolicy(
+        backoff_base_ms=100.0, backoff_multiplier=1.0,
+        backoff_max_ms=100.0, jitter=0.2,
+    )
+    values = [policy.backoff_s(1, SeededRng(42).fork("retry")) for _ in range(5)]
+    # Same seed -> same jittered pause every time.
+    assert len(set(values)) == 1
+    assert 0.080 <= values[0] <= 0.120
+    # A different seed draws a different pause (with overwhelming odds).
+    other = policy.backoff_s(1, SeededRng(43).fork("retry"))
+    assert other != values[0]
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"max_attempts": 0},
+    {"backoff_base_ms": -1.0},
+    {"backoff_max_ms": -1.0},
+    {"jitter": 1.0},
+    {"jitter": -0.1},
+])
+def test_retry_policy_validation(kwargs):
+    with pytest.raises(ValueError):
+        RetryPolicy(**kwargs)
+
+
+def test_backoff_rejects_attempt_zero():
+    with pytest.raises(ValueError):
+        RetryPolicy().backoff_s(0)
+
+
+# -- DeadLetterQueue ----------------------------------------------------------------
+
+
+def test_dead_letter_queue_accounting():
+    queue = DeadLetterQueue()
+    assert len(queue) == 0
+    queue.push(DeadLetter(
+        request_id=7, function="f", attempts=3,
+        errors=("SandboxError",), enqueued_at=1.5,
+    ))
+    queue.push(DeadLetter(
+        request_id=9, function="g", attempts=1,
+        errors=(), enqueued_at=2.0, reason="deadline",
+    ))
+    assert len(queue) == 2
+    assert queue.request_ids() == {7, 9}
+    assert [e.reason for e in queue.entries()] == ["retries_exhausted", "deadline"]
+
+
+# -- deadlines ----------------------------------------------------------------------
+
+
+def _slow_fn(exec_ms=500.0):
+    return FunctionDef(
+        name="slow",
+        code=FunctionCode("slow", language=Language.PYTHON),
+        work=WorkProfile(warm_exec_ms=exec_ms),
+        profiles=(PuKind.CPU,),
+    )
+
+
+def test_deadline_exceeded_dead_letters_with_reason():
+    molecule = MoleculeRuntime.create(num_dpus=0, default_deadline_s=0.05)
+    molecule.deploy_now(_slow_fn())
+    with pytest.raises(DeadlineExceeded):
+        molecule.invoke_now("slow")
+    [entry] = molecule.dead_letters.entries()
+    assert entry.reason == "deadline"
+    assert entry.function == "slow"
+    counter = molecule.obs.registry.get("repro_deadline_exceeded_total")
+    assert counter.total() == 1
+
+
+def test_per_request_deadline_overrides_gateway_default():
+    molecule = MoleculeRuntime.create(num_dpus=0, default_deadline_s=0.05)
+    molecule.deploy_now(_slow_fn())
+    # A generous per-request budget lets the same function finish.
+    result = molecule.invoke_now("slow", deadline_s=10.0)
+    assert result.total_s > 0.05
+    assert len(molecule.dead_letters) == 0
+
+
+def test_deadline_fires_at_the_right_sim_time():
+    molecule = MoleculeRuntime.create(num_dpus=0, default_deadline_s=0.2)
+    molecule.deploy_now(_slow_fn())
+    admitted_at = molecule.sim.now
+    with pytest.raises(DeadlineExceeded):
+        molecule.invoke_now("slow")
+    assert molecule.sim.now - admitted_at >= 0.2
+
+
+def test_result_carries_attempt_metadata():
+    molecule = MoleculeRuntime.create(num_dpus=0)
+    molecule.deploy_now(_slow_fn(exec_ms=1.0))
+    result = molecule.invoke_now("slow")
+    assert result.attempts == 1
+    assert not result.retried
+    assert result.error is None
+    assert not result.degraded

@@ -164,8 +164,12 @@ def test_failed_invocation_counts_failure_not_latency(molecule):
     failures = molecule.obs.registry.get("repro_invocation_failures_total")
     [(labels, child)] = failures.series()
     assert labels["function"] == "hog"
-    assert labels["error"] == "SchedulingError"
+    # Scheduling fails every attempt; the retry layer surfaces the
+    # terminal RetriesExhaustedError after its budget runs out.
+    assert labels["error"] == "RetriesExhaustedError"
     assert child.value == 1
+    retries = molecule.obs.registry.get("repro_retries_total")
+    assert retries.total() == 2  # 3 attempts = 2 retries
     requests = molecule.obs.registry.get("repro_requests_total")
     assert requests.total() == 0
     assert molecule.obs.completed_traces() == []

@@ -383,6 +383,38 @@ def _print_faults(args) -> int:
     return 0
 
 
+def _print_perf(args) -> int:
+    """``repro perf``: run wall-clock benchmarks, write BENCH_perf.json."""
+    import json
+
+    from repro import perf
+
+    try:
+        report = perf.run_benchmarks(
+            quick=args.quick, scenarios=args.scenarios or None
+        )
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        print(f"available: {', '.join(perf.SCENARIOS)}", file=sys.stderr)
+        return 2
+    perf.write_report(report, args.output)
+    print(perf.format_report(report))
+    print(f"\nwrote {args.output}")
+    if args.compare is None:
+        return 0
+    with open(args.compare, encoding="utf-8") as handle:
+        prior = json.load(handle)
+    threshold = (
+        args.threshold if args.threshold is not None
+        else perf.DEFAULT_REGRESSION_THRESHOLD
+    )
+    regressions = perf.compare_reports(report, prior, threshold)
+    print(perf.format_comparison(regressions, threshold))
+    if regressions and args.fail_on_regression:
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser."""
     parser = argparse.ArgumentParser(
@@ -420,6 +452,24 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--check", action="store_true",
                         help="exit 1 if any request is lost "
                              "(neither answered nor dead-lettered)")
+    perf = sub.add_parser(
+        "perf",
+        help="wall-clock benchmarks of the simulator's hot paths",
+    )
+    perf.add_argument("scenarios", nargs="*",
+                      help="scenario names (default: all)")
+    perf.add_argument("--quick", action="store_true",
+                      help="smaller workloads for CI smoke runs")
+    perf.add_argument("--output", metavar="FILE", default="BENCH_perf.json",
+                      help="report path (default: BENCH_perf.json)")
+    perf.add_argument("--compare", metavar="FILE", default=None,
+                      help="prior BENCH_perf.json to diff rates against")
+    perf.add_argument("--threshold", type=float, default=None,
+                      help="relative rate drop counted as a regression "
+                           "(default: 0.20)")
+    perf.add_argument("--fail-on-regression", action="store_true",
+                      help="exit 1 when --compare finds a regression "
+                           "(default: warn only)")
     return parser
 
 
@@ -440,6 +490,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "faults":
         return _print_faults(args)
+    if args.command == "perf":
+        return _print_perf(args)
     if args.command == "validate":
         from repro.analysis.validation import scorecard, validate_all
 

@@ -331,24 +331,44 @@ class MoleculeRuntime:
 
     def _refresh_gauges(self) -> None:
         """Sample point-in-time state (pools, DRAM) into the gauges."""
-        registry = self.obs.registry
-        pool_size = registry.get("repro_warm_pool_size")
-        pool_hits = registry.get("repro_warm_pool_hits")
-        pool_misses = registry.get("repro_warm_pool_misses")
-        dram_used = registry.get("repro_pu_dram_used_mb")
+        handles = getattr(self, "_gauge_handles", None)
+        if handles is None:
+            # Resolve every per-PU gauge child once; snapshots after the
+            # first reuse the bound handles.
+            registry = self.obs.registry
+            pool_size = registry.get("repro_warm_pool_size")
+            pool_hits = registry.get("repro_warm_pool_hits")
+            pool_misses = registry.get("repro_warm_pool_misses")
+            dram_used = registry.get("repro_pu_dram_used_mb")
+            breaker_state = registry.get("repro_breaker_state")
+            handles = self._gauge_handles = {
+                "pools": {
+                    pu_id: (
+                        pool_size.bind(pu=self.machine.pus[pu_id].name),
+                        pool_hits.bind(pu=self.machine.pus[pu_id].name),
+                        pool_misses.bind(pu=self.machine.pus[pu_id].name),
+                        dram_used.bind(pu=self.machine.pus[pu_id].name),
+                    )
+                    for pu_id in self.invoker.pools
+                },
+                "breakers": {
+                    pu.pu_id: breaker_state.bind(pu=pu.name)
+                    for pu in self.machine.pus.values()
+                },
+            }
         for pu_id, pool in self.invoker.pools.items():
             pu = self.machine.pus[pu_id]
-            pool_size.labels(pu=pu.name).set(len(pool))
-            pool_hits.labels(pu=pu.name).set(pool.hits)
-            pool_misses.labels(pu=pu.name).set(pool.misses)
-            dram_used.labels(pu=pu.name).set(pu.dram_used_mb)
-        breaker_state = registry.get("repro_breaker_state")
+            size_g, hits_g, misses_g, dram_g = handles["pools"][pu_id]
+            size_g.set(len(pool))
+            hits_g.set(pool.hits)
+            misses_g.set(pool.misses)
+            dram_g.set(pu.dram_used_mb)
         for pu in self.machine.pus.values():
             if self.health.is_down(pu):
                 value = 3  # crashed and not yet rebooted
             else:
                 value = BREAKER_STATE_VALUE[self.health.breaker(pu).state]
-            breaker_state.labels(pu=pu.name).set(value)
+            handles["breakers"][pu.pu_id].set(value)
 
     def metrics_snapshot(self) -> dict:
         """A JSON-friendly dump of every metric family, gauges freshly

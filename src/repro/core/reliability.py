@@ -107,12 +107,17 @@ class CircuitBreaker:
         self.probe_in_flight = False
         #: (sim_time, new_state) transition log for tests and reports.
         self.transitions: list[tuple[float, BreakerState]] = []
+        #: Invoked (with no arguments) on every state transition; the
+        #: health registry hooks this to invalidate availability caches.
+        self.on_change: Optional[callable] = None
 
     def _transition(self, state: BreakerState, now: float) -> None:
         if state is self.state:
             return
         self.state = state
         self.transitions.append((now, state))
+        if self.on_change is not None:
+            self.on_change()
 
     def allows(self, now: float) -> bool:
         """True if an attempt may target this PU at ``now``.
@@ -185,6 +190,13 @@ class HealthRegistry:
         self._epochs: dict[int, int] = {}
         #: Names for metric labels, filled lazily.
         self._names: dict[int, str] = {}
+        #: Bumped on every availability-affecting change (crashes,
+        #: reboots, breaker transitions, probe claims).  The scheduler
+        #: keys its candidate cache on this.
+        self.version = 0
+
+    def _bump(self) -> None:
+        self.version += 1
 
     def breaker(self, pu: "ProcessingUnit") -> CircuitBreaker:
         """The breaker guarding one PU (created on first use)."""
@@ -192,6 +204,7 @@ class HealthRegistry:
         breaker = self._breakers.get(pu.pu_id)
         if breaker is None:
             breaker = CircuitBreaker(self.failure_threshold, self.open_s)
+            breaker.on_change = self._bump
             self._breakers[pu.pu_id] = breaker
         return breaker
 
@@ -202,6 +215,7 @@ class HealthRegistry:
         self._names[pu.pu_id] = pu.name
         self._down.add(pu.pu_id)
         self._epochs[pu.pu_id] = self._epochs.get(pu.pu_id, 0) + 1
+        self._bump()
 
     def mark_up(self, pu: "ProcessingUnit") -> None:
         """The PU rebooted: back in service with a fresh breaker."""
@@ -210,6 +224,7 @@ class HealthRegistry:
         breaker.consecutive_failures = 0
         breaker.probe_in_flight = False
         breaker._transition(BreakerState.CLOSED, self.sim.now)
+        self._bump()
 
     def is_down(self, pu: "ProcessingUnit") -> bool:
         """True while the PU is crashed."""
@@ -227,11 +242,38 @@ class HealthRegistry:
             return False
         return self.breaker(pu).allows(self.sim.now)
 
+    def filter_available(self, pus) -> tuple[tuple, float]:
+        """``(available_pus, valid_until)`` for a candidate list.
+
+        ``valid_until`` is the earliest simulated time at which an
+        excluded OPEN breaker finishes its cool-down and could move to
+        HALF_OPEN — i.e. when this filtering result may silently become
+        stale without any registry mutation.  ``inf`` when no excluded
+        PU can recover on its own.
+        """
+        now = self.sim.now
+        available: list = []
+        valid_until = float("inf")
+        for pu in pus:
+            if self.available(pu):
+                available.append(pu)
+                continue
+            breaker = self._breakers.get(pu.pu_id)
+            if (
+                pu.pu_id not in self._down
+                and breaker is not None
+                and breaker.state is BreakerState.OPEN
+                and breaker.opened_at is not None
+            ):
+                valid_until = min(valid_until, breaker.opened_at + breaker.open_s)
+        return tuple(available), valid_until
+
     # -- attempt outcomes ----------------------------------------------------------
 
     def begin_attempt(self, pu: "ProcessingUnit") -> None:
         """An attempt is about to target ``pu`` (claims probe slots)."""
         self.breaker(pu).begin_attempt(self.sim.now)
+        self._bump()
 
     def record_success(self, pu: "ProcessingUnit") -> None:
         """An attempt on ``pu`` succeeded."""

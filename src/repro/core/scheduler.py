@@ -47,29 +47,63 @@ class Scheduler:
         #: Per-PU health registry; crashed and open-circuit PUs are
         #: excluded from candidates.  None disables health filtering.
         self.health = health
+        #: (function name, kind) -> kind-ordered PU tuple.  Function
+        #: profiles and the machine topology are static, so this never
+        #: needs invalidation for the life of one deployment.
+        self._base_candidates: dict[
+            tuple[str, Optional[PuKind]], tuple[ProcessingUnit, ...]
+        ] = {}
+        #: (function name, kind) -> (health version, valid-until time,
+        #: filtered PU tuple).  Invalidated by breaker/crash transitions
+        #: (version bumps) and by OPEN cool-down expiry (valid-until).
+        self._available_candidates: dict[
+            tuple[str, Optional[PuKind]],
+            tuple[int, float, tuple[ProcessingUnit, ...]],
+        ] = {}
 
     def _kind_order(self, function: FunctionDef) -> list[PuKind]:
         if self.prefer_cheapest:
             return [k for k in _KIND_PRICE_ORDER if function.supports(k)]
         return list(function.profiles)
 
-    def candidates(self, function: FunctionDef, kind: Optional[PuKind] = None) -> list[ProcessingUnit]:
+    def candidates(
+        self, function: FunctionDef, kind: Optional[PuKind] = None
+    ) -> tuple[ProcessingUnit, ...]:
         """PUs that could host this function, in placement order.
 
         Crashed PUs and PUs whose circuit breaker is open are excluded
-        when a health registry is wired in.
+        when a health registry is wired in.  Results are cached: the
+        unfiltered kind-ordered list is static, and the health-filtered
+        view is reused until a breaker or crash transition bumps the
+        registry version (or an OPEN cool-down elapses).  Returns an
+        immutable tuple shared across calls.
         """
-        kinds = [kind] if kind is not None else self._kind_order(function)
-        pus: list[ProcessingUnit] = []
-        for wanted in kinds:
-            if not function.supports(wanted):
-                raise SchedulingError(
-                    f"function {function.name!r} has no {wanted.value} profile"
-                )
-            pus.extend(self.machine.pus_of_kind(wanted))
-        if self.health is not None:
-            pus = [pu for pu in pus if self.health.available(pu)]
-        return pus
+        key = (function.name, kind)
+        base = self._base_candidates.get(key)
+        if base is None:
+            kinds = [kind] if kind is not None else self._kind_order(function)
+            pus: list[ProcessingUnit] = []
+            for wanted in kinds:
+                if not function.supports(wanted):
+                    raise SchedulingError(
+                        f"function {function.name!r} has no {wanted.value} profile"
+                    )
+                pus.extend(self.machine.pus_of_kind(wanted))
+            base = tuple(pus)
+            self._base_candidates[key] = base
+        health = self.health
+        if health is None:
+            return base
+        cached = self._available_candidates.get(key)
+        if cached is not None:
+            version, valid_until, filtered = cached
+            if version == health.version and health.sim.now < valid_until:
+                return filtered
+        filtered, valid_until = health.filter_available(base)
+        # Capture the version *after* filtering: availability checks may
+        # themselves transition OPEN -> HALF_OPEN and bump it.
+        self._available_candidates[key] = (health.version, valid_until, filtered)
+        return filtered
 
     def place(
         self,

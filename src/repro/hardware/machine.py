@@ -29,6 +29,10 @@ class HeterogeneousComputer:
         #: Accelerator device models keyed by pu_id (e.g. FpgaDevice).
         self.devices: dict[int, FpgaDevice] = {}
         self._next_pu_id = 0
+        #: Lookup caches — the topology is static after construction, so
+        #: kind scans are computed once and invalidated only by add_pu.
+        self._kind_cache: dict[PuKind, tuple[ProcessingUnit, ...]] = {}
+        self._gp_cache: Optional[tuple[ProcessingUnit, ...]] = None
 
     # -- construction -----------------------------------------------------------
 
@@ -37,6 +41,8 @@ class HeterogeneousComputer:
         pu = ProcessingUnit(self.sim, self._next_pu_id, name, spec)
         self.pus[pu.pu_id] = pu
         self._next_pu_id += 1
+        self._kind_cache.clear()
+        self._gp_cache = None
         return pu
 
     def connect(self, a: ProcessingUnit, b: ProcessingUnit, kind: LinkKind) -> None:
@@ -58,13 +64,26 @@ class HeterogeneousComputer:
         except KeyError:
             raise HardwareError(f"unknown PU id {pu_id}") from None
 
-    def pus_of_kind(self, kind: PuKind) -> list[ProcessingUnit]:
-        """All PUs of one architectural class, in id order."""
-        return [pu for pu in self.pus.values() if pu.kind is kind]
+    def pus_of_kind(self, kind: PuKind) -> tuple[ProcessingUnit, ...]:
+        """All PUs of one architectural class, in id order.
 
-    def general_purpose_pus(self) -> list[ProcessingUnit]:
-        """All CPU/DPU PUs, in id order."""
-        return [pu for pu in self.pus.values() if pu.is_general_purpose]
+        Returns a cached immutable tuple: callers on the scheduling hot
+        path share it without a per-call scan, and none of them can
+        mutate the shared state.
+        """
+        pus = self._kind_cache.get(kind)
+        if pus is None:
+            pus = tuple(pu for pu in self.pus.values() if pu.kind is kind)
+            self._kind_cache[kind] = pus
+        return pus
+
+    def general_purpose_pus(self) -> tuple[ProcessingUnit, ...]:
+        """All CPU/DPU PUs, in id order (cached immutable tuple)."""
+        if self._gp_cache is None:
+            self._gp_cache = tuple(
+                pu for pu in self.pus.values() if pu.is_general_purpose
+            )
+        return self._gp_cache
 
     @property
     def host_cpu(self) -> ProcessingUnit:

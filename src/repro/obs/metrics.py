@@ -254,6 +254,9 @@ class MetricFamily:
         self.max_series = max_series
         self._child_factory = child_factory
         self._children: dict[tuple[str, ...], object] = {}
+        #: Memoized label-less child (label-less families are their own
+        #: single series; resolving it per observation is wasted work).
+        self._single: object = None
 
     def labels(self, **labelvalues):
         """The child series for one label-value assignment.
@@ -282,13 +285,26 @@ class MetricFamily:
             self._children[key] = child
         return child
 
+    def bind(self, **labelvalues):
+        """Resolve one label assignment to its child handle, once.
+
+        Identical to :meth:`labels`, but named for its intended use:
+        resolve at *wiring time* and keep the returned handle, calling
+        ``inc``/``set``/``observe`` on it directly — hot paths should
+        never pay the label-dict validation per observation.
+        """
+        return self.labels(**labelvalues)
+
     def _default_child(self):
-        if self.labelnames:
-            raise ObsError(
-                f"metric {self.name!r} has labels {list(self.labelnames)}; "
-                "use .labels(...)"
-            )
-        return self.labels()
+        child = self._single
+        if child is None:
+            if self.labelnames:
+                raise ObsError(
+                    f"metric {self.name!r} has labels {list(self.labelnames)}; "
+                    "use .labels(...)"
+                )
+            child = self._single = self.labels()
+        return child
 
     # Label-less convenience: the family acts as its single child.
 

@@ -191,6 +191,26 @@ class Observability:
             "XPU-FIFO messages delayed by injected faults.",
         )
 
+        # -- bound child handles ---------------------------------------------------
+        # Labelled hot-path hooks memoize children per label tuple so
+        # steady-state observations touch no label-dict validation.
+        # (Label-less families memoize their single child inside
+        # MetricFamily, lazily, so unobserved families render no series.)
+        self._request_children: dict[tuple[str, str, str], tuple] = {}
+        self._phase_children: dict[tuple[str, str, str, str], object] = {}
+        self._start_children: dict[str, object] = {}
+        self._failure_children: dict[tuple[str, str], object] = {}
+        self._placement_children: dict[str, object] = {}
+        self._sandbox_children: dict[tuple[str, str], object] = {}
+        self._xpucall_children: dict[tuple[str, str], tuple] = {}
+        self._nipc_children: dict[str, tuple] = {}
+        self._retry_children: dict[tuple[str, str], object] = {}
+        self._deadline_children: dict[str, object] = {}
+        self._dead_letter_children: dict[tuple[str, str], object] = {}
+        self._degraded_children: dict[tuple[str, str, str], object] = {}
+        self._breaker_children: dict[tuple[str, str], object] = {}
+        self._fault_children: dict[str, object] = {}
+
     # -- lifecycle spans -----------------------------------------------------------
 
     def begin_invocation(self, function: str) -> RequestTrace:
@@ -201,26 +221,51 @@ class Observability:
         """Publish a finished trace into the metric families."""
         root = trace.root
         attrs = root.attributes
-        labels = {
-            "function": str(attrs.get("function", trace.function)),
-            "pu_kind": str(attrs.get("pu_kind", "unknown")),
-            "start_kind": str(attrs.get("start_kind", "unknown")),
-        }
-        self.requests_total.labels(**labels).inc()
-        self.request_seconds.labels(**labels).observe(root.duration_s)
-        self.starts_total.labels(start_kind=labels["start_kind"]).inc()
-        for child in root.children:
-            self.phase_seconds.labels(phase=child.name, **labels).observe(
-                child.duration_s
+        function = str(attrs.get("function", trace.function))
+        pu_kind = str(attrs.get("pu_kind", "unknown"))
+        start_kind = str(attrs.get("start_kind", "unknown"))
+        key = (function, pu_kind, start_kind)
+        bound = self._request_children.get(key)
+        if bound is None:
+            bound = (
+                self.requests_total.bind(
+                    function=function, pu_kind=pu_kind, start_kind=start_kind
+                ),
+                self.request_seconds.bind(
+                    function=function, pu_kind=pu_kind, start_kind=start_kind
+                ),
             )
+            self._request_children[key] = bound
+        bound[0].inc()
+        bound[1].observe(root.duration_s)
+        starts = self._start_children.get(start_kind)
+        if starts is None:
+            starts = self.starts_total.bind(start_kind=start_kind)
+            self._start_children[start_kind] = starts
+        starts.inc()
+        phase_children = self._phase_children
+        for child in root.children:
+            phase_key = (child.name, function, pu_kind, start_kind)
+            phase = phase_children.get(phase_key)
+            if phase is None:
+                phase = self.phase_seconds.bind(
+                    phase=child.name, function=function,
+                    pu_kind=pu_kind, start_kind=start_kind,
+                )
+                phase_children[phase_key] = phase
+            phase.observe(child.duration_s)
         self.traces.append(trace)
 
     def record_failure(self, trace: RequestTrace) -> None:
         """Count an abandoned trace without polluting the histograms."""
-        self.failures_total.labels(
-            function=trace.function,
-            error=str(trace.root.attributes.get("error", "unknown")),
-        ).inc()
+        function = trace.function
+        error = str(trace.root.attributes.get("error", "unknown"))
+        key = (function, error)
+        child = self._failure_children.get(key)
+        if child is None:
+            child = self.failures_total.bind(function=function, error=error)
+            self._failure_children[key] = child
+        child.inc()
         self.traces.append(trace)
 
     def completed_traces(self) -> list[RequestTrace]:
@@ -236,7 +281,11 @@ class Observability:
 
     def on_placement(self, pu_kind: str) -> None:
         """One instance placed onto a PU."""
-        self.placements_total.labels(pu_kind=pu_kind).inc()
+        child = self._placement_children.get(pu_kind)
+        if child is None:
+            child = self.placements_total.bind(pu_kind=pu_kind)
+            self._placement_children[pu_kind] = child
+        child.inc()
 
     def on_placement_failure(self) -> None:
         """One placement rejected by admission control."""
@@ -249,49 +298,93 @@ class Observability:
 
     def on_sandbox_verb(self, runtime: str, verb: str, duration_s: float) -> None:
         """One sandbox-runtime verb completed."""
-        self.sandbox_verb_seconds.labels(runtime=runtime, verb=verb).observe(
-            duration_s
-        )
+        key = (runtime, verb)
+        child = self._sandbox_children.get(key)
+        if child is None:
+            child = self.sandbox_verb_seconds.bind(runtime=runtime, verb=verb)
+            self._sandbox_children[key] = child
+        child.observe(duration_s)
 
     def on_xpucall(self, pu_kind: str, transport: str, duration_s: float) -> None:
         """One XPUcall served by a shim."""
-        self.xpucalls_total.labels(pu_kind=pu_kind, transport=transport).inc()
-        self.xpucall_seconds.labels(pu_kind=pu_kind, transport=transport).observe(
-            duration_s
-        )
+        key = (pu_kind, transport)
+        bound = self._xpucall_children.get(key)
+        if bound is None:
+            bound = (
+                self.xpucalls_total.bind(pu_kind=pu_kind, transport=transport),
+                self.xpucall_seconds.bind(pu_kind=pu_kind, transport=transport),
+            )
+            self._xpucall_children[key] = bound
+        bound[0].inc()
+        bound[1].observe(duration_s)
 
     def on_nipc_message(self, path: str, nbytes: int) -> None:
         """One XPU-FIFO write (``path`` is ``local`` or ``cross``)."""
-        self.nipc_messages_total.labels(path=path).inc()
-        self.nipc_bytes_total.labels(path=path).inc(nbytes)
+        bound = self._nipc_children.get(path)
+        if bound is None:
+            bound = (
+                self.nipc_messages_total.bind(path=path),
+                self.nipc_bytes_total.bind(path=path),
+            )
+            self._nipc_children[path] = bound
+        bound[0].inc()
+        bound[1].inc(nbytes)
 
     # -- reliability hooks ---------------------------------------------------------
 
     def on_retry(self, function: str, reason: str) -> None:
         """One attempt failed transiently and will be retried."""
-        self.retries_total.labels(function=function, reason=reason).inc()
+        key = (function, reason)
+        child = self._retry_children.get(key)
+        if child is None:
+            child = self.retries_total.bind(function=function, reason=reason)
+            self._retry_children[key] = child
+        child.inc()
 
     def on_deadline_exceeded(self, function: str) -> None:
         """One request ran out of deadline budget."""
-        self.deadline_exceeded_total.labels(function=function).inc()
+        child = self._deadline_children.get(function)
+        if child is None:
+            child = self.deadline_exceeded_total.bind(function=function)
+            self._deadline_children[function] = child
+        child.inc()
 
     def on_dead_letter(self, function: str, reason: str) -> None:
         """One request was parked in the dead-letter queue."""
-        self.dead_letters_total.labels(function=function, reason=reason).inc()
+        key = (function, reason)
+        child = self._dead_letter_children.get(key)
+        if child is None:
+            child = self.dead_letters_total.bind(function=function, reason=reason)
+            self._dead_letter_children[key] = child
+        child.inc()
 
     def on_degraded(self, function: str, from_kind: str, to_kind: str) -> None:
         """One attempt fell back from an accelerator to a CPU profile."""
-        self.degraded_total.labels(
-            function=function, from_kind=from_kind, to_kind=to_kind
-        ).inc()
+        key = (function, from_kind, to_kind)
+        child = self._degraded_children.get(key)
+        if child is None:
+            child = self.degraded_total.bind(
+                function=function, from_kind=from_kind, to_kind=to_kind
+            )
+            self._degraded_children[key] = child
+        child.inc()
 
     def on_breaker_transition(self, pu: str, to_state: str) -> None:
         """One circuit breaker changed state."""
-        self.breaker_transitions_total.labels(pu=pu, to_state=to_state).inc()
+        key = (pu, to_state)
+        child = self._breaker_children.get(key)
+        if child is None:
+            child = self.breaker_transitions_total.bind(pu=pu, to_state=to_state)
+            self._breaker_children[key] = child
+        child.inc()
 
     def on_fault_injected(self, kind: str) -> None:
         """The injector fired one fault."""
-        self.faults_injected_total.labels(kind=kind).inc()
+        child = self._fault_children.get(kind)
+        if child is None:
+            child = self.faults_injected_total.bind(kind=kind)
+            self._fault_children[kind] = child
+        child.inc()
 
     def on_nipc_dropped(self) -> None:
         """One XPU-FIFO message dropped by an injected fault."""

@@ -1,0 +1,30 @@
+"""Wall-clock performance harness (``repro perf``).
+
+Canned workloads measure how fast the *simulator itself* runs on the
+host machine — events/sec through the kernel, invocations/sec through
+the full runtime stack, and wall-clock replays of the paper's startup
+experiment.  Results land in ``BENCH_perf.json`` so regressions are
+caught by diffing two runs (``repro perf --compare prior.json``).
+"""
+
+from repro.perf.bench import (
+    DEFAULT_REGRESSION_THRESHOLD,
+    SCENARIOS,
+    BenchResult,
+    compare_reports,
+    format_comparison,
+    format_report,
+    run_benchmarks,
+    write_report,
+)
+
+__all__ = [
+    "DEFAULT_REGRESSION_THRESHOLD",
+    "SCENARIOS",
+    "BenchResult",
+    "compare_reports",
+    "format_comparison",
+    "format_report",
+    "run_benchmarks",
+    "write_report",
+]

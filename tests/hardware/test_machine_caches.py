@@ -1,0 +1,53 @@
+"""Topology-lookup caching on the heterogeneous computer.
+
+``pus_of_kind`` / ``general_purpose_pus`` sit on the scheduling hot
+path; they return shared immutable tuples, recomputed only when the
+topology actually changes.
+"""
+
+from repro.hardware import build_cpu_dpu_machine, specs
+from repro.hardware.pu import PuKind
+from repro.sim import Simulator
+
+
+def make(num_dpus=2):
+    return build_cpu_dpu_machine(Simulator(), num_dpus=num_dpus)
+
+
+def test_pus_of_kind_returns_immutable_shared_tuple():
+    machine = make()
+    first = machine.pus_of_kind(PuKind.DPU)
+    assert isinstance(first, tuple)
+    assert machine.pus_of_kind(PuKind.DPU) is first  # cached, no rescan
+
+
+def test_general_purpose_pus_is_cached_tuple():
+    machine = make()
+    first = machine.general_purpose_pus()
+    assert isinstance(first, tuple)
+    assert machine.general_purpose_pus() is first
+    assert len(first) == 3  # cpu0 + two DPUs
+
+
+def test_add_pu_invalidates_kind_caches():
+    machine = make(num_dpus=1)
+    before_dpus = machine.pus_of_kind(PuKind.DPU)
+    before_gp = machine.general_purpose_pus()
+    added = machine.add_pu("dpu9", specs.CATALOG["bf1"])
+    after_dpus = machine.pus_of_kind(PuKind.DPU)
+    assert after_dpus is not before_dpus
+    assert added in after_dpus
+    assert len(after_dpus) == len(before_dpus) + 1
+    assert added in machine.general_purpose_pus()
+    assert machine.general_purpose_pus() is not before_gp
+
+
+def test_empty_kind_is_cached_too():
+    machine = make()
+    assert machine.pus_of_kind(PuKind.FPGA) == ()
+    assert machine.pus_of_kind(PuKind.FPGA) is machine.pus_of_kind(PuKind.FPGA)
+
+
+def test_host_cpu_survives_caching():
+    machine = make()
+    assert machine.host_cpu is machine.pus_of_kind(PuKind.CPU)[0]

@@ -1,0 +1,1 @@
+"""Tests for the wall-clock perf harness."""

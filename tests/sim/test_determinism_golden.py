@@ -1,0 +1,36 @@
+"""Golden-seed determinism guard.
+
+``tests/sim/data/golden_seed_snapshot.json`` was captured with the
+pre-fast-path kernel (before the direct-resume records, tombstoned
+interrupt slots and Timeout free-list landed).  The same seed and plan
+must keep producing a byte-identical metrics snapshot: the fast paths
+may change how fast events dispatch, never in what order.
+
+If this test fails, a kernel change broke the (time, priority, seq)
+ordering contract — do *not* regenerate the golden file to make it
+pass without understanding exactly why the trace moved.
+"""
+
+import json
+from pathlib import Path
+
+from tests.support import GOLDEN_SEED, golden_seed_snapshot
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_seed_snapshot.json"
+
+
+def test_golden_seed_snapshot_is_byte_identical():
+    current = golden_seed_snapshot()
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    assert current["seed"] == GOLDEN_SEED == golden["seed"]
+    assert json.dumps(current, sort_keys=True) == json.dumps(
+        golden, sort_keys=True
+    )
+
+
+def test_snapshot_is_seed_stable_within_one_interpreter():
+    first = golden_seed_snapshot()
+    second = golden_seed_snapshot()
+    assert json.dumps(first, sort_keys=True) == json.dumps(
+        second, sort_keys=True
+    )

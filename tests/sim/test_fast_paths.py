@@ -1,0 +1,259 @@
+"""Regression tests for the kernel fast paths.
+
+These pin the behavioural contracts behind the dispatch optimisations:
+tombstoned interrupt slots, direct resumption of already-processed
+targets, condition defusal over pre-processed children, and the
+Timeout/_Resume free-lists.
+"""
+
+import platform
+
+import pytest
+
+from repro.errors import Interrupt
+from repro.sim import Simulator
+
+IS_CPYTHON = platform.python_implementation() == "CPython"
+
+
+# -- interrupt vs. same-timestep trigger --------------------------------------------
+
+
+def test_interrupt_suppresses_same_timestep_trigger():
+    """An interrupt must win over the target triggering in the same
+    timestep: the stale wait callback may not resume the process a
+    second time with the old target's value."""
+    sim = Simulator()
+    log = []
+
+    def interrupter(sim, get_victim):
+        yield sim.timeout(1.0)
+        get_victim().interrupt("now")
+
+    def victim(sim):
+        try:
+            # Triggers at t=1.0, the same timestep as the interrupt —
+            # but the interrupter's timeout was created first, so the
+            # interrupt lands before this timeout dispatches.
+            yield sim.timeout(1.0, value="late")
+            log.append("not interrupted")
+        except Interrupt as exc:
+            log.append(("interrupted", exc.cause))
+        value = yield sim.timeout(5.0, value="second")
+        log.append(("second", value, sim.now))
+
+    holder = {}
+    sim.spawn(interrupter(sim, lambda: holder["p"]))
+    holder["p"] = sim.spawn(victim(sim))
+    sim.run()
+    # Exactly one resume per wait: the interrupt, then the second
+    # timeout — never a spurious resume carrying "late".
+    assert log == [("interrupted", "now"), ("second", "second", 6.0)]
+
+
+def test_interrupt_then_new_wait_not_clobbered_by_old_target():
+    """After an interrupted process starts a fresh wait, the old
+    target's eventual trigger must not deliver into the new wait."""
+    sim = Simulator()
+    log = []
+
+    def victim(sim):
+        try:
+            yield sim.timeout(10.0, value="old")
+        except Interrupt:
+            pass
+        value = yield sim.timeout(20.0, value="new")
+        log.append((value, sim.now))
+
+    def interrupter(sim, p):
+        yield sim.timeout(2.0)
+        p.interrupt()
+
+    p = sim.spawn(victim(sim))
+    sim.spawn(interrupter(sim, p))
+    sim.run()
+    # The old target fires at t=10 into a tombstoned slot; the victim
+    # only resumes at t=22 with the new wait's value.
+    assert log == [("new", 22.0)]
+
+
+def test_interrupt_slot_tombstone_is_o1_and_exact():
+    """Interrupting one of several waiters on an event only removes
+    that waiter's callback."""
+    sim = Simulator()
+    gate = sim.event()
+    woke = []
+
+    def waiter(sim, tag):
+        try:
+            value = yield gate
+            woke.append((tag, value))
+        except Interrupt:
+            woke.append((tag, "interrupted"))
+
+    procs = [sim.spawn(waiter(sim, i)) for i in range(3)]
+
+    def driver(sim):
+        yield sim.timeout(1.0)
+        procs[1].interrupt()
+        yield sim.timeout(1.0)
+        gate.succeed("go")
+
+    sim.spawn(driver(sim))
+    sim.run()
+    assert sorted(woke) == [(0, "go"), (1, "interrupted"), (2, "go")]
+
+
+# -- conditions over already-processed children -------------------------------------
+
+
+def test_all_of_already_processed_failed_child_is_defused():
+    sim = Simulator()
+    bad = sim.event()
+    bad.fail(RuntimeError("boom")).defuse()
+    sim.run()
+    assert bad.processed and not bad.ok
+
+    caught = []
+
+    def waiter(sim):
+        try:
+            yield sim.all_of([sim.timeout(1.0), bad])
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    sim.spawn(waiter(sim))
+    sim.run()  # must not re-raise the already-handled failure
+    assert caught == ["boom"]
+
+
+def test_any_of_already_processed_success_resolves_immediately():
+    sim = Simulator()
+    done = sim.event()
+    done.succeed("early")
+    sim.run()
+
+    results = []
+
+    def waiter(sim):
+        values = yield sim.any_of([done, sim.timeout(100.0)])
+        results.append((dict(values), sim.now))
+
+    sim.spawn(waiter(sim))
+    sim.run()
+    assert results == [({done: "early"}, 0.0)]
+
+
+def test_condition_defuses_late_child_failure_after_trigger():
+    """A child failing after the condition already resolved must be
+    marked handled, not escape ``run()``."""
+    sim = Simulator()
+    late_fail = sim.event()
+
+    def failer(sim):
+        yield sim.timeout(2.0)
+        late_fail.fail(RuntimeError("late"))
+
+    def waiter(sim):
+        yield sim.any_of([sim.timeout(1.0), late_fail])
+
+    sim.spawn(failer(sim))
+    sim.spawn(waiter(sim))
+    sim.run()  # raises if the late failure was not defused
+    assert late_fail.processed and not late_fail.ok
+
+
+def test_all_of_values_cover_every_child():
+    sim = Simulator()
+    results = []
+
+    def waiter(sim):
+        events = [sim.timeout(float(i + 1), value=i) for i in range(5)]
+        values = yield sim.all_of(events)
+        results.append([values[ev] for ev in events])
+
+    sim.spawn(waiter(sim))
+    sim.run()
+    assert results == [[0, 1, 2, 3, 4]]
+
+
+# -- free-lists ---------------------------------------------------------------------
+
+
+@pytest.mark.skipif(not IS_CPYTHON, reason="free-list is refcount-gated")
+def test_timeout_free_list_recycles_unreferenced_events():
+    sim = Simulator()
+
+    def proc(sim):
+        for _ in range(5):
+            yield sim.timeout(1.0)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert sim._timeout_pool  # finished timeouts were recycled
+    pooled = sim._timeout_pool[-1]
+    fresh = sim.timeout(0.5, value="reused")
+    assert fresh is pooled  # the pool actually feeds new timeouts
+    assert fresh.delay == 0.5
+
+
+@pytest.mark.skipif(not IS_CPYTHON, reason="free-list is refcount-gated")
+def test_recycled_timeout_delivers_new_value():
+    sim = Simulator()
+    got = []
+
+    def proc(sim):
+        first = yield sim.timeout(1.0, value="a")
+        second = yield sim.timeout(1.0, value="b")
+        got.append((first, second))
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert got == [("a", "b")]
+    assert sim.now == 2.0
+
+
+@pytest.mark.skipif(not IS_CPYTHON, reason="free-list is refcount-gated")
+def test_referenced_timeout_is_not_recycled():
+    sim = Simulator()
+    held = []
+
+    def proc(sim):
+        t = sim.timeout(1.0)
+        held.append(t)  # an outside reference survives dispatch
+        yield t
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert held[0] not in sim._timeout_pool
+    assert held[0].processed  # still a valid, processed event
+
+
+def test_resume_records_are_pooled():
+    sim = Simulator()
+
+    def proc(sim):
+        done = sim.event()
+        done.succeed("x")
+        yield sim.timeout(0.0)
+        # Waiting on an already-processed event takes the direct-resume
+        # path (no intermediate wakeup event).
+        value = yield done
+        return value
+
+    p = sim.spawn(proc(sim))
+    sim.run()
+    assert p.value == "x"
+    assert sim._resume_pool  # dispatched records returned to the pool
+
+
+def test_timeout_pool_is_bounded():
+    sim = Simulator()
+
+    def proc(sim):
+        for _ in range(Simulator._TIMEOUT_POOL_MAX + 200):
+            yield sim.timeout(0.0)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert len(sim._timeout_pool) <= Simulator._TIMEOUT_POOL_MAX

@@ -24,6 +24,55 @@ class Testbed:
         return proc.value
 
 
+#: Seed pinned by the golden-seed determinism test; the checked-in
+#: snapshot at ``tests/sim/data/golden_seed_snapshot.json`` was taken
+#: at this seed with the pre-fast-path kernel.
+GOLDEN_SEED = 20260806
+
+
+def golden_seed_snapshot(seed: int = GOLDEN_SEED) -> dict:
+    """A canned deterministic workload whose metrics snapshot must stay
+    byte-identical across kernel changes.
+
+    Combines two fault scenarios (crash/retry/deadline races exercise
+    interrupts, ``any_of`` conditions and seeded jitter) with a plain
+    cold/fork/warm invocation mix, so the snapshot covers every event
+    path the kernel fast paths touch.
+    """
+    from repro import (
+        FunctionCode,
+        FunctionDef,
+        Language,
+        MoleculeRuntime,
+        PuKind,
+        WorkProfile,
+    )
+    from repro.faults.scenarios import run_scenario
+
+    crash = run_scenario("dpu-crash", seed=seed)
+    nipc = run_scenario("flaky-nipc", seed=seed)
+
+    molecule = MoleculeRuntime.create(num_dpus=1, seed=seed)
+    hello = FunctionDef(
+        name="hello",
+        code=FunctionCode("hello", language=Language.PYTHON, import_ms=120.0),
+        work=WorkProfile(warm_exec_ms=15.0),
+        profiles=(PuKind.CPU, PuKind.DPU),
+    )
+    molecule.deploy_now(hello)
+    molecule.invoke_now("hello", kind=PuKind.CPU)
+    molecule.invoke_now("hello", kind=PuKind.CPU)
+    molecule.invoke_now("hello", kind=PuKind.DPU)
+    molecule.invoke_now("hello", force_cold=True)
+
+    return {
+        "seed": seed,
+        "dpu_crash": crash["snapshot"],
+        "flaky_nipc": nipc["snapshot"],
+        "warm_cold_mix": molecule.metrics_snapshot(),
+    }
+
+
 def build_testbed(num_dpus: int = 1, dpu_model: str = "bf1", full: bool = False) -> Testbed:
     """A CPU+DPU (optionally +FPGA/GPU) machine with shims installed."""
     sim = Simulator()

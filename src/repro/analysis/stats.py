@@ -16,8 +16,10 @@ def percentile(samples: Sequence[float], p: float) -> float:
     ordered = sorted(samples)
     if p == 0:
         return ordered[0]
-    rank = max(1, math.ceil(p / 100 * len(ordered)))
-    return ordered[rank - 1]
+    # The epsilon guards float noise: 99.9/100*1000 evaluates to
+    # 999.0000000000001, which must rank as 999, not 1000.
+    rank = max(1, math.ceil(p / 100 * len(ordered) - 1e-9))
+    return ordered[min(rank, len(ordered)) - 1]
 
 
 @dataclass

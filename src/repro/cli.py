@@ -415,6 +415,56 @@ def _print_perf(args) -> int:
     return 0
 
 
+def _print_load(args) -> int:
+    """``repro load``: run a load scenario, write BENCH_load.json."""
+    import json
+
+    from repro import loadgen
+
+    try:
+        report = loadgen.run_load(
+            args.scenario,
+            seed=args.seed,
+            rps=args.rps,
+            duration_s=args.duration,
+            shards=args.shards,
+            policy=args.route,
+            quick=args.quick,
+            mode=args.mode,
+            concurrency=args.concurrency,
+        )
+    except Exception as exc:
+        from repro.errors import ReproError
+
+        if not isinstance(exc, ReproError):
+            raise
+        print(exc, file=sys.stderr)
+        print(f"available: {', '.join(loadgen.scenario_names())}",
+              file=sys.stderr)
+        return 2
+    loadgen.write_report(report, args.output)
+    if args.json:
+        stripped = dict(report)
+        stripped.pop("host")
+        print(json.dumps(stripped, indent=2, sort_keys=True))
+    else:
+        print(loadgen.format_report(report))
+    print(f"\nwrote {args.output}")
+    if args.compare is None:
+        return 0
+    with open(args.compare, encoding="utf-8") as handle:
+        prior = json.load(handle)
+    threshold = (
+        args.threshold if args.threshold is not None
+        else loadgen.slo.DEFAULT_REGRESSION_THRESHOLD
+    )
+    regressions = loadgen.compare_reports(report, prior, threshold)
+    print(loadgen.format_comparison(regressions, threshold))
+    if regressions and args.fail_on_regression:
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser."""
     parser = argparse.ArgumentParser(
@@ -470,6 +520,48 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--fail-on-regression", action="store_true",
                       help="exit 1 when --compare finds a regression "
                            "(default: warn only)")
+    load = sub.add_parser(
+        "load",
+        help="trace-driven load generation over sharded gateways "
+             "(SLO percentiles -> BENCH_load.json)",
+    )
+    load.add_argument("--scenario", default="poisson",
+                      help="arrival scenario: poisson, burst, diurnal, "
+                           "azure (default: poisson)")
+    load.add_argument("--rps", type=float, default=None,
+                      help="peak arrival rate per second "
+                           "(default: 200, or 40 with --quick)")
+    load.add_argument("--duration", type=float, default=None,
+                      help="plan duration in simulated seconds "
+                           "(default: 60, or 5 with --quick)")
+    load.add_argument("--shards", type=int, default=None,
+                      help="gateway shard count (default: 4, or 2 with "
+                           "--quick)")
+    load.add_argument("--route", default="hash",
+                      choices=["hash", "least-outstanding", "locality"],
+                      help="shard routing policy (default: hash)")
+    load.add_argument("--mode", default="open", choices=["open", "closed"],
+                      help="open-loop (admit at trace time) or "
+                           "closed-loop driving (default: open)")
+    load.add_argument("--concurrency", type=int, default=64,
+                      help="worker count for --mode closed (default: 64)")
+    load.add_argument("--seed", type=int, default=None,
+                      help="simulation seed (default: config default)")
+    load.add_argument("--quick", action="store_true",
+                      help="smaller run for CI smoke")
+    load.add_argument("--json", action="store_true",
+                      help="emit the JSON report (minus host info) "
+                           "instead of the summary")
+    load.add_argument("--output", metavar="FILE", default="BENCH_load.json",
+                      help="report path (default: BENCH_load.json)")
+    load.add_argument("--compare", metavar="FILE", default=None,
+                      help="prior BENCH_load.json to diff SLOs against")
+    load.add_argument("--threshold", type=float, default=None,
+                      help="relative SLO change counted as a regression "
+                           "(default: 0.20)")
+    load.add_argument("--fail-on-regression", action="store_true",
+                      help="exit 1 when --compare finds a regression "
+                           "(default: warn only)")
     return parser
 
 
@@ -492,6 +584,8 @@ def main(argv: list[str] | None = None) -> int:
         return _print_faults(args)
     if args.command == "perf":
         return _print_perf(args)
+    if args.command == "load":
+        return _print_load(args)
     if args.command == "validate":
         from repro.analysis.validation import scorecard, validate_all
 

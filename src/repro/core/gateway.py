@@ -10,7 +10,7 @@ point of §4.3.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Optional, TYPE_CHECKING
+from typing import Callable, Iterator, Optional, TYPE_CHECKING
 
 from repro import config
 from repro.sim import Simulator
@@ -26,6 +26,12 @@ class ApiGateway:
     stamped with an absolute deadline; the invoker abandons attempts
     that would overrun it and raises
     :class:`~repro.errors.DeadlineExceeded`.
+
+    ``request_ids`` lets several gateways share one id stream: the
+    sharded front end (:mod:`repro.loadgen.sharding`) passes a common
+    counter to every shard so request ids stay machine-unique and the
+    dead-letter accounting (``answered + dead == admitted``) spans all
+    shards.
     """
 
     def __init__(
@@ -34,12 +40,13 @@ class ApiGateway:
         overhead_ms: float = config.GATEWAY_OVERHEAD_MS,
         obs: Optional["Observability"] = None,
         default_deadline_s: Optional[float] = None,
+        request_ids: Optional[Iterator[int]] = None,
     ):
         self.sim = sim
         self.overhead_ms = overhead_ms
         self.obs = obs
         self.default_deadline_s = default_deadline_s
-        self._request_ids = itertools.count(1)
+        self._request_ids = request_ids if request_ids is not None else itertools.count(1)
         self.requests_admitted = 0
         self._deadlines: dict[int, float] = {}
         #: Called with the running admitted count after each admission

@@ -58,6 +58,12 @@ class FunctionInstance:
     sandbox: Sandbox
     forked: bool
     requests_served: int = 0
+    #: Set by the first ``Invoker._destroy`` to claim the teardown.
+    #: Several paths can race to destroy one instance (keep-alive
+    #: reaper, LRU eviction, dead-corpse reaping in ``_find_warm``,
+    #: fault injection); without the claim each would release the
+    #: instance's DRAM reservation again, corrupting admission control.
+    destroyed: bool = False
 
     @property
     def is_first_request(self) -> bool:
@@ -86,6 +92,10 @@ class InvocationResult:
     #: True when the request fell back from an accelerator profile to a
     #: general-purpose one because the accelerator was down.
     degraded: bool = False
+    #: Sim time at which the gateway admitted the request.
+    admitted_s: float = 0.0
+    #: Gateway shard that admitted the request (None: unsharded front end).
+    shard: Optional[int] = None
 
     @property
     def total_ms(self) -> float:
@@ -183,11 +193,16 @@ class Invoker:
         exec_time_s: Optional[float] = None,
         deadline_s: Optional[float] = None,
         max_attempts: Optional[int] = None,
+        gateway=None,
     ):
         """Generator: run one request end to end.
 
         ``exec_time_s`` overrides the function's warm execution model
         for input-dependent workloads (file size, entry count).
+
+        ``gateway`` admits the request through a specific gateway
+        (a shard of :class:`repro.loadgen.sharding.ShardedFrontend`)
+        instead of the runtime's default front door.
 
         Transient failures (injected faults, dead sandboxes, exhausted
         capacity) are retried with exponential backoff up to
@@ -202,6 +217,7 @@ class Invoker:
             raise SchedulingError(
                 f"function {name!r} has no {kind.value} profile"
             )
+        gateway = gateway if gateway is not None else self.runtime.gateway
         start = self.sim.now
         trace = (
             self.obs.begin_invocation(function.name)
@@ -210,19 +226,20 @@ class Invoker:
         )
         try:
             admit_span = trace.begin_phase("admit")
-            request_id = yield from self.runtime.gateway.admit(
-                deadline_s=deadline_s
-            )
+            request_id = yield from gateway.admit(deadline_s=deadline_s)
+            admitted_s = self.sim.now
             trace.end_phase(admit_span)
             trace.annotate(request_id=request_id)
             result = yield from self._invoke_with_retries(
                 function, request_id, kind, pu, force_cold,
                 payload_bytes, exec_time_s, start, trace,
                 max_attempts or self.retry_policy.max_attempts,
+                gateway,
             )
         except Exception as exc:
             trace.fail(type(exc).__name__)
             raise
+        result.admitted_s = admitted_s
         trace.finish()
         return result
 
@@ -231,6 +248,7 @@ class Invoker:
     def _invoke_with_retries(
         self, function, request_id, kind, pu, force_cold,
         payload_bytes, exec_time_s, start, trace, max_attempts,
+        gateway=None,
     ):
         """Generator: drive attempts until success, exhaustion or
         deadline.
@@ -242,7 +260,8 @@ class Invoker:
         through the normal paths, while its trace proxy is detached so
         it can no longer touch this request's span tree.
         """
-        deadline_at = self.runtime.gateway.deadline_for(request_id)
+        gateway = gateway if gateway is not None else self.runtime.gateway
+        deadline_at = gateway.deadline_for(request_id)
         errors: list[str] = []
         attempts = 0
         degraded_any = False
@@ -597,7 +616,15 @@ class Invoker:
         )
 
     def _destroy(self, instance: FunctionInstance):
-        """Generator: tear down an evicted instance and free memory."""
+        """Generator: tear down an evicted instance and free memory.
+
+        Idempotent: the first caller claims the teardown; later calls
+        (a reaper and an eviction racing on the same instance) are
+        no-ops, so the DRAM reservation is released exactly once.
+        """
+        if instance.destroyed:
+            return
+        instance.destroyed = True
         runc = self.runtime.runc_on(instance.pu.pu_id)
         if instance.sandbox.state is not SandboxState.DELETED:
             try:

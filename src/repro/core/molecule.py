@@ -137,6 +137,10 @@ class MoleculeRuntime:
         self._executors: dict[int, Executor] = {}
         self._clients: dict[int, ExecutorClient] = {}
         self._booted = False
+        #: Optional sharded gateway front end (repro.loadgen.sharding);
+        #: installed by :meth:`sharded_frontend` or by constructing a
+        #: ShardedFrontend over this runtime.
+        self.frontend = None
         #: Optional deterministic fault injection (repro.faults).
         self.fault_plan = fault_plan
         self.injector = None
@@ -313,9 +317,29 @@ class MoleculeRuntime:
 
     # -- invocation ---------------------------------------------------------------------
 
+    def sharded_frontend(
+        self, num_shards: int, policy: str = "hash", **kwargs
+    ):
+        """Install an N-shard gateway front end over this runtime.
+
+        Subsequent :meth:`invoke` calls route through the shards; the
+        original single gateway stays wired for components that bypass
+        the front door (e.g. DAG entry requests).
+        """
+        from repro.loadgen.sharding import ShardedFrontend
+
+        return ShardedFrontend(self, num_shards, policy=policy, **kwargs)
+
     def invoke(self, name: str, **kwargs):
-        """Generator: one request through the gateway (see Invoker)."""
-        result = yield from self.invoker.invoke(name, **kwargs)
+        """Generator: one request through the front door (see Invoker).
+
+        With a sharded front end installed the request is routed to a
+        gateway shard; otherwise it enters through the single gateway.
+        """
+        if self.frontend is not None:
+            result = yield from self.frontend.invoke(name, **kwargs)
+        else:
+            result = yield from self.invoker.invoke(name, **kwargs)
         return result
 
     def invoke_now(self, name: str, **kwargs):
@@ -369,14 +393,25 @@ class MoleculeRuntime:
             else:
                 value = BREAKER_STATE_VALUE[self.health.breaker(pu).state]
             handles["breakers"][pu.pu_id].set(value)
+        if self.frontend is not None:
+            self.obs.ensure_shard_metrics()
+            outstanding = self.obs.shard_outstanding
+            utilization = self.obs.shard_utilization
+            for entry in self.frontend.snapshot():
+                label = str(entry["shard"])
+                outstanding.bind(shard=label).set(entry["outstanding"])
+                utilization.bind(shard=label).set(entry["utilization"])
 
     def metrics_snapshot(self) -> dict:
         """A JSON-friendly dump of every metric family, gauges freshly
         sampled, plus summary counters tests and reports key on."""
         self._refresh_gauges()
+        admitted = self.gateway.requests_admitted
+        if self.frontend is not None:
+            admitted += self.frontend.requests_admitted
         return {
             "sim_time_s": self.sim.now,
-            "requests_admitted": self.gateway.requests_admitted,
+            "requests_admitted": admitted,
             "cold_invocations": self.invoker.cold_invocations,
             "warm_invocations": self.invoker.warm_invocations,
             "dead_letters": len(self.dead_letters),

@@ -137,6 +137,26 @@ class Scheduler:
             f"({function.code.memory_mb}MB over {[p.name for p in candidates]})"
         )
 
+    def warm_locality(
+        self,
+        function: FunctionDef,
+        pools,
+        kind: Optional[PuKind] = None,
+    ) -> Optional[ProcessingUnit]:
+        """The first healthy candidate PU holding a warm idle instance.
+
+        ``pools`` is the invoker's ``pu_id -> WarmPool`` mapping.  The
+        sharded front end's locality router uses this to steer a
+        request to the shard fronting a PU with a warm sandbox; returns
+        None when no candidate has one (callers fall back to their
+        default placement).
+        """
+        for pu in self.candidates(function, kind):
+            pool = pools.get(pu.pu_id)
+            if pool is not None and pool.idle_instances(function.name):
+                return pu
+        return None
+
     def _observe_placement(self, pu: ProcessingUnit) -> None:
         if self.obs is not None:
             self.obs.on_placement(pu.kind.value)

@@ -1,0 +1,87 @@
+"""Scale harness: deterministic load generation over sharded gateways.
+
+Four layers, composable or canned:
+
+* :mod:`repro.loadgen.arrivals` — seeded arrival processes (Poisson,
+  bursty on/off, diurnal, Azure-style trace replay) materialised into
+  immutable :class:`ArrivalPlan` objects;
+* :mod:`repro.loadgen.sharding` — N gateway shards with pluggable
+  routing (consistent hash, least-outstanding, warm-sandbox locality)
+  feeding one shared scheduler;
+* :mod:`repro.loadgen.driver` — open-loop (admit at trace time) and
+  closed-loop (fixed concurrency) drivers producing per-request
+  records;
+* :mod:`repro.loadgen.slo` — percentile/goodput/utilization
+  aggregation into the ``BENCH_load.json`` report.
+
+``repro.loadgen.scenarios.run_load`` wires all four for the
+``repro load`` CLI.
+"""
+
+from repro.loadgen.arrivals import (
+    Arrival,
+    ArrivalPlan,
+    BurstyArrivals,
+    DiurnalArrivals,
+    FunctionMix,
+    PLAN_SCHEMA,
+    PoissonArrivals,
+    TraceArrivals,
+)
+from repro.loadgen.driver import (
+    ClosedLoopDriver,
+    OpenLoopDriver,
+    RequestRecord,
+)
+from repro.loadgen.sharding import (
+    GatewayShard,
+    HashRing,
+    ROUTING_POLICIES,
+    ShardedFrontend,
+)
+from repro.loadgen.slo import (
+    SCHEMA,
+    build_report,
+    compare_reports,
+    format_comparison,
+    format_report,
+    latency_block,
+    write_report,
+)
+from repro.loadgen.scenarios import (
+    attach_fault_plan,
+    build_runtime,
+    default_mix,
+    run_load,
+    scenario_names,
+)
+
+__all__ = [
+    "Arrival",
+    "ArrivalPlan",
+    "BurstyArrivals",
+    "ClosedLoopDriver",
+    "DiurnalArrivals",
+    "FunctionMix",
+    "GatewayShard",
+    "HashRing",
+    "OpenLoopDriver",
+    "PLAN_SCHEMA",
+    "PoissonArrivals",
+    "ROUTING_POLICIES",
+    "RequestRecord",
+    "SCHEMA",
+    "ShardedFrontend",
+    "TraceArrivals",
+    "attach_fault_plan",
+    "build_report",
+    "build_runtime",
+    "compare_reports",
+    "default_mix",
+    "format_comparison",
+    "format_report",
+    "latency_block",
+    "run_load",
+    "scenario_names",
+    "write_report",
+]

@@ -1,0 +1,217 @@
+"""Open- and closed-loop load drivers over an arrival plan.
+
+The **open-loop** driver admits every arrival at its planned time
+regardless of how many earlier requests are still in flight — the
+discipline that actually measures tail latency under load (a
+closed-loop driver self-throttles and hides queueing).  The
+**closed-loop** driver keeps a fixed number of workers busy, the
+regime the repo's earlier experiments used.
+
+Both produce a list of :class:`RequestRecord`, the per-request ground
+truth the SLO layer aggregates and the golden-trace regression test
+pins byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+from repro.errors import ReproError
+from repro.loadgen.arrivals import ArrivalPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.molecule import MoleculeRuntime
+    from repro.loadgen.sharding import ShardedFrontend
+
+#: Outcome values in RequestRecord.outcome.
+OUTCOME_OK = "ok"
+
+
+@dataclass
+class RequestRecord:
+    """One request's fate, as observed by the driver."""
+
+    index: int
+    function: str
+    submitted_s: float
+    outcome: str = OUTCOME_OK
+    admitted_s: float = 0.0
+    shard: Optional[int] = None
+    pu: str = ""
+    cold: bool = False
+    attempts: int = 0
+    latency_s: float = 0.0
+
+    @property
+    def answered(self) -> bool:
+        """True if the request produced a response."""
+        return self.outcome == OUTCOME_OK
+
+    def tuple(self) -> tuple:
+        """The golden-trace comparison tuple."""
+        return (
+            self.index, self.function, self.outcome, self.admitted_s,
+            self.shard, self.pu, self.latency_s,
+        )
+
+
+class OpenLoopDriver:
+    """Admit each arrival at its trace time, never waiting on answers."""
+
+    def __init__(
+        self,
+        runtime: "MoleculeRuntime",
+        plan: ArrivalPlan,
+        frontend: Optional["ShardedFrontend"] = None,
+    ):
+        self.runtime = runtime
+        self.plan = plan
+        self.frontend = frontend if frontend is not None else runtime.frontend
+        self.records: list[RequestRecord] = []
+        self.submitted = 0
+        #: Sim time the workload started (pacer launch) and the time the
+        #: last request finished.  Plan times are relative to the start,
+        #: so a run is unaffected by how long boot and deploy took; the
+        #: pair bounds the measurement window for goodput/utilization
+        #: (``sim.now`` after the drain overshoots it: orphaned deadline
+        #: timers keep the simulation ticking long after the last
+        #: response).
+        self.started_s = 0.0
+        self.finished_s = 0.0
+
+    @property
+    def elapsed_s(self) -> float:
+        """The measurement window: first submit to last completion."""
+        return self.finished_s - self.started_s
+
+    def _invoke(self, name: str, **kwargs):
+        if self.frontend is not None:
+            return self.frontend.invoke(name, **kwargs)
+        return self.runtime.invoker.invoke(name, **kwargs)
+
+    def _request(self, index: int, arrival):
+        record = RequestRecord(
+            index=index,
+            function=arrival.function,
+            submitted_s=self.runtime.sim.now,
+        )
+        self.records.append(record)
+        self.submitted += 1
+        try:
+            result = yield from self._invoke(
+                arrival.function,
+                kind=arrival.kind,
+                payload_bytes=arrival.payload_bytes,
+            )
+        except ReproError as exc:
+            record.outcome = type(exc).__name__
+            record.latency_s = self.runtime.sim.now - record.submitted_s
+        else:
+            record.admitted_s = result.admitted_s
+            record.shard = result.shard
+            record.pu = result.pu_name
+            record.cold = result.cold
+            record.attempts = result.attempts
+            record.latency_s = result.total_s
+        self.finished_s = max(self.finished_s, self.runtime.sim.now)
+
+    def _pacer(self):
+        sim = self.runtime.sim
+        base = sim.now
+        for index, arrival in enumerate(self.plan):
+            delay = base + arrival.time_s - sim.now
+            if delay > 0:
+                yield sim.timeout(delay)
+            sim.spawn(
+                self._request(index, arrival), name=f"load-{index}"
+            )
+
+    def run(self) -> list[RequestRecord]:
+        """Replay the whole plan and drain the simulation."""
+        sim = self.runtime.sim
+        self.started_s = sim.now
+        self.finished_s = sim.now
+        pacer = sim.spawn(self._pacer(), name="load-pacer")
+        sim.run()
+        if not pacer.processed:
+            raise ReproError("open-loop pacer deadlocked")
+        return self.records
+
+
+class ClosedLoopDriver:
+    """Fixed-concurrency workers pulling arrivals as fast as answered.
+
+    Arrival *times* are ignored — only the (function, kind, payload)
+    sequence matters — which makes this the apples-to-apples contrast
+    against the open-loop numbers at the same offered mix.
+    """
+
+    def __init__(
+        self,
+        runtime: "MoleculeRuntime",
+        plan: ArrivalPlan,
+        concurrency: int = 8,
+        frontend: Optional["ShardedFrontend"] = None,
+    ):
+        if concurrency < 1:
+            raise ReproError(f"concurrency must be >= 1: {concurrency}")
+        self.runtime = runtime
+        self.plan = plan
+        self.concurrency = concurrency
+        self.frontend = frontend if frontend is not None else runtime.frontend
+        self.records: list[RequestRecord] = []
+        self._next = 0
+        self.started_s = 0.0
+        self.finished_s = 0.0
+
+    @property
+    def elapsed_s(self) -> float:
+        """The measurement window: first submit to last completion."""
+        return self.finished_s - self.started_s
+
+    def _invoke(self, name: str, **kwargs):
+        if self.frontend is not None:
+            return self.frontend.invoke(name, **kwargs)
+        return self.runtime.invoker.invoke(name, **kwargs)
+
+    def _worker(self):
+        arrivals = self.plan.arrivals
+        while self._next < len(arrivals):
+            index = self._next
+            self._next += 1
+            arrival = arrivals[index]
+            record = RequestRecord(
+                index=index,
+                function=arrival.function,
+                submitted_s=self.runtime.sim.now,
+            )
+            self.records.append(record)
+            try:
+                result = yield from self._invoke(
+                    arrival.function,
+                    kind=arrival.kind,
+                    payload_bytes=arrival.payload_bytes,
+                )
+            except ReproError as exc:
+                record.outcome = type(exc).__name__
+                record.latency_s = self.runtime.sim.now - record.submitted_s
+            else:
+                record.admitted_s = result.admitted_s
+                record.shard = result.shard
+                record.pu = result.pu_name
+                record.cold = result.cold
+                record.attempts = result.attempts
+                record.latency_s = result.total_s
+            self.finished_s = max(self.finished_s, self.runtime.sim.now)
+
+    def run(self) -> list[RequestRecord]:
+        """Drain the plan through the worker pool."""
+        sim = self.runtime.sim
+        self.started_s = sim.now
+        self.finished_s = sim.now
+        for worker in range(min(self.concurrency, len(self.plan))):
+            sim.spawn(self._worker(), name=f"closed-loop-{worker}")
+        sim.run()
+        self.records.sort(key=lambda r: r.index)
+        return self.records

@@ -1,0 +1,228 @@
+"""Canned load scenarios for the ``repro load`` CLI and CI smoke.
+
+Each scenario materialises a seeded arrival plan (so the same seed
+produces the same plan, byte for byte), boots a CPU+DPU deployment
+with a sharded gateway front end, replays the plan open- or
+closed-loop, and aggregates the run into a BENCH_load report.
+
+The default full-size run (``--rps 200 --duration 60``) offers ~12k
+invocations — past the 10k bar the scale harness has to sustain —
+and finishes in a couple of wall-clock seconds on the tuned kernel.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Callable, Optional
+
+from repro import config
+from repro.core.molecule import MoleculeRuntime
+from repro.core.registry import FunctionDef, WorkProfile
+from repro.errors import ReproError
+from repro.hardware.machine import build_cpu_dpu_machine
+from repro.hardware.pu import PuKind
+from repro.loadgen.arrivals import (
+    ArrivalPlan,
+    BurstyArrivals,
+    DiurnalArrivals,
+    FunctionMix,
+    PoissonArrivals,
+    TraceArrivals,
+)
+from repro.loadgen.driver import ClosedLoopDriver, OpenLoopDriver
+from repro.loadgen.slo import build_report
+from repro.obs import Observability
+from repro.sandbox.base import FunctionCode, Language
+from repro.sim import Simulator
+from repro.sim.rng import SeededRng
+from repro.workloads.traces import AzureLikeTrace, DiurnalProfile, OnOffProfile
+
+#: Sizing defaults: (rps, duration_s, shards) per mode.
+QUICK_DEFAULTS = (40.0, 5.0, 2)
+FULL_DEFAULTS = (200.0, 60.0, 4)
+
+#: The standard three-function deployment every scenario drives: a hot
+#: thumbnailer that may land on CPU or DPU, a DPU-pinned ETL stage and
+#: a CPU-only model-inference function.
+_FUNCTIONS = (
+    ("thumb", 80.0, 3.0, (PuKind.CPU, PuKind.DPU)),
+    ("etl", 40.0, 5.0, (PuKind.DPU, PuKind.CPU)),
+    ("infer", 150.0, 8.0, (PuKind.CPU,)),
+)
+
+
+def default_mix() -> FunctionMix:
+    """The per-function traffic mix over heterogeneous profiles."""
+    return FunctionMix.of(
+        ("thumb", 0.6),
+        ("etl", 0.3, PuKind.DPU),
+        ("infer", 0.1, PuKind.CPU),
+    )
+
+
+def scenario_names() -> list[str]:
+    """Names of every canned scenario, sorted."""
+    return sorted(_SCENARIOS)
+
+
+def _plan_poisson(rng: SeededRng, rps: float, duration_s: float) -> ArrivalPlan:
+    return PoissonArrivals(default_mix(), rps, rng=rng).plan(duration_s)
+
+
+def _plan_burst(rng: SeededRng, rps: float, duration_s: float) -> ArrivalPlan:
+    profile = OnOffProfile(on_s=duration_s / 12, off_s=duration_s / 4)
+    return BurstyArrivals(
+        default_mix(), rps, profile=profile, rng=rng
+    ).plan(duration_s)
+
+
+def _plan_diurnal(rng: SeededRng, rps: float, duration_s: float) -> ArrivalPlan:
+    # One compressed "day" per run window.
+    profile = DiurnalProfile(period_s=duration_s)
+    return DiurnalArrivals(
+        default_mix(), rps, profile=profile, rng=rng
+    ).plan(duration_s)
+
+
+def _plan_azure(rng: SeededRng, rps: float, duration_s: float) -> ArrivalPlan:
+    trace = AzureLikeTrace(
+        functions=[name for name, _imp, _exec, _profiles in _FUNCTIONS],
+        peak_rate_per_s=rps,
+        diurnal=DiurnalProfile(period_s=duration_s),
+        rng=rng,
+    )
+    return TraceArrivals(
+        trace, kinds={"etl": PuKind.DPU, "infer": PuKind.CPU}
+    ).plan(duration_s)
+
+
+#: name -> plan builder; ``repro load --scenario`` keys into this.
+_SCENARIOS: dict[str, Callable[[SeededRng, float, float], ArrivalPlan]] = {
+    "poisson": _plan_poisson,
+    "burst": _plan_burst,
+    "diurnal": _plan_diurnal,
+    "azure": _plan_azure,
+}
+
+
+def build_runtime(
+    plan: ArrivalPlan,
+    seed: int,
+    shards: int,
+    policy: str = "hash",
+    num_dpus: int = 2,
+    default_deadline_s: float = 30.0,
+):
+    """Boot a deployment sized for ``plan`` with a sharded front end.
+
+    The observability trace buffer is sized to the plan so per-stage
+    percentiles cover every request even on 10k+ runs.
+    """
+    sim = Simulator()
+    machine = build_cpu_dpu_machine(sim, num_dpus=num_dpus)
+    obs = Observability(sim, max_traces=len(plan) + 1024)
+    runtime = MoleculeRuntime(
+        sim,
+        machine,
+        obs=obs,
+        seed=seed,
+        default_deadline_s=default_deadline_s,
+    )
+    runtime.start()
+    for name, import_ms, exec_ms, profiles in _FUNCTIONS:
+        runtime.deploy_now(FunctionDef(
+            name=name,
+            code=FunctionCode(name, language=Language.PYTHON, import_ms=import_ms),
+            work=WorkProfile(warm_exec_ms=exec_ms),
+            profiles=profiles,
+        ))
+    frontend = runtime.sharded_frontend(shards, policy=policy)
+    return runtime, frontend
+
+
+def attach_fault_plan(runtime: MoleculeRuntime, plan) -> None:
+    """Arm a fault plan on a booted runtime, shifting ``at_s`` triggers
+    so they count from workload start (mirrors ``repro faults``)."""
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import FaultPlan
+
+    base = runtime.sim.now
+    shifted = FaultPlan.of(*(
+        spec if spec.at_s is None else replace(spec, at_s=spec.at_s + base)
+        for spec in plan
+    ))
+    runtime.fault_plan = shifted
+    runtime.injector = FaultInjector(runtime, shifted)
+    runtime.injector.arm()
+
+
+def run_load(
+    scenario: str,
+    seed: Optional[int] = None,
+    rps: Optional[float] = None,
+    duration_s: Optional[float] = None,
+    shards: Optional[int] = None,
+    policy: str = "hash",
+    quick: bool = False,
+    mode: str = "open",
+    concurrency: int = 64,
+    fault_plan=None,
+) -> dict:
+    """Run one canned load scenario and return its BENCH_load report."""
+    try:
+        plan_builder = _SCENARIOS[scenario]
+    except KeyError:
+        raise ReproError(
+            f"unknown scenario {scenario!r}; available: {scenario_names()}"
+        ) from None
+    if mode not in ("open", "closed"):
+        raise ReproError(f"unknown drive mode {mode!r}: open or closed")
+    seed = seed if seed is not None else config.default_seed()
+    d_rps, d_duration, d_shards = QUICK_DEFAULTS if quick else FULL_DEFAULTS
+    rps = rps if rps is not None else d_rps
+    duration_s = duration_s if duration_s is not None else d_duration
+    shards = shards if shards is not None else d_shards
+
+    rng = SeededRng(seed).fork(f"loadgen:{scenario}")
+    plan = plan_builder(rng, rps, duration_s)
+
+    wall_start = time.perf_counter()
+    runtime, frontend = build_runtime(plan, seed, shards, policy=policy)
+    if fault_plan is not None:
+        attach_fault_plan(runtime, fault_plan)
+    busy_baseline = {
+        pu_id: pu.clock.busy_time
+        for pu_id, pu in runtime.machine.pus.items()
+    }
+    if mode == "open":
+        driver = OpenLoopDriver(runtime, plan, frontend)
+    else:
+        driver = ClosedLoopDriver(
+            runtime, plan, concurrency=concurrency, frontend=frontend
+        )
+    records = driver.run()
+    wall_s = time.perf_counter() - wall_start
+
+    report = build_report(
+        runtime,
+        plan,
+        records,
+        scenario,
+        params={
+            "seed": seed,
+            "rps": rps,
+            "duration_s": duration_s,
+            "shards": shards,
+            "policy": policy,
+            "mode": mode,
+            "quick": quick,
+            **({"concurrency": concurrency} if mode == "closed" else {}),
+        },
+        wall_s=wall_s,
+        frontend=frontend,
+        elapsed_s=driver.elapsed_s,
+        busy_baseline=busy_baseline,
+    )
+    report["seed"] = seed
+    return report

@@ -1,0 +1,271 @@
+"""SLO aggregation: percentiles, goodput and utilization -> BENCH_load.json.
+
+Takes the per-request :class:`~repro.loadgen.driver.RequestRecord`
+ground truth plus the runtime's lifecycle spans and distils the
+numbers an operator would page on:
+
+* end-to-end latency p50/p95/p99/p99.9 (nearest-rank, the artifact's
+  convention) over answered requests;
+* per-stage percentiles (admit/schedule/sandbox_start/exec/respond)
+  from the observability span trees;
+* goodput (answered/sec) against offered load, plus the machine-wide
+  accounting invariant ``answered + dead_lettered == admitted``;
+* per-shard utilization (busy-time integral of the front end) and
+  per-PU utilization (core busy clocks).
+
+Everything but ``wall_s`` is simulated and therefore seed-stable:
+two runs with the same seed must produce byte-identical reports
+modulo the ``wall_s``/``host`` fields, which ``compare_reports``
+ignores.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from typing import Optional, Sequence, TYPE_CHECKING
+
+from repro import config
+from repro.analysis.stats import percentile
+from repro.loadgen.arrivals import ArrivalPlan
+from repro.loadgen.driver import RequestRecord
+from repro.obs.spans import LIFECYCLE_PHASES
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.molecule import MoleculeRuntime
+    from repro.loadgen.sharding import ShardedFrontend
+
+#: Report format version (bump on breaking schema changes).
+SCHEMA = "repro-load/1"
+
+#: Relative change treated as a regression by ``--compare``: latency
+#: percentiles rising or goodput dropping by more than this fraction.
+DEFAULT_REGRESSION_THRESHOLD = 0.20
+
+#: Percentiles in the latency blocks (99.9 keyed as ``p999``).
+_PERCENTILES = ((50, "p50"), (95, "p95"), (99, "p99"), (99.9, "p999"))
+
+
+def latency_block(samples_s: Sequence[float]) -> dict:
+    """mean/max/p50/p95/p99/p999 of ``samples_s``, reported in ms."""
+    if not samples_s:
+        return {"count": 0}
+    block = {
+        "count": len(samples_s),
+        "mean_ms": sum(samples_s) / len(samples_s) / config.MS,
+        "max_ms": max(samples_s) / config.MS,
+    }
+    for p, key in _PERCENTILES:
+        block[f"{key}_ms"] = percentile(samples_s, p) / config.MS
+    return block
+
+
+def build_report(
+    runtime: "MoleculeRuntime",
+    plan: ArrivalPlan,
+    records: Sequence[RequestRecord],
+    scenario: str,
+    params: Optional[dict] = None,
+    wall_s: float = 0.0,
+    frontend: Optional["ShardedFrontend"] = None,
+    elapsed_s: Optional[float] = None,
+    busy_baseline: Optional[dict] = None,
+) -> dict:
+    """Aggregate one load run into the BENCH_load report dict.
+
+    ``elapsed_s`` is the measurement window (the driver's first-submit
+    to last-completion span); defaults to absolute sim time for callers
+    that measured from t=0.  ``busy_baseline`` maps ``pu_id`` to the
+    PU's busy clock at workload start, so boot/deploy work doesn't
+    count toward run utilization.
+    """
+    frontend = frontend if frontend is not None else runtime.frontend
+    sim_elapsed = elapsed_s if elapsed_s is not None else runtime.sim.now
+    busy_baseline = busy_baseline or {}
+    answered = [r for r in records if r.answered]
+    failed = len(records) - len(answered)
+    if frontend is not None:
+        admitted = frontend.requests_admitted
+    else:
+        admitted = runtime.gateway.requests_admitted
+    dead = len(runtime.dead_letters)
+
+    # Per-stage latencies from the span trees.  Failed requests never
+    # publish phase histograms, so these cover answered requests only.
+    stage_samples: dict[str, list[float]] = {p: [] for p in LIFECYCLE_PHASES}
+    for trace in runtime.obs.completed_traces():
+        for name, duration_s in trace.phases().items():
+            if name in stage_samples:
+                stage_samples[name].append(duration_s)
+
+    report = {
+        "schema": SCHEMA,
+        "scenario": scenario,
+        "params": dict(params or {}),
+        "wall_s": wall_s,
+        "host": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": sys.platform,
+            "machine": platform.machine(),
+        },
+        "load": {
+            "offered": len(plan),
+            "offered_rate_per_s": plan.offered_rate_per_s,
+            "plan_duration_s": plan.duration_s,
+            "sim_elapsed_s": sim_elapsed,
+            "submitted": len(records),
+            "admitted": admitted,
+            "answered": len(answered),
+            "failed": failed,
+            "dead_lettered": dead,
+            "lost": admitted - len(answered) - dead,
+            "goodput_per_s": (
+                len(answered) / sim_elapsed if sim_elapsed > 0 else 0.0
+            ),
+            "goodput_ratio": (
+                len(answered) / len(records) if records else 0.0
+            ),
+            "cold_starts": sum(1 for r in answered if r.cold),
+            "retried": sum(1 for r in answered if r.attempts > 1),
+        },
+        "latency": {
+            "end_to_end": latency_block([r.latency_s for r in answered]),
+            "stages": {
+                name: latency_block(samples)
+                for name, samples in stage_samples.items()
+                if samples
+            },
+        },
+        "shards": (
+            frontend.snapshot(sim_elapsed) if frontend is not None else []
+        ),
+        "pus": [
+            {
+                "pu": pu.name,
+                "kind": pu.kind.value,
+                "busy_s": pu.clock.busy_time - busy_baseline.get(pu_id, 0.0),
+                "utilization": (
+                    (pu.clock.busy_time - busy_baseline.get(pu_id, 0.0))
+                    / sim_elapsed
+                    if sim_elapsed > 0
+                    else 0.0
+                ),
+            }
+            for pu_id, pu in sorted(runtime.machine.pus.items())
+        ],
+    }
+    return report
+
+
+def write_report(report: dict, path: str) -> None:
+    """Write a report as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def format_report(report: dict) -> str:
+    """Human-readable summary of one report."""
+    load = report["load"]
+    lines = [
+        f"scenario {report['scenario']}: "
+        f"{load['offered']} offered @ {load['offered_rate_per_s']:.1f}/s, "
+        f"{load['answered']} answered, {load['dead_lettered']} dead, "
+        f"goodput {load['goodput_per_s']:.1f}/s "
+        f"({load['goodput_ratio']:.1%}) in {load['sim_elapsed_s']:.1f}s sim "
+        f"/ {report['wall_s']:.2f}s wall",
+    ]
+    e2e = report["latency"]["end_to_end"]
+    if e2e.get("count"):
+        lines.append(
+            "  end-to-end ms  "
+            + "  ".join(
+                f"{key}={e2e[f'{key}_ms']:.2f}"
+                for _p, key in _PERCENTILES
+            )
+            + f"  mean={e2e['mean_ms']:.2f} max={e2e['max_ms']:.2f}"
+        )
+    for name, block in sorted(report["latency"]["stages"].items()):
+        lines.append(
+            f"  {name:<13} ms  p50={block['p50_ms']:.3f} "
+            f"p99={block['p99_ms']:.3f} (n={block['count']})"
+        )
+    for shard in report["shards"]:
+        lines.append(
+            f"  shard {shard['shard']}: routed={shard['routed']} "
+            f"admitted={shard['admitted']} failed={shard['failed']} "
+            f"util={shard['utilization']:.1%} breaker={shard['breaker']}"
+        )
+    for pu in report["pus"]:
+        lines.append(
+            f"  {pu['pu']:<12} util={pu['utilization']:.1%} "
+            f"busy={pu['busy_s']:.2f}s"
+        )
+    return "\n".join(lines)
+
+
+# -- comparison --------------------------------------------------------------------
+
+#: end_to_end keys compared (lower is better).
+_LATENCY_KEYS = ("p50_ms", "p95_ms", "p99_ms", "p999_ms")
+
+
+def compare_reports(
+    current: dict,
+    prior: dict,
+    threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+) -> list[dict]:
+    """Regressions of ``current`` against ``prior``.
+
+    Latency percentiles rising beyond ``threshold`` and goodput
+    dropping beyond it are regressions.  Reports from different
+    scenarios or different sizing params are skipped — wall-clock and
+    host fields are never compared.
+    """
+    if current.get("scenario") != prior.get("scenario"):
+        return []
+    if current.get("params") != prior.get("params"):
+        return []
+    regressions: list[dict] = []
+    now_e2e = current["latency"]["end_to_end"]
+    before_e2e = prior.get("latency", {}).get("end_to_end", {})
+    for key in _LATENCY_KEYS:
+        now_value = now_e2e.get(key)
+        prior_value = before_e2e.get(key)
+        if not now_value or not prior_value:
+            continue
+        delta = (now_value - prior_value) / prior_value
+        if delta > threshold:
+            regressions.append({
+                "metric": f"end_to_end.{key}",
+                "prior": prior_value,
+                "current": now_value,
+                "delta": delta,
+            })
+    now_good = current["load"].get("goodput_per_s")
+    prior_good = prior.get("load", {}).get("goodput_per_s")
+    if now_good is not None and prior_good:
+        delta = (now_good - prior_good) / prior_good
+        if delta < -threshold:
+            regressions.append({
+                "metric": "load.goodput_per_s",
+                "prior": prior_good,
+                "current": now_good,
+                "delta": delta,
+            })
+    return regressions
+
+
+def format_comparison(regressions: list[dict], threshold: float) -> str:
+    """Human-readable comparison verdict."""
+    if not regressions:
+        return f"no regressions beyond {threshold:.0%}"
+    lines = [f"REGRESSIONS beyond {threshold:.0%}:"]
+    for r in regressions:
+        lines.append(
+            f"  {r['metric']}: {r['prior']:,.2f} -> "
+            f"{r['current']:,.2f} ({r['delta']:+.1%})"
+        )
+    return "\n".join(lines)

@@ -190,6 +190,13 @@ class Observability:
             "repro_nipc_delayed_total",
             "XPU-FIFO messages delayed by injected faults.",
         )
+        # -- sharded front end --------------------------------------------------------
+        # Registered lazily (ensure_shard_metrics): most runs have no
+        # sharded front end, and unconditional registration would grow
+        # the metric catalog that golden-snapshot tests pin down.
+        self.shard_routed_total = None
+        self.shard_outstanding = None
+        self.shard_utilization = None
 
         # -- bound child handles ---------------------------------------------------
         # Labelled hot-path hooks memoize children per label tuple so
@@ -210,6 +217,7 @@ class Observability:
         self._degraded_children: dict[tuple[str, str, str], object] = {}
         self._breaker_children: dict[tuple[str, str], object] = {}
         self._fault_children: dict[str, object] = {}
+        self._shard_children: dict[tuple[str, str], object] = {}
 
     # -- lifecycle spans -----------------------------------------------------------
 
@@ -384,6 +392,37 @@ class Observability:
         if child is None:
             child = self.faults_injected_total.bind(kind=kind)
             self._fault_children[kind] = child
+        child.inc()
+
+    def ensure_shard_metrics(self) -> None:
+        """Register the sharded-front-end metric families on first use."""
+        if self.shard_routed_total is not None:
+            return
+        r = self.registry
+        self.shard_routed_total = r.counter(
+            "repro_shard_routed_total",
+            "Requests routed to a gateway shard, by shard and policy.",
+            ("shard", "policy"),
+        )
+        self.shard_outstanding = r.gauge(
+            "repro_shard_outstanding",
+            "In-flight requests per gateway shard (snapshot time).",
+            ("shard",),
+        )
+        self.shard_utilization = r.gauge(
+            "repro_shard_utilization",
+            "Busy-time fraction per gateway shard (snapshot time).",
+            ("shard",),
+        )
+
+    def on_shard_routed(self, shard: int, policy: str) -> None:
+        """One request routed to a gateway shard."""
+        self.ensure_shard_metrics()
+        key = (str(shard), policy)
+        child = self._shard_children.get(key)
+        if child is None:
+            child = self.shard_routed_total.bind(shard=key[0], policy=policy)
+            self._shard_children[key] = child
         child.inc()
 
     def on_nipc_dropped(self) -> None:

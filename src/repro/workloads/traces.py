@@ -58,6 +58,34 @@ class DiurnalProfile:
         return self.trough_fraction + (1 - self.trough_fraction) * shape
 
 
+@dataclass
+class OnOffProfile:
+    """A square-wave rate modulation: bursts at the peak, lulls between.
+
+    ``factor(t)`` is 1.0 for the first ``on_s`` of every period and
+    ``idle_fraction`` for the remaining ``off_s`` — the bursty arrival
+    regime that stresses autoscaling and keep-alive at burst edges.
+    """
+
+    on_s: float = 5.0
+    off_s: float = 15.0
+    idle_fraction: float = 0.05
+
+    def factor(self, time_s: float) -> float:
+        """Multiplier in {idle_fraction, 1} for the containing phase."""
+        if self.on_s <= 0 or self.off_s < 0:
+            raise WorkloadError(
+                f"invalid on/off profile: on={self.on_s} off={self.off_s}"
+            )
+        if not 0 <= self.idle_fraction <= 1:
+            raise WorkloadError(
+                f"idle fraction must be in [0, 1]: {self.idle_fraction}"
+            )
+        period = self.on_s + self.off_s
+        phase = time_s % period if period > 0 else 0.0
+        return 1.0 if phase < self.on_s else self.idle_fraction
+
+
 class AzureLikeTrace:
     """Generates a skewed, diurnally-modulated invocation stream."""
 

@@ -1,0 +1,127 @@
+"""Arrival models: determinism, plan invariants, (de)serialisation."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.hardware.pu import PuKind
+from repro.loadgen import (
+    Arrival,
+    ArrivalPlan,
+    BurstyArrivals,
+    DiurnalArrivals,
+    FunctionMix,
+    PoissonArrivals,
+    TraceArrivals,
+)
+from repro.sim.rng import SeededRng
+from repro.workloads.traces import AzureLikeTrace, DiurnalProfile, OnOffProfile
+
+
+def _mix():
+    return FunctionMix.of(
+        ("thumb", 0.6),
+        ("etl", 0.3, PuKind.DPU),
+        ("infer", 0.1, PuKind.CPU),
+    )
+
+
+def _models(rng):
+    return [
+        PoissonArrivals(_mix(), 50.0, rng=rng),
+        BurstyArrivals(_mix(), 50.0, profile=OnOffProfile(2.0, 6.0), rng=rng),
+        DiurnalArrivals(_mix(), 50.0, profile=DiurnalProfile(period_s=20.0), rng=rng),
+        TraceArrivals(AzureLikeTrace(
+            ["thumb", "etl", "infer"], 50.0,
+            diurnal=DiurnalProfile(period_s=20.0), rng=rng,
+        )),
+    ]
+
+
+@pytest.mark.parametrize("index", range(4))
+def test_same_seed_same_plan(index):
+    plan_a = _models(SeededRng(7).fork("arrivals"))[index].plan(20.0)
+    plan_b = _models(SeededRng(7).fork("arrivals"))[index].plan(20.0)
+    assert plan_a.to_json() == plan_b.to_json()
+    assert len(plan_a) > 0
+
+
+@pytest.mark.parametrize("index", range(4))
+def test_different_seed_different_plan(index):
+    plan_a = _models(SeededRng(7).fork("arrivals"))[index].plan(20.0)
+    plan_b = _models(SeededRng(8).fork("arrivals"))[index].plan(20.0)
+    assert plan_a.to_json() != plan_b.to_json()
+
+
+@pytest.mark.parametrize("index", range(4))
+def test_plan_invariants(index):
+    plan = _models(SeededRng(11).fork("arrivals"))[index].plan(20.0)
+    times = [a.time_s for a in plan]
+    assert times == sorted(times)
+    assert all(0.0 <= t < 20.0 for t in times)
+    assert set(plan.functions()) <= {"thumb", "etl", "infer"}
+
+
+def test_poisson_rate_is_roughly_offered():
+    plan = PoissonArrivals(_mix(), 100.0, rng=SeededRng(3)).plan(50.0)
+    assert plan.offered_rate_per_s == pytest.approx(100.0, rel=0.15)
+
+
+def test_bursty_concentrates_arrivals_in_on_windows():
+    profile = OnOffProfile(on_s=2.0, off_s=8.0, idle_fraction=0.0)
+    plan = BurstyArrivals(
+        _mix(), 100.0, profile=profile, rng=SeededRng(5)
+    ).plan(40.0)
+    assert len(plan) > 0
+    assert all(a.time_s % 10.0 < 2.0 for a in plan)
+
+
+def test_mix_kinds_flow_into_arrivals():
+    plan = PoissonArrivals(_mix(), 200.0, rng=SeededRng(9)).plan(5.0)
+    kinds = {a.function: a.kind for a in plan}
+    assert kinds.get("etl") is PuKind.DPU
+    assert kinds.get("infer") is PuKind.CPU
+    assert kinds.get("thumb") is None
+
+
+def test_trace_arrivals_attach_kinds():
+    trace = AzureLikeTrace(["a", "b"], 100.0, rng=SeededRng(4))
+    plan = TraceArrivals(trace, kinds={"a": PuKind.DPU}).plan(5.0)
+    assert any(a.kind is PuKind.DPU for a in plan if a.function == "a")
+    assert all(a.kind is None for a in plan if a.function == "b")
+
+
+def test_plan_json_round_trip():
+    plan = PoissonArrivals(_mix(), 80.0, rng=SeededRng(2)).plan(3.0)
+    clone = ArrivalPlan.from_json(plan.to_json())
+    assert clone == plan
+    assert clone.to_json() == plan.to_json()
+
+
+def test_plan_rejects_unsorted_and_bad_duration():
+    with pytest.raises(WorkloadError):
+        ArrivalPlan(
+            (Arrival(1.0, "f"), Arrival(0.5, "f")), duration_s=2.0
+        )
+    with pytest.raises(WorkloadError):
+        ArrivalPlan((), duration_s=0.0)
+
+
+def test_plan_schema_guard():
+    with pytest.raises(WorkloadError):
+        ArrivalPlan.from_json('{"schema": "bogus/9", "arrivals": []}')
+
+
+def test_mix_validation():
+    with pytest.raises(WorkloadError):
+        FunctionMix.of()
+    with pytest.raises(WorkloadError):
+        FunctionMix(("a",), (0.0,))
+    with pytest.raises(WorkloadError):
+        FunctionMix(("a", "b"), (1.0,))
+
+
+def test_rate_and_duration_validation():
+    with pytest.raises(WorkloadError):
+        PoissonArrivals(_mix(), 0.0)
+    with pytest.raises(WorkloadError):
+        PoissonArrivals(_mix(), 10.0).plan(0.0)

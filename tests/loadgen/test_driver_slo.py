@@ -1,0 +1,200 @@
+"""Open/closed-loop drivers and the SLO report layer."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.hardware.pu import PuKind
+from repro.loadgen import (
+    Arrival,
+    ArrivalPlan,
+    ClosedLoopDriver,
+    OpenLoopDriver,
+    build_report,
+    build_runtime,
+    compare_reports,
+    format_report,
+    latency_block,
+    run_load,
+    scenario_names,
+)
+from repro.loadgen.slo import SCHEMA
+
+
+def _plan(n=30, spacing_s=0.01):
+    return ArrivalPlan(
+        tuple(
+            Arrival(time_s=i * spacing_s, function="thumb")
+            for i in range(n)
+        ),
+        duration_s=n * spacing_s,
+    )
+
+
+def test_open_loop_submits_every_arrival():
+    plan = _plan()
+    runtime, frontend = build_runtime(plan, seed=5, shards=2)
+    driver = OpenLoopDriver(runtime, plan, frontend)
+    records = driver.run()
+    assert driver.submitted == len(plan)
+    assert len(records) == len(plan)
+    assert all(r.answered for r in records)
+
+
+def test_open_loop_paces_relative_to_workload_start():
+    """Plan times are offsets from the driver start, not absolute sim
+    times — boot/deploy time must not collapse the arrival schedule."""
+    plan = _plan(n=10, spacing_s=0.5)
+    runtime, frontend = build_runtime(plan, seed=5, shards=2)
+    assert runtime.sim.now > 0  # boot + deploy consumed sim time
+    driver = OpenLoopDriver(runtime, plan, frontend)
+    records = driver.run()
+    offsets = [r.submitted_s - driver.started_s for r in records]
+    assert offsets == pytest.approx([a.time_s for a in plan])
+
+
+def test_open_loop_record_fields_are_populated():
+    plan = _plan(n=10)
+    runtime, frontend = build_runtime(plan, seed=5, shards=2)
+    records = OpenLoopDriver(runtime, plan, frontend).run()
+    for record in records:
+        assert record.function == "thumb"
+        assert record.shard in (0, 1)
+        assert record.pu
+        assert record.latency_s > 0
+        assert record.admitted_s >= record.submitted_s
+        assert record.attempts >= 1
+
+
+def test_closed_loop_caps_concurrency():
+    plan = _plan(n=40)
+    runtime, frontend = build_runtime(plan, seed=5, shards=2)
+    peak = 0
+
+    orig_begin = type(frontend.shards[0]).begin_request
+
+    def spying_begin(shard):
+        nonlocal peak
+        orig_begin(shard)
+        peak = max(peak, sum(s.outstanding for s in frontend.shards))
+
+    for shard in frontend.shards:
+        shard.begin_request = spying_begin.__get__(shard)
+    records = ClosedLoopDriver(
+        runtime, plan, concurrency=4, frontend=frontend
+    ).run()
+    assert len(records) == len(plan)
+    assert [r.index for r in records] == list(range(len(plan)))
+    assert 0 < peak <= 4
+
+
+def test_closed_loop_rejects_bad_concurrency():
+    plan = _plan(n=4)
+    runtime, frontend = build_runtime(plan, seed=5, shards=1)
+    with pytest.raises(ReproError):
+        ClosedLoopDriver(runtime, plan, concurrency=0)
+
+
+def test_latency_block_percentiles():
+    block = latency_block([i / 1000 for i in range(1, 1001)])
+    assert block["count"] == 1000
+    assert block["p50_ms"] == pytest.approx(500.0)
+    assert block["p99_ms"] == pytest.approx(990.0)
+    assert block["p999_ms"] == pytest.approx(999.0)
+    assert block["max_ms"] == pytest.approx(1000.0)
+    assert latency_block([]) == {"count": 0}
+
+
+def test_report_schema_and_accounting():
+    plan = _plan(n=25)
+    runtime, frontend = build_runtime(plan, seed=5, shards=2)
+    driver = OpenLoopDriver(runtime, plan, frontend)
+    records = driver.run()
+    report = build_report(
+        runtime, plan, records, "unit", params={"n": 25},
+        frontend=frontend, elapsed_s=driver.elapsed_s,
+    )
+    assert report["schema"] == SCHEMA
+    load = report["load"]
+    assert load["offered"] == 25
+    assert load["submitted"] == 25
+    assert load["answered"] + load["dead_lettered"] == load["admitted"]
+    assert load["lost"] == 0
+    assert report["latency"]["end_to_end"]["count"] == 25
+    assert set(report["latency"]["stages"]) <= {
+        "admit", "schedule", "sandbox_start", "exec", "respond"
+    }
+    assert len(report["shards"]) == 2
+    assert sum(s["admitted"] for s in report["shards"]) == load["admitted"]
+    assert {p["pu"] for p in report["pus"]} == {
+        pu.name for pu in runtime.machine.pus.values()
+    }
+    json.dumps(report)  # must be JSON-serialisable
+    assert "scenario unit" in format_report(report)
+
+
+def test_report_utilization_is_windowed():
+    plan = _plan(n=25)
+    runtime, frontend = build_runtime(plan, seed=5, shards=1)
+    baseline = {
+        pu_id: pu.clock.busy_time
+        for pu_id, pu in runtime.machine.pus.items()
+    }
+    driver = OpenLoopDriver(runtime, plan, frontend)
+    records = driver.run()
+    report = build_report(
+        runtime, plan, records, "unit", frontend=frontend,
+        elapsed_s=driver.elapsed_s, busy_baseline=baseline,
+    )
+    for pu in report["pus"]:
+        assert 0.0 <= pu["utilization"] <= 1.0
+    for shard in report["shards"]:
+        assert 0.0 <= shard["utilization"] <= 1.0
+
+
+def test_compare_reports_flags_latency_and_goodput():
+    base = {
+        "scenario": "s", "params": {"n": 1},
+        "load": {"goodput_per_s": 100.0},
+        "latency": {"end_to_end": {
+            "p50_ms": 10.0, "p95_ms": 20.0, "p99_ms": 30.0, "p999_ms": 40.0,
+        }},
+    }
+    worse = json.loads(json.dumps(base))
+    worse["latency"]["end_to_end"]["p99_ms"] = 45.0
+    worse["load"]["goodput_per_s"] = 50.0
+    regressions = compare_reports(worse, base, threshold=0.2)
+    metrics = {r["metric"] for r in regressions}
+    assert metrics == {"end_to_end.p99_ms", "load.goodput_per_s"}
+    # Different params: no comparison at all.
+    worse["params"] = {"n": 2}
+    assert compare_reports(worse, base, threshold=0.2) == []
+
+
+def test_run_load_is_deterministic_and_complete():
+    a = run_load("poisson", seed=101, rps=80, duration_s=4.0, shards=2)
+    b = run_load("poisson", seed=101, rps=80, duration_s=4.0, shards=2)
+    for report in (a, b):
+        report.pop("wall_s")
+        report.pop("host")
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+    assert a["load"]["answered"] + a["load"]["dead_lettered"] == (
+        a["load"]["admitted"]
+    )
+
+
+def test_run_load_unknown_scenario():
+    with pytest.raises(ReproError):
+        run_load("nope", quick=True)
+    assert scenario_names() == ["azure", "burst", "diurnal", "poisson"]
+
+
+def test_run_load_closed_mode():
+    report = run_load(
+        "poisson", seed=7, rps=50, duration_s=2.0, shards=2,
+        mode="closed", concurrency=8,
+    )
+    assert report["params"]["mode"] == "closed"
+    assert report["params"]["concurrency"] == 8
+    assert report["load"]["answered"] == report["load"]["offered"]

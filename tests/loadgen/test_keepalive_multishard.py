@@ -1,0 +1,174 @@
+"""Keep-alive under a sharded front end: eviction races across shards.
+
+The keep-alive reaper, LRU eviction and dead-corpse reaping all call
+``Invoker._destroy`` on pool instances; with several gateway shards
+funnelling concurrent traffic into the *same* per-PU pools, two of
+those paths can race on one instance.  ``_destroy`` must be
+idempotent — the DRAM reservation is released exactly once — or
+admission control silently over-admits.
+"""
+
+import pytest
+
+from repro import (
+    FunctionCode,
+    FunctionDef,
+    Language,
+    MoleculeRuntime,
+    PuKind,
+    WorkProfile,
+)
+from repro.loadgen import ShardedFrontend
+
+
+def _fn(name="f", memory_mb=80, exec_ms=5.0):
+    return FunctionDef(
+        name=name,
+        code=FunctionCode(
+            name, language=Language.PYTHON, import_ms=30.0,
+            memory_mb=memory_mb,
+        ),
+        work=WorkProfile(warm_exec_ms=exec_ms),
+        profiles=(PuKind.DPU, PuKind.CPU),
+    )
+
+
+def _dram_by_pu(runtime):
+    return {
+        pu_id: pu.dram_used_mb
+        for pu_id, pu in runtime.machine.pus.items()
+    }
+
+
+def test_multishard_traffic_then_ttl_reaps_every_instance_once():
+    """Two shards push overlapping bursts into the same DPU pools; when
+    the TTL fires, every pooled instance must be destroyed exactly once
+    and all DRAM reservations returned."""
+    runtime = MoleculeRuntime.create(
+        num_dpus=2, keep_alive_ttl_s=0.2, seed=17
+    )
+    runtime.deploy_now(_fn())
+    frontend = ShardedFrontend(runtime, 2, policy="least-outstanding")
+    baseline = _dram_by_pu(runtime)
+    answered = []
+
+    # Count release calls: every cold-started instance must be
+    # released exactly once, however many destroy paths raced on it.
+    releases = []
+    orig_release = runtime.scheduler.release
+
+    def counting_release(function, pu):
+        releases.append(pu.name)
+        orig_release(function, pu)
+
+    runtime.scheduler.release = counting_release
+
+    def burst(start_s, count):
+        yield runtime.sim.timeout(start_s)
+        for _ in range(count):
+            result = yield from frontend.invoke("f", kind=PuKind.DPU)
+            answered.append(result)
+
+    # Overlapping bursts through both shards; quiescence then ages the
+    # whole pool past the TTL so the reaper collects everything.
+    runtime.sim.spawn(burst(0.0, 6))
+    runtime.sim.spawn(burst(0.0, 6))
+    runtime.sim.spawn(burst(0.05, 6))
+    runtime.sim.run()
+
+    assert len(answered) == 18
+    assert len(runtime.dead_letters) == 0
+    for pool in runtime.invoker.pools.values():
+        assert len(pool) == 0
+    assert _dram_by_pu(runtime) == baseline
+    # Every cold-started instance was released exactly once.  A double
+    # destroy would produce more releases than instances, and the DRAM
+    # check alone cannot see it: the container parks the excess put and
+    # silently feeds it to the next reservation.
+    assert len(releases) == runtime.invoker.cold_invocations
+
+
+def test_double_destroy_releases_dram_exactly_once():
+    """Regression: two racing destroy paths on the same instance (TTL
+    reaper vs. LRU eviction vs. corpse reaping) must not release the
+    instance's DRAM reservation twice."""
+    runtime = MoleculeRuntime.create(num_dpus=1, seed=17)
+    runtime.deploy_now(_fn(memory_mb=100))
+    baseline = _dram_by_pu(runtime)
+    result = runtime.invoke_now("f", kind=PuKind.DPU)
+    [dpu] = [
+        pu for pu in runtime.machine.pus.values()
+        if pu.name == result.pu_name
+    ]
+    reserved = dpu.dram_used_mb - baseline[dpu.pu_id]
+    assert reserved == 100
+
+    pool = runtime.invoker.pools[dpu.pu_id]
+    instance = pool.acquire("f")
+    assert instance is not None
+    # Two teardown paths race on the same instance.
+    runtime.sim.spawn(runtime.invoker._destroy(instance))
+    runtime.sim.spawn(runtime.invoker._destroy(instance))
+    runtime.sim.run()
+
+    assert instance.destroyed
+    assert dpu.dram_used_mb == baseline[dpu.pu_id]
+
+    # The usage check above cannot catch a double release on its own:
+    # ``Container.get`` parks the spurious getter instead of letting
+    # the level go negative, and the parked getter then swallows the
+    # *next* reservation's put.  Force a fresh cold start and assert
+    # its reservation is actually visible.
+    runtime.invoke_now("f", kind=PuKind.DPU)
+    assert dpu.dram_used_mb == baseline[dpu.pu_id] + 100
+
+
+def test_sequential_double_destroy_is_a_noop():
+    runtime = MoleculeRuntime.create(num_dpus=1, seed=17)
+    runtime.deploy_now(_fn(memory_mb=64))
+    result = runtime.invoke_now("f", kind=PuKind.DPU)
+    [dpu] = [
+        pu for pu in runtime.machine.pus.values()
+        if pu.name == result.pu_name
+    ]
+    pool = runtime.invoker.pools[dpu.pu_id]
+    instance = pool.acquire("f")
+    runtime.run(runtime.invoker._destroy(instance))
+    freed = dpu.dram_used_mb
+    runtime.run(runtime.invoker._destroy(instance))
+    assert dpu.dram_used_mb == freed
+
+
+def test_destroyed_corpse_left_in_pool_survives_the_reaper():
+    """A corpse destroyed while still *pooled* (what a mid-race crash
+    teardown produces) is later collected by the TTL reaper too; the
+    second destroy must be a no-op so DRAM is not double-released."""
+    runtime = MoleculeRuntime.create(
+        num_dpus=1, keep_alive_ttl_s=0.15, seed=17
+    )
+    runtime.deploy_now(_fn(memory_mb=90))
+    [dpu] = [
+        pu for pu in runtime.machine.pus.values() if pu.name == "dpu0"
+    ]
+    baseline = dpu.dram_used_mb
+    pool = runtime.invoker.pools[dpu.pu_id]
+
+    def racing_workload():
+        yield from runtime.invoke("f", kind=PuKind.DPU)
+        # The instance is idle in the pool now.  Destroy it directly
+        # WITHOUT removing it from the pool (the mid-race teardown
+        # shape), so the TTL reaper later collects the same instance.
+        [instance] = pool.idle_instances("f")
+        yield from runtime.invoker._destroy(instance)
+        assert instance.destroyed
+
+    runtime.run(racing_workload())
+    runtime.sim.run()  # reaper TTL fires during the drain
+    assert len(pool) == 0
+    # Released exactly once: the reservation is back to baseline, not
+    # below it (a double release would free DRAM that was never held).
+    assert dpu.dram_used_mb == baseline
+    # Admission control still works on the clean pool.
+    again = runtime.invoke_now("f", kind=PuKind.DPU)
+    assert again.pu_name == "dpu0"
+    assert len(runtime.dead_letters) == 0

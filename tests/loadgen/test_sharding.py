@@ -1,0 +1,198 @@
+"""Shard routing: hash-ring stability, breaker avoidance, locality."""
+
+import pytest
+
+from repro import (
+    FunctionCode,
+    FunctionDef,
+    Language,
+    MoleculeRuntime,
+    PuKind,
+    WorkProfile,
+)
+from repro.errors import SchedulingError
+from repro.loadgen import HashRing, ShardedFrontend
+
+
+def _fn(name="f", profiles=(PuKind.CPU, PuKind.DPU)):
+    return FunctionDef(
+        name=name,
+        code=FunctionCode(name, language=Language.PYTHON, import_ms=20.0),
+        work=WorkProfile(warm_exec_ms=4.0),
+        profiles=profiles,
+    )
+
+
+def _runtime(num_dpus=2, **kwargs):
+    runtime = MoleculeRuntime.create(num_dpus=num_dpus, seed=13, **kwargs)
+    runtime.deploy_now(_fn())
+    return runtime
+
+
+# -- hash ring -------------------------------------------------------------------------
+
+
+def test_ring_routing_is_stable_across_instances():
+    keys = [f"fn-{i}" for i in range(200)]
+    a, b = HashRing(4), HashRing(4)
+    assert [a.route(k) for k in keys] == [b.route(k) for k in keys]
+
+
+def test_ring_spreads_keys_over_all_shards():
+    ring = HashRing(4)
+    owners = {ring.route(f"fn-{i}") for i in range(500)}
+    assert owners == {0, 1, 2, 3}
+
+
+def test_ring_rebalance_moves_keys_only_to_the_new_shard():
+    """Growing N -> N+1 may only remap keys onto the new shard; every
+    key that stays on an old shard stays on the *same* old shard."""
+    keys = [f"fn-{i}" for i in range(1000)]
+    for n in (2, 3, 5, 8):
+        before, after = HashRing(n), HashRing(n + 1)
+        moved = 0
+        for key in keys:
+            old, new = before.route(key), after.route(key)
+            if old != new:
+                assert new == n, (key, old, new)
+                moved += 1
+        # Consistent hashing moves roughly 1/(n+1) of the keys.
+        assert 0 < moved < len(keys) * 2 / (n + 1)
+
+
+def test_ring_validation():
+    with pytest.raises(SchedulingError):
+        HashRing(0)
+    with pytest.raises(SchedulingError):
+        HashRing(2, vnodes=0)
+
+
+# -- frontend construction --------------------------------------------------------------
+
+
+def test_frontend_validates_policy_and_shard_count():
+    runtime = _runtime()
+    with pytest.raises(SchedulingError):
+        ShardedFrontend(runtime, 0)
+    with pytest.raises(SchedulingError):
+        ShardedFrontend(runtime, 2, policy="random")
+
+
+def test_frontend_affinity_partitions_all_pus():
+    runtime = _runtime(num_dpus=2)
+    frontend = ShardedFrontend(runtime, 2)
+    seen = [pu for shard in frontend.shards for pu in shard.affinity]
+    assert sorted(seen) == sorted(runtime.machine.pus)
+
+
+def test_request_ids_unique_across_shards():
+    runtime = _runtime()
+    frontend = ShardedFrontend(runtime, 3)
+    ids = []
+
+    def caller(name):
+        result = yield from frontend.invoke(name)
+        ids.append(result.request_id)
+
+    runtime.deploy_now(_fn("g"))
+    runtime.deploy_now(_fn("h"))
+    for name in ("f", "g", "h", "f", "g", "h"):
+        runtime.sim.spawn(caller(name))
+    runtime.sim.run()
+    assert len(ids) == 6
+    assert len(set(ids)) == 6
+
+
+# -- least-outstanding ------------------------------------------------------------------
+
+
+def test_least_outstanding_picks_idle_shard():
+    runtime = _runtime()
+    frontend = ShardedFrontend(runtime, 3, policy="least-outstanding")
+    frontend.shards[0].outstanding = 5
+    frontend.shards[1].outstanding = 2
+    frontend.shards[2].outstanding = 7
+    assert frontend.route("f").index == 1
+
+
+def test_least_outstanding_never_routes_to_open_breaker_shard():
+    runtime = _runtime()
+    frontend = ShardedFrontend(runtime, 3, policy="least-outstanding")
+    bad = frontend.shards[0]
+    for _ in range(bad.breaker.failure_threshold):
+        bad.breaker.record_failure(runtime.sim.now)
+    assert not bad.healthy
+    # The broken shard is also the least-outstanding one — it must
+    # still be skipped while any healthy shard exists.
+    bad.outstanding = 0
+    frontend.shards[1].outstanding = 3
+    frontend.shards[2].outstanding = 4
+    for _ in range(20):
+        assert frontend.route("f").index != 0
+
+
+def test_least_outstanding_degrades_when_every_breaker_is_open():
+    runtime = _runtime()
+    frontend = ShardedFrontend(runtime, 2, policy="least-outstanding")
+    for shard in frontend.shards:
+        for _ in range(shard.breaker.failure_threshold):
+            shard.breaker.record_failure(runtime.sim.now)
+    # No healthy shard: requests must not be black-holed.
+    assert frontend.route("f") in frontend.shards
+
+
+# -- locality ---------------------------------------------------------------------------
+
+
+def test_locality_falls_back_to_hash_when_no_warm_sandbox():
+    runtime = _runtime()
+    frontend = ShardedFrontend(runtime, 2, policy="locality")
+    expected = frontend.shards[frontend.ring.route("f")]
+    assert frontend.route("f") is expected
+
+
+def test_locality_routes_to_the_shard_fronting_the_warm_pu():
+    runtime = _runtime()
+    frontend = ShardedFrontend(runtime, 2, policy="locality")
+    first = runtime.invoke_now("f", kind=PuKind.DPU)
+    warm_pu = next(
+        pu for pu in runtime.machine.pus.values() if pu.name == first.pu_name
+    )
+    expected = frontend.shard_for_pu(warm_pu.pu_id)
+    assert frontend.route("f", kind=PuKind.DPU) is expected
+
+
+def test_locality_falls_back_when_warm_shard_is_unhealthy():
+    runtime = _runtime()
+    frontend = ShardedFrontend(runtime, 2, policy="locality")
+    first = runtime.invoke_now("f", kind=PuKind.DPU)
+    warm_pu = next(
+        pu for pu in runtime.machine.pus.values() if pu.name == first.pu_name
+    )
+    shard = frontend.shard_for_pu(warm_pu.pu_id)
+    for _ in range(shard.breaker.failure_threshold):
+        shard.breaker.record_failure(runtime.sim.now)
+    routed = frontend.route("f", kind=PuKind.DPU)
+    assert routed is frontend.shards[frontend.ring.route("f")]
+
+
+# -- utilization bookkeeping ------------------------------------------------------------
+
+
+def test_shard_busy_integral_tracks_outstanding_window():
+    runtime = _runtime()
+    frontend = ShardedFrontend(runtime, 1)
+    shard = frontend.shards[0]
+
+    def caller():
+        result = yield from frontend.invoke("f")
+        return result
+
+    start = runtime.sim.now
+    runtime.run(caller())
+    elapsed = runtime.sim.now - start
+    assert shard.outstanding == 0
+    assert 0 < shard.busy_s <= elapsed
+    assert shard.utilization(elapsed) == pytest.approx(
+        shard.busy_s / elapsed
+    )

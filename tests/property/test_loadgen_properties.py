@@ -1,0 +1,117 @@
+"""Property-based tests for the load-generation layer.
+
+Two machine-wide invariants, checked over *generated* arrival plans:
+
+* the open-loop driver admits exactly one request per planned arrival,
+  whatever the inter-arrival structure looks like;
+* with a fault plan active, every admitted request is still accounted
+  for — ``answered + dead_lettered == admitted`` and nothing is lost.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultKind, FaultPlan, FaultSpec
+from repro.loadgen import (
+    Arrival,
+    ArrivalPlan,
+    FunctionMix,
+    OpenLoopDriver,
+    PoissonArrivals,
+    attach_fault_plan,
+    build_runtime,
+    default_mix,
+)
+from repro.sim.rng import SeededRng
+
+# Simulation runs are comparatively expensive; keep the example budget
+# small and the plans short.  The invariants are structural, not
+# statistical, so a handful of diverse plans is enough.
+_SIM_SETTINGS = settings(max_examples=15, deadline=None)
+
+
+def _plan_from_gaps(gaps, functions):
+    """Build a plan from raw inter-arrival gaps and function picks."""
+    arrivals, now = [], 0.0
+    for gap, name in zip(gaps, functions):
+        now += gap
+        arrivals.append(Arrival(time_s=now, function=name))
+    return ArrivalPlan(tuple(arrivals), duration_s=now + 0.001)
+
+
+_gaps = st.lists(
+    st.floats(min_value=0.0, max_value=0.05, allow_nan=False),
+    min_size=1,
+    max_size=40,
+)
+
+
+@_SIM_SETTINGS
+@given(gaps=_gaps, seed=st.integers(min_value=0, max_value=2**16))
+def test_open_loop_admits_exactly_the_plan(gaps, seed):
+    """Admission count equals plan length for arbitrary gap structure
+    (bursts of simultaneous arrivals included)."""
+    functions = ["thumb", "etl", "infer"] * (len(gaps) // 3 + 1)
+    plan = _plan_from_gaps(gaps, functions)
+    runtime, frontend = build_runtime(plan, seed=seed, shards=2)
+    driver = OpenLoopDriver(runtime, plan, frontend)
+    records = driver.run()
+    assert driver.submitted == len(plan)
+    assert len(records) == len(plan)
+    assert frontend.requests_admitted == len(plan)
+    # Per-shard admissions partition the machine-wide count.
+    assert sum(s.routed for s in frontend.shards) == len(plan)
+
+
+@_SIM_SETTINGS
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    rate=st.floats(min_value=20.0, max_value=120.0, allow_nan=False),
+    crash_at=st.floats(min_value=0.05, max_value=0.8, allow_nan=False),
+    reboot_after=st.one_of(
+        st.none(), st.floats(min_value=0.1, max_value=0.5, allow_nan=False)
+    ),
+)
+def test_no_request_lost_under_faults(seed, rate, crash_at, reboot_after):
+    """With a PU crash (with or without reboot) mid-run, the reliability
+    layer must keep the books balanced: answered + dead == admitted."""
+    rng = SeededRng(seed).fork("prop:faults")
+    plan = PoissonArrivals(default_mix(), rate, rng=rng).plan(duration_s=1.0)
+    runtime, frontend = build_runtime(plan, seed=seed, shards=2)
+    attach_fault_plan(
+        runtime,
+        FaultPlan.of(
+            FaultSpec(
+                kind=FaultKind.PU_CRASH,
+                target="dpu0",
+                at_s=crash_at,
+                reboot_after_s=reboot_after,
+            ),
+        ),
+    )
+    records = OpenLoopDriver(runtime, plan, frontend).run()
+    admitted = frontend.requests_admitted
+    answered = sum(1 for r in records if r.answered)
+    dead = len(runtime.dead_letters)
+    assert admitted == len(plan)
+    assert answered + dead == admitted
+    # Outcomes are mutually exclusive: a record is answered or carries
+    # the error that dead-lettered it, never neither.
+    assert all(r.outcome for r in records)
+
+
+@given(
+    weights=st.lists(
+        st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+        min_size=1,
+        max_size=4,
+    ),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_mix_only_emits_declared_functions(weights, seed):
+    """A FunctionMix never picks a function outside its declaration."""
+    names = [f"fn{i}" for i in range(len(weights))]
+    mix = FunctionMix.of(*zip(names, weights))
+    rng = SeededRng(seed).fork("prop:mix")
+    picks = {mix.pick(rng)[0] for _ in range(100)}
+    assert picks <= set(names)

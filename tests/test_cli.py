@@ -70,3 +70,57 @@ def test_metrics_json_is_parseable(capsys):
     snapshot = json.loads(capsys.readouterr().out)
     assert snapshot["requests_admitted"] == 4
     assert "repro_phase_seconds" in snapshot["metrics"]
+
+
+def test_load_quick_writes_report(capsys, tmp_path):
+    out_file = tmp_path / "BENCH_load.json"
+    assert main([
+        "load", "--scenario", "burst", "--quick", "--seed", "11",
+        "--output", str(out_file),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "scenario burst" in out
+    assert f"wrote {out_file}" in out
+    import json
+
+    report = json.loads(out_file.read_text())
+    assert report["schema"] == "repro-load/1"
+    assert report["load"]["answered"] > 0
+
+
+def test_load_json_output_is_parseable(capsys, tmp_path):
+    import json
+
+    assert main([
+        "load", "--scenario", "poisson", "--quick", "--seed", "11",
+        "--json", "--output", str(tmp_path / "b.json"),
+    ]) == 0
+    out = capsys.readouterr().out
+    payload = json.loads(out[: out.rindex("}") + 1])
+    assert "host" not in payload  # stripped for deterministic output
+    assert payload["latency"]["end_to_end"]["count"] > 0
+
+
+def test_load_unknown_scenario_exits_2(capsys, tmp_path):
+    assert main([
+        "load", "--scenario", "bogus", "--quick",
+        "--output", str(tmp_path / "b.json"),
+    ]) == 2
+    err = capsys.readouterr().err
+    assert "bogus" in err
+    assert "poisson" in err  # lists the valid scenarios
+
+
+def test_load_compare_same_run_has_no_regressions(capsys, tmp_path):
+    first = tmp_path / "base.json"
+    assert main([
+        "load", "--scenario", "poisson", "--quick", "--seed", "11",
+        "--output", str(first),
+    ]) == 0
+    capsys.readouterr()
+    assert main([
+        "load", "--scenario", "poisson", "--quick", "--seed", "11",
+        "--output", str(tmp_path / "again.json"),
+        "--compare", str(first), "--fail-on-regression",
+    ]) == 0
+    assert "no regressions" in capsys.readouterr().out

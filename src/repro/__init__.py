@@ -43,6 +43,7 @@ from repro.hardware import (
 )
 from repro.sandbox import FunctionCode, Language
 from repro.sim import Simulator
+from repro.warmpath import WarmPathConfig, WarmPathEngine
 
 __version__ = "1.0.0"
 
@@ -64,6 +65,8 @@ __all__ = [
     "PuKind",
     "RetryPolicy",
     "Simulator",
+    "WarmPathConfig",
+    "WarmPathEngine",
     "WorkProfile",
     "build_cpu_dpu_machine",
     "build_cpu_fpga_machine",

@@ -432,6 +432,8 @@ def _print_load(args) -> int:
             quick=args.quick,
             mode=args.mode,
             concurrency=args.concurrency,
+            keep_alive_ttl_s=args.keepalive,
+            prewarm=args.prewarm,
         )
     except Exception as exc:
         from repro.errors import ReproError
@@ -549,6 +551,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="simulation seed (default: config default)")
     load.add_argument("--quick", action="store_true",
                       help="smaller run for CI smoke")
+    load.add_argument("--prewarm", action="store_true",
+                      help="arm the warm-path engine: cold-start "
+                           "coalescing, predictive pre-warm and "
+                           "adaptive keep-alive TTLs")
+    load.add_argument("--keepalive", type=float, default=None,
+                      metavar="SECONDS",
+                      help="pool-wide keep-alive TTL for idle instances "
+                           "(default: keep forever)")
     load.add_argument("--json", action="store_true",
                       help="emit the JSON report (minus host info) "
                            "instead of the summary")

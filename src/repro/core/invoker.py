@@ -36,6 +36,7 @@ from repro.core.reliability import DeadLetter, RetryPolicy
 from repro.obs.spans import (
     DetachableTrace,
     NULL_TRACE,
+    START_COALESCED,
     START_COLD,
     START_FORK,
     START_WARM,
@@ -64,6 +65,10 @@ class FunctionInstance:
     #: fault injection); without the claim each would release the
     #: instance's DRAM reservation again, corrupting admission control.
     destroyed: bool = False
+    #: True while this instance was forked ahead of demand by the
+    #: warm-path pre-warmer and no request has claimed it yet; the
+    #: engine's hit/wasted accounting keys on it.
+    prewarmed: bool = False
 
     @property
     def is_first_request(self) -> bool:
@@ -126,6 +131,8 @@ class Invoker:
         self._sandbox_ids = itertools.count(1)
         self.cold_invocations = 0
         self.warm_invocations = 0
+        #: Requests served by a coalesced single-flight batch.
+        self.coalesced_invocations = 0
         #: Observability hub (lifecycle spans + metrics); None keeps the
         #: invoker instrumentation-free for unit tests.
         self.obs = getattr(runtime, "obs", None)
@@ -139,6 +146,10 @@ class Invoker:
         rng = getattr(runtime, "rng", None)
         #: Seeded stream for backoff jitter (None disables jitter).
         self._retry_rng = rng.fork("invoker-retry") if rng is not None else None
+        #: Warm-path engine (repro.warmpath); wired by WarmPathEngine
+        #: itself.  None keeps every hot path byte-identical to a
+        #: runtime without the engine.
+        self.engine = None
         self._reaper_wakeup = None
         if keep_alive_ttl_s is not None:
             self.runtime.sim.spawn(
@@ -230,6 +241,11 @@ class Invoker:
             admitted_s = self.sim.now
             trace.end_phase(admit_span)
             trace.annotate(request_id=request_id)
+            if self.engine is not None:
+                # Feed the arrival predictor here rather than in the
+                # gateway: admission listeners only see a count, and
+                # the predictor needs the function identity.
+                self.engine.on_admission(function, kind)
             result = yield from self._invoke_with_retries(
                 function, request_id, kind, pu, force_cold,
                 payload_bytes, exec_time_s, start, trace,
@@ -456,6 +472,8 @@ class Invoker:
                 if instance is None:
                     break
                 if self._is_alive(instance):
+                    if self.engine is not None:
+                        self.engine.on_warm_acquire(instance)
                     return instance
                 # A crashed instance was cached: reap it and keep looking
                 # (failure robustness - a dead sandbox must never serve).
@@ -495,6 +513,28 @@ class Invoker:
         startup_begin = self.sim.now
         schedule_span = trace.begin_phase("schedule")
         instance = None if force_cold else self._find_warm(function, kind, pu)
+        coalesced = False
+        engine = self.engine
+        if instance is None and engine is not None and not force_cold:
+            # Single-flight coalescing: a miss with a batch already in
+            # flight for this (function, PU) parks on it instead of
+            # paying an independent cold start.  Woken empty-handed
+            # (the batch closed before reaching us), re-check the pool
+            # — requests that completed meanwhile released instances —
+            # then look for a fresh batch; no open batch left means
+            # this request becomes the next leader below.
+            while instance is None:
+                batch = engine.joinable_batch(function, kind, pu)
+                if batch is None:
+                    break
+                waiter = batch.join(self.sim)
+                engine.on_follower_joined(batch)
+                yield waiter
+                if waiter.value is not None:
+                    instance = waiter.value
+                    coalesced = True
+                else:
+                    instance = self._find_warm(function, kind, pu)
         cold = instance is None
         if cold:
             target = pu or self.runtime.scheduler.place(function, kind)
@@ -503,26 +543,45 @@ class Invoker:
             schedule_span.attributes["pu"] = target.name
             trace.end_phase(schedule_span)
             sandbox_span = trace.begin_phase("sandbox_start")
-            instance = yield from self._cold_start(function, target, trace)
+            batch = (
+                engine.open_batch(function, target)
+                if engine is not None and not force_cold
+                else None
+            )
+            try:
+                instance = yield from self._cold_start(function, target, trace)
+            except BaseException:
+                if batch is not None:
+                    engine.abort_batch(batch)
+                raise
             sandbox_span.attributes["forked"] = instance.forked
             trace.end_phase(sandbox_span)
             self.cold_invocations += 1
             if self._crashed_during(target, attempt_info):
                 # The PU crashed mid-cold-start: the instance is gone.
+                if batch is not None:
+                    engine.abort_batch(batch)
                 self.sim.spawn(self._destroy(instance))
                 raise FaultInjectedError(
                     f"{target.name} crashed during cold start of "
                     f"{function.name!r}"
                 )
+            if batch is not None:
+                engine.leader_done(batch, function, target)
         else:
             if attempt_info is not None:
                 self._note_pu(attempt_info, instance.pu)
             schedule_span.attributes["pu"] = instance.pu.name
             trace.end_phase(schedule_span)
-            self.warm_invocations += 1
+            if coalesced:
+                self.coalesced_invocations += 1
+                engine.on_coalesced_start(function.name)
+            else:
+                self.warm_invocations += 1
         startup_s = self.sim.now - startup_begin
         start_kind = (
-            START_WARM if not cold
+            START_COALESCED if coalesced
+            else START_WARM if not cold
             else START_FORK if instance.forked
             else START_COLD
         )
@@ -569,10 +628,13 @@ class Invoker:
             )
 
         respond_span = trace.begin_phase("respond")
-        evicted = self.pools[instance.pu.pu_id].release(instance, now=self.sim.now)
-        self.notify_idle()
-        for old in evicted:
-            self.sim.spawn(self._destroy(old))
+        if engine is None or not engine.offer_released(instance):
+            evicted = self.pools[instance.pu.pu_id].release(
+                instance, now=self.sim.now
+            )
+            self.notify_idle()
+            for old in evicted:
+                self.sim.spawn(self._destroy(old))
         trace.end_phase(respond_span)
         return self._result(
             function, request_id, instance.pu, cold, startup_s, exec_s, 0.0, start
@@ -625,6 +687,8 @@ class Invoker:
         if instance.destroyed:
             return
         instance.destroyed = True
+        if self.engine is not None:
+            self.engine.on_instance_destroyed(instance)
         runc = self.runtime.runc_on(instance.pu.pu_id)
         if instance.sandbox.state is not SandboxState.DELETED:
             try:
@@ -677,6 +741,15 @@ class Invoker:
             runf = self.runtime.runf_on(pu.pu_id)
             if runf.cached_sandbox_for(function.name) is not None:
                 return pu
+        if self.engine is not None:
+            # Never repack a device the engine is mid-programming
+            # (bitstream prefetch) while an idle one exists.
+            free = [
+                pu for pu in candidates
+                if pu.pu_id not in self.engine._prefetch_inflight
+            ]
+            if free:
+                candidates = free
         return min(
             candidates,
             key=lambda pu: self.runtime.runf_on(pu.pu_id).device.program_count,
@@ -685,6 +758,10 @@ class Invoker:
     def _invoke_fpga(self, function, request_id, payload_bytes, exec_time_s,
                      start, trace=NULL_TRACE, attempt_info: Optional[dict] = None):
         schedule_span = trace.begin_phase("schedule")
+        if self.engine is not None:
+            # A device mid-programming an image that includes this
+            # kernel: wait for that instead of repacking another one.
+            yield from self.engine.join_bitstream_prefetch(function)
         pu = self._choose_fpga(function)
         if attempt_info is not None:
             self._note_pu(attempt_info, pu)
@@ -694,6 +771,8 @@ class Invoker:
         startup_begin = self.sim.now
         sandbox = runf.cached_sandbox_for(function.name)
         cold = sandbox is None
+        if self.engine is not None:
+            self.engine.note_fpga_start(function.name, pu.pu_id, cold)
         sandbox_span = trace.begin_phase("sandbox_start")
         if cold:
             # Repack the image: keep resident-hot kernels, add this one.

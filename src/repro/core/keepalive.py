@@ -36,6 +36,10 @@ class WarmPool:
             raise SchedulingError(f"TTL must be positive: {keep_alive_ttl_s}")
         self.capacity = capacity
         self.keep_alive_ttl_s = keep_alive_ttl_s
+        #: func_name -> TTL override; adaptive keep-alive (the warm-path
+        #: pre-warmer) tunes these per function from the inter-arrival
+        #: distribution.  Functions not listed use the pool-wide TTL.
+        self.ttl_overrides: dict[str, float] = {}
         #: func_name -> list of (idle_since, instance).
         self._idle: OrderedDict[str, list] = OrderedDict()
         #: Cache statistics for reports.
@@ -53,6 +57,11 @@ class WarmPool:
             self._idle.move_to_end(func_name)
             self.hits += 1
             _since, instance = bucket.pop()
+            if not bucket:
+                # Keep the invariant "every bucket is non-empty": an
+                # emptied bucket left behind would drift to the LRU
+                # front and crash the eviction loop's pop(0).
+                del self._idle[func_name]
             return instance
         self.misses += 1
         return None
@@ -65,21 +74,31 @@ class WarmPool:
         evicted: list = []
         while len(self) > self.capacity:
             oldest_name, bucket = next(iter(self._idle.items()))
+            if not bucket:  # defensive: never pop an empty bucket
+                del self._idle[oldest_name]
+                continue
             evicted.append(bucket.pop(0)[1])
             if not bucket:
                 del self._idle[oldest_name]
         return evicted
 
+    def ttl_for(self, func_name: str) -> Optional[float]:
+        """The keep-alive TTL governing one function's idle instances."""
+        return self.ttl_overrides.get(func_name, self.keep_alive_ttl_s)
+
     def reap_expired(self, now: float) -> list["FunctionInstance"]:
-        """Remove instances idle past the keep-alive TTL."""
-        if self.keep_alive_ttl_s is None:
+        """Remove instances idle past their function's keep-alive TTL."""
+        if self.keep_alive_ttl_s is None and not self.ttl_overrides:
             return []
         reaped: list = []
         for name in list(self._idle):
+            ttl = self.ttl_for(name)
+            if ttl is None:
+                continue
             bucket = self._idle[name]
             keep = []
             for since, instance in bucket:
-                if now - since > self.keep_alive_ttl_s:
+                if now - since > ttl:
                     reaped.append(instance)
                 else:
                     keep.append((since, instance))
@@ -137,9 +156,22 @@ class FpgaImagePlanner:
             raise SchedulingError("invalid image planner configuration")
         self.copies_each = copies_each
         self.max_instances = max_instances
+        #: Functions dropped from plans because the predicted set did
+        #: not fit ``max_instances`` — visible packing pressure instead
+        #: of a silent cap.
+        self.dropped = 0
+        #: Observability hub (optional); wired by the runtime so drops
+        #: surface as ``repro_fpga_planner_dropped_total``.
+        self.obs = None
 
     def plan(self, predicted: Iterable[str]) -> ImagePlan:
-        """Pack the predicted-hot functions into one image plan."""
+        """Pack the predicted-hot functions into one image plan.
+
+        Functions that do not fit ``max_instances`` are dropped least-
+        recently-predicted first; every drop is counted on
+        :attr:`dropped` (and the planner-drop metric when an
+        observability hub is wired) so packing pressure is visible.
+        """
         names: list[str] = []
         for name in predicted:
             if name not in names:
@@ -148,6 +180,11 @@ class FpgaImagePlanner:
             raise SchedulingError("image plan needs at least one function")
         copies = min(self.copies_each, self.max_instances // len(names))
         copies = max(copies, 1)
+        dropped: list[str] = []
         while len(names) * copies > self.max_instances:
-            names.pop()  # drop the least-recently predicted
+            dropped.append(names.pop())  # drop the least-recently predicted
+        if dropped:
+            self.dropped += len(dropped)
+            if self.obs is not None:
+                self.obs.on_planner_drop(len(dropped))
         return ImagePlan(func_names=tuple(names), copies_each=copies)

@@ -71,6 +71,7 @@ class MoleculeRuntime:
         retry_policy: Optional[RetryPolicy] = None,
         default_deadline_s: Optional[float] = None,
         fault_plan=None,
+        warmpath=None,
     ):
         self.sim = sim or Simulator()
         self.machine = machine or build_cpu_dpu_machine(self.sim, num_dpus=2)
@@ -96,6 +97,7 @@ class MoleculeRuntime:
             health=self.health,
         )
         self.image_planner = FpgaImagePlanner()
+        self.image_planner.obs = self.obs
         self.cluster = ShimCluster(self.sim, self.machine, obs=self.obs)
 
         lock = CpusetLockMode.MUTEX if cpuset_opt else CpusetLockMode.SEMAPHORE
@@ -148,6 +150,18 @@ class MoleculeRuntime:
             from repro.faults.injector import FaultInjector
 
             self.injector = FaultInjector(self, fault_plan)
+        #: Optional warm-path engine (repro.warmpath): cold-start
+        #: coalescing, predictive pre-warm, bitstream prefetch.  Pass a
+        #: WarmPathConfig (or True for defaults); None leaves the stock
+        #: byte-identical behavior.
+        self.warmpath = None
+        if warmpath is not None:
+            from repro.warmpath import WarmPathConfig, WarmPathEngine
+
+            config_obj = (
+                WarmPathConfig() if warmpath is True else warmpath
+            )
+            self.warmpath = WarmPathEngine(self, config_obj)
 
     # -- construction helpers -------------------------------------------------------
 

@@ -113,21 +113,32 @@ def build_runtime(
     policy: str = "hash",
     num_dpus: int = 2,
     default_deadline_s: float = 30.0,
+    keep_alive_ttl_s: Optional[float] = None,
+    prewarm: bool = False,
 ):
     """Boot a deployment sized for ``plan`` with a sharded front end.
 
     The observability trace buffer is sized to the plan so per-stage
-    percentiles cover every request even on 10k+ runs.
+    percentiles cover every request even on 10k+ runs.  ``prewarm``
+    arms the warm-path engine (cold-start coalescing + predictive
+    pre-warm); off by default so existing runs stay byte-identical.
     """
     sim = Simulator()
     machine = build_cpu_dpu_machine(sim, num_dpus=num_dpus)
     obs = Observability(sim, max_traces=len(plan) + 1024)
+    warmpath = None
+    if prewarm:
+        from repro.warmpath import WarmPathConfig
+
+        warmpath = WarmPathConfig()
     runtime = MoleculeRuntime(
         sim,
         machine,
         obs=obs,
         seed=seed,
         default_deadline_s=default_deadline_s,
+        keep_alive_ttl_s=keep_alive_ttl_s,
+        warmpath=warmpath,
     )
     runtime.start()
     for name, import_ms, exec_ms, profiles in _FUNCTIONS:
@@ -168,6 +179,8 @@ def run_load(
     mode: str = "open",
     concurrency: int = 64,
     fault_plan=None,
+    keep_alive_ttl_s: Optional[float] = None,
+    prewarm: bool = False,
 ) -> dict:
     """Run one canned load scenario and return its BENCH_load report."""
     try:
@@ -188,7 +201,10 @@ def run_load(
     plan = plan_builder(rng, rps, duration_s)
 
     wall_start = time.perf_counter()
-    runtime, frontend = build_runtime(plan, seed, shards, policy=policy)
+    runtime, frontend = build_runtime(
+        plan, seed, shards, policy=policy,
+        keep_alive_ttl_s=keep_alive_ttl_s, prewarm=prewarm,
+    )
     if fault_plan is not None:
         attach_fault_plan(runtime, fault_plan)
     busy_baseline = {
@@ -217,6 +233,11 @@ def run_load(
             "policy": policy,
             "mode": mode,
             "quick": quick,
+            "prewarm": prewarm,
+            **(
+                {"keep_alive_ttl_s": keep_alive_ttl_s}
+                if keep_alive_ttl_s is not None else {}
+            ),
             **({"concurrency": concurrency} if mode == "closed" else {}),
         },
         wall_s=wall_s,
@@ -225,4 +246,6 @@ def run_load(
         busy_baseline=busy_baseline,
     )
     report["seed"] = seed
+    if runtime.warmpath is not None:
+        report["warmpath"] = runtime.warmpath.snapshot()
     return report

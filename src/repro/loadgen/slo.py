@@ -128,6 +128,10 @@ def build_report(
                 len(answered) / len(records) if records else 0.0
             ),
             "cold_starts": sum(1 for r in answered if r.cold),
+            "cold_start_rate": (
+                sum(1 for r in answered if r.cold) / len(answered)
+                if answered else 0.0
+            ),
             "retried": sum(1 for r in answered if r.attempts > 1),
         },
         "latency": {

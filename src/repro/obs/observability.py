@@ -197,6 +197,20 @@ class Observability:
         self.shard_routed_total = None
         self.shard_outstanding = None
         self.shard_utilization = None
+        # -- warm-path engine ---------------------------------------------------------
+        # Registered lazily (ensure_warmpath_metrics): only runs with a
+        # WarmPathEngine wired see these families, keeping the metric
+        # catalog byte-identical for engine-off golden runs.
+        self.coalesced_starts_total = None
+        self.prewarm_spawned_total = None
+        self.prewarm_hits_total = None
+        self.prewarm_wasted_total = None
+        self.predicted_rps = None
+        self.bitstream_prefetch_started_total = None
+        self.bitstream_prefetch_hits_total = None
+        #: FPGA planner drops — lazy for the same reason (only runs
+        #: whose predicted set overflows the image ever see it).
+        self.planner_dropped_total = None
 
         # -- bound child handles ---------------------------------------------------
         # Labelled hot-path hooks memoize children per label tuple so
@@ -218,6 +232,7 @@ class Observability:
         self._breaker_children: dict[tuple[str, str], object] = {}
         self._fault_children: dict[str, object] = {}
         self._shard_children: dict[tuple[str, str], object] = {}
+        self._warmpath_children: dict[tuple[str, str], object] = {}
 
     # -- lifecycle spans -----------------------------------------------------------
 
@@ -424,6 +439,116 @@ class Observability:
             child = self.shard_routed_total.bind(shard=key[0], policy=policy)
             self._shard_children[key] = child
         child.inc()
+
+    # -- warm-path engine hooks ------------------------------------------------------
+
+    def ensure_warmpath_metrics(self) -> None:
+        """Register the warm-path metric families on first use."""
+        if self.coalesced_starts_total is not None:
+            return
+        r = self.registry
+        self.coalesced_starts_total = r.counter(
+            "repro_coalesced_starts",
+            "Requests served by a coalesced single-flight cold-start "
+            "batch instead of an independent cold start.",
+            ("function",),
+        )
+        self.prewarm_spawned_total = r.counter(
+            "repro_prewarm_spawned",
+            "Instances forked ahead of demand by the pre-warmer.",
+            ("function",),
+        )
+        self.prewarm_hits_total = r.counter(
+            "repro_prewarm_hits",
+            "Pre-warmed instances claimed by a request before any use.",
+            ("function",),
+        )
+        self.prewarm_wasted_total = r.counter(
+            "repro_prewarm_wasted",
+            "Pre-warmed instances destroyed without serving anything.",
+            ("function",),
+        )
+        self.predicted_rps = r.gauge(
+            "repro_predicted_rps",
+            "Predicted near-term arrival rate per function "
+            "(refreshed every pre-warmer tick).",
+            ("function",),
+        )
+        self.bitstream_prefetch_started_total = r.counter(
+            "repro_bitstream_prefetch_started",
+            "FPGA images programmed ahead of the triggering request.",
+            ("function",),
+        )
+        self.bitstream_prefetch_hits_total = r.counter(
+            "repro_bitstream_prefetch_hits",
+            "FPGA starts served warm off a prefetched image.",
+            ("function",),
+        )
+
+    def _warmpath_child(self, family, kind: str, function: str):
+        key = (kind, function)
+        child = self._warmpath_children.get(key)
+        if child is None:
+            child = family.bind(function=function)
+            self._warmpath_children[key] = child
+        return child
+
+    def on_coalesced_start(self, function: str) -> None:
+        """One request served by a coalesced batch."""
+        self.ensure_warmpath_metrics()
+        self._warmpath_child(
+            self.coalesced_starts_total, "coalesced", function
+        ).inc()
+
+    def on_prewarm_spawned(self, function: str) -> None:
+        """The pre-warmer forked one instance ahead of demand."""
+        self.ensure_warmpath_metrics()
+        self._warmpath_child(
+            self.prewarm_spawned_total, "spawned", function
+        ).inc()
+
+    def on_prewarm_hit(self, function: str) -> None:
+        """One pre-warmed instance was claimed by a request."""
+        self.ensure_warmpath_metrics()
+        self._warmpath_child(self.prewarm_hits_total, "hit", function).inc()
+
+    def on_prewarm_wasted(self, function: str) -> None:
+        """One pre-warmed instance died unused."""
+        self.ensure_warmpath_metrics()
+        self._warmpath_child(
+            self.prewarm_wasted_total, "wasted", function
+        ).inc()
+
+    def on_predicted_rps(self, function: str, value: float) -> None:
+        """The predictor's current rate estimate for one function."""
+        self.ensure_warmpath_metrics()
+        self._warmpath_child(self.predicted_rps, "rps", function).set(value)
+
+    def on_bitstream_prefetch_started(self, function: str) -> None:
+        """One FPGA image finished programming ahead of demand."""
+        self.ensure_warmpath_metrics()
+        self._warmpath_child(
+            self.bitstream_prefetch_started_total, "pf_start", function
+        ).inc()
+
+    def on_bitstream_prefetch_hit(self, function: str) -> None:
+        """One FPGA start was served warm off a prefetched image."""
+        self.ensure_warmpath_metrics()
+        self._warmpath_child(
+            self.bitstream_prefetch_hits_total, "pf_hit", function
+        ).inc()
+
+    def on_planner_drop(self, count: int) -> None:
+        """The FPGA image planner dropped ``count`` predicted functions
+        that did not fit the image (lazy: most runs never overflow)."""
+        if self.planner_dropped_total is None:
+            self.planner_dropped_total = self.registry.counter(
+                "repro_fpga_planner_dropped_total",
+                "Predicted-hot functions dropped from FPGA image plans "
+                "by the max_instances packing cap.",
+            )
+        if count:
+            self.planner_dropped_total.inc(count)
 
     def on_nipc_dropped(self) -> None:
         """One XPU-FIFO message dropped by an injected fault."""

@@ -38,6 +38,8 @@ LIFECYCLE_PHASES = ("admit", "schedule", "sandbox_start", "exec", "respond")
 START_COLD = "cold"
 START_FORK = "fork"
 START_WARM = "warm"
+#: Served by a coalesced single-flight batch (repro.warmpath).
+START_COALESCED = "coalesced"
 
 
 class RequestTrace:

@@ -186,6 +186,108 @@ def _bench_invocations(quick: bool) -> BenchResult:
     )
 
 
+def _bench_coldstart_storm(quick: bool) -> BenchResult:
+    """Concurrent-miss storm under DRAM admission pressure.
+
+    Every request misses the warm pool at once and the PU only has
+    room for a fraction of them.  With the warm-path engine off each
+    miss forks its own sandbox and the overflow dies in placement
+    retries; with coalescing on, one single-flight batch serves the
+    whole storm from a handful of recycled instances.  The headline
+    rate is wall-clock storm throughput with the engine armed; the
+    density comparison (sandboxes vs requests) is recorded alongside.
+    """
+    from repro import (
+        FunctionCode,
+        FunctionDef,
+        Language,
+        MoleculeRuntime,
+        PuKind,
+        WarmPathConfig,
+        WorkProfile,
+    )
+    from repro.errors import ReproError
+
+    requests = 24 if quick else 40
+    rounds = 2 if quick else 5
+
+    def run_storm(warmpath):
+        molecule = MoleculeRuntime.create(
+            num_dpus=1, seed=BENCH_SEED, warmpath=warmpath
+        )
+        cpu = molecule.machine.host_cpu
+        # DRAM admits only ~a fifth of the storm at once, so an
+        # uncoalesced miss flood runs straight into placement failures.
+        memory_mb = int(cpu.dram_free_mb / max(1, requests // 5))
+        molecule.deploy_now(FunctionDef(
+            name="storm",
+            code=FunctionCode("storm", language=Language.PYTHON,
+                              import_ms=120.0, memory_mb=memory_mb),
+            work=WorkProfile(warm_exec_ms=15.0),
+            profiles=(PuKind.CPU,),
+        ))
+
+        outcomes = []
+
+        def guarded():
+            try:
+                result = yield from molecule.invoke("storm", kind=PuKind.CPU)
+                outcomes.append(result)
+            except ReproError:
+                outcomes.append(None)
+
+        def drive():
+            procs = [molecule.sim.spawn(guarded()) for _ in range(requests)]
+            yield molecule.sim.all_of(procs)
+
+        molecule.run(drive())
+        answered = sum(1 for r in outcomes if r is not None)
+        invoker = molecule.invoker
+        engine = molecule.warmpath
+        sandboxes = invoker.cold_invocations + (
+            engine.extra_spawned + engine.prewarm_spawned if engine else 0
+        )
+        return {
+            "answered": answered,
+            "cold": invoker.cold_invocations,
+            "coalesced": invoker.coalesced_invocations,
+            "sandboxes": sandboxes,
+        }
+
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        off = run_storm(None)
+    off_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        on = run_storm(WarmPathConfig())
+    on_s = time.perf_counter() - t0
+
+    wall = off_s + on_s
+    return BenchResult(
+        name="coldstart_storm",
+        wall_s=wall,
+        metrics={
+            "storm_invocations_per_sec": (
+                rounds * on["answered"] / on_s if on_s > 0 else 0.0
+            ),
+            "answered_engine_on": float(on["answered"]),
+            "answered_engine_off": float(off["answered"]),
+            "sandboxes_engine_on": float(on["sandboxes"]),
+            "sandboxes_engine_off": float(off["sandboxes"]),
+            "cold_engine_on": float(on["cold"]),
+            "cold_engine_off": float(off["cold"]),
+            "coalesced_engine_on": float(on["coalesced"]),
+        },
+        stages={
+            "engine_off_s": off_s,
+            "engine_on_s": on_s,
+        },
+        params={"requests": requests, "rounds": rounds},
+    )
+
+
 def _bench_startup_replay(quick: bool) -> BenchResult:
     from repro.analysis import experiments as ex
 
@@ -221,6 +323,7 @@ def _bench_startup_replay(quick: bool) -> BenchResult:
 SCENARIOS: dict[str, Callable[[bool], BenchResult]] = {
     "kernel_microbench": _bench_kernel,
     "invocation_sweep": _bench_invocations,
+    "coldstart_storm": _bench_coldstart_storm,
     "startup_replay": _bench_startup_replay,
 }
 

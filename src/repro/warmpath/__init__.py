@@ -1,0 +1,15 @@
+"""The warm-path engine: cold-start coalescing, predictive pre-warm,
+and FPGA bitstream prefetch (see :mod:`repro.warmpath.engine`)."""
+
+from repro.warmpath.coalesce import CoalescedBatch, ColdStartCoalescer
+from repro.warmpath.engine import WarmPathConfig, WarmPathEngine
+from repro.warmpath.predictor import ArrivalPredictor, FunctionStats
+
+__all__ = [
+    "ArrivalPredictor",
+    "CoalescedBatch",
+    "ColdStartCoalescer",
+    "FunctionStats",
+    "WarmPathConfig",
+    "WarmPathEngine",
+]

@@ -1,0 +1,639 @@
+"""The warm-path engine: coalescing, predictive pre-warm, prefetch.
+
+:class:`WarmPathEngine` sits beside the invoker and attacks the three
+places the reactive warm pool still pays cold starts (§5 keep-alive is
+purely LRU+TTL):
+
+* **cold-start coalescing** — concurrent misses for one
+  ``(function, PU)`` join a single-flight fork batch
+  (:mod:`repro.warmpath.coalesce`) instead of each forking its own
+  sandbox: a storm of N misses is served by a capped set of recycled
+  instances, so the PU's DRAM admits the storm instead of rejecting
+  the overflow into placement-retry failures;
+* **predictive pre-warm** — a per-function arrival estimator
+  (:mod:`repro.warmpath.predictor`) fed by gateway admissions drives a
+  ``PreWarmer`` sim process that forks instances ahead of predicted
+  demand and adapts per-function keep-alive TTLs from the
+  inter-arrival distribution, with wasted-prewarm accounting shrinking
+  the horizon when predictions misfire;
+* **bitstream prefetch** — the same predictor plans the next
+  vectorized FPGA image and starts its (multi-second) programming
+  before the triggering request arrives; a request landing mid-program
+  joins the in-flight programming instead of repacking a second
+  device.
+
+Everything is deterministic (pure arithmetic over sim timestamps; the
+instances themselves go through the normal seeded paths) and the whole
+engine is optional: a runtime constructed without a
+:class:`WarmPathConfig` behaves byte-identically to one predating this
+module.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+from repro.errors import ReproError, SchedulingError
+from repro.hardware.pu import ProcessingUnit, PuKind
+from repro.obs.spans import NULL_TRACE
+from repro.warmpath.coalesce import CoalescedBatch, ColdStartCoalescer
+from repro.warmpath.predictor import ArrivalPredictor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.invoker import FunctionInstance, Invoker
+    from repro.core.molecule import MoleculeRuntime
+    from repro.core.registry import FunctionDef
+
+
+@dataclass
+class WarmPathConfig:
+    """Knobs of the warm-path engine (all mechanisms individually
+    togglable; the engine absent ⇒ stock behavior)."""
+
+    #: Single-flight cold-start coalescing on/off.
+    coalesce: bool = True
+    #: Total instances one batch may produce (leader + extras).
+    max_batch: int = 8
+    #: Predictive pre-warm on/off.
+    prewarm: bool = True
+    #: Pre-warmer tick period (sim seconds).
+    prewarm_period_s: float = 0.25
+    #: How far ahead of predicted demand to stock instances (seconds
+    #: of predicted arrivals).
+    horizon_s: float = 1.0
+    #: Cap on pre-warmed idle instances per function.
+    max_prewarm_per_function: int = 8
+    #: EWMA smoothing for the arrival-rate estimator.
+    rate_alpha: float = 0.3
+    #: Adapt per-function keep-alive TTLs from the gap histogram.
+    adaptive_ttl: bool = True
+    #: Inter-arrival percentile a pre-warmed instance must outlive.
+    ttl_percentile: float = 99.0
+    #: Safety margin over that percentile gap.
+    ttl_margin: float = 1.5
+    #: Clamp for adaptive TTLs (seconds).
+    min_ttl_s: float = 0.5
+    max_ttl_s: float = 120.0
+    #: Recent pre-warm outcomes considered by the self-correction loop.
+    wasted_window: int = 32
+    #: Wasted fraction above which the pre-warm horizon halves.
+    wasted_threshold: float = 0.5
+    #: Bitstream prefetch on/off.
+    prefetch: bool = True
+    #: Minimum predicted rate before programming an FPGA ahead of time.
+    prefetch_min_rps: float = 0.5
+
+
+class WarmPathEngine:
+    """Coalescing + pre-warm + prefetch over one runtime's invoker."""
+
+    def __init__(self, runtime: "MoleculeRuntime",
+                 config: Optional[WarmPathConfig] = None):
+        self.runtime = runtime
+        self.config = config or WarmPathConfig()
+        self.predictor = ArrivalPredictor(alpha=self.config.rate_alpha)
+        self.coalescer = ColdStartCoalescer()
+        # -- lifetime counters (reports and tests) ------------------------------
+        self.coalesced_served = 0
+        self.extra_spawned = 0
+        self.prewarm_spawned = 0
+        self.prewarm_hits = 0
+        self.prewarm_wasted = 0
+        self.prewarm_reaped = 0
+        self.prefetch_started = 0
+        self.prefetch_hits = 0
+        self.ticks = 0
+        # -- pre-warm state -----------------------------------------------------
+        #: func_name -> pre-warm forks still in flight.
+        self._prewarm_inflight: dict[str, int] = {}
+        #: Recent pre-warm outcomes (True = wasted) for self-correction.
+        self._outcomes: deque = deque(maxlen=self.config.wasted_window)
+        #: Multiplier on the pre-warm horizon, shrunk when predictions
+        #: keep producing wasted instances.
+        self.horizon_scale = 1.0
+        self._admitted_since_tick = 0
+        self._wakeup = None
+        # -- prefetch state -----------------------------------------------------
+        #: pu_id -> (functions being programmed, completion event).
+        self._prefetch_inflight: dict[int, tuple] = {}
+        #: (pu_id, func_name) pairs programmed ahead of demand and not
+        #: yet claimed by a request (consumed on first warm FPGA start).
+        self._prefetched: set = set()
+
+        obs = runtime.obs
+        if obs is not None:
+            obs.ensure_warmpath_metrics()
+        runtime.invoker.engine = self
+        if self.config.prewarm or self.config.prefetch:
+            runtime.sim.spawn(self._prewarm_loop(), name="warmpath-prewarmer")
+
+    # -- admission feed ----------------------------------------------------------
+
+    def on_admission(self, function: "FunctionDef",
+                     kind: Optional[PuKind]) -> None:
+        """One request admitted: feed the predictor, wake the pre-warmer."""
+        self.predictor.observe(function.name, self.runtime.sim.now)
+        self._admitted_since_tick += 1
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    # -- cold-start coalescing ------------------------------------------------------
+
+    @property
+    def coalesce_enabled(self) -> bool:
+        """True while misses should try to join a single-flight batch."""
+        return self.config.coalesce
+
+    def joinable_batch(self, function: "FunctionDef", kind,
+                       pu) -> Optional[CoalescedBatch]:
+        """An open batch this miss may join (None: become a leader)."""
+        if not self.config.coalesce:
+            return None
+        if pu is not None:
+            pu_ids = (pu.pu_id,)
+        else:
+            pu_ids = tuple(
+                c.pu_id
+                for c in self.runtime.scheduler.candidates(function, kind)
+            )
+        return self.coalescer.lookup(function.name, pu_ids)
+
+    def open_batch(self, function: "FunctionDef",
+                   target: ProcessingUnit) -> Optional[CoalescedBatch]:
+        """The calling request becomes leader of a new batch."""
+        if not self.config.coalesce:
+            return None
+        return self.coalescer.begin(function.name, target.pu_id)
+
+    def abort_batch(self, batch: Optional[CoalescedBatch]) -> None:
+        """The leader's cold start failed: wake every follower to retry."""
+        if batch is not None:
+            self.coalescer.close(batch)
+
+    def on_follower_joined(self, batch: CoalescedBatch) -> None:
+        """A miss just parked on ``batch``: fork an extra instance for
+        it right away if the batch is under its size cap.
+
+        Forking at join time (not when the leader completes) keeps a
+        coalesced miss latency-competitive with the independent cold
+        start it replaced — the extra fork runs concurrently with the
+        leader's.  The cap plus DRAM admission is where coalescing
+        beats per-request forking: followers past the cap are served by
+        recycled instances (see :meth:`offer_released`) instead of
+        failing placement or stacking up sandboxes.
+        """
+        func_name, pu_id = batch.key
+        if 1 + batch.requested >= self.config.max_batch:
+            return
+        runtime = self.runtime
+        try:
+            function = runtime.registry.get(func_name)
+        except ReproError:  # pragma: no cover - unregistered name
+            return
+        target = runtime.machine.pus[pu_id]
+        if target.kind.general_purpose and not target.try_reserve_dram(
+            function.code.memory_mb
+        ):
+            return  # admission control: recycle instead of growing
+        batch.requested += 1
+        batch.spawning += 1
+        runtime.sim.spawn(
+            self._spawn_batch_instance(batch, function, target),
+            name=f"coalesce:{func_name}@{target.name}.{batch.requested}",
+        )
+
+    def leader_done(self, batch: CoalescedBatch, function: "FunctionDef",
+                    target: ProcessingUnit) -> None:
+        """The leader's instance is up: serve parked followers from the
+        warm pool (requests completing meanwhile released instances
+        there).  The batch stays open while its instances keep
+        recycling; :meth:`_maybe_close` retires it."""
+        batch.leader_ready = True
+        batch.live += 1  # the leader's own instance
+        invoker = self.runtime.invoker
+        pool = invoker.pools[target.pu_id]
+        while batch.waiters and pool.idle_instances(function.name):
+            instance = pool.acquire(function.name)
+            if instance is None:
+                break
+            if not invoker._is_alive(instance):
+                invoker.sim.spawn(invoker._destroy(instance))
+                continue
+            self._note_prewarm_use(instance)
+            self.coalescer.deliver(batch, instance)
+        self._maybe_close(batch)
+
+    def _maybe_close(self, batch: CoalescedBatch) -> None:
+        """Close a batch that can no longer serve anyone: the leader is
+        done, no extra fork is in flight, and either nobody waits or no
+        live instance remains to recycle to them."""
+        if (
+            batch.open
+            and batch.leader_ready
+            and batch.spawning == 0
+            and (not batch.waiters or batch.live <= 0)
+        ):
+            self.coalescer.close(batch)
+
+    def _spawn_batch_instance(self, batch: CoalescedBatch,
+                              function: "FunctionDef",
+                              target: ProcessingUnit):
+        """Generator: fork one extra batch instance and hand it over."""
+        invoker = self.runtime.invoker
+        instance = None
+        try:
+            instance = yield from invoker._cold_start(
+                function, target, NULL_TRACE
+            )
+        except ReproError:
+            # The fork died (injected fault / crashed PU): give back
+            # the DRAM reserved for it in on_follower_joined.
+            self.runtime.scheduler.release(function, target)
+        if instance is not None:
+            batch.extra_spawned += 1
+            batch.live += 1
+            self.extra_spawned += 1
+            if not invoker._is_alive(instance):
+                invoker.sim.spawn(invoker._destroy(instance))
+            elif not self.coalescer.deliver(batch, instance):
+                # Nobody left waiting: stock the warm pool instead.
+                evicted = invoker.pools[target.pu_id].release(
+                    instance, now=invoker.sim.now
+                )
+                invoker.notify_idle()
+                for old in evicted:
+                    invoker.sim.spawn(invoker._destroy(old))
+        batch.spawning -= 1
+        self._maybe_close(batch)
+
+    def offer_released(self, instance: "FunctionInstance") -> bool:
+        """Recycle a just-released instance straight to a parked
+        follower of its ``(function, PU)`` batch, bypassing the pool.
+
+        This is what lets a storm of N misses finish with far fewer
+        than N sandboxes: requests completing on batch instances feed
+        the followers the batch's size cap could not fork for.
+        Returns False when nobody is waiting (normal pool release).
+        """
+        if not self.config.coalesce:
+            return False
+        batch = self.coalescer.peek(
+            instance.function.name, instance.pu.pu_id
+        )
+        if batch is None or not batch.waiters:
+            return False
+        return self.coalescer.deliver(batch, instance)
+
+    def on_coalesced_start(self, func_name: str) -> None:
+        """A follower was served by a batch instead of a cold start."""
+        self.coalesced_served += 1
+        obs = self.runtime.obs
+        if obs is not None:
+            obs.on_coalesced_start(func_name)
+
+    # -- pre-warm accounting ---------------------------------------------------------
+
+    def _note_prewarm_use(self, instance: "FunctionInstance") -> None:
+        """Credit a pre-warmed instance the moment a request claims it."""
+        if instance.prewarmed:
+            instance.prewarmed = False
+            if instance.requests_served == 0:
+                self.prewarm_hits += 1
+                self._outcomes.append(False)
+                obs = self.runtime.obs
+                if obs is not None:
+                    obs.on_prewarm_hit(instance.function.name)
+
+    def on_warm_acquire(self, instance: "FunctionInstance") -> None:
+        """Invoker hook: a warm-pool acquire is about to serve a request."""
+        self._note_prewarm_use(instance)
+
+    def on_instance_destroyed(self, instance: "FunctionInstance") -> None:
+        """Invoker hook: an instance died; debit it if it was a
+        pre-warmed instance no request ever used, and let its batch
+        re-check whether it can still serve its waiters."""
+        batch = self.coalescer.peek(
+            instance.function.name, instance.pu.pu_id
+        )
+        if batch is not None:
+            # Decrement is a lower bound (the destroyed instance may
+            # predate the batch); an early close only requeues waiters,
+            # never strands them.
+            batch.live = max(0, batch.live - 1)
+            self._maybe_close(batch)
+        if instance.prewarmed and instance.requests_served == 0:
+            instance.prewarmed = False
+            self.prewarm_wasted += 1
+            self._outcomes.append(True)
+            obs = self.runtime.obs
+            if obs is not None:
+                obs.on_prewarm_wasted(instance.function.name)
+
+    # -- the PreWarmer process -------------------------------------------------------
+
+    def _prewarm_loop(self):
+        """Daemon: periodically stock pools ahead of predicted demand.
+
+        Event-driven like the keep-alive reaper: with no admissions and
+        no predicted demand the process parks on a wakeup event, so an
+        idle simulation can drain; :meth:`on_admission` wakes it.
+        """
+        sim = self.runtime.sim
+        while True:
+            if not self._work_pending():
+                self._wakeup = sim.event()
+                yield self._wakeup
+                self._wakeup = None
+            yield sim.timeout(self.config.prewarm_period_s)
+            self._tick()
+
+    def _work_pending(self) -> bool:
+        """True while the pre-warmer should keep ticking."""
+        if self._admitted_since_tick:
+            return True
+        now = self.runtime.sim.now
+        for name in self.predictor.functions():
+            predicted = self.predictor.predicted_rps(name, now)
+            if self.config.prewarm and self._desired_instances(predicted) > 0:
+                return True
+            if self.config.prefetch and predicted >= self.config.prefetch_min_rps:
+                return True
+        return False
+
+    def _desired_instances(self, predicted_rps: float) -> int:
+        """Instances worth holding warm for one function right now."""
+        raw = predicted_rps * self.config.horizon_s * self.horizon_scale
+        return min(int(raw), self.config.max_prewarm_per_function)
+
+    def _update_horizon_scale(self) -> None:
+        """Self-correction: shrink the horizon while predictions keep
+        producing wasted instances; recover slowly once they land."""
+        if len(self._outcomes) < 8:
+            return
+        wasted = sum(1 for w in self._outcomes if w) / len(self._outcomes)
+        if wasted > self.config.wasted_threshold:
+            self.horizon_scale = max(0.25, self.horizon_scale * 0.5)
+        elif wasted < self.config.wasted_threshold / 2:
+            self.horizon_scale = min(1.0, self.horizon_scale * 1.25)
+
+    def _tick(self) -> None:
+        """One pre-warmer pass: TTLs, instance deficits, prefetch."""
+        runtime = self.runtime
+        now = runtime.sim.now
+        self.ticks += 1
+        self._admitted_since_tick = 0
+        self._update_horizon_scale()
+        obs = runtime.obs
+        for name in self.predictor.functions():
+            try:
+                function = runtime.registry.get(name)
+            except ReproError:  # pragma: no cover - unregistered name
+                continue
+            predicted = self.predictor.predicted_rps(name, now)
+            if obs is not None:
+                obs.on_predicted_rps(name, predicted)
+            if self.config.adaptive_ttl:
+                self._adapt_ttl(function)
+            if self.config.prewarm:
+                self._stock(function, predicted)
+            if self.config.prefetch and function.supports(PuKind.FPGA):
+                self._maybe_prefetch(function, predicted)
+        self._reap(now)
+
+    def _gp_kind(self, function: "FunctionDef") -> Optional[PuKind]:
+        """The function's first general-purpose profile kind."""
+        for kind in function.profiles:
+            if kind.general_purpose:
+                return kind
+        return None
+
+    def _adapt_ttl(self, function: "FunctionDef") -> None:
+        """Set the function's keep-alive TTL from its gap distribution."""
+        gap = self.predictor.gap_percentile(
+            function.name, self.config.ttl_percentile
+        )
+        if gap is None:
+            return
+        ttl = min(
+            max(gap * self.config.ttl_margin, self.config.min_ttl_s),
+            self.config.max_ttl_s,
+        )
+        kind = self._gp_kind(function)
+        if kind is None:
+            return
+        for pu in self.runtime.scheduler.candidates(function, kind):
+            self.runtime.invoker.pools[pu.pu_id].ttl_overrides[
+                function.name
+            ] = ttl
+
+    def _stock(self, function: "FunctionDef", predicted_rps: float) -> None:
+        """Fork instances to cover the function's predicted deficit."""
+        kind = self._gp_kind(function)
+        if kind is None:
+            return
+        desired = self._desired_instances(predicted_rps)
+        if desired <= 0:
+            return
+        runtime = self.runtime
+        invoker = runtime.invoker
+        idle = sum(
+            len(invoker.pools[pu.pu_id].idle_instances(function.name))
+            for pu in runtime.scheduler.candidates(function, kind)
+        )
+        inflight = self._prewarm_inflight.get(function.name, 0)
+        deficit = desired - idle - inflight
+        for i in range(max(0, deficit)):
+            try:
+                target = runtime.scheduler.place(function, kind)
+            except SchedulingError:
+                break  # admission control: the machine is full
+            self._prewarm_inflight[function.name] = (
+                self._prewarm_inflight.get(function.name, 0) + 1
+            )
+            runtime.sim.spawn(
+                self._spawn_prewarm(function, target),
+                name=f"prewarm:{function.name}@{target.name}.{i}",
+            )
+
+    def _spawn_prewarm(self, function: "FunctionDef",
+                       target: ProcessingUnit):
+        """Generator: fork one instance ahead of demand."""
+        invoker = self.runtime.invoker
+        instance = None
+        try:
+            instance = yield from invoker._cold_start(
+                function, target, NULL_TRACE
+            )
+        except ReproError:
+            self.runtime.scheduler.release(function, target)
+        finally:
+            self._prewarm_inflight[function.name] -= 1
+        if instance is None:
+            return
+        instance.prewarmed = True
+        self.prewarm_spawned += 1
+        obs = self.runtime.obs
+        if obs is not None:
+            obs.on_prewarm_spawned(function.name)
+        if not invoker._is_alive(instance):
+            invoker.sim.spawn(invoker._destroy(instance))
+            return
+        evicted = invoker.pools[target.pu_id].release(
+            instance, now=invoker.sim.now
+        )
+        invoker.notify_idle()
+        for old in evicted:
+            invoker.sim.spawn(invoker._destroy(old))
+
+    def _reap(self, now: float) -> None:
+        """Apply adaptive TTLs on pools the stock reaper does not cover
+        (the invoker only runs its reaper with a pool-wide TTL set)."""
+        invoker = self.runtime.invoker
+        if any(
+            pool.keep_alive_ttl_s is not None
+            for pool in invoker.pools.values()
+        ):
+            # A stock reaper exists; it honours ttl_overrides itself.
+            invoker.notify_idle()
+            return
+        reaped = 0
+        for pool in invoker.pools.values():
+            if not pool.ttl_overrides:
+                continue
+            for instance in pool.reap_expired(now):
+                invoker.sim.spawn(invoker._destroy(instance))
+                reaped += 1
+        self.prewarm_reaped += reaped
+        if reaped and self.runtime.obs is not None:
+            self.runtime.obs.on_keepalive_reaped(reaped)
+
+    # -- bitstream prefetch ----------------------------------------------------------
+
+    def _maybe_prefetch(self, function: "FunctionDef",
+                        predicted_rps: float) -> None:
+        """Start programming the next image ahead of the first request."""
+        if predicted_rps < self.config.prefetch_min_rps:
+            return
+        runtime = self.runtime
+        try:
+            candidates = runtime.scheduler.candidates(function, PuKind.FPGA)
+        except ReproError:  # pragma: no cover - no FPGA profile
+            return
+        if not candidates:
+            return
+        for pu in candidates:
+            runf = runtime.runfs.get(pu.pu_id)
+            if (
+                runf is not None
+                and runf.cached_sandbox_for(function.name) is not None
+            ):
+                return  # already resident: nothing to hide
+        for funcs, _event in self._prefetch_inflight.values():
+            if function.name in funcs:
+                return  # already being programmed
+        free = [
+            pu for pu in candidates
+            if pu.pu_id not in self._prefetch_inflight
+        ]
+        if not free:
+            return
+        target = min(
+            free,
+            key=lambda pu: runtime.runf_on(pu.pu_id).device.program_count,
+        )
+        runtime.sim.spawn(
+            self._run_prefetch(function, target),
+            name=f"prefetch:{function.name}@{target.name}",
+        )
+
+    def _run_prefetch(self, function: "FunctionDef",
+                      target: ProcessingUnit):
+        """Generator: plan and program one image before demand lands."""
+        runtime = self.runtime
+        runf = runtime.runf_on(target.pu_id)
+        predicted = [function.name] + [
+            n for n in runf.resident_function_ids if n != function.name
+        ]
+        plan = runtime.image_planner.plan(predicted)
+        invoker = runtime.invoker
+        entries = []
+        for fn_name in plan.func_names:
+            fn = runtime.registry.get(fn_name)
+            for _copy in range(plan.copies_each):
+                entries.append(
+                    (f"{fn_name}-v{next(invoker._sandbox_ids)}", fn.code)
+                )
+        done = runtime.sim.event()
+        self._prefetch_inflight[target.pu_id] = (set(plan.func_names), done)
+        ok = False
+        try:
+            yield from runf.create_vector(entries)
+            ok = True
+        except ReproError:
+            pass  # injected bitstream failure: requests fall back cold
+        finally:
+            self._prefetch_inflight.pop(target.pu_id, None)
+            if not done.triggered:
+                done.succeed()
+        if not ok:
+            return
+        self.prefetch_started += 1
+        obs = runtime.obs
+        if obs is not None:
+            obs.on_bitstream_prefetch_started(function.name)
+        # The previous image (and any unclaimed marks on it) is gone.
+        self._prefetched = {
+            (pu_id, name) for pu_id, name in self._prefetched
+            if pu_id != target.pu_id
+        }
+        for name in plan.func_names:
+            self._prefetched.add((target.pu_id, name))
+
+    def join_bitstream_prefetch(self, function: "FunctionDef"):
+        """Generator: if a device is mid-programming an image holding
+        this function, wait for it (instead of repacking another)."""
+        for funcs, event in list(self._prefetch_inflight.values()):
+            if function.name in funcs:
+                if not event.triggered:
+                    yield event
+                return
+        return
+        yield  # pragma: no cover - makes this a generator when the loop is empty
+
+    def note_fpga_start(self, func_name: str, pu_id: int,
+                        cold: bool) -> None:
+        """Invoker hook: one FPGA start resolved (warm or cold)."""
+        if cold:
+            # The request repacked the image: whatever had been
+            # prefetched onto this device was overwritten.
+            self._prefetched = {
+                (p, n) for p, n in self._prefetched if p != pu_id
+            }
+            return
+        if (pu_id, func_name) in self._prefetched:
+            self._prefetched.discard((pu_id, func_name))
+            self.prefetch_hits += 1
+            obs = self.runtime.obs
+            if obs is not None:
+                obs.on_bitstream_prefetch_hit(func_name)
+
+    # -- reporting -------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Engine counters for reports and tests."""
+        return {
+            "coalesced_served": self.coalesced_served,
+            "batches_opened": self.coalescer.batches_opened,
+            "extra_spawned": self.extra_spawned,
+            "followers_requeued": self.coalescer.followers_requeued,
+            "prewarm_spawned": self.prewarm_spawned,
+            "prewarm_hits": self.prewarm_hits,
+            "prewarm_wasted": self.prewarm_wasted,
+            "prewarm_reaped": self.prewarm_reaped,
+            "prefetch_started": self.prefetch_started,
+            "prefetch_hits": self.prefetch_hits,
+            "horizon_scale": self.horizon_scale,
+            "ticks": self.ticks,
+        }

@@ -60,6 +60,70 @@ def test_pool_hit_rate_empty_is_zero():
     assert WarmPool().hit_rate == 0.0
 
 
+def test_pool_acquire_removes_emptied_bucket():
+    """Regression: an acquire that drains a bucket must delete it.
+
+    A leftover empty bucket drifts to the LRU front as its neighbours
+    are evicted; the eviction loop's ``bucket.pop(0)`` then raised
+    IndexError.  This sequence reproduces exactly that drift."""
+    pool = WarmPool(capacity=2)
+    a, b = FakeInstance("a"), FakeInstance("b")
+    pool.release(a)
+    pool.release(b)
+    assert pool.acquire("a") is a  # empties (and must delete) bucket 'a'
+    pool.release(FakeInstance("c"))         # len 2: no eviction yet
+    assert pool.release(FakeInstance("d")) == [b]   # evicts oldest 'b'
+    # 'a' would now sit at the LRU front if its empty bucket survived;
+    # with the old code this release crashed with IndexError.
+    evicted = pool.release(FakeInstance("e"))
+    assert [i.function.name for i in evicted] == ["c"]
+    assert len(pool) == 2
+
+
+def test_pool_ttl_boundary_idle_equals_ttl_not_reaped():
+    """Reaping is strict: an instance idle for exactly the TTL stays."""
+    pool = WarmPool(capacity=4, keep_alive_ttl_s=5.0)
+    inst = FakeInstance("f")
+    pool.release(inst, now=10.0)
+    assert pool.reap_expired(now=15.0) == []       # idle == ttl: keep
+    assert pool.expired == 0
+    assert pool.reap_expired(now=15.0 + 1e-9) == [inst]
+    assert pool.expired == 1
+    assert len(pool) == 0
+
+
+def test_pool_ttl_override_beats_pool_ttl():
+    pool = WarmPool(capacity=4, keep_alive_ttl_s=100.0)
+    pool.ttl_overrides["fast"] = 1.0
+    fast, slow = FakeInstance("fast"), FakeInstance("slow")
+    pool.release(fast, now=0.0)
+    pool.release(slow, now=0.0)
+    assert pool.reap_expired(now=2.0) == [fast]
+    assert pool.idle_instances("slow") == [slow]
+
+
+def test_pool_ttl_override_reaps_without_pool_wide_ttl():
+    pool = WarmPool(capacity=4)  # no pool-wide TTL
+    inst = FakeInstance("f")
+    pool.release(inst, now=0.0)
+    assert pool.reap_expired(now=100.0) == []      # no TTL applies
+    pool.ttl_overrides["f"] = 1.0
+    assert pool.reap_expired(now=100.0) == [inst]
+
+
+def test_pool_hit_rate_interleaved():
+    pool = WarmPool(capacity=4)
+    assert pool.acquire("f") is None               # miss
+    pool.release(FakeInstance("f"))
+    assert pool.acquire("f") is not None           # hit
+    assert pool.acquire("f") is None               # miss (just drained)
+    pool.release(FakeInstance("g"))
+    assert pool.acquire("g") is not None           # hit
+    assert pool.acquire("h") is None               # miss
+    assert pool.hits == 2 and pool.misses == 3
+    assert pool.hit_rate == 2 / 5
+
+
 # -- FPGA image planner -----------------------------------------------------------
 
 

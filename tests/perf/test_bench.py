@@ -13,6 +13,7 @@ def test_scenario_registry_names():
     assert set(perf.SCENARIOS) == {
         "kernel_microbench",
         "invocation_sweep",
+        "coldstart_storm",
         "startup_replay",
     }
 
@@ -30,6 +31,21 @@ def test_run_benchmarks_quick_populates_every_scenario():
         assert rates and all(r > 0 for r in rates)
         assert scenario["stages"]
         assert scenario["params"]
+
+
+def test_coldstart_storm_coalesces_into_fewer_sandboxes():
+    report = perf.run_benchmarks(quick=True, scenarios=["coldstart_storm"])
+    scenario = report["scenarios"]["coldstart_storm"]
+    requests = scenario["params"]["requests"]
+    metrics = scenario["metrics"]
+    # The engine serves the whole storm from fewer sandboxes than
+    # requests; without it the DRAM-pressured overflow dies placing.
+    assert metrics["answered_engine_on"] == requests
+    assert metrics["sandboxes_engine_on"] < requests
+    assert metrics["answered_engine_off"] < metrics["answered_engine_on"]
+    assert metrics["cold_engine_on"] < metrics["cold_engine_off"] + (
+        metrics["coalesced_engine_on"]
+    )
 
 
 def test_run_benchmarks_scenario_subset_and_unknown():

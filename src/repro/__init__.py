@@ -41,6 +41,7 @@ from repro.hardware import (
     build_cpu_fpga_machine,
     build_full_machine,
 )
+from repro.hedging import HedgeConfig, HedgePolicy
 from repro.sandbox import FunctionCode, Language
 from repro.sim import Simulator
 from repro.warmpath import WarmPathConfig, WarmPathEngine
@@ -59,6 +60,8 @@ __all__ = [
     "FunctionDef",
     "FunctionRegistry",
     "HeterogeneousComputer",
+    "HedgeConfig",
+    "HedgePolicy",
     "InvocationResult",
     "Language",
     "MoleculeRuntime",

@@ -434,6 +434,8 @@ def _print_load(args) -> int:
             concurrency=args.concurrency,
             keep_alive_ttl_s=args.keepalive,
             prewarm=args.prewarm,
+            hedge=args.hedge,
+            hedge_percentile=args.hedge_percentile,
         )
     except Exception as exc:
         from repro.errors import ReproError
@@ -559,6 +561,14 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="SECONDS",
                       help="pool-wide keep-alive TTL for idle instances "
                            "(default: keep forever)")
+    load.add_argument("--hedge", action="store_true",
+                      help="arm the tail-latency hedging engine: clone "
+                           "straggling requests onto a second PU and "
+                           "take the first answer")
+    load.add_argument("--hedge-percentile", type=float, default=None,
+                      metavar="PCT",
+                      help="latency percentile that triggers a hedge "
+                           "clone (default: 95)")
     load.add_argument("--json", action="store_true",
                       help="emit the JSON report (minus host info) "
                            "instead of the summary")

@@ -31,6 +31,10 @@ class LedgerEntry:
     duration_s: float
     billed_ms: int
     cost: float
+    #: True for work a losing hedge copy executed and then discarded
+    #: (repro.hedging).  The provider still bills it — that is exactly
+    #: the cost overhead the hedge reports account for.
+    hedge_waste: bool = False
 
 
 @dataclass
@@ -62,6 +66,7 @@ class BillingLedger:
         function: str,
         pu,
         duration_s: float,
+        hedge_waste: bool = False,
     ) -> LedgerEntry:
         """Record one invocation's bill (1ms minimum granularity)."""
         if duration_s < 0:
@@ -76,6 +81,7 @@ class BillingLedger:
             duration_s=duration_s,
             billed_ms=billed_ms,
             cost=price.value * billed_ms,
+            hedge_waste=hedge_waste,
         )
         self._entries.append(entry)
         return entry
@@ -107,6 +113,10 @@ class BillingLedger:
     def by_pu_kind(self, kind: PuKind) -> BillingSummary:
         """Summary for one PU kind."""
         return self._summarize(e for e in self._entries if e.pu_kind == kind)
+
+    def hedge_waste_total(self) -> BillingSummary:
+        """Summary of the entries charged for discarded hedge work."""
+        return self._summarize(e for e in self._entries if e.hedge_waste)
 
     def cheapest_kind_for(self, function: str) -> Optional[PuKind]:
         """The PU kind that has billed this function the least per

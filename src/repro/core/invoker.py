@@ -21,6 +21,7 @@ from repro import config
 from repro.errors import (
     DeadlineExceeded,
     FaultInjectedError,
+    HedgeCancelled,
     RegistryError,
     ReliabilityError,
     ReproError,
@@ -39,6 +40,7 @@ from repro.obs.spans import (
     START_COALESCED,
     START_COLD,
     START_FORK,
+    START_HEDGED,
     START_WARM,
 )
 from repro.sandbox.base import Sandbox, SandboxState
@@ -101,6 +103,12 @@ class InvocationResult:
     admitted_s: float = 0.0
     #: Gateway shard that admitted the request (None: unsharded front end).
     shard: Optional[int] = None
+    #: True when a hedge clone was launched for this request
+    #: (repro.hedging), whichever copy won.
+    hedged: bool = False
+    #: Which copy answered a hedged request: "primary" or "clone"
+    #: (empty when no clone launched).
+    hedge_winner: str = ""
 
     @property
     def total_ms(self) -> float:
@@ -150,6 +158,10 @@ class Invoker:
         #: itself.  None keeps every hot path byte-identical to a
         #: runtime without the engine.
         self.engine = None
+        #: Hedge policy (repro.hedging); wired by HedgePolicy itself.
+        #: None keeps every hot path byte-identical to a runtime
+        #: without hedging.
+        self.hedging = None
         self._reaper_wakeup = None
         if keep_alive_ttl_s is not None:
             self.runtime.sim.spawn(
@@ -257,6 +269,10 @@ class Invoker:
             raise
         result.admitted_s = admitted_s
         trace.finish()
+        if self.hedging is not None:
+            # Feed the latency tracker: successful completions are what
+            # the percentile trigger is computed over.
+            self.hedging.observe(function.name, result.total_s)
         return result
 
     # -- retry / deadline loop -------------------------------------------------------
@@ -296,14 +312,26 @@ class Invoker:
                 trace.annotate(degraded=True)
             shield = DetachableTrace(trace)
             attempt_info: dict = {}
-            proc = self.sim.spawn(
-                self._attempt(
-                    function, request_id,
-                    attempt_kind if degraded else kind,
-                    None if degraded else pu,
+            attempt_kind_arg = attempt_kind if degraded else kind
+            attempt_pu_arg = None if degraded else pu
+            hedger = self.hedging
+            if hedger is not None and hedger.eligible(
+                function, attempt_kind_arg, attempt_kind,
+                attempt_pu_arg, force_cold,
+            ):
+                attempt_gen = self._hedged_attempt(
+                    function, request_id, attempt_kind_arg, attempt_pu_arg,
                     force_cold, payload_bytes, exec_time_s, start,
                     shield, attempt_info,
-                ),
+                )
+            else:
+                attempt_gen = self._attempt(
+                    function, request_id, attempt_kind_arg, attempt_pu_arg,
+                    force_cold, payload_bytes, exec_time_s, start,
+                    shield, attempt_info,
+                )
+            proc = self.sim.spawn(
+                attempt_gen,
                 name=f"attempt:{function.name}#{request_id}.{attempts}",
             )
             race = proc
@@ -364,6 +392,7 @@ class Invoker:
     def _attempt(
         self, function, request_id, kind, pu, force_cold,
         payload_bytes, exec_time_s, start, trace, attempt_info,
+        hedge=None,
     ):
         """Generator: one attempt at serving the request."""
         if (kind or function.profiles[0]) in (PuKind.FPGA, PuKind.GPU):
@@ -375,8 +404,151 @@ class Invoker:
             result = yield from self._invoke_general(
                 function, request_id, kind, pu, force_cold,
                 payload_bytes, exec_time_s, start, trace, attempt_info,
+                hedge,
             )
         return result
+
+    # -- hedged attempts (repro.hedging) -----------------------------------------------
+
+    def _hedged_attempt(
+        self, function, request_id, kind, pu, force_cold,
+        payload_bytes, exec_time_s, start, shield, attempt_info,
+    ):
+        """Generator: one attempt, hedged.
+
+        Runs the primary copy normally, arms the percentile trigger,
+        and — if the primary is still in flight when it fires — launches
+        a clone onto a healthy PU distinct from the primary's.  The
+        first copy to complete answers; the loser tears itself down at
+        its next cancellation checkpoint inside :meth:`_invoke_general`.
+        """
+        hedger = self.hedging
+        state = hedger.begin(function, request_id)
+        state.pending = 1
+        primary_info: dict = {}
+        # The primary writes its spans through its own severable proxy:
+        # if the clone wins, the primary is detached exactly like a
+        # deadline-orphaned attempt, and keeps running only to release
+        # its resources through the normal paths.
+        primary_shield = DetachableTrace(shield)
+        self.sim.spawn(
+            self._hedge_copy(
+                state, "primary", function, request_id, kind, pu,
+                force_cold, payload_bytes, exec_time_s, start,
+                primary_shield, primary_info,
+            ),
+            name=f"hedge-primary:{function.name}#{request_id}",
+        )
+        # Phase 1: primary vs the percentile trigger.
+        waiter = state.arm(self.sim)
+        yield self.sim.any_of([waiter, self.sim.timeout(state.trigger_s)])
+        state.disarm()
+        if state.winner is None and not state.failures:
+            # Trigger fired with the primary still in flight: clone it.
+            primary_pu = primary_info.get("pu") or state.pu_hint
+            if hedger.fire(state, function, kind, primary_pu):
+                clone_info: dict = {}
+                self.sim.spawn(
+                    self._hedge_copy(
+                        state, "clone", function, request_id, kind, None,
+                        force_cold, payload_bytes, exec_time_s, start,
+                        NULL_TRACE, clone_info,
+                    ),
+                    name=f"hedge-clone:{function.name}#{request_id}",
+                )
+        # Phase 2: first completed copy wins; all copies failing loses.
+        while state.winner is None:
+            if state.pending == 0:
+                raise state.failures[-1]
+            waiter = state.arm(self.sim)
+            yield waiter
+            state.disarm()
+        tag, result, info = state.winner
+        attempt_info.update(info)
+        if tag == "clone":
+            # The primary lost: sever its span proxy, close its
+            # dangling phase spans, and restamp the root with the
+            # clone's identity.
+            primary_shield.detach()
+            shield.unwind()
+            shield.annotate(
+                pu=result.pu_name,
+                pu_kind=result.pu_kind.value,
+                start_kind=START_HEDGED,
+            )
+        if state.fired:
+            result.hedged = True
+            result.hedge_winner = tag
+            shield.annotate(hedged=True)
+        return result
+
+    def _hedge_copy(
+        self, state, tag, function, request_id, kind, pu, force_cold,
+        payload_bytes, exec_time_s, start, trace, attempt_info,
+    ):
+        """Generator: one copy (primary or clone) of a hedged attempt.
+
+        Wraps :meth:`_attempt` so the underlying process never fails
+        unwaited: errors and cancellations are absorbed into the shared
+        :class:`_HedgeState` and surfaced to the join loop via
+        ``notify``.
+        """
+        hedger = self.hedging
+        try:
+            result = yield from self._attempt(
+                function, request_id, kind, pu, force_cold, payload_bytes,
+                exec_time_s, start, trace, attempt_info, hedge=(state, tag),
+            )
+        except HedgeCancelled as exc:
+            state.pending -= 1
+            hedger.on_cancelled(state, tag, attempt_info, exc.wasted_s)
+            state.notify()
+            return
+        except ReproError as exc:
+            state.pending -= 1
+            if state.lost(tag):
+                # The loser died on its own (e.g. its PU crashed after
+                # the winner answered): nothing further to account.
+                hedger.on_cancelled(state, tag, attempt_info, 0.0)
+            else:
+                state.failures.append(exc)
+                used = attempt_info.get("pu")
+                if self.health is not None and used is not None:
+                    self.health.record_failure(used)
+            state.notify()
+            return
+        state.pending -= 1
+        if state.claim(tag, result, attempt_info):
+            hedger.on_won(state, tag, result)
+        else:
+            # Ran to completion without hitting a checkpoint after the
+            # winner claimed (defensive: the general-purpose path always
+            # checkpoints before responding).
+            hedger.on_loser_completed(state, tag, result)
+        state.notify()
+
+    def _hedge_lost(self, hedge) -> bool:
+        """True when this copy's race is already lost (cancel now)."""
+        return hedge is not None and hedge[0].lost(hedge[1])
+
+    def _hedge_exclude(self, hedge):
+        """The PU this copy must avoid (clone anti-affinity), or None."""
+        if hedge is not None and hedge[1] == "clone":
+            return hedge[0].exclude
+        return None
+
+    def _release_instance(self, instance: FunctionInstance) -> None:
+        """Return a no-longer-needed instance through the normal path:
+        the warm-path engine may recycle it into a parked coalesced
+        follower; otherwise it goes back to its PU's pool."""
+        engine = self.engine
+        if engine is None or not engine.offer_released(instance):
+            evicted = self.pools[instance.pu.pu_id].release(
+                instance, now=self.sim.now
+            )
+            self.notify_idle()
+            for old in evicted:
+                self.sim.spawn(self._destroy(old))
 
     #: Error classes that must never be retried: terminal reliability
     #: outcomes and misconfigurations a retry cannot fix.
@@ -459,13 +631,15 @@ class Invoker:
 
     # -- CPU/DPU path -----------------------------------------------------------------
 
-    def _find_warm(self, function: FunctionDef, kind, pu):
+    def _find_warm(self, function: FunctionDef, kind, pu, exclude=None):
         candidates = (
             [pu]
             if pu is not None
             else self.runtime.scheduler.candidates(function, kind)
         )
         for candidate in candidates:
+            if candidate is exclude:
+                continue
             pool = self.pools[candidate.pu_id]
             while True:
                 instance = pool.acquire(function.name)
@@ -508,11 +682,14 @@ class Invoker:
     def _invoke_general(
         self, function, request_id, kind, pu, force_cold,
         payload_bytes, exec_time_s, start, trace=NULL_TRACE,
-        attempt_info: Optional[dict] = None,
+        attempt_info: Optional[dict] = None, hedge=None,
     ):
+        exclude = self._hedge_exclude(hedge)
         startup_begin = self.sim.now
         schedule_span = trace.begin_phase("schedule")
-        instance = None if force_cold else self._find_warm(function, kind, pu)
+        instance = (
+            None if force_cold else self._find_warm(function, kind, pu, exclude)
+        )
         coalesced = False
         engine = self.engine
         if instance is None and engine is not None and not force_cold:
@@ -524,20 +701,39 @@ class Invoker:
             # then look for a fresh batch; no open batch left means
             # this request becomes the next leader below.
             while instance is None:
-                batch = engine.joinable_batch(function, kind, pu)
+                if self._hedge_lost(hedge):
+                    raise HedgeCancelled()
+                batch = engine.joinable_batch(function, kind, pu, exclude)
                 if batch is None:
                     break
+                if hedge is not None:
+                    # A parked follower has no placement yet; remember
+                    # the batch's PU so a later trigger can hedge away
+                    # from it.
+                    hedge[0].pu_hint = self.runtime.machine.pus[batch.key[1]]
                 waiter = batch.join(self.sim)
                 engine.on_follower_joined(batch)
                 yield waiter
+                if self._hedge_lost(hedge):
+                    # Answered by the other copy while parked.  A
+                    # delivered instance goes straight back through the
+                    # release path so the batch's recycle chain keeps
+                    # moving (no dangling parked-follower queue).
+                    if waiter.value is not None:
+                        self._release_instance(waiter.value)
+                    raise HedgeCancelled()
                 if waiter.value is not None:
                     instance = waiter.value
                     coalesced = True
                 else:
-                    instance = self._find_warm(function, kind, pu)
+                    instance = self._find_warm(function, kind, pu, exclude)
         cold = instance is None
         if cold:
-            target = pu or self.runtime.scheduler.place(function, kind)
+            if self._hedge_lost(hedge):
+                raise HedgeCancelled()
+            target = pu or self.runtime.scheduler.place(
+                function, kind, exclude=exclude
+            )
             if attempt_info is not None:
                 self._note_pu(attempt_info, target)
             schedule_span.attributes["pu"] = target.name
@@ -579,6 +775,12 @@ class Invoker:
             else:
                 self.warm_invocations += 1
         startup_s = self.sim.now - startup_begin
+        if self._hedge_lost(hedge):
+            # Cancelled after startup but before executing: the loser's
+            # instance goes straight back (warm, unused) — a cold-started
+            # clone instance becomes warm stock for later requests.
+            self._release_instance(instance)
+            raise HedgeCancelled()
         start_kind = (
             START_COALESCED if coalesced
             else START_WARM if not cold
@@ -626,15 +828,16 @@ class Invoker:
                 f"{instance.pu.name} failed while executing "
                 f"{function.name!r}"
             )
+        if self._hedge_lost(hedge):
+            # The other copy answered while this one executed: charge
+            # the discarded work as hedge waste, recycle the instance,
+            # and abort without responding (no duplicate answer).
+            self.hedging.charge_waste(request_id, function, instance.pu, exec_s)
+            self._release_instance(instance)
+            raise HedgeCancelled(wasted_s=exec_s)
 
         respond_span = trace.begin_phase("respond")
-        if engine is None or not engine.offer_released(instance):
-            evicted = self.pools[instance.pu.pu_id].release(
-                instance, now=self.sim.now
-            )
-            self.notify_idle()
-            for old in evicted:
-                self.sim.spawn(self._destroy(old))
+        self._release_instance(instance)
         trace.end_phase(respond_span)
         return self._result(
             function, request_id, instance.pu, cold, startup_s, exec_s, 0.0, start

@@ -72,6 +72,7 @@ class MoleculeRuntime:
         default_deadline_s: Optional[float] = None,
         fault_plan=None,
         warmpath=None,
+        hedging=None,
     ):
         self.sim = sim or Simulator()
         self.machine = machine or build_cpu_dpu_machine(self.sim, num_dpus=2)
@@ -162,6 +163,16 @@ class MoleculeRuntime:
                 WarmPathConfig() if warmpath is True else warmpath
             )
             self.warmpath = WarmPathEngine(self, config_obj)
+        #: Optional tail-latency hedging engine (repro.hedging): clones
+        #: straggling requests onto a second healthy PU and takes the
+        #: first answer.  Pass a HedgeConfig (or True for defaults);
+        #: None leaves the stock byte-identical behavior.
+        self.hedging = None
+        if hedging is not None:
+            from repro.hedging import HedgeConfig, HedgePolicy
+
+            hedge_config = HedgeConfig() if hedging is True else hedging
+            self.hedging = HedgePolicy(self, hedge_config)
 
     # -- construction helpers -------------------------------------------------------
 

@@ -105,19 +105,39 @@ class Scheduler:
         self._available_candidates[key] = (health.version, valid_until, filtered)
         return filtered
 
+    def clone_candidates(
+        self,
+        function: FunctionDef,
+        kind: Optional[PuKind] = None,
+        exclude: Optional[ProcessingUnit] = None,
+    ) -> tuple[ProcessingUnit, ...]:
+        """Candidate PUs for a hedge clone: the normal breaker-filtered
+        candidate list minus the primary copy's PU (anti-affinity).
+
+        An empty result means the clone has nowhere distinct and
+        healthy to run, and the hedge policy skips cloning.
+        """
+        return tuple(
+            pu for pu in self.candidates(function, kind) if pu is not exclude
+        )
+
     def place(
         self,
         function: FunctionDef,
         kind: Optional[PuKind] = None,
         near: Optional[ProcessingUnit] = None,
+        exclude: Optional[ProcessingUnit] = None,
     ) -> ProcessingUnit:
         """Choose and reserve a PU for one new instance.
 
         Reserves the instance's memory immediately (admission control);
         call :meth:`release` when the instance dies.  ``near`` expresses
-        chain co-location: that PU is tried first.
+        chain co-location: that PU is tried first.  ``exclude`` expresses
+        hedge anti-affinity: that PU is never chosen.
         """
         candidates = self.candidates(function, kind)
+        if exclude is not None:
+            candidates = tuple(pu for pu in candidates if pu is not exclude)
         if near is not None and near in candidates:
             candidates = [near] + [pu for pu in candidates if pu is not near]
         for pu in candidates:

@@ -104,6 +104,21 @@ class RetriesExhaustedError(ReliabilityError):
         self.errors = tuple(errors)
 
 
+class HedgeCancelled(ReproError):
+    """A hedged request copy was cancelled because the other copy
+    already answered (repro.hedging).  Internal control flow: raised at
+    a cancellation checkpoint inside the invoker and always caught by
+    the hedge join — it never reaches the retry loop or a caller.
+
+    ``wasted_s`` carries the execution time the cancelled copy had
+    already burned (0.0 when cancelled before executing).
+    """
+
+    def __init__(self, wasted_s: float = 0.0):
+        super().__init__(wasted_s)
+        self.wasted_s = wasted_s
+
+
 class FaultInjectedError(ReproError):
     """An injected fault (PU crash, bitstream failure, ...) hit this
     operation.  Transient from the invoker's point of view: attempts

@@ -1,0 +1,15 @@
+"""Tail-latency hedging via request cloning (optional engine).
+
+See :mod:`repro.hedging.engine` for the policy and
+:mod:`repro.hedging.tracker` for the percentile trigger's data source.
+"""
+
+from repro.hedging.engine import HedgeConfig, HedgePolicy
+from repro.hedging.tracker import LATENCY_BUCKETS, LatencyTracker
+
+__all__ = [
+    "HedgeConfig",
+    "HedgePolicy",
+    "LatencyTracker",
+    "LATENCY_BUCKETS",
+]

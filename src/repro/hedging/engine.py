@@ -1,0 +1,292 @@
+"""Tail-latency hedging by request cloning.
+
+A hedged request runs as two racing *copies* of one attempt: the
+primary is dispatched normally, and when it is still in flight once its
+elapsed latency crosses the function's observed upper percentile (the
+*trigger*), a clone is launched onto a second healthy PU distinct from
+the primary's (anti-affinity).  The first copy to complete answers the
+request; the loser is cancelled at its next checkpoint inside the
+invoker, and any execution it already burned is charged to the billing
+ledger as hedge waste.
+
+The policy layer here owns the *decisions* and the *accounting*:
+
+* :class:`HedgeConfig` — percentile, warm-up sample floor, trigger
+  clamps;
+* :class:`HedgePolicy` — eligibility (healthy distinct candidates,
+  general-purpose path only), the per-function
+  :class:`~repro.hedging.tracker.LatencyTracker` that feeds the
+  percentile trigger, lifetime counters, and the per-hedge event log
+  the golden hedge trace pins down;
+* :class:`_HedgeState` — the shared first-wins join state of one
+  hedged attempt (claim, loser detection, completion notification).
+
+The race mechanics — copy spawning, cancellation checkpoints, loser
+teardown — live in the invoker.  Like the warm-path engine, hedging is
+fully optional: ``MoleculeRuntime(hedging=None)`` leaves every code
+path and every metric family byte-identical to a runtime that never
+heard of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import SchedulingError
+from repro.hedging.tracker import LatencyTracker
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.molecule import MoleculeRuntime
+
+
+@dataclass
+class HedgeConfig:
+    """Tuning knobs for the hedge policy."""
+
+    #: Latency percentile that arms the trigger: a request still in
+    #: flight past its function's observed q-th percentile is hedged.
+    percentile: float = 95.0
+    #: Completions a function must accumulate before its percentile is
+    #: trusted; below the floor the fallback trigger (if any) applies.
+    min_samples: int = 10
+    #: Fixed trigger delay (seconds) used while a function is below
+    #: ``min_samples``.  None disables hedging until the tracker warms —
+    #: but the burst tails hedging exists for form *before* any tracker
+    #: could warm (the first cold stampede), so the default fires a
+    #: conservative 250 ms fallback from the first request.
+    default_trigger_s: Optional[float] = 0.25
+    #: Floor under the trigger delay: never hedge earlier than this,
+    #: whatever the histogram says (sub-ms triggers would clone nearly
+    #: every request).
+    min_trigger_s: float = 0.002
+
+
+class _HedgeState:
+    """First-wins join state shared by the copies of one hedged attempt.
+
+    The invoker's copy wrappers run in separate simulated processes;
+    this object is how they agree on a winner.  ``claim`` is called
+    synchronously at a copy's final checkpoint (no yields between the
+    check and the claim), so exactly one copy ever wins.
+    """
+
+    __slots__ = (
+        "function", "request_id", "trigger_s", "exclude", "pu_hint",
+        "winner", "failures", "pending", "fired", "event", "_waiter",
+    )
+
+    def __init__(self, function, request_id: int, trigger_s: float):
+        self.function = function
+        self.request_id = request_id
+        #: Seconds of primary flight time before the clone launches.
+        self.trigger_s = trigger_s
+        #: The primary's PU at fire time: the clone never lands on it.
+        self.exclude = None
+        #: Best-known PU of a primary that has no placement yet (a
+        #: parked coalesced follower inherits its batch's PU).
+        self.pu_hint = None
+        #: (tag, result, attempt_info) of the first completed copy.
+        self.winner = None
+        #: Errors of copies that failed outright (oldest first).
+        self.failures: list = []
+        #: Copies still in flight.
+        self.pending = 0
+        #: True once the clone actually launched.
+        self.fired = False
+        #: The policy's event-log record for this hedge (None until
+        #: fired); mutated in place as the race resolves.
+        self.event = None
+        self._waiter = None
+
+    def arm(self, sim):
+        """Create the completion event the join loop waits on."""
+        self._waiter = sim.event()
+        return self._waiter
+
+    def disarm(self) -> None:
+        self._waiter = None
+
+    def notify(self) -> None:
+        """Wake the join loop after a copy completed, failed, or was
+        cancelled."""
+        if self._waiter is not None and not self._waiter.triggered:
+            self._waiter.succeed()
+
+    def claim(self, tag: str, result, attempt_info) -> bool:
+        """Atomically claim the win for ``tag``; False if already won."""
+        if self.winner is None:
+            self.winner = (tag, result, attempt_info)
+            return True
+        return False
+
+    def lost(self, tag: str) -> bool:
+        """True once the *other* copy has won (this one must cancel)."""
+        return self.winner is not None and self.winner[0] != tag
+
+
+class HedgePolicy:
+    """Decides when to hedge and accounts for what hedging cost."""
+
+    def __init__(self, runtime: "MoleculeRuntime", config: Optional[HedgeConfig] = None):
+        self.runtime = runtime
+        self.config = config or HedgeConfig()
+        self.tracker = LatencyTracker()
+        # Lifetime counters (also exported as repro_hedge_* metrics).
+        self.fired = 0
+        self.won = 0
+        self.cancelled = 0
+        self.skipped = 0
+        self.losers_completed = 0
+        self.wasted_s = 0.0
+        self.wasted_cost = 0.0
+        self.observed = 0
+        #: One record per fired hedge, in fire order; mutated in place
+        #: as each race resolves.  The golden hedge trace pins these.
+        self.events: list[dict] = []
+        if runtime.obs is not None:
+            runtime.obs.ensure_hedge_metrics()
+        runtime.invoker.hedging = self
+
+    # -- trigger ---------------------------------------------------------------------
+
+    def observe(self, func_name: str, latency_s: float) -> None:
+        """Feed one successful completion into the latency tracker."""
+        self.tracker.observe(func_name, latency_s)
+        self.observed += 1
+
+    def trigger_delay(self, function) -> Optional[float]:
+        """Seconds a request may fly before its clone launches, or
+        None when this function cannot be hedged yet."""
+        config = self.config
+        if self.tracker.count(function.name) >= config.min_samples:
+            delay = self.tracker.latency_percentile(
+                function.name, config.percentile
+            )
+        else:
+            delay = config.default_trigger_s
+        if delay is None:
+            return None
+        return max(config.min_trigger_s, delay)
+
+    def eligible(self, function, kind, resolved_kind, pu, force_cold) -> bool:
+        """Whether this attempt should run hedged.
+
+        Only the general-purpose path hedges (accelerated attempts have
+        no cancellation checkpoints), only when the caller did not pin a
+        PU, and only when at least two healthy PUs could host the
+        function — otherwise the clone could never satisfy
+        anti-affinity.
+        """
+        if pu is not None or force_cold:
+            return False
+        if not resolved_kind.general_purpose:
+            return False
+        if self.trigger_delay(function) is None:
+            return False
+        try:
+            candidates = self.runtime.scheduler.candidates(function, kind)
+        except SchedulingError:
+            return False
+        return len(candidates) >= 2
+
+    # -- race lifecycle --------------------------------------------------------------
+
+    def begin(self, function, request_id: int) -> _HedgeState:
+        """Open the join state for one hedged attempt."""
+        return _HedgeState(function, request_id, self.trigger_delay(function))
+
+    def fire(self, state: _HedgeState, function, kind, primary_pu) -> bool:
+        """Decide whether the clone actually launches.
+
+        ``primary_pu`` is the primary's PU at trigger time (or its
+        batch's PU if it is still parked).  Unknown placement or no
+        healthy distinct candidate means no clone — counted skipped.
+        """
+        candidates = ()
+        if primary_pu is not None:
+            try:
+                candidates = self.runtime.scheduler.clone_candidates(
+                    function, kind, exclude=primary_pu
+                )
+            except SchedulingError:
+                candidates = ()
+        if not candidates:
+            self.skipped += 1
+            return False
+        state.fired = True
+        state.exclude = primary_pu
+        state.pending += 1
+        self.fired += 1
+        if self.runtime.obs is not None:
+            self.runtime.obs.on_hedge_fired(function.name)
+        state.event = {
+            "request_id": state.request_id,
+            "function": function.name,
+            "primary_pu": primary_pu.name,
+            "clone_pu": None,
+            "winner": None,
+            "wasted_ms": 0.0,
+        }
+        self.events.append(state.event)
+        return True
+
+    def on_won(self, state: _HedgeState, tag: str, result) -> None:
+        """A copy claimed the win."""
+        if state.event is not None:
+            state.event["winner"] = tag
+            if tag == "clone":
+                state.event["clone_pu"] = result.pu_name
+        if tag == "clone":
+            self.won += 1
+            if self.runtime.obs is not None:
+                self.runtime.obs.on_hedge_won(state.function.name)
+
+    def on_cancelled(self, state: _HedgeState, tag: str, attempt_info,
+                     wasted_s: float) -> None:
+        """A losing copy was torn down (or died after the win)."""
+        if tag == "clone":
+            self.cancelled += 1
+            if self.runtime.obs is not None:
+                self.runtime.obs.on_hedge_cancelled(state.function.name)
+            if state.event is not None and state.event["clone_pu"] is None:
+                used = attempt_info.get("pu")
+                if used is not None:
+                    state.event["clone_pu"] = used.name
+        if wasted_s > 0.0:
+            self.wasted_s += wasted_s
+            if self.runtime.obs is not None:
+                self.runtime.obs.on_hedge_wasted(state.function.name, wasted_s)
+            if state.event is not None:
+                state.event["wasted_ms"] += round(wasted_s * 1000.0, 6)
+
+    def on_loser_completed(self, state: _HedgeState, tag: str, result) -> None:
+        """Defensive: a loser ran to completion without hitting a
+        cancellation checkpoint (the general-purpose path always has
+        one before responding, so this staying zero is itself a tested
+        invariant)."""
+        self.losers_completed += 1
+        self.on_cancelled(state, tag, {}, result.exec_s)
+
+    def charge_waste(self, request_id: int, function, pu, exec_s: float):
+        """Bill the execution a cancelled loser already burned."""
+        entry = self.runtime.ledger.charge(
+            request_id, function.name, pu, exec_s, hedge_waste=True
+        )
+        self.wasted_cost += entry.cost
+        return entry
+
+    # -- reporting -------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Lifetime accounting (stable keys, deterministic values)."""
+        return {
+            "fired": self.fired,
+            "won": self.won,
+            "cancelled": self.cancelled,
+            "skipped": self.skipped,
+            "losers_completed": self.losers_completed,
+            "wasted_s": round(self.wasted_s, 9),
+            "wasted_cost": round(self.wasted_cost, 9),
+            "observed": self.observed,
+        }

@@ -1,0 +1,89 @@
+"""Per-function end-to-end latency tracking for the hedge policy.
+
+The tracker is fed every successful invocation — the same way the
+warm-path :class:`~repro.warmpath.predictor.ArrivalPredictor` is fed
+every admission — and maintains a per-function latency histogram whose
+upper percentile is the hedge trigger: a request still in flight past
+its function's observed p95 (by default) is a straggler worth cloning.
+
+Everything is pure arithmetic over observed durations: no randomness,
+so a seeded run that feeds the same completions produces the same
+triggers, request for request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Latency histogram bucket upper bounds (seconds), roughly logarithmic
+#: from 1ms to 30s; latencies beyond the last bound land in an overflow
+#: bucket.  Finer than the predictor's gap buckets at the low end
+#: because warm-path latencies sit in single-digit milliseconds.
+LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.0075, 0.01, 0.025, 0.05, 0.075, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+@dataclass
+class LatencyStats:
+    """Observed end-to-end latencies of one function."""
+
+    #: Total completions observed.
+    count: int = 0
+    #: Latency histogram (len(LATENCY_BUCKETS) + 1 overflow).
+    bucket_counts: list = field(
+        default_factory=lambda: [0] * (len(LATENCY_BUCKETS) + 1)
+    )
+
+
+class LatencyTracker:
+    """Per-function latency histogram with nearest-rank percentiles."""
+
+    def __init__(self):
+        self._stats: dict[str, LatencyStats] = {}
+
+    def observe(self, func_name: str, latency_s: float) -> None:
+        """Record one completed invocation of ``func_name``."""
+        if latency_s < 0.0:
+            return
+        stats = self._stats.get(func_name)
+        if stats is None:
+            stats = self._stats[func_name] = LatencyStats()
+        index = len(LATENCY_BUCKETS)
+        for i, bound in enumerate(LATENCY_BUCKETS):
+            if latency_s <= bound:
+                index = i
+                break
+        stats.bucket_counts[index] += 1
+        stats.count += 1
+
+    def functions(self) -> list[str]:
+        """Every function the tracker has seen, in first-seen order."""
+        return list(self._stats)
+
+    def count(self, func_name: str) -> int:
+        """Completions observed for one function (0 if never seen)."""
+        stats = self._stats.get(func_name)
+        return 0 if stats is None else stats.count
+
+    def latency_percentile(self, func_name: str, q: float) -> Optional[float]:
+        """Nearest-rank ``q``-th percentile latency (seconds).
+
+        Returns the upper bound of the bucket containing the rank (the
+        conservative choice for a hedge trigger: firing *later* than
+        the true percentile wastes fewer clones); None until at least
+        one completion has been observed.  Latencies beyond the largest
+        bucket report that largest bound.
+        """
+        stats = self._stats.get(func_name)
+        if stats is None or stats.count == 0:
+            return None
+        rank = max(1, int(stats.count * q / 100.0 + 0.999999))
+        cumulative = 0
+        for i, count in enumerate(stats.bucket_counts):
+            cumulative += count
+            if cumulative >= rank:
+                return LATENCY_BUCKETS[min(i, len(LATENCY_BUCKETS) - 1)]
+        return LATENCY_BUCKETS[-1]

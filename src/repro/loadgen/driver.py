@@ -42,6 +42,9 @@ class RequestRecord:
     cold: bool = False
     attempts: int = 0
     latency_s: float = 0.0
+    #: True when a hedge clone was launched for this request
+    #: (repro.hedging); ``pu`` then names the winning copy's PU.
+    hedged: bool = False
 
     @property
     def answered(self) -> bool:
@@ -49,11 +52,19 @@ class RequestRecord:
         return self.outcome == OUTCOME_OK
 
     def tuple(self) -> tuple:
-        """The golden-trace comparison tuple."""
+        """The golden-trace comparison tuple.
+
+        Deliberately excludes ``hedged``: the 72-arrival golden trace
+        pins this exact shape.
+        """
         return (
             self.index, self.function, self.outcome, self.admitted_s,
             self.shard, self.pu, self.latency_s,
         )
+
+    def hedge_tuple(self) -> tuple:
+        """The golden *hedge* trace comparison tuple."""
+        return self.tuple() + (self.hedged,)
 
 
 class OpenLoopDriver:
@@ -114,6 +125,7 @@ class OpenLoopDriver:
             record.cold = result.cold
             record.attempts = result.attempts
             record.latency_s = result.total_s
+            record.hedged = result.hedged
         self.finished_s = max(self.finished_s, self.runtime.sim.now)
 
     def _pacer(self):

@@ -115,13 +115,18 @@ def build_runtime(
     default_deadline_s: float = 30.0,
     keep_alive_ttl_s: Optional[float] = None,
     prewarm: bool = False,
+    hedge=False,
+    hedge_percentile: Optional[float] = None,
 ):
     """Boot a deployment sized for ``plan`` with a sharded front end.
 
     The observability trace buffer is sized to the plan so per-stage
     percentiles cover every request even on 10k+ runs.  ``prewarm``
     arms the warm-path engine (cold-start coalescing + predictive
-    pre-warm); off by default so existing runs stay byte-identical.
+    pre-warm); ``hedge`` arms the tail-latency hedging engine (pass
+    True for defaults or a HedgeConfig for full control, with
+    ``hedge_percentile`` overriding the trigger percentile).  Both are
+    off by default so existing runs stay byte-identical.
     """
     sim = Simulator()
     machine = build_cpu_dpu_machine(sim, num_dpus=num_dpus)
@@ -131,6 +136,13 @@ def build_runtime(
         from repro.warmpath import WarmPathConfig
 
         warmpath = WarmPathConfig()
+    hedging = None
+    if hedge:
+        from repro.hedging import HedgeConfig
+
+        hedging = hedge if isinstance(hedge, HedgeConfig) else HedgeConfig()
+        if hedge_percentile is not None:
+            hedging = replace(hedging, percentile=hedge_percentile)
     runtime = MoleculeRuntime(
         sim,
         machine,
@@ -139,6 +151,7 @@ def build_runtime(
         default_deadline_s=default_deadline_s,
         keep_alive_ttl_s=keep_alive_ttl_s,
         warmpath=warmpath,
+        hedging=hedging,
     )
     runtime.start()
     for name, import_ms, exec_ms, profiles in _FUNCTIONS:
@@ -181,6 +194,8 @@ def run_load(
     fault_plan=None,
     keep_alive_ttl_s: Optional[float] = None,
     prewarm: bool = False,
+    hedge=False,
+    hedge_percentile: Optional[float] = None,
 ) -> dict:
     """Run one canned load scenario and return its BENCH_load report."""
     try:
@@ -204,6 +219,7 @@ def run_load(
     runtime, frontend = build_runtime(
         plan, seed, shards, policy=policy,
         keep_alive_ttl_s=keep_alive_ttl_s, prewarm=prewarm,
+        hedge=hedge, hedge_percentile=hedge_percentile,
     )
     if fault_plan is not None:
         attach_fault_plan(runtime, fault_plan)
@@ -237,6 +253,13 @@ def run_load(
             **(
                 {"keep_alive_ttl_s": keep_alive_ttl_s}
                 if keep_alive_ttl_s is not None else {}
+            ),
+            **(
+                {
+                    "hedge": True,
+                    "hedge_percentile": runtime.hedging.config.percentile,
+                }
+                if runtime.hedging is not None else {}
             ),
             **({"concurrency": concurrency} if mode == "closed" else {}),
         },

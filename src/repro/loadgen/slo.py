@@ -160,6 +160,29 @@ def build_report(
             for pu_id, pu in sorted(runtime.machine.pus.items())
         ],
     }
+    # Billed cost over the whole run: the denominator for the hedging
+    # acceptance bar (p999 cut at <5% mean-cost increase).
+    total = runtime.ledger.total()
+    report["cost"] = {
+        "billed_invocations": total.invocations,
+        "billed_ms": total.billed_ms,
+        "billed_cost": total.cost,
+        "mean_cost_per_answered": (
+            total.cost / len(answered) if answered else 0.0
+        ),
+    }
+    hedging = getattr(runtime, "hedging", None)
+    if hedging is not None:
+        snap = hedging.snapshot()
+        hedged = sum(1 for r in answered if r.hedged)
+        report["hedging"] = {
+            **snap,
+            "hedged_answered": hedged,
+            "hedge_rate": snap["fired"] / len(answered) if answered else 0.0,
+            "wasted_cost_fraction": (
+                snap["wasted_cost"] / total.cost if total.cost else 0.0
+            ),
+        }
     return report
 
 
@@ -206,6 +229,15 @@ def format_report(report: dict) -> str:
         lines.append(
             f"  {pu['pu']:<12} util={pu['utilization']:.1%} "
             f"busy={pu['busy_s']:.2f}s"
+        )
+    hedging = report.get("hedging")
+    if hedging is not None:
+        lines.append(
+            f"  hedging: fired={hedging['fired']} won={hedging['won']} "
+            f"cancelled={hedging['cancelled']} "
+            f"rate={hedging['hedge_rate']:.1%} "
+            f"wasted_cost={hedging['wasted_cost']:.0f} "
+            f"({hedging['wasted_cost_fraction']:.2%} of bill)"
         )
     return "\n".join(lines)
 

@@ -211,6 +211,14 @@ class Observability:
         #: FPGA planner drops — lazy for the same reason (only runs
         #: whose predicted set overflows the image ever see it).
         self.planner_dropped_total = None
+        # -- hedging engine -------------------------------------------------------------
+        # Registered lazily (ensure_hedge_metrics): only runs with a
+        # HedgePolicy wired see these families, keeping the metric
+        # catalog byte-identical for hedging-off golden runs.
+        self.hedge_fired_total = None
+        self.hedge_won_total = None
+        self.hedge_cancelled_total = None
+        self.hedge_wasted_seconds_total = None
 
         # -- bound child handles ---------------------------------------------------
         # Labelled hot-path hooks memoize children per label tuple so
@@ -233,6 +241,7 @@ class Observability:
         self._fault_children: dict[str, object] = {}
         self._shard_children: dict[tuple[str, str], object] = {}
         self._warmpath_children: dict[tuple[str, str], object] = {}
+        self._hedge_children: dict[tuple[str, str], object] = {}
 
     # -- lifecycle spans -----------------------------------------------------------
 
@@ -549,6 +558,71 @@ class Observability:
             )
         if count:
             self.planner_dropped_total.inc(count)
+
+    # -- hedging engine hooks ----------------------------------------------------------
+
+    def ensure_hedge_metrics(self) -> None:
+        """Register the hedging metric families on first use."""
+        if self.hedge_fired_total is not None:
+            return
+        r = self.registry
+        self.hedge_fired_total = r.counter(
+            "repro_hedge_fired",
+            "Hedge clones launched after the percentile trigger fired "
+            "with the primary copy still in flight.",
+            ("function",),
+        )
+        self.hedge_won_total = r.counter(
+            "repro_hedge_won",
+            "Hedged requests answered by the clone (the primary lost "
+            "the first-wins race).",
+            ("function",),
+        )
+        self.hedge_cancelled_total = r.counter(
+            "repro_hedge_cancelled",
+            "Hedge clones torn down at a cancellation checkpoint after "
+            "the primary answered first.",
+            ("function",),
+        )
+        self.hedge_wasted_seconds_total = r.counter(
+            "repro_hedge_wasted_seconds",
+            "Execution seconds burned by losing hedge copies and then "
+            "discarded.",
+            ("function",),
+        )
+
+    def _hedge_child(self, family, kind: str, function: str):
+        key = (kind, function)
+        child = self._hedge_children.get(key)
+        if child is None:
+            child = family.bind(function=function)
+            self._hedge_children[key] = child
+        return child
+
+    def on_hedge_fired(self, function: str) -> None:
+        """One hedge clone launched."""
+        self.ensure_hedge_metrics()
+        self._hedge_child(self.hedge_fired_total, "fired", function).inc()
+
+    def on_hedge_won(self, function: str) -> None:
+        """One hedged request answered by its clone."""
+        self.ensure_hedge_metrics()
+        self._hedge_child(self.hedge_won_total, "won", function).inc()
+
+    def on_hedge_cancelled(self, function: str) -> None:
+        """One losing hedge clone cancelled."""
+        self.ensure_hedge_metrics()
+        self._hedge_child(
+            self.hedge_cancelled_total, "cancelled", function
+        ).inc()
+
+    def on_hedge_wasted(self, function: str, seconds: float) -> None:
+        """``seconds`` of discarded execution from a losing hedge copy."""
+        self.ensure_hedge_metrics()
+        if seconds:
+            self._hedge_child(
+                self.hedge_wasted_seconds_total, "wasted", function
+            ).inc(seconds)
 
     def on_nipc_dropped(self) -> None:
         """One XPU-FIFO message dropped by an injected fault."""

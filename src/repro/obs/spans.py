@@ -40,6 +40,10 @@ START_FORK = "fork"
 START_WARM = "warm"
 #: Served by a coalesced single-flight batch (repro.warmpath).
 START_COALESCED = "coalesced"
+#: Answered by a hedge clone on a second PU (repro.hedging): the
+#: primary copy straggled past the percentile trigger and lost the
+#: first-wins race to its clone.
+START_HEDGED = "hedged"
 
 
 class RequestTrace:
@@ -180,3 +184,6 @@ class DetachableTrace:
 
     def annotate(self, **attributes) -> None:
         self._trace.annotate(**attributes)
+
+    def unwind(self) -> None:
+        self._trace.unwind()

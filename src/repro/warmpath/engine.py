@@ -146,9 +146,13 @@ class WarmPathEngine:
         """True while misses should try to join a single-flight batch."""
         return self.config.coalesce
 
-    def joinable_batch(self, function: "FunctionDef", kind,
-                       pu) -> Optional[CoalescedBatch]:
-        """An open batch this miss may join (None: become a leader)."""
+    def joinable_batch(self, function: "FunctionDef", kind, pu,
+                       exclude=None) -> Optional[CoalescedBatch]:
+        """An open batch this miss may join (None: become a leader).
+
+        ``exclude`` is hedge anti-affinity: a clone never parks on a
+        batch bound to its primary's PU.
+        """
         if not self.config.coalesce:
             return None
         if pu is not None:
@@ -158,6 +162,8 @@ class WarmPathEngine:
                 c.pu_id
                 for c in self.runtime.scheduler.candidates(function, kind)
             )
+        if exclude is not None:
+            pu_ids = tuple(i for i in pu_ids if i != exclude.pu_id)
         return self.coalescer.lookup(function.name, pu_ids)
 
     def open_batch(self, function: "FunctionDef",

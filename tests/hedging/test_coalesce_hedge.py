@@ -1,0 +1,115 @@
+"""Hedging x cold-start coalescing: a parked follower that gets hedged
+away must not strand its batch.
+
+A coalesced follower owns no placement — it is parked on the leader's
+:class:`CoalescedBatch` waiting for a recycled instance.  When its
+clone answers first, the follower must (a) consume or return whatever
+the batch eventually delivers so the recycle chain keeps moving, and
+(b) leave no dangling parked-follower entry behind.  This is the
+regression net for exactly that interaction.
+"""
+
+from repro import (
+    FunctionCode,
+    FunctionDef,
+    HedgeConfig,
+    Language,
+    MoleculeRuntime,
+    PuKind,
+    WarmPathConfig,
+    WorkProfile,
+)
+from repro.errors import ReproError
+
+#: Followers park on the leader's ~140ms cold start; the 30ms fallback
+#: trigger hedges them off the batch long before it delivers.
+_CFG = HedgeConfig(min_samples=99, default_trigger_s=0.03)
+
+
+def _coalesced_storm(requests=12, seed=7):
+    molecule = MoleculeRuntime.create(
+        num_dpus=1, seed=seed,
+        warmpath=WarmPathConfig(),
+        hedging=_CFG,
+    )
+    molecule.deploy_now(FunctionDef(
+        name="storm",
+        code=FunctionCode("storm", language=Language.PYTHON,
+                          import_ms=120.0),
+        work=WorkProfile(warm_exec_ms=15.0),
+        profiles=(PuKind.CPU, PuKind.DPU),
+    ))
+
+    outcomes = []
+
+    def guarded():
+        try:
+            result = yield from molecule.invoke("storm")
+            outcomes.append(result)
+        except ReproError:
+            outcomes.append(None)
+
+    def drive():
+        procs = [molecule.sim.spawn(guarded()) for _ in range(requests)]
+        yield molecule.sim.all_of(procs)
+
+    molecule.run(drive())
+    return molecule, outcomes
+
+
+def test_hedged_followers_leave_no_dangling_batch():
+    molecule, outcomes = _coalesced_storm()
+    # The run drained (molecule.run returned) and answered everything:
+    # a stranded parked follower would deadlock the drain instead.
+    assert len(outcomes) == 12 and all(o is not None for o in outcomes)
+    hedger = molecule.hedging
+    # Parked followers did hedge: their placement was unknown, so the
+    # fire path had to fall back to the batch's PU hint.
+    assert hedger.fired > 0
+    assert hedger.losers_completed == 0
+    # No batch still holds parked followers, and every follower event
+    # was resolved (served, requeued, or consumed by a hedged loser).
+    coalescer = molecule.warmpath.coalescer
+    for batch in coalescer._batches.values():
+        assert not batch.waiters
+    assert coalescer.followers_served + coalescer.followers_requeued >= 0
+
+
+def test_hedged_follower_anti_affinity_uses_batch_pu():
+    """Every clone fired for a parked (placement-less) follower still
+    respected anti-affinity: the recorded clone PU differs from the
+    batch PU the primary was parked on."""
+    molecule, _outcomes = _coalesced_storm()
+    for event in molecule.hedging.events:
+        if event["clone_pu"] is not None:
+            assert event["clone_pu"] != event["primary_pu"]
+
+
+def test_hedged_coalesced_storm_is_deterministic():
+    first, first_outcomes = _coalesced_storm()
+    second, second_outcomes = _coalesced_storm()
+    assert first.hedging.snapshot() == second.hedging.snapshot()
+    assert first.hedging.events == second.hedging.events
+    assert first.warmpath.snapshot() == second.warmpath.snapshot()
+    assert first.sim.now == second.sim.now
+    assert [o.total_s for o in first_outcomes] == [
+        o.total_s for o in second_outcomes
+    ]
+
+
+def test_books_balanced_after_hedged_coalescing():
+    """DRAM and billing stay exact when clones answer for followers
+    whose batch later delivers an instance nobody needs."""
+    molecule, outcomes = _coalesced_storm()
+    for pu_id, pool in molecule.invoker.pools.items():
+        pu = molecule.machine.pus[pu_id]
+        expected = sum(
+            inst.function.code.memory_mb for inst in pool.idle_instances()
+        )
+        assert pu.dram_used_mb == expected
+    from collections import Counter
+    normal = Counter(
+        e.request_id for e in molecule.ledger.entries if not e.hedge_waste
+    )
+    assert all(n == 1 for n in normal.values())
+    assert set(normal) == {o.request_id for o in outcomes}

@@ -1,0 +1,105 @@
+"""Hedging engine behavior: off means byte-identical golden output, on
+means deterministic and a strictly better burst tail at bounded cost."""
+
+import json
+
+from repro import HedgeConfig
+from repro.loadgen import run_load
+
+from tests.support import GOLDEN_SEED, golden_seed_snapshot
+
+
+# -- engine off: stock behavior, byte for byte ------------------------------------
+
+
+def test_engine_off_matches_golden_snapshot():
+    """``hedging=None`` must leave the canned golden workload
+    byte-identical to a runtime predating the engine."""
+    with open("tests/sim/data/golden_seed_snapshot.json",
+              encoding="utf-8") as handle:
+        expected = json.load(handle)
+    current = golden_seed_snapshot(GOLDEN_SEED)
+    assert json.dumps(current, sort_keys=True) == json.dumps(
+        expected, sort_keys=True
+    )
+
+
+def test_engine_off_load_run_identical_to_default():
+    """A load run with ``hedge=False`` equals one that never heard of
+    the engine (same plan, same seed, same report modulo wall time)."""
+    baseline = run_load("burst", quick=True, seed=1234)
+    explicit = run_load("burst", quick=True, seed=1234, hedge=False)
+    for report in (baseline, explicit):
+        report.pop("wall_s")
+        report.pop("host")
+    assert json.dumps(baseline, sort_keys=True) == json.dumps(
+        explicit, sort_keys=True
+    )
+    assert "hedging" not in baseline
+
+
+# -- engine on: deterministic ------------------------------------------------------
+
+
+def _hedged_burst(seed=1234):
+    return run_load(
+        "burst", quick=True, seed=seed, rps=320.0,
+        hedge=HedgeConfig(min_samples=10, percentile=90.0,
+                          default_trigger_s=0.25),
+    )
+
+
+def test_hedged_run_is_deterministic():
+    """Two hedged runs of the same plan and seed must agree on every
+    race: same winners, same counters, same report, byte for byte."""
+    first = _hedged_burst()
+    second = _hedged_burst()
+    for report in (first, second):
+        report.pop("wall_s")
+        report.pop("host")
+    assert json.dumps(first, sort_keys=True) == json.dumps(
+        second, sort_keys=True
+    )
+    assert first["hedging"]["fired"] > 0
+
+
+def test_hedge_accounting_invariants():
+    report = _hedged_burst()
+    hedging = report["hedging"]
+    # Every fired clone resolves as a win or a cancellation (a clone
+    # that fails outright before the race resolves is neither).
+    assert hedging["fired"] >= hedging["won"] + hedging["cancelled"]
+    # No loser ever ran to completion past its checkpoints.
+    assert hedging["losers_completed"] == 0
+    # Report dimensions derive from the counters.
+    answered = report["load"]["answered"]
+    assert hedging["hedge_rate"] == hedging["fired"] / answered
+    assert hedging["hedged_answered"] <= hedging["fired"]
+    assert 0.0 <= hedging["wasted_cost_fraction"] < 0.05
+
+
+# -- engine on: the burst-tail acceptance bar --------------------------------------
+
+
+def test_burst_tail_strictly_better_with_hedging():
+    """Same plan, same seed, overloaded burst: arming the hedging
+    engine must strictly cut the p999 at under 5% mean-cost increase
+    (the tentpole acceptance bar, asserted strictly here and warn-only
+    against full-size runs in CI)."""
+    kwargs = dict(quick=True, seed=1, rps=320.0)
+    off = run_load("burst", **kwargs)
+    on = run_load("burst", hedge=True, **kwargs)
+    # Identical offered load on both sides.
+    assert on["load"]["offered"] == off["load"]["offered"]
+    assert on["load"]["answered"] == off["load"]["answered"]
+    on_e2e = on["latency"]["end_to_end"]
+    off_e2e = off["latency"]["end_to_end"]
+    assert on_e2e["p999_ms"] < off_e2e["p999_ms"]
+    assert on_e2e["p99_ms"] < off_e2e["p99_ms"]
+    on_cost = on["cost"]["mean_cost_per_answered"]
+    off_cost = off["cost"]["mean_cost_per_answered"]
+    assert on_cost <= off_cost * 1.05
+    assert on["hedging"]["fired"] > 0
+    assert on["hedging"]["won"] > 0
+    assert "hedging" not in off
+    assert on["params"]["hedge"] is True

@@ -1,0 +1,94 @@
+"""Golden hedge-trace regression: a checked-in arrival trace replayed
+through two gateway shards with hedging armed must reproduce
+byte-identical per-request tuples *and* per-hedge race outcomes.
+
+Three files are checked in under ``data/``:
+
+* ``golden_hedge_plan.json`` — the 246-arrival bursty plan;
+* ``golden_hedge_tuples.json`` — per-request ``hedge_tuple()`` rows
+  (the golden load-trace shape plus the ``hedged`` flag);
+* ``golden_hedge_events.json`` — one record per fired hedge: primary
+  PU, clone PU, winner, wasted milliseconds.
+
+Together they pin the whole race pipeline: trigger timing, clone
+placement (anti-affinity), first-wins arbitration, loser teardown and
+waste accounting.  If a change *intentionally* alters the timeline,
+regenerate both outputs and call the change out in review.
+"""
+
+import json
+from pathlib import Path
+
+from repro import HedgeConfig
+from repro.loadgen import ArrivalPlan, OpenLoopDriver, build_runtime
+
+DATA = Path(__file__).parent / "data"
+GOLDEN_SEED = 1234
+GOLDEN_SHARDS = 2
+
+#: Pinned explicitly (not HedgeConfig defaults) so default tuning can
+#: move without invalidating the golden outputs.
+GOLDEN_CONFIG = HedgeConfig(
+    percentile=95.0, min_samples=10,
+    default_trigger_s=0.25, min_trigger_s=0.002,
+)
+
+
+def _load_plan() -> ArrivalPlan:
+    return ArrivalPlan.from_json(
+        (DATA / "golden_hedge_plan.json").read_text()
+    )
+
+
+def _replay(plan: ArrivalPlan):
+    runtime, frontend = build_runtime(
+        plan, seed=GOLDEN_SEED, shards=GOLDEN_SHARDS, hedge=GOLDEN_CONFIG
+    )
+    records = OpenLoopDriver(runtime, plan, frontend).run()
+    return [list(r.hedge_tuple()) for r in records], runtime.hedging
+
+
+def test_replay_matches_checked_in_tuples_and_events():
+    plan = _load_plan()
+    expected_tuples = json.loads(
+        (DATA / "golden_hedge_tuples.json").read_text()
+    )
+    expected_events = json.loads(
+        (DATA / "golden_hedge_events.json").read_text()
+    )
+    tuples, hedger = _replay(plan)
+    assert len(tuples) == len(plan)
+    assert tuples == expected_tuples
+    assert json.loads(json.dumps(hedger.events)) == expected_events
+
+
+def test_replay_is_identical_across_runs():
+    plan = _load_plan()
+    first_tuples, first_hedger = _replay(plan)
+    second_tuples, second_hedger = _replay(plan)
+    # Byte-identical, not approximately equal: serialise and compare.
+    assert json.dumps(first_tuples) == json.dumps(second_tuples)
+    assert json.dumps(first_hedger.events) == json.dumps(
+        second_hedger.events
+    )
+    assert first_hedger.snapshot() == second_hedger.snapshot()
+
+
+def test_golden_run_actually_hedges():
+    """The checked-in trace exercises the race machinery for real:
+    clones fire, most win (the burst tail is queue-bound), and at
+    least one race resolves by cancelling a loser clone."""
+    plan = _load_plan()
+    tuples, hedger = _replay(plan)
+    snap = hedger.snapshot()
+    assert snap["fired"] > 0
+    assert snap["won"] > 0
+    assert snap["fired"] >= snap["won"] + snap["cancelled"]
+    assert snap["losers_completed"] == 0
+    # The hedged flag in the tuples matches the event count: every
+    # fired hedge belongs to an answered, flagged request.
+    assert sum(1 for t in tuples if t[-1]) == snap["fired"]
+    # Anti-affinity held in every checked-in race.
+    for event in hedger.events:
+        if event["clone_pu"] is not None:
+            assert event["clone_pu"] != event["primary_pu"]

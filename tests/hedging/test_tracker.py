@@ -1,0 +1,167 @@
+"""Latency tracker and hedge-policy trigger/eligibility units."""
+
+import pytest
+
+from repro import (
+    FunctionCode,
+    FunctionDef,
+    HedgeConfig,
+    Language,
+    MoleculeRuntime,
+    PuKind,
+    WorkProfile,
+)
+from repro.hedging import LATENCY_BUCKETS
+from repro.hedging.tracker import LatencyTracker
+
+
+# -- tracker -----------------------------------------------------------------------
+
+
+def test_empty_tracker_has_no_percentile():
+    tracker = LatencyTracker()
+    assert tracker.count("f") == 0
+    assert tracker.latency_percentile("f", 95.0) is None
+    assert tracker.functions() == []
+
+
+def test_percentile_is_bucket_upper_bound_nearest_rank():
+    tracker = LatencyTracker()
+    # 9 samples in the 5ms bucket, 1 in the 500ms bucket.
+    for _ in range(9):
+        tracker.observe("f", 0.004)
+    tracker.observe("f", 0.4)
+    assert tracker.count("f") == 10
+    # p50 lands well inside the 5ms bucket...
+    assert tracker.latency_percentile("f", 50.0) == 0.005
+    # ...while p95 crosses into the outlier's bucket (nearest rank:
+    # ceil(10 * 0.95) = 10th sample).
+    assert tracker.latency_percentile("f", 95.0) == 0.5
+
+
+def test_overflow_samples_report_top_bucket():
+    tracker = LatencyTracker()
+    tracker.observe("f", 120.0)  # beyond the last bucket bound
+    assert tracker.latency_percentile("f", 99.0) == LATENCY_BUCKETS[-1]
+
+
+def test_negative_samples_are_ignored():
+    tracker = LatencyTracker()
+    tracker.observe("f", -1.0)
+    assert tracker.count("f") == 0
+
+
+def test_functions_are_tracked_independently():
+    tracker = LatencyTracker()
+    tracker.observe("a", 0.004)
+    tracker.observe("b", 2.0)
+    assert tracker.latency_percentile("a", 99.0) == 0.005
+    assert tracker.latency_percentile("b", 99.0) == 2.5
+    assert sorted(tracker.functions()) == ["a", "b"]
+
+
+# -- policy trigger + eligibility --------------------------------------------------
+
+
+def _runtime(config):
+    molecule = MoleculeRuntime.create(num_dpus=1, seed=3, hedging=config)
+    fn = FunctionDef(
+        name="f",
+        code=FunctionCode("f", language=Language.PYTHON, import_ms=50.0),
+        work=WorkProfile(warm_exec_ms=5.0),
+        profiles=(PuKind.CPU, PuKind.DPU),
+    )
+    molecule.deploy_now(fn)
+    return molecule, fn
+
+
+def test_trigger_uses_fallback_below_min_samples():
+    molecule, fn = _runtime(HedgeConfig(min_samples=5, default_trigger_s=0.1))
+    policy = molecule.hedging
+    assert policy.trigger_delay(fn) == 0.1
+    for _ in range(5):
+        policy.observe("f", 0.004)
+    # Warmed: the observed p95 bucket takes over.
+    assert policy.trigger_delay(fn) == 0.005
+
+
+def test_trigger_disabled_without_fallback_until_warm():
+    molecule, fn = _runtime(
+        HedgeConfig(min_samples=5, default_trigger_s=None)
+    )
+    policy = molecule.hedging
+    assert policy.trigger_delay(fn) is None
+    assert not policy.eligible(fn, None, PuKind.CPU, None, False)
+
+
+def test_trigger_clamped_to_floor():
+    molecule, fn = _runtime(
+        HedgeConfig(min_samples=1, default_trigger_s=None, min_trigger_s=0.002)
+    )
+    policy = molecule.hedging
+    policy.observe("f", 0.0001)  # p95 bucket bound 1ms, below the floor
+    assert policy.trigger_delay(fn) == 0.002
+
+
+def test_eligibility_gates():
+    molecule, fn = _runtime(HedgeConfig(default_trigger_s=0.1))
+    policy = molecule.hedging
+    cpu = molecule.machine.host_cpu
+    # The plain unpinned general-purpose attempt hedges.
+    assert policy.eligible(fn, None, PuKind.CPU, None, False)
+    # A caller-pinned PU or forced cold start never hedges.
+    assert not policy.eligible(fn, None, PuKind.CPU, cpu, False)
+    assert not policy.eligible(fn, None, PuKind.CPU, None, True)
+    # Accelerated attempts have no cancellation checkpoints.
+    assert not policy.eligible(fn, PuKind.FPGA, PuKind.FPGA, None, False)
+
+
+def test_eligibility_requires_two_healthy_candidates():
+    molecule, fn = _runtime(HedgeConfig(default_trigger_s=0.1))
+    policy = molecule.hedging
+    # Pinning the request to the CPU kind leaves a single candidate PU:
+    # a clone could never satisfy anti-affinity.
+    assert not policy.eligible(fn, PuKind.CPU, PuKind.CPU, None, False)
+
+
+def test_fire_requires_distinct_candidate():
+    molecule, fn = _runtime(HedgeConfig(default_trigger_s=0.1))
+    policy = molecule.hedging
+    state = policy.begin(fn, request_id=7)
+    # Unknown primary placement: no clone, counted skipped.
+    assert not policy.fire(state, fn, None, None)
+    assert policy.skipped == 1
+    assert not state.fired
+    cpu = molecule.machine.host_cpu
+    assert policy.fire(state, fn, None, cpu)
+    assert state.fired and state.exclude is cpu
+    assert policy.fired == 1
+    assert policy.events[-1]["primary_pu"] == cpu.name
+    assert policy.events[-1]["clone_pu"] is None
+
+
+def test_first_wins_claim_is_exclusive():
+    molecule, fn = _runtime(HedgeConfig(default_trigger_s=0.1))
+    state = molecule.hedging.begin(fn, request_id=1)
+    assert state.claim("primary", "r1", {})
+    assert not state.claim("clone", "r2", {})
+    assert state.winner[0] == "primary"
+    assert state.lost("clone") and not state.lost("primary")
+
+
+def test_snapshot_keys_are_stable():
+    molecule, _fn = _runtime(HedgeConfig())
+    assert sorted(molecule.hedging.snapshot()) == [
+        "cancelled", "fired", "losers_completed", "observed",
+        "skipped", "wasted_cost", "wasted_s", "won",
+    ]
+
+
+def test_runtime_rejects_nothing_when_off():
+    molecule = MoleculeRuntime.create(num_dpus=1, seed=3)
+    assert molecule.hedging is None
+    assert molecule.invoker.hedging is None
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(pytest.main([__file__, "-q"]))

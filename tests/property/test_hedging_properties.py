@@ -1,0 +1,105 @@
+"""Property-based tests for tail-latency hedging.
+
+Machine-wide invariants over *generated* arrival plans with the hedge
+engine armed aggressively (so most plans actually race clones):
+
+* every planned request is answered exactly once — hedging never
+  duplicates or loses an answer;
+* the race accounting is conservative: clones fired bounds clones won
+  plus clones cancelled, and no loser ever runs to completion;
+* anti-affinity holds: no clone lands on its primary's PU.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import HedgeConfig
+from repro.loadgen import (
+    Arrival,
+    ArrivalPlan,
+    OpenLoopDriver,
+    build_runtime,
+)
+
+# Simulation runs are comparatively expensive; keep the example budget
+# small and the plans short.  The invariants are structural, not
+# statistical, so a handful of diverse plans is enough.
+_SIM_SETTINGS = settings(max_examples=15, deadline=None)
+
+#: Hedge nearly everything: tiny warm-up floor, 20ms fallback trigger.
+_HEDGE = HedgeConfig(min_samples=3, default_trigger_s=0.02)
+
+
+def _plan_from_gaps(gaps, functions):
+    """Build a plan from raw inter-arrival gaps and function picks."""
+    arrivals, now = [], 0.0
+    for gap, name in zip(gaps, functions):
+        now += gap
+        arrivals.append(Arrival(time_s=now, function=name))
+    return ArrivalPlan(tuple(arrivals), duration_s=now + 0.001)
+
+
+_gaps = st.lists(
+    st.floats(min_value=0.0, max_value=0.05, allow_nan=False),
+    min_size=1,
+    max_size=40,
+)
+
+
+@_SIM_SETTINGS
+@given(gaps=_gaps, seed=st.integers(min_value=0, max_value=2**16))
+def test_hedged_requests_answered_exactly_once(gaps, seed):
+    """Whatever the arrival structure (bursts of simultaneous arrivals
+    included), hedging must neither lose nor duplicate an answer."""
+    functions = ["thumb", "etl", "infer"] * (len(gaps) // 3 + 1)
+    plan = _plan_from_gaps(gaps, functions)
+    runtime, frontend = build_runtime(
+        plan, seed=seed, shards=2, hedge=_HEDGE
+    )
+    records = OpenLoopDriver(runtime, plan, frontend).run()
+    assert len(records) == len(plan)
+    answered = sum(1 for r in records if r.answered)
+    dead = len(runtime.dead_letters)
+    assert frontend.requests_admitted == len(plan)
+    assert answered + dead == len(plan)
+    # One record per planned arrival, each with a definite outcome.
+    assert sorted(r.index for r in records) == list(range(len(plan)))
+    assert all(r.outcome for r in records)
+
+
+@_SIM_SETTINGS
+@given(gaps=_gaps, seed=st.integers(min_value=0, max_value=2**16))
+def test_hedge_race_accounting_is_conservative(gaps, seed):
+    """fired >= won + cancelled (a clone that fails outright resolves
+    the race as neither), and losers never complete."""
+    functions = ["thumb", "etl", "infer"] * (len(gaps) // 3 + 1)
+    plan = _plan_from_gaps(gaps, functions)
+    runtime, frontend = build_runtime(
+        plan, seed=seed, shards=2, hedge=_HEDGE
+    )
+    OpenLoopDriver(runtime, plan, frontend).run()
+    hedger = runtime.hedging
+    assert hedger.fired >= hedger.won + hedger.cancelled
+    assert hedger.losers_completed == 0
+    assert hedger.fired == len(hedger.events)
+    # Wasted work only ever comes from resolved races.
+    if hedger.fired == 0:
+        assert hedger.wasted_s == 0.0
+        assert hedger.wasted_cost == 0.0
+
+
+@_SIM_SETTINGS
+@given(gaps=_gaps, seed=st.integers(min_value=0, max_value=2**16))
+def test_no_request_hedged_onto_its_own_pu(gaps, seed):
+    """Anti-affinity: every resolved clone placement differs from the
+    primary's PU recorded at fire time."""
+    functions = ["thumb", "etl", "infer"] * (len(gaps) // 3 + 1)
+    plan = _plan_from_gaps(gaps, functions)
+    runtime, frontend = build_runtime(
+        plan, seed=seed, shards=2, hedge=_HEDGE
+    )
+    OpenLoopDriver(runtime, plan, frontend).run()
+    for event in runtime.hedging.events:
+        assert event["primary_pu"] is not None
+        if event["clone_pu"] is not None:
+            assert event["clone_pu"] != event["primary_pu"]

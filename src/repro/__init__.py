@@ -42,6 +42,7 @@ from repro.hardware import (
     build_full_machine,
 )
 from repro.hedging import HedgeConfig, HedgePolicy
+from repro.overload import OverloadConfig, OverloadController
 from repro.sandbox import FunctionCode, Language
 from repro.sim import Simulator
 from repro.warmpath import WarmPathConfig, WarmPathEngine
@@ -65,6 +66,8 @@ __all__ = [
     "InvocationResult",
     "Language",
     "MoleculeRuntime",
+    "OverloadConfig",
+    "OverloadController",
     "PuKind",
     "RetryPolicy",
     "Simulator",

@@ -436,6 +436,9 @@ def _print_load(args) -> int:
             prewarm=args.prewarm,
             hedge=args.hedge,
             hedge_percentile=args.hedge_percentile,
+            overload=args.overload,
+            hedge_budget=args.hedge_budget,
+            deadline_s=args.deadline,
         )
     except Exception as exc:
         from repro.errors import ReproError
@@ -531,7 +534,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     load.add_argument("--scenario", default="poisson",
                       help="arrival scenario: poisson, burst, diurnal, "
-                           "azure (default: poisson)")
+                           "azure, overload (default: poisson)")
     load.add_argument("--rps", type=float, default=None,
                       help="peak arrival rate per second "
                            "(default: 200, or 40 with --quick)")
@@ -569,6 +572,19 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="PCT",
                       help="latency percentile that triggers a hedge "
                            "clone (default: 95)")
+    load.add_argument("--hedge-budget", type=float, default=None,
+                      metavar="RATIO",
+                      help="global hedge token bucket: at most RATIO "
+                           "clones per answered request (implies "
+                           "--hedge)")
+    load.add_argument("--overload", action="store_true",
+                      help="arm the overload controller: adaptive "
+                           "per-shard admission, deadline-aware "
+                           "shedding and brownout degradation")
+    load.add_argument("--deadline", type=float, default=None,
+                      metavar="SECONDS",
+                      help="per-request deadline (default: 30, or 2 "
+                           "for the overload scenario)")
     load.add_argument("--json", action="store_true",
                       help="emit the JSON report (minus host info) "
                            "instead of the summary")

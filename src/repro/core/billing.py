@@ -59,6 +59,10 @@ class BillingLedger:
 
     def __init__(self):
         self._entries: list[LedgerEntry] = []
+        #: Running sum of every entry's cost — O(1) for hot-path
+        #: consumers (the hedge budget's waste ceiling) where
+        #: :meth:`total` would rescan the ledger.
+        self.total_cost = 0.0
 
     def charge(
         self,
@@ -84,6 +88,7 @@ class BillingLedger:
             hedge_waste=hedge_waste,
         )
         self._entries.append(entry)
+        self.total_cost += entry.cost
         return entry
 
     def __len__(self) -> int:

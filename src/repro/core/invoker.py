@@ -25,6 +25,7 @@ from repro.errors import (
     RegistryError,
     ReliabilityError,
     ReproError,
+    RequestShed,
     RetriesExhaustedError,
     SandboxError,
     SchedulingError,
@@ -162,6 +163,10 @@ class Invoker:
         #: None keeps every hot path byte-identical to a runtime
         #: without hedging.
         self.hedging = None
+        #: Overload controller (repro.overload); wired by
+        #: OverloadController itself.  None keeps every hot path
+        #: byte-identical to a runtime without overload control.
+        self.overload = None
         self._reaper_wakeup = None
         if keep_alive_ttl_s is not None:
             self.runtime.sim.spawn(
@@ -217,6 +222,7 @@ class Invoker:
         deadline_s: Optional[float] = None,
         max_attempts: Optional[int] = None,
         gateway=None,
+        overload_bypass: bool = False,
     ):
         """Generator: run one request end to end.
 
@@ -232,6 +238,14 @@ class Invoker:
         ``max_attempts`` (default: the runtime's retry policy); requests
         out of attempts or past their deadline are dead-lettered and
         raise :class:`RetriesExhaustedError` / :class:`DeadlineExceeded`.
+
+        With an overload controller armed, the request additionally
+        takes a concurrency slot at its gateway's admission gate after
+        gateway admission — it may park in the bounded admission queue
+        or be refused outright with :class:`RequestShed` (counted
+        ``admitted`` but never retried or dead-lettered).
+        ``overload_bypass`` exempts the request from the gate (used for
+        half-open breaker probes, which must never be shed).
         """
         function = self.runtime.registry.get(name)
         if pu is not None and kind is None:
@@ -258,12 +272,32 @@ class Invoker:
                 # gateway: admission listeners only see a count, and
                 # the predictor needs the function identity.
                 self.engine.on_admission(function, kind)
-            result = yield from self._invoke_with_retries(
-                function, request_id, kind, pu, force_cold,
-                payload_bytes, exec_time_s, start, trace,
-                max_attempts or self.retry_policy.max_attempts,
-                gateway,
-            )
+            overload = self.overload
+            slot = None
+            if overload is not None:
+                # Adaptive admission after gateway admission (so sheds
+                # still count against ``admitted``) and before the retry
+                # loop (so a shed is never retried or dead-lettered).
+                slot = yield from overload.acquire(
+                    gateway, function, request_id, trace,
+                    bypass=overload_bypass,
+                )
+            try:
+                result = yield from self._invoke_with_retries(
+                    function, request_id, kind, pu, force_cold,
+                    payload_bytes, exec_time_s, start, trace,
+                    max_attempts or self.retry_policy.max_attempts,
+                    gateway,
+                )
+            except BaseException:
+                if slot is not None:
+                    overload.release(slot, ok=False)
+                raise
+            if slot is not None:
+                overload.release(slot, ok=True)
+        except RequestShed as exc:
+            trace.shed(exc.reason)
+            raise
         except Exception as exc:
             trace.fail(type(exc).__name__)
             raise
@@ -562,9 +596,24 @@ class Invoker:
 
     def _effective_kind(self, function, dispatch_kind):
         """Resolve graceful degradation: when every PU of an accelerator
-        kind is unavailable and the function also carries a
-        general-purpose profile, fall back to that profile's kind."""
-        if self.health is None or dispatch_kind.general_purpose:
+        kind is unavailable — or the overload controller's brownout is
+        active — and the function also carries a fallback profile, run
+        on that profile's kind instead.
+
+        The brownout falls back to the *host CPU* profile for any
+        non-CPU dispatch (accelerators and DPUs alike): during
+        saturation the cheap offload PUs are usually the ones drowning,
+        and answering on pricier host cores beats not answering.
+        """
+        if (self.overload is not None
+                and dispatch_kind is not PuKind.CPU
+                and self.overload.degrade_accelerated()
+                and function.supports(PuKind.CPU)):
+            self.overload.note_degraded()
+            return PuKind.CPU, True
+        if dispatch_kind.general_purpose:
+            return dispatch_kind, False
+        if self.health is None:
             return dispatch_kind, False
         pus = self.runtime.machine.pus_of_kind(dispatch_kind)
         if any(self.health.available(pu) for pu in pus):

@@ -73,6 +73,7 @@ class MoleculeRuntime:
         fault_plan=None,
         warmpath=None,
         hedging=None,
+        overload=None,
     ):
         self.sim = sim or Simulator()
         self.machine = machine or build_cpu_dpu_machine(self.sim, num_dpus=2)
@@ -86,7 +87,7 @@ class MoleculeRuntime:
         #: byte-identical.
         self.rng = SeededRng(seed if seed is not None else config.default_seed())
         self.retry_policy = retry_policy or RetryPolicy()
-        self.dead_letters = DeadLetterQueue()
+        self.dead_letters = DeadLetterQueue(obs=self.obs)
         self.health = HealthRegistry(self.sim, obs=self.obs)
         self.gateway = ApiGateway(
             self.sim, obs=self.obs, default_deadline_s=default_deadline_s
@@ -173,6 +174,20 @@ class MoleculeRuntime:
 
             hedge_config = HedgeConfig() if hedging is True else hedging
             self.hedging = HedgePolicy(self, hedge_config)
+        #: Optional overload controller (repro.overload): per-shard
+        #: adaptive concurrency limits, deadline-aware load shedding and
+        #: brownout degradation.  Pass an OverloadConfig (or True for
+        #: defaults); None leaves the stock byte-identical behavior.
+        #: Constructed after hedging so the brownout can reach the
+        #: hedge policy's clone token bucket.
+        self.overload = None
+        if overload is not None:
+            from repro.overload import OverloadConfig, OverloadController
+
+            overload_config = (
+                OverloadConfig() if overload is True else overload
+            )
+            self.overload = OverloadController(self, overload_config)
 
     # -- construction helpers -------------------------------------------------------
 
@@ -426,6 +441,14 @@ class MoleculeRuntime:
                 label = str(entry["shard"])
                 outstanding.bind(shard=label).set(entry["outstanding"])
                 utilization.bind(shard=label).set(entry["utilization"])
+        if self.overload is not None:
+            self.obs.ensure_overload_metrics()
+            limit_g = self.obs.overload_limit
+            depth_g = self.obs.overload_queue_depth
+            for gate in self.overload.gates():
+                limit_g.bind(shard=gate.label).set(gate.limiter.limit)
+                depth_g.bind(shard=gate.label).set(len(gate.queue))
+            self.obs.overload_pressure.set(self.overload.pressure())
 
     def metrics_snapshot(self) -> dict:
         """A JSON-friendly dump of every metric family, gauges freshly

@@ -20,6 +20,7 @@ use to survive it:
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional, TYPE_CHECKING
 
@@ -319,23 +320,52 @@ class DeadLetter:
 
 
 class DeadLetterQueue:
-    """Terminal parking lot for undeliverable requests."""
+    """Terminal parking lot for undeliverable requests.
 
-    def __init__(self):
-        self._entries: list[DeadLetter] = []
+    ``capacity`` bounds how many entries are *retained*: when a push
+    overflows a bounded queue the oldest retained entry is dropped
+    (drop-oldest — under sustained overload the recent dead letters are
+    the ones an operator can still act on) and ``overflowed`` counts
+    the evictions, mirrored to the lazy
+    ``repro_dead_letter_overflow_total`` counter when ``obs`` is wired.
+    ``len()`` deliberately keeps reporting the *total* ever
+    dead-lettered, not the retained count, so the machine-wide
+    conservation invariant (``answered + shed + dead == admitted``)
+    survives overflow.  The default (``capacity=None``) is unbounded
+    and behaves exactly as before; the overload controller installs a
+    bound when it arms.
+    """
+
+    def __init__(self, capacity: Optional[int] = None, obs=None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self.obs = obs
+        self._entries: deque[DeadLetter] = deque()
+        self.total = 0
+        self.overflowed = 0
 
     def push(self, entry: DeadLetter) -> DeadLetter:
-        """Record one undeliverable request."""
+        """Record one undeliverable request (a bounded queue at
+        capacity evicts its oldest entry)."""
+        self.total += 1
         self._entries.append(entry)
+        if self.capacity is not None and len(self._entries) > self.capacity:
+            self._entries.popleft()
+            self.overflowed += 1
+            if self.obs is not None:
+                self.obs.on_dead_letter_overflow()
         return entry
 
     def entries(self) -> list[DeadLetter]:
-        """All dead letters, oldest first."""
+        """Retained dead letters, oldest first."""
         return list(self._entries)
 
     def request_ids(self) -> set[int]:
-        """The request ids parked here (for the answered-xor-dead check)."""
+        """The retained request ids (for the answered-xor-dead check)."""
         return {entry.request_id for entry in self._entries}
 
     def __len__(self) -> int:
-        return len(self._entries)
+        """Total requests ever dead-lettered (invariant accounting;
+        equals the retained count while unbounded or under capacity)."""
+        return self.total

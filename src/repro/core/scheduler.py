@@ -60,6 +60,11 @@ class Scheduler:
             tuple[str, Optional[PuKind]],
             tuple[int, float, tuple[ProcessingUnit, ...]],
         ] = {}
+        #: Optional hedge feedback (repro.hedging with ``pu_feedback``):
+        #: reorders primary placement candidates so PUs whose hedged
+        #: primaries chronically lose their races sink to the back.
+        #: None (the default) keeps placement byte-identical.
+        self.hedge_feedback = None
 
     def _kind_order(self, function: FunctionDef) -> list[PuKind]:
         if self.prefer_cheapest:
@@ -136,6 +141,8 @@ class Scheduler:
         hedge anti-affinity: that PU is never chosen.
         """
         candidates = self.candidates(function, kind)
+        if self.hedge_feedback is not None:
+            candidates = self.hedge_feedback.reorder_candidates(candidates)
         if exclude is not None:
             candidates = tuple(pu for pu in candidates if pu is not exclude)
         if near is not None and near in candidates:

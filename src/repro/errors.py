@@ -104,6 +104,25 @@ class RetriesExhaustedError(ReliabilityError):
         self.errors = tuple(errors)
 
 
+class RequestShed(ReliabilityError):
+    """The overload controller refused this request at shard admission
+    (repro.overload): the bounded admission queue was full, or the
+    queue wait (estimated up front or actually accrued) had already
+    consumed the request's deadline budget.
+
+    Terminal but deliberately *cheap*: a shed request never reaches the
+    retry loop and is never dead-lettered — the client is expected to
+    back off and resubmit against a less-loaded ingress.  ``reason`` is
+    one of ``"queue_full"``, ``"predicted_wait"`` or ``"deadline"``.
+    """
+
+    def __init__(self, message: str, reason: str = "queue_full",
+                 request_id=None):
+        super().__init__(message)
+        self.reason = reason
+        self.request_id = request_id
+
+
 class HedgeCancelled(ReproError):
     """A hedged request copy was cancelled because the other copy
     already answered (repro.hedging).  Internal control flow: raised at

@@ -1,0 +1,97 @@
+"""Global hedge-clone budget: a token bucket over fired/answered.
+
+An adversarial latency distribution — one where most requests sit just
+past the trigger percentile — can make unbudgeted hedging clone nearly
+everything, doubling cost for no tail win.  The budget bounds the
+lifetime clone rate *provably*: tokens accrue at ``ratio`` per answered
+request, the bucket never holds more than ``burst``, and every clone
+launch spends one token, so
+
+    ``fired <= burst + ratio * answered``
+
+holds for any workload (the regression test pins exactly this bound).
+The bucket is also the overload controller's brownout lever: flipping
+``throttled`` refuses every clone while the machine is saturated,
+whatever the token balance — speculative duplicates are precisely the
+capacity live requests are missing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class HedgeBudget:
+    """Token-bucket clone-rate limiter shared by all functions.
+
+    ``ratio`` None disables rate limiting but keeps the bucket
+    throttleable (the shape the overload controller installs when the
+    user armed hedging without a budget).  ``waste_ceiling``
+    additionally refuses clones while hedge-wasted cost exceeds the
+    given fraction of the total bill so far.
+    """
+
+    def __init__(self, ratio: Optional[float] = None, burst: float = 4.0,
+                 waste_ceiling: Optional[float] = None):
+        if ratio is not None and ratio <= 0.0:
+            raise ValueError(f"budget ratio must be positive: {ratio}")
+        if burst < 1.0:
+            raise ValueError(f"budget burst must be >= 1: {burst}")
+        if waste_ceiling is not None and not 0.0 < waste_ceiling <= 1.0:
+            raise ValueError(
+                f"waste ceiling must be in (0, 1]: {waste_ceiling}"
+            )
+        self.ratio = ratio
+        self.burst = float(burst)
+        self.waste_ceiling = waste_ceiling
+        self.tokens = float(burst)
+        #: Brownout switch (repro.overload): while True every clone is
+        #: refused regardless of token balance.
+        self.throttled = False
+        self.answered = 0
+        self.granted = 0
+        self.denied = 0
+        self.denied_throttled = 0
+        self.denied_waste = 0
+
+    def on_answered(self) -> None:
+        """One request answered: accrue clone budget."""
+        self.answered += 1
+        if self.ratio is not None:
+            self.tokens = min(self.burst, self.tokens + self.ratio)
+
+    def try_fire(self, wasted_cost: float = 0.0,
+                 total_cost: float = 0.0) -> bool:
+        """Spend one token for a clone launch; False refuses the clone."""
+        if self.throttled:
+            self.denied += 1
+            self.denied_throttled += 1
+            return False
+        if (self.waste_ceiling is not None and total_cost > 0.0
+                and wasted_cost / total_cost >= self.waste_ceiling):
+            self.denied += 1
+            self.denied_waste += 1
+            return False
+        if self.ratio is None:
+            self.granted += 1
+            return True
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            self.granted += 1
+            return True
+        self.denied += 1
+        return False
+
+    def snapshot(self) -> dict:
+        """Deterministic lifetime accounting for the SLO report."""
+        return {
+            "ratio": self.ratio,
+            "burst": self.burst,
+            "waste_ceiling": self.waste_ceiling,
+            "tokens": round(self.tokens, 9),
+            "throttled": self.throttled,
+            "granted": self.granted,
+            "denied": self.denied,
+            "denied_throttled": self.denied_throttled,
+            "denied_waste": self.denied_waste,
+        }

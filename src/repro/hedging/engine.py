@@ -60,6 +60,26 @@ class HedgeConfig:
     #: whatever the histogram says (sub-ms triggers would clone nearly
     #: every request).
     min_trigger_s: float = 0.002
+    #: Global clone budget (repro.hedging.budget): tokens accrue at
+    #: this ratio per answered request and every clone spends one, so
+    #: lifetime ``fired <= budget_burst + budget_ratio * answered``
+    #: whatever the latency distribution.  None disables rate limiting
+    #: (the overload controller still installs a throttleable bucket
+    #: for its brownout when needed).
+    budget_ratio: Optional[float] = None
+    #: Token-bucket depth: clones the budget may burst ahead of accrual.
+    budget_burst: float = 4.0
+    #: Refuse clones while hedge-wasted cost exceeds this fraction of
+    #: the total bill so far (None: no waste ceiling).
+    budget_waste_ceiling: Optional[float] = None
+    #: Feed the hedger's per-PU win/waste history back into
+    #: ``Scheduler.place()`` so chronically slow PUs are deprioritised
+    #: for primaries, not just excluded for clones.  Off by default:
+    #: reordering changes placement and therefore golden traces.
+    pu_feedback: bool = False
+    #: Hedged primaries a PU must have hosted before the feedback
+    #: reordering trusts its loss rate.
+    pu_feedback_min_samples: int = 8
 
 
 class _HedgeState:
@@ -137,6 +157,7 @@ class HedgePolicy:
         self.won = 0
         self.cancelled = 0
         self.skipped = 0
+        self.throttled = 0
         self.losers_completed = 0
         self.wasted_s = 0.0
         self.wasted_cost = 0.0
@@ -144,9 +165,27 @@ class HedgePolicy:
         #: One record per fired hedge, in fire order; mutated in place
         #: as each race resolves.  The golden hedge trace pins these.
         self.events: list[dict] = []
+        #: Global clone token bucket (None: unbudgeted and, absent an
+        #: overload controller, unthrottleable).
+        self.budget = None
+        if (self.config.budget_ratio is not None
+                or self.config.budget_waste_ceiling is not None):
+            from repro.hedging.budget import HedgeBudget
+
+            self.budget = HedgeBudget(
+                ratio=self.config.budget_ratio,
+                burst=self.config.budget_burst,
+                waste_ceiling=self.config.budget_waste_ceiling,
+            )
+        #: Per-PU primary history: name -> {primaries, lost, waste_s}.
+        #: A "lost" primary is one whose clone answered first — the
+        #: sign the PU was the slow side of the race.
+        self.pu_stats: dict[str, dict] = {}
         if runtime.obs is not None:
             runtime.obs.ensure_hedge_metrics()
         runtime.invoker.hedging = self
+        if self.config.pu_feedback:
+            runtime.scheduler.hedge_feedback = self
 
     # -- trigger ---------------------------------------------------------------------
 
@@ -154,6 +193,8 @@ class HedgePolicy:
         """Feed one successful completion into the latency tracker."""
         self.tracker.observe(func_name, latency_s)
         self.observed += 1
+        if self.budget is not None:
+            self.budget.on_answered()
 
     def trigger_delay(self, function) -> Optional[float]:
         """Seconds a request may fly before its clone launches, or
@@ -214,10 +255,20 @@ class HedgePolicy:
         if not candidates:
             self.skipped += 1
             return False
+        if self.budget is not None:
+            total_cost = (self.runtime.ledger.total_cost
+                          if self.budget.waste_ceiling is not None else 0.0)
+            if not self.budget.try_fire(self.wasted_cost, total_cost):
+                self.skipped += 1
+                self.throttled += 1
+                if self.runtime.obs is not None:
+                    self.runtime.obs.on_hedge_throttled(function.name)
+                return False
         state.fired = True
         state.exclude = primary_pu
         state.pending += 1
         self.fired += 1
+        self._pu_stat(primary_pu.name)["primaries"] += 1
         if self.runtime.obs is not None:
             self.runtime.obs.on_hedge_fired(function.name)
         state.event = {
@@ -241,6 +292,8 @@ class HedgePolicy:
             self.won += 1
             if self.runtime.obs is not None:
                 self.runtime.obs.on_hedge_won(state.function.name)
+            if state.event is not None:
+                self._pu_stat(state.event["primary_pu"])["lost"] += 1
 
     def on_cancelled(self, state: _HedgeState, tag: str, attempt_info,
                      wasted_s: float) -> None:
@@ -274,13 +327,50 @@ class HedgePolicy:
             request_id, function.name, pu, exec_s, hedge_waste=True
         )
         self.wasted_cost += entry.cost
+        self._pu_stat(pu.name)["waste_s"] += exec_s
         return entry
+
+    # -- per-PU feedback (consulted by Scheduler.place) --------------------------------
+
+    def _pu_stat(self, pu_name: str) -> dict:
+        stat = self.pu_stats.get(pu_name)
+        if stat is None:
+            stat = {"primaries": 0, "lost": 0, "waste_s": 0.0}
+            self.pu_stats[pu_name] = stat
+        return stat
+
+    def pu_penalty(self, pu_name: str) -> float:
+        """Fraction of this PU's hedged primaries that lost their race
+        to a clone (0.0 until the sample floor is met — a cold PU must
+        not be punished on noise)."""
+        stat = self.pu_stats.get(pu_name)
+        if (stat is None
+                or stat["primaries"] < self.config.pu_feedback_min_samples):
+            return 0.0
+        return stat["lost"] / stat["primaries"]
+
+    def reorder_candidates(self, candidates):
+        """Stable-reorder placement candidates by hedge-loss penalty:
+        chronically slow PUs sink to the back of the primary order
+        without being excluded (they still serve when the rest are
+        full, unlike clone anti-affinity)."""
+        if len(candidates) < 2:
+            return candidates
+        penalties = [self.pu_penalty(pu.name) for pu in candidates]
+        first = penalties[0]
+        if all(penalty == first for penalty in penalties):
+            return candidates
+        order = sorted(range(len(candidates)),
+                       key=lambda i: (penalties[i], i))
+        return tuple(candidates[i] for i in order)
 
     # -- reporting -------------------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """Lifetime accounting (stable keys, deterministic values)."""
-        return {
+        """Lifetime accounting (stable keys, deterministic values;
+        budget keys appear only when a bucket is installed, keeping
+        unbudgeted reports identical to earlier releases)."""
+        snap = {
             "fired": self.fired,
             "won": self.won,
             "cancelled": self.cancelled,
@@ -290,3 +380,7 @@ class HedgePolicy:
             "wasted_cost": round(self.wasted_cost, 9),
             "observed": self.observed,
         }
+        if self.budget is not None:
+            snap["throttled"] = self.throttled
+            snap["budget"] = self.budget.snapshot()
+        return snap

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, TYPE_CHECKING
 
-from repro.errors import ReproError
+from repro.errors import ReproError, RequestShed
 from repro.loadgen.arrivals import ArrivalPlan
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -26,6 +26,11 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: Outcome values in RequestRecord.outcome.
 OUTCOME_OK = "ok"
+#: A request the admission gate deliberately refused (repro.overload).
+#: Distinct from failure outcomes: sheds are back-pressure, and the
+#: conservation invariant counts them apart from dead letters
+#: (``answered + shed + dead == admitted``).
+OUTCOME_SHED = "Shed"
 
 
 @dataclass
@@ -50,6 +55,11 @@ class RequestRecord:
     def answered(self) -> bool:
         """True if the request produced a response."""
         return self.outcome == OUTCOME_OK
+
+    @property
+    def shed(self) -> bool:
+        """True if the admission gate deliberately refused the request."""
+        return self.outcome == OUTCOME_SHED
 
     def tuple(self) -> tuple:
         """The golden-trace comparison tuple.
@@ -116,7 +126,10 @@ class OpenLoopDriver:
                 payload_bytes=arrival.payload_bytes,
             )
         except ReproError as exc:
-            record.outcome = type(exc).__name__
+            record.outcome = (
+                OUTCOME_SHED if isinstance(exc, RequestShed)
+                else type(exc).__name__
+            )
             record.latency_s = self.runtime.sim.now - record.submitted_s
         else:
             record.admitted_s = result.admitted_s
@@ -206,7 +219,10 @@ class ClosedLoopDriver:
                     payload_bytes=arrival.payload_bytes,
                 )
             except ReproError as exc:
-                record.outcome = type(exc).__name__
+                record.outcome = (
+                    OUTCOME_SHED if isinstance(exc, RequestShed)
+                    else type(exc).__name__
+                )
                 record.latency_s = self.runtime.sim.now - record.submitted_s
             else:
                 record.admitted_s = result.admitted_s

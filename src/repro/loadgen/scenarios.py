@@ -42,6 +42,17 @@ from repro.workloads.traces import AzureLikeTrace, DiurnalProfile, OnOffProfile
 QUICK_DEFAULTS = (40.0, 5.0, 2)
 FULL_DEFAULTS = (200.0, 60.0, 4)
 
+#: The ``overload`` scenario multiplies the nominal rps by this factor
+#: to push offered load well past the point where the DPU path's cold
+#: stampedes turn into congestion collapse.
+OVERLOAD_FACTOR = 8.0
+#: ... with a deadline tight enough that queueing visibly eats it.
+OVERLOAD_DEADLINE_S = 2.0
+#: ... and a keep-alive TTL equal to the deadline: long enough to ride
+#: out burst gaps, short enough that the initial stampede and the
+#: post-crash re-stampede still re-pay their cold starts.
+OVERLOAD_KEEP_ALIVE_S = 2.0
+
 #: The standard three-function deployment every scenario drives: a hot
 #: thumbnailer that may land on CPU or DPU, a DPU-pinned ETL stage and
 #: a CPU-only model-inference function.
@@ -97,12 +108,47 @@ def _plan_azure(rng: SeededRng, rps: float, duration_s: float) -> ArrivalPlan:
     ).plan(duration_s)
 
 
+def overload_mix() -> FunctionMix:
+    """The ``overload`` scenario's DPU-heavy mix: most traffic pinned
+    to the machine's scarcest PUs, so saturation hits where it hurts."""
+    return FunctionMix.of(
+        ("etl", 0.7, PuKind.DPU),
+        ("thumb", 0.2),
+        ("infer", 0.1, PuKind.CPU),
+    )
+
+
+def _plan_overload(rng: SeededRng, rps: float, duration_s: float) -> ArrivalPlan:
+    """Chaos-under-saturation: bursts at OVERLOAD_FACTOR x the nominal
+    rate, long on-phases with short gaps — sustained saturation, not
+    the spiky profile of the ``burst`` scenario."""
+    profile = OnOffProfile(on_s=duration_s / 4, off_s=duration_s / 16)
+    return BurstyArrivals(
+        overload_mix(), rps * OVERLOAD_FACTOR, profile=profile, rng=rng
+    ).plan(duration_s)
+
+
+def overload_fault_plan(duration_s: float):
+    """The canned chaos for the ``overload`` scenario: one DPU crashes
+    30% into the run and reboots after another 30%, removing a third of
+    the DPU capacity exactly while the machine is already saturated."""
+    from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+
+    return FaultPlan.of(FaultSpec(
+        kind=FaultKind.PU_CRASH,
+        target="dpu0",
+        at_s=0.3 * duration_s,
+        reboot_after_s=0.3 * duration_s,
+    ))
+
+
 #: name -> plan builder; ``repro load --scenario`` keys into this.
 _SCENARIOS: dict[str, Callable[[SeededRng, float, float], ArrivalPlan]] = {
     "poisson": _plan_poisson,
     "burst": _plan_burst,
     "diurnal": _plan_diurnal,
     "azure": _plan_azure,
+    "overload": _plan_overload,
 }
 
 
@@ -117,6 +163,8 @@ def build_runtime(
     prewarm: bool = False,
     hedge=False,
     hedge_percentile: Optional[float] = None,
+    overload=False,
+    hedge_budget: Optional[float] = None,
 ):
     """Boot a deployment sized for ``plan`` with a sharded front end.
 
@@ -125,8 +173,11 @@ def build_runtime(
     arms the warm-path engine (cold-start coalescing + predictive
     pre-warm); ``hedge`` arms the tail-latency hedging engine (pass
     True for defaults or a HedgeConfig for full control, with
-    ``hedge_percentile`` overriding the trigger percentile).  Both are
-    off by default so existing runs stay byte-identical.
+    ``hedge_percentile`` overriding the trigger percentile);
+    ``overload`` arms the overload controller (True for defaults or an
+    OverloadConfig); ``hedge_budget`` sets the hedge clone token-bucket
+    ratio (implies ``hedge``).  All are off by default so existing runs
+    stay byte-identical.
     """
     sim = Simulator()
     machine = build_cpu_dpu_machine(sim, num_dpus=num_dpus)
@@ -137,12 +188,22 @@ def build_runtime(
 
         warmpath = WarmPathConfig()
     hedging = None
-    if hedge:
+    if hedge or hedge_budget is not None:
         from repro.hedging import HedgeConfig
 
         hedging = hedge if isinstance(hedge, HedgeConfig) else HedgeConfig()
         if hedge_percentile is not None:
             hedging = replace(hedging, percentile=hedge_percentile)
+        if hedge_budget is not None:
+            hedging = replace(hedging, budget_ratio=hedge_budget)
+    overload_cfg = None
+    if overload:
+        from repro.overload import OverloadConfig
+
+        overload_cfg = (
+            overload if isinstance(overload, OverloadConfig)
+            else OverloadConfig()
+        )
     runtime = MoleculeRuntime(
         sim,
         machine,
@@ -152,6 +213,7 @@ def build_runtime(
         keep_alive_ttl_s=keep_alive_ttl_s,
         warmpath=warmpath,
         hedging=hedging,
+        overload=overload_cfg,
     )
     runtime.start()
     for name, import_ms, exec_ms, profiles in _FUNCTIONS:
@@ -196,6 +258,9 @@ def run_load(
     prewarm: bool = False,
     hedge=False,
     hedge_percentile: Optional[float] = None,
+    overload=False,
+    hedge_budget: Optional[float] = None,
+    deadline_s: Optional[float] = None,
 ) -> dict:
     """Run one canned load scenario and return its BENCH_load report."""
     try:
@@ -211,6 +276,17 @@ def run_load(
     rps = rps if rps is not None else d_rps
     duration_s = duration_s if duration_s is not None else d_duration
     shards = shards if shards is not None else d_shards
+    if scenario == "overload":
+        # The chaos-under-saturation defaults: a deadline tight enough
+        # for queueing to eat, cold stampedes every burst, and a DPU
+        # crash mid-run.  Each is only a default — explicit arguments
+        # still win.
+        if deadline_s is None:
+            deadline_s = OVERLOAD_DEADLINE_S
+        if keep_alive_ttl_s is None:
+            keep_alive_ttl_s = OVERLOAD_KEEP_ALIVE_S
+        if fault_plan is None:
+            fault_plan = overload_fault_plan(duration_s)
 
     rng = SeededRng(seed).fork(f"loadgen:{scenario}")
     plan = plan_builder(rng, rps, duration_s)
@@ -218,8 +294,10 @@ def run_load(
     wall_start = time.perf_counter()
     runtime, frontend = build_runtime(
         plan, seed, shards, policy=policy,
+        default_deadline_s=deadline_s if deadline_s is not None else 30.0,
         keep_alive_ttl_s=keep_alive_ttl_s, prewarm=prewarm,
         hedge=hedge, hedge_percentile=hedge_percentile,
+        overload=overload, hedge_budget=hedge_budget,
     )
     if fault_plan is not None:
         attach_fault_plan(runtime, fault_plan)
@@ -251,6 +329,10 @@ def run_load(
             "quick": quick,
             "prewarm": prewarm,
             **(
+                {"deadline_s": deadline_s}
+                if deadline_s is not None and deadline_s != 30.0 else {}
+            ),
+            **(
                 {"keep_alive_ttl_s": keep_alive_ttl_s}
                 if keep_alive_ttl_s is not None else {}
             ),
@@ -261,6 +343,11 @@ def run_load(
                 }
                 if runtime.hedging is not None else {}
             ),
+            **(
+                {"hedge_budget": hedge_budget}
+                if hedge_budget is not None else {}
+            ),
+            **({"overload": True} if runtime.overload is not None else {}),
             **({"concurrency": concurrency} if mode == "closed" else {}),
         },
         wall_s=wall_s,

@@ -27,8 +27,8 @@ import zlib
 from typing import Optional, TYPE_CHECKING
 
 from repro.core.gateway import ApiGateway
-from repro.core.reliability import CircuitBreaker
-from repro.errors import SchedulingError
+from repro.core.reliability import BreakerState, CircuitBreaker
+from repro.errors import RequestShed, SchedulingError
 from repro.hardware.pu import PuKind
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -109,6 +109,8 @@ class GatewayShard:
         self.routed = 0
         self.completed = 0
         self.failed = 0
+        #: Requests shed at this shard's admission gate (repro.overload).
+        self.shed = 0
         #: Integral of wall (sim) time with >= 1 request in flight.
         self.busy_s = 0.0
         self._busy_since: Optional[float] = None
@@ -138,6 +140,20 @@ class GatewayShard:
         else:
             self.failed += 1
             self.breaker.record_failure(self.sim.now)
+
+    def end_shed(self) -> None:
+        """A routed request was shed at admission (repro.overload).
+
+        A shed is deliberate back-pressure, not a shard failure: the
+        breaker records nothing — a saturated shard tripping its own
+        breaker open would amplify the overload it is shedding against
+        — and the count is reported apart from ``failed``.
+        """
+        self.shed += 1
+        self.outstanding -= 1
+        if self.outstanding == 0 and self._busy_since is not None:
+            self.busy_s += self.sim.now - self._busy_since
+            self._busy_since = None
 
     def utilization(self, elapsed_s: float) -> float:
         """Fraction of ``elapsed_s`` this shard had requests in flight."""
@@ -198,6 +214,9 @@ class ShardedFrontend:
             for pu_id in shard.affinity
         }
         runtime.frontend = self
+        overload = getattr(runtime, "overload", None)
+        if overload is not None:
+            overload.attach_frontend(self)
 
     def __len__(self) -> int:
         return len(self.shards)
@@ -253,11 +272,23 @@ class ShardedFrontend:
         """Generator: route one request and run it through its shard."""
         kind = kwargs.get("kind")
         shard = self.route(name, kind)
+        if getattr(self.runtime, "overload", None) is not None:
+            # A half-open breaker's single probe must never be shed: it
+            # is the only signal that can close the breaker again.
+            # Detected before begin_request claims the probe slot (the
+            # claim itself flips probe_in_flight).
+            kwargs["overload_bypass"] = (
+                shard.breaker.state is BreakerState.HALF_OPEN
+                and not shard.breaker.probe_in_flight
+            )
         shard.begin_request()
         try:
             result = yield from self.runtime.invoker.invoke(
                 name, gateway=shard.gateway, **kwargs
             )
+        except RequestShed:
+            shard.end_shed()
+            raise
         except Exception:
             shard.end_request(ok=False)
             raise
@@ -272,6 +303,7 @@ class ShardedFrontend:
         elapsed = (
             elapsed_s if elapsed_s is not None else self.runtime.sim.now
         )
+        overload = getattr(self.runtime, "overload", None)
         return [
             {
                 "shard": shard.index,
@@ -279,6 +311,9 @@ class ShardedFrontend:
                 "admitted": shard.gateway.requests_admitted,
                 "completed": shard.completed,
                 "failed": shard.failed,
+                # Conditional so controller-off reports stay
+                # byte-identical to earlier releases.
+                **({"shed": shard.shed} if overload is not None else {}),
                 "outstanding": shard.outstanding,
                 "utilization": shard.utilization(elapsed),
                 "breaker": shard.breaker.state.value,

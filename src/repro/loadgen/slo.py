@@ -84,12 +84,14 @@ def build_report(
     sim_elapsed = elapsed_s if elapsed_s is not None else runtime.sim.now
     busy_baseline = busy_baseline or {}
     answered = [r for r in records if r.answered]
-    failed = len(records) - len(answered)
+    shed = sum(1 for r in records if r.shed)
+    failed = len(records) - len(answered) - shed
     if frontend is not None:
         admitted = frontend.requests_admitted
     else:
         admitted = runtime.gateway.requests_admitted
     dead = len(runtime.dead_letters)
+    overload = getattr(runtime, "overload", None)
 
     # Per-stage latencies from the span trees.  Failed requests never
     # publish phase histograms, so these cover answered requests only.
@@ -119,8 +121,16 @@ def build_report(
             "admitted": admitted,
             "answered": len(answered),
             "failed": failed,
+            # Conditional so controller-off reports stay byte-identical.
+            **(
+                {
+                    "shed": shed,
+                    "shed_rate": shed / len(records) if records else 0.0,
+                }
+                if overload is not None else {}
+            ),
             "dead_lettered": dead,
-            "lost": admitted - len(answered) - dead,
+            "lost": admitted - len(answered) - dead - shed,
             "goodput_per_s": (
                 len(answered) / sim_elapsed if sim_elapsed > 0 else 0.0
             ),
@@ -183,6 +193,26 @@ def build_report(
                 snap["wasted_cost"] / total.cost if total.cost else 0.0
             ),
         }
+    if overload is not None:
+        over_snap = overload.snapshot()
+        report["overload"] = {
+            **over_snap,
+            "shed_rate": shed / len(records) if records else 0.0,
+            # Clamped: after the last response the pressure signal is
+            # frozen, so an open brownout interval stretches into the
+            # post-drain sim tail (orphaned deadline timers keep the
+            # clock ticking long past the measurement window).
+            "brownout_fraction": (
+                min(1.0, overload.brownout_s() / sim_elapsed)
+                if sim_elapsed > 0 else 0.0
+            ),
+            "conserved": overload.conserved(admitted, len(answered), dead),
+            # The overload acceptance metric: latency among requests the
+            # controller chose to answer (sheds excluded by definition).
+            "goodput_answered": latency_block(
+                [r.latency_s for r in answered]
+            ),
+        }
     return report
 
 
@@ -220,9 +250,13 @@ def format_report(report: dict) -> str:
             f"p99={block['p99_ms']:.3f} (n={block['count']})"
         )
     for shard in report["shards"]:
+        shed_part = (
+            f" shed={shard['shed']}" if "shed" in shard else ""
+        )
         lines.append(
             f"  shard {shard['shard']}: routed={shard['routed']} "
-            f"admitted={shard['admitted']} failed={shard['failed']} "
+            f"admitted={shard['admitted']} failed={shard['failed']}"
+            f"{shed_part} "
             f"util={shard['utilization']:.1%} breaker={shard['breaker']}"
         )
     for pu in report["pus"]:
@@ -239,6 +273,24 @@ def format_report(report: dict) -> str:
             f"wasted_cost={hedging['wasted_cost']:.0f} "
             f"({hedging['wasted_cost_fraction']:.2%} of bill)"
         )
+    overload = report.get("overload")
+    if overload is not None:
+        lines.append(
+            f"  overload: shed={overload['shed']} "
+            f"({overload['shed_rate']:.1%}) "
+            f"brownout={overload['brownout_fraction']:.1%} "
+            f"({overload['brownout_entries']} entries) "
+            f"degraded={overload['degraded_forced']} "
+            f"conserved={overload['conserved']}"
+        )
+        for gate in overload["gates"]:
+            lines.append(
+                f"    gate {gate['shard']}: limit={gate['limit']} "
+                f"[{gate['limit_min']}..{gate['limit_max']}] "
+                f"admitted={gate['admitted']} shed={gate['shed']} "
+                f"queued={gate['queued']} "
+                f"max_queue={gate['max_queue_depth']}"
+            )
     return "\n".join(lines)
 
 

@@ -219,6 +219,19 @@ class Observability:
         self.hedge_won_total = None
         self.hedge_cancelled_total = None
         self.hedge_wasted_seconds_total = None
+        self.hedge_throttled_total = None
+        # -- overload controller ---------------------------------------------------------
+        # Registered lazily (ensure_overload_metrics): only runs with an
+        # OverloadController wired see these families, keeping the
+        # metric catalog byte-identical for controller-off golden runs.
+        self.shed_total = None
+        self.overload_limit = None
+        self.overload_queue_depth = None
+        self.overload_pressure = None
+        self.brownout_transitions_total = None
+        #: Dead-letter overflow — lazy for the same reason (only bounded
+        #: queues that actually overflow ever see it).
+        self.dead_letter_overflow_total = None
 
         # -- bound child handles ---------------------------------------------------
         # Labelled hot-path hooks memoize children per label tuple so
@@ -242,6 +255,8 @@ class Observability:
         self._shard_children: dict[tuple[str, str], object] = {}
         self._warmpath_children: dict[tuple[str, str], object] = {}
         self._hedge_children: dict[tuple[str, str], object] = {}
+        self._shed_children: dict[tuple[str, str], object] = {}
+        self._brownout_children: dict[str, object] = {}
 
     # -- lifecycle spans -----------------------------------------------------------
 
@@ -300,9 +315,21 @@ class Observability:
         child.inc()
         self.traces.append(trace)
 
+    def record_shed(self, trace: RequestTrace) -> None:
+        """Keep a load-shed trace (repro.overload) without touching the
+        histograms or the failure counters: a shed is deliberate
+        back-pressure, not an error, and is counted by reason through
+        :meth:`on_shed` instead."""
+        self.traces.append(trace)
+
     def completed_traces(self) -> list[RequestTrace]:
-        """Recorded traces that finished cleanly (no error attribute)."""
-        return [t for t in self.traces if "error" not in t.root.attributes]
+        """Recorded traces that finished cleanly (neither failed nor
+        shed)."""
+        return [
+            t for t in self.traces
+            if "error" not in t.root.attributes
+            and "shed" not in t.root.attributes
+        ]
 
     # -- component hooks -----------------------------------------------------------
 
@@ -590,6 +617,12 @@ class Observability:
             "discarded.",
             ("function",),
         )
+        self.hedge_throttled_total = r.counter(
+            "repro_hedge_throttled",
+            "Hedge clones refused by the global token-bucket budget "
+            "(out of tokens, waste ceiling, or overload brownout).",
+            ("function",),
+        )
 
     def _hedge_child(self, family, kind: str, function: str):
         key = (kind, function)
@@ -623,6 +656,81 @@ class Observability:
             self._hedge_child(
                 self.hedge_wasted_seconds_total, "wasted", function
             ).inc(seconds)
+
+    def on_hedge_throttled(self, function: str) -> None:
+        """One hedge clone refused by the token-bucket budget."""
+        self.ensure_hedge_metrics()
+        self._hedge_child(
+            self.hedge_throttled_total, "throttled", function
+        ).inc()
+
+    # -- overload controller hooks ------------------------------------------------------
+
+    def ensure_overload_metrics(self) -> None:
+        """Register the overload metric families on first use."""
+        if self.shed_total is not None:
+            return
+        r = self.registry
+        self.shed_total = r.counter(
+            "repro_shed_total",
+            "Requests shed at shard admission by the overload "
+            "controller, by reason (queue_full | predicted_wait | "
+            "deadline).",
+            ("function", "reason"),
+        )
+        self.overload_limit = r.gauge(
+            "repro_overload_limit",
+            "Adaptive AIMD concurrency limit per gateway shard "
+            "(snapshot time).",
+            ("shard",),
+        )
+        self.overload_queue_depth = r.gauge(
+            "repro_overload_queue_depth",
+            "Bounded admission-queue depth per gateway shard "
+            "(snapshot time).",
+            ("shard",),
+        )
+        self.overload_pressure = r.gauge(
+            "repro_overload_pressure",
+            "Saturation signal: worst shard's queue-fill x limit "
+            "utilization (snapshot time).",
+        )
+        self.brownout_transitions_total = r.counter(
+            "repro_overload_brownout_total",
+            "Brownout state transitions (enter | exit).",
+            ("state",),
+        )
+
+    def on_shed(self, function: str, reason: str) -> None:
+        """One request shed at admission."""
+        self.ensure_overload_metrics()
+        key = (function, reason)
+        child = self._shed_children.get(key)
+        if child is None:
+            child = self.shed_total.bind(function=function, reason=reason)
+            self._shed_children[key] = child
+        child.inc()
+
+    def on_brownout(self, active: bool) -> None:
+        """The brownout state machine transitioned."""
+        self.ensure_overload_metrics()
+        state = "enter" if active else "exit"
+        child = self._brownout_children.get(state)
+        if child is None:
+            child = self.brownout_transitions_total.bind(state=state)
+            self._brownout_children[state] = child
+        child.inc()
+
+    def on_dead_letter_overflow(self) -> None:
+        """A bounded dead-letter queue evicted its oldest entry (lazy:
+        only bounded queues that actually overflow ever see it)."""
+        if self.dead_letter_overflow_total is None:
+            self.dead_letter_overflow_total = self.registry.counter(
+                "repro_dead_letter_overflow_total",
+                "Dead letters evicted (drop-oldest) by a bounded "
+                "dead-letter queue at capacity.",
+            )
+        self.dead_letter_overflow_total.inc()
 
     def on_nipc_dropped(self) -> None:
         """One XPU-FIFO message dropped by an injected fault."""

@@ -31,7 +31,9 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.observability import Observability
 
 #: The lifecycle phase names, in request order (sandbox_start appears
-#: only on cold starts).
+#: only on cold starts).  A sixth phase, ``queue``, appears between
+#: admit and schedule only when an overload controller parks the
+#: request in a shard's bounded admission queue (repro.overload).
 LIFECYCLE_PHASES = ("admit", "schedule", "sandbox_start", "exec", "respond")
 
 #: start_kind label values.
@@ -92,6 +94,21 @@ class RequestTrace:
         self.annotate(error=error)
         self.obs.record_failure(self)
 
+    def shed(self, reason: str) -> None:
+        """Abandon the trace for a load-shed request (repro.overload):
+        unwind every open span, tag the root with the shed reason, and
+        record it apart from both the completed and the failed
+        populations — a shed is deliberate back-pressure, not an
+        error, and must not skew either the phase histograms or the
+        failure counters."""
+        if self.finished:
+            return
+        while self.tracer._stack:
+            self.tracer.end(self.tracer._stack[-1])
+        self.finished = True
+        self.annotate(shed=reason)
+        self.obs.record_shed(self)
+
     def unwind(self) -> None:
         """Close every open span except the root ``request`` span.
 
@@ -145,6 +162,9 @@ class NullRequestTrace:
         return None
 
     def fail(self, error: str) -> None:
+        return None
+
+    def shed(self, reason: str) -> None:
         return None
 
     def unwind(self) -> None:

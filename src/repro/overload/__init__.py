@@ -1,0 +1,20 @@
+"""Overload control: adaptive admission, deadline shedding, brownout.
+
+The control plane's governor for demand past capacity.  See
+:mod:`repro.overload.engine` for the mechanism and ``docs/overload.md``
+for tuning guidance.
+"""
+
+from repro.overload.engine import (
+    AdaptiveLimit,
+    AdmissionGate,
+    OverloadConfig,
+    OverloadController,
+)
+
+__all__ = [
+    "AdaptiveLimit",
+    "AdmissionGate",
+    "OverloadConfig",
+    "OverloadController",
+]

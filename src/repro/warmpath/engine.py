@@ -436,6 +436,11 @@ class WarmPathEngine:
 
     def _stock(self, function: "FunctionDef", predicted_rps: float) -> None:
         """Fork instances to cover the function's predicted deficit."""
+        overload = getattr(self.runtime, "overload", None)
+        if overload is not None and overload.suppress_prewarm():
+            # Brownout: speculative capacity competes with admitted
+            # requests for the cores that are already oversubscribed.
+            return
         kind = self._gp_kind(function)
         if kind is None:
             return

@@ -187,7 +187,9 @@ def test_run_load_is_deterministic_and_complete():
 def test_run_load_unknown_scenario():
     with pytest.raises(ReproError):
         run_load("nope", quick=True)
-    assert scenario_names() == ["azure", "burst", "diurnal", "poisson"]
+    assert scenario_names() == [
+        "azure", "burst", "diurnal", "overload", "poisson"
+    ]
 
 
 def test_run_load_closed_mode():

@@ -386,20 +386,35 @@ def _print_faults(args) -> int:
 def _print_perf(args) -> int:
     """``repro perf``: run wall-clock benchmarks, write BENCH_perf.json."""
     import json
+    import os
 
     from repro import perf
 
     try:
         report = perf.run_benchmarks(
-            quick=args.quick, scenarios=args.scenarios or None
+            quick=args.quick,
+            scenarios=args.scenarios or None,
+            profile=args.profile,
         )
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         print(f"available: {', '.join(perf.SCENARIOS)}", file=sys.stderr)
         return 2
+    # Kernel counter snapshots go to a sidecar so BENCH_perf.json's
+    # schema (and its diff-friendly churn) stays unchanged.
+    profiles = report.pop("profiles", None)
     perf.write_report(report, args.output)
     print(perf.format_report(report))
     print(f"\nwrote {args.output}")
+    if profiles is not None:
+        root, ext = os.path.splitext(args.output)
+        sidecar = f"{root}_profile{ext or '.json'}"
+        with open(sidecar, "w", encoding="utf-8") as handle:
+            json.dump(profiles, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print()
+        print(perf.format_profile(profiles))
+        print(f"\nwrote {sidecar}")
     if args.compare is None:
         return 0
     with open(args.compare, encoding="utf-8") as handle:
@@ -519,6 +534,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="smaller workloads for CI smoke runs")
     perf.add_argument("--output", metavar="FILE", default="BENCH_perf.json",
                       help="report path (default: BENCH_perf.json)")
+    perf.add_argument("--profile", action="store_true",
+                      help="also write the kernel counter snapshot "
+                           "(batch sizes, slab hit rates) to "
+                           "<output>_profile.json")
     perf.add_argument("--compare", metavar="FILE", default=None,
                       help="prior BENCH_perf.json to diff rates against")
     perf.add_argument("--threshold", type=float, default=None,

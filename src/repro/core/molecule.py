@@ -450,10 +450,17 @@ class MoleculeRuntime:
                 depth_g.bind(shard=gate.label).set(len(gate.queue))
             self.obs.overload_pressure.set(self.overload.pressure())
 
-    def metrics_snapshot(self) -> dict:
+    def metrics_snapshot(self, include_kernel: bool = False) -> dict:
         """A JSON-friendly dump of every metric family, gauges freshly
-        sampled, plus summary counters tests and reports key on."""
+        sampled, plus summary counters tests and reports key on.
+
+        ``include_kernel=True`` additionally publishes the sim kernel's
+        profiling counters (``repro_kernel_*`` families).  Opt-in so the
+        metric catalog stays byte-identical for golden runs.
+        """
         self._refresh_gauges()
+        if include_kernel:
+            self.obs.record_kernel_profile(self.sim.kernel_profile())
         admitted = self.gateway.requests_admitted
         if self.frontend is not None:
             admitted += self.frontend.requests_admitted

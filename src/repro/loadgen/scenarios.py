@@ -165,6 +165,7 @@ def build_runtime(
     hedge_percentile: Optional[float] = None,
     overload=False,
     hedge_budget: Optional[float] = None,
+    batched: bool = True,
 ):
     """Boot a deployment sized for ``plan`` with a sharded front end.
 
@@ -177,9 +178,11 @@ def build_runtime(
     ``overload`` arms the overload controller (True for defaults or an
     OverloadConfig); ``hedge_budget`` sets the hedge clone token-bucket
     ratio (implies ``hedge``).  All are off by default so existing runs
-    stay byte-identical.
+    stay byte-identical.  ``batched=False`` runs on the kernel's
+    pre-batch reference loop (same trace, roughly half the throughput)
+    — the A/B lever the ``loadgen_replay`` perf scenario measures.
     """
-    sim = Simulator()
+    sim = Simulator(batched=batched)
     machine = build_cpu_dpu_machine(sim, num_dpus=num_dpus)
     obs = Observability(sim, max_traces=len(plan) + 1024)
     warmpath = None

@@ -232,6 +232,16 @@ class Observability:
         #: Dead-letter overflow — lazy for the same reason (only bounded
         #: queues that actually overflow ever see it).
         self.dead_letter_overflow_total = None
+        # -- sim kernel -----------------------------------------------------------------
+        # Registered lazily (ensure_kernel_metrics): only snapshots that
+        # explicitly publish a kernel profile see these families, keeping
+        # the metric catalog byte-identical for golden runs.
+        self.kernel_events_processed = None
+        self.kernel_batches_drained = None
+        self.kernel_heap_ops_avoided = None
+        self.kernel_mean_batch_size = None
+        self.kernel_dispatched = None
+        self.kernel_slab_hit_rate = None
 
         # -- bound child handles ---------------------------------------------------
         # Labelled hot-path hooks memoize children per label tuple so
@@ -257,6 +267,7 @@ class Observability:
         self._hedge_children: dict[tuple[str, str], object] = {}
         self._shed_children: dict[tuple[str, str], object] = {}
         self._brownout_children: dict[str, object] = {}
+        self._kernel_children: dict[tuple[str, str], object] = {}
 
     # -- lifecycle spans -----------------------------------------------------------
 
@@ -731,6 +742,69 @@ class Observability:
                 "dead-letter queue at capacity.",
             )
         self.dead_letter_overflow_total.inc()
+
+    # -- sim kernel hooks ----------------------------------------------------------------
+
+    def ensure_kernel_metrics(self) -> None:
+        """Register the sim-kernel metric families on first use."""
+        if self.kernel_events_processed is not None:
+            return
+        r = self.registry
+        self.kernel_events_processed = r.gauge(
+            "repro_kernel_events_processed",
+            "Events dispatched by the sim kernel since construction.",
+        )
+        self.kernel_batches_drained = r.gauge(
+            "repro_kernel_batches_drained",
+            "Timestep batches drained by the batched event loop.",
+        )
+        self.kernel_heap_ops_avoided = r.gauge(
+            "repro_kernel_heap_ops_avoided",
+            "Events dispatched without a heap pop of their own (drained "
+            "from a timestep batch or the URGENT lane).",
+        )
+        self.kernel_mean_batch_size = r.gauge(
+            "repro_kernel_mean_batch_size",
+            "Mean events dispatched per drained timestep batch.",
+        )
+        self.kernel_dispatched = r.gauge(
+            "repro_kernel_dispatched",
+            "Events dispatched by the sim kernel, by record kind.",
+            ("kind",),
+        )
+        self.kernel_slab_hit_rate = r.gauge(
+            "repro_kernel_slab_hit_rate",
+            "Fraction of record allocations served by the slab "
+            "free-lists, by record kind.",
+            ("kind",),
+        )
+
+    def record_kernel_profile(self, profile: dict) -> None:
+        """Publish a :meth:`Simulator.kernel_profile` snapshot.
+
+        Lazy by design: golden runs that never publish a profile keep a
+        byte-identical metric catalog.
+        """
+        self.ensure_kernel_metrics()
+        self.kernel_events_processed.set(profile["events_processed"])
+        self.kernel_batches_drained.set(profile["batches_drained"])
+        self.kernel_heap_ops_avoided.set(profile["heap_ops_avoided"])
+        self.kernel_mean_batch_size.set(profile["mean_batch_size"])
+        children = self._kernel_children
+        for kind, count in profile["dispatched_by_kind"].items():
+            key = ("dispatched", kind)
+            child = children.get(key)
+            if child is None:
+                child = self.kernel_dispatched.bind(kind=kind)
+                children[key] = child
+            child.set(count)
+        for kind, entry in profile["slab"].items():
+            key = ("slab", kind)
+            child = children.get(key)
+            if child is None:
+                child = self.kernel_slab_hit_rate.bind(kind=kind)
+                children[key] = child
+            child.set(entry["hit_rate"])
 
     def on_nipc_dropped(self) -> None:
         """One XPU-FIFO message dropped by an injected fault."""

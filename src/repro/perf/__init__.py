@@ -13,6 +13,7 @@ from repro.perf.bench import (
     BenchResult,
     compare_reports,
     format_comparison,
+    format_profile,
     format_report,
     run_benchmarks,
     write_report,
@@ -24,6 +25,7 @@ __all__ = [
     "BenchResult",
     "compare_reports",
     "format_comparison",
+    "format_profile",
     "format_report",
     "run_benchmarks",
     "write_report",

@@ -1,24 +1,34 @@
 """Canned benchmark workloads and the ``BENCH_perf.json`` report.
 
-Three scenarios cover the hot paths the kernel fast-path work targets:
+The scenarios cover the hot paths the kernel fast-path work targets:
 
 * ``kernel_microbench`` — the discrete-event core alone: a fan of
   processes churning through :class:`~repro.sim.core.Timeout` events
-  (exercises the heap loop, the resume fast path and the timeout
+  (exercises the batched drain, the resume fast path and the timeout
   free-list) plus a fan-in stage of ``all_of`` conditions (exercises
   callback dispatch and defusal).  Headline metric: **events/sec**.
 * ``invocation_sweep`` — the full runtime stack: one deployment, then
   warm and forced-cold invocation loops through gateway, scheduler,
   sandbox and XPU-Shim.  Headline metric: **invocations/sec**.
+* ``coldstart_storm`` — a concurrent-miss storm under DRAM pressure,
+  with and without the warm-path engine.
+* ``loadgen_replay`` — the composite system: the golden 2-shard burst
+  load trace replayed open-loop through gateway shards, scheduler,
+  sandboxes and XPU-Shim, once on the batched kernel and once on the
+  pre-batch reference loop.  Headline metric: **events/sec** (batched),
+  with the reference rate and the speedup recorded alongside.
 * ``startup_replay`` — wall-clock replays of the paper's Fig. 10
   startup experiment (CPU/DPU cfork vs. baseline plus the FPGA
   configurations), the heaviest single experiment in the suite.
   Headline metric: **replays/sec**.
 
 Every scenario reports wall seconds per stage so a regression can be
-localised without a profiler.  All simulated work is seeded, so two
-runs on the same interpreter do identical work — wall-clock noise is
-the only nondeterminism.
+localised without a profiler, and the kernel-centric scenarios attach a
+:meth:`~repro.sim.core.Simulator.kernel_profile` snapshot (batch-size
+histogram, slab hit rates, heap ops avoided) that ``repro perf
+--profile`` emits next to BENCH_perf.json.  All simulated work is
+seeded, so two runs on the same interpreter do identical work —
+wall-clock noise is the only nondeterminism.
 """
 
 from __future__ import annotations
@@ -54,6 +64,10 @@ class BenchResult:
     stages: dict = field(default_factory=dict)
     #: Workload sizing knobs, recorded for reproducibility.
     params: dict = field(default_factory=dict)
+    #: Kernel profiling counters (``Simulator.kernel_profile()``) for
+    #: kernel-centric scenarios; emitted by ``repro perf --profile`` as
+    #: a sidecar JSON, never into BENCH_perf.json itself.
+    profile: Optional[dict] = None
 
     def to_json(self) -> dict:
         return {
@@ -106,6 +120,7 @@ def _bench_kernel(quick: bool) -> BenchResult:
     total = sim.processed_count
     return BenchResult(
         name="kernel_microbench",
+        profile=sim.kernel_profile(),
         wall_s=wall,
         metrics={
             "events_per_sec": total / wall if wall > 0 else 0.0,
@@ -288,6 +303,109 @@ def _bench_coldstart_storm(quick: bool) -> BenchResult:
     )
 
 
+#: Sizing for the ``loadgen_replay`` scenario, mirroring the golden
+#: 2-shard trace recipe (tests/loadgen/data): a seeded bursty plan
+#: replayed open-loop through two gateway shards.
+REPLAY_SEED = 1234
+REPLAY_SHARDS = 2
+
+
+def _bench_loadgen_replay(quick: bool) -> BenchResult:
+    """The composite-system benchmark: a golden-recipe load trace
+    through the whole stack, batched kernel vs. the pre-batch loop.
+
+    Everything PR 1-7 built — sharded gateways, scheduler, sandboxes,
+    XPU-Shim, observability spans — runs on the sim kernel, so this is
+    the number that says what the batching is worth end to end, not
+    just on the microbench.  Both runs replay the *same* seeded plan
+    and produce the same trace (asserted in tests); only the drain
+    strategy differs.
+    """
+    from repro.loadgen import OpenLoopDriver, build_runtime
+    from repro.loadgen.scenarios import _SCENARIOS
+
+    rps, duration_s = (40.0, 3.0) if quick else (120.0, 20.0)
+    repeats = 3 if quick else 15
+
+    from repro.sim.rng import SeededRng
+
+    plan = _SCENARIOS["burst"](
+        SeededRng(REPLAY_SEED).fork("loadgen:burst"), rps, duration_s
+    )
+
+    def replay(batched: bool):
+        import gc
+
+        runtime, frontend = build_runtime(
+            plan, seed=REPLAY_SEED, shards=REPLAY_SHARDS, batched=batched
+        )
+        # Collector pauses land arbitrarily inside a ~100 ms replay and
+        # dominate run-to-run variance (pyperf disables GC for the same
+        # reason); both drain strategies are timed under the same rule.
+        gc.collect()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            records = OpenLoopDriver(runtime, plan, frontend).run()
+            wall = time.perf_counter() - t0
+        finally:
+            gc.enable()
+        answered = sum(1 for r in records if r.answered)
+        return wall, runtime.sim, answered
+
+    # The replay is short (tens of ms), so single runs are dominated by
+    # scheduler noise; interleaved best-of-N isolates the deterministic
+    # cost, and the headline speedup is the *median of paired ratios*
+    # (each iteration times both modes back to back, alternating order)
+    # so slow drift in background load cancels out of the comparison.
+    replay(batched=False)  # warm-up: imports, first-touch allocations
+    replay(batched=True)
+    reference_s = batched_s = float("inf")
+    sim = answered = None
+    ratios: list[float] = []
+    for i in range(repeats):
+        if i % 2 == 0:
+            ref_wall = replay(batched=False)[0]
+            wall, run_sim, run_answered = replay(batched=True)
+        else:
+            wall, run_sim, run_answered = replay(batched=True)
+            ref_wall = replay(batched=False)[0]
+        ratios.append(ref_wall / wall)
+        reference_s = min(reference_s, ref_wall)
+        if wall < batched_s:
+            batched_s, sim, answered = wall, run_sim, run_answered
+    ratios.sort()
+    speedup = ratios[len(ratios) // 2]
+
+    events = sim.processed_count
+    wall = reference_s + batched_s
+    return BenchResult(
+        name="loadgen_replay",
+        wall_s=wall,
+        profile=sim.kernel_profile(),
+        metrics={
+            "events_per_sec": events / batched_s if batched_s > 0 else 0.0,
+            "reference_events_per_sec": (
+                events / reference_s if reference_s > 0 else 0.0
+            ),
+            "events": float(events),
+            "invocations": float(len(plan)),
+            "answered": float(answered),
+            "speedup_vs_reference": speedup,
+        },
+        stages={
+            "batched_replay_s": batched_s,
+            "reference_replay_s": reference_s,
+        },
+        params={
+            "seed": REPLAY_SEED,
+            "shards": REPLAY_SHARDS,
+            "rps": rps,
+            "duration_s": duration_s,
+        },
+    )
+
+
 def _bench_startup_replay(quick: bool) -> BenchResult:
     from repro.analysis import experiments as ex
 
@@ -324,6 +442,7 @@ SCENARIOS: dict[str, Callable[[bool], BenchResult]] = {
     "kernel_microbench": _bench_kernel,
     "invocation_sweep": _bench_invocations,
     "coldstart_storm": _bench_coldstart_storm,
+    "loadgen_replay": _bench_loadgen_replay,
     "startup_replay": _bench_startup_replay,
 }
 
@@ -332,15 +451,23 @@ SCENARIOS: dict[str, Callable[[bool], BenchResult]] = {
 
 
 def run_benchmarks(
-    quick: bool = False, scenarios: Optional[list[str]] = None
+    quick: bool = False,
+    scenarios: Optional[list[str]] = None,
+    profile: bool = False,
 ) -> dict:
-    """Run the selected scenarios and return the report dict."""
+    """Run the selected scenarios and return the report dict.
+
+    ``profile=True`` adds a top-level ``"profiles"`` mapping (scenario
+    name -> kernel counter snapshot) for the scenarios that attach one;
+    the CLI strips it into a sidecar file so BENCH_perf.json's schema
+    is unchanged.
+    """
     names = list(SCENARIOS) if not scenarios else list(scenarios)
     unknown = [n for n in names if n not in SCENARIOS]
     if unknown:
         raise KeyError(f"unknown scenario(s): {', '.join(unknown)}")
     results = {name: SCENARIOS[name](quick) for name in names}
-    return {
+    report = {
         "schema": SCHEMA,
         "quick": quick,
         "seed": BENCH_SEED,
@@ -352,6 +479,13 @@ def run_benchmarks(
         },
         "scenarios": {name: r.to_json() for name, r in results.items()},
     }
+    if profile:
+        report["profiles"] = {
+            name: r.profile
+            for name, r in results.items()
+            if r.profile is not None
+        }
+    return report
 
 
 def write_report(report: dict, path: str) -> None:
@@ -374,6 +508,31 @@ def format_report(report: dict) -> str:
                 lines.append(f"  {key:<32} {value:>12,.0f}")
             else:
                 lines.append(f"  {key:<32} {value:>12.4f}")
+    return "\n".join(lines)
+
+
+def format_profile(profiles: dict) -> str:
+    """Human-readable summary of the kernel counter snapshots."""
+    lines = []
+    for name, prof in sorted(profiles.items()):
+        mean = prof.get("mean_batch_size", 0.0)
+        lines.append(
+            f"{name}: {prof['events_processed']:,} events in "
+            f"{prof['batches_drained']:,} batches "
+            f"(mean {mean:.1f}/batch, "
+            f"{prof['heap_ops_avoided']:,} heap ops avoided)"
+        )
+        hist = prof.get("batch_size_hist", {})
+        if hist:
+            parts = ", ".join(f"{k}: {v:,}" for k, v in hist.items())
+            lines.append(f"  batch sizes   {parts}")
+        slab = prof.get("slab", {})
+        if slab:
+            parts = ", ".join(
+                f"{kind} {entry['hit_rate']:.0%}"
+                for kind, entry in slab.items()
+            )
+            lines.append(f"  slab hit rate {parts}")
     return "\n".join(lines)
 
 

@@ -98,8 +98,14 @@ class Store:
         return len(self.items)
 
     def put(self, item: Any) -> Event:
-        """Add ``item``; succeeds immediately unless the store is full."""
-        event = Event(self.sim)
+        """Add ``item``; succeeds immediately unless the store is full.
+
+        Uses the kernel's slab (``sim.event()``), so the zero-delay
+        ``put -> get`` handoff — succeed the getter, succeed the put —
+        recycles two pooled events through the current timestep's
+        bucket without ever touching the heap.
+        """
+        event = self.sim.event()
         if len(self.items) < self.capacity:
             self.items.append(item)
             event.succeed()
@@ -110,7 +116,7 @@ class Store:
 
     def get(self) -> Event:
         """Take the oldest item; blocks (as an event) while empty."""
-        event = Event(self.sim)
+        event = self.sim.event()
         if self.items:
             event.succeed(self.items.popleft())
             self._serve_putters()
@@ -154,7 +160,7 @@ class Container:
         """Add ``amount``; waits while it would overflow capacity."""
         if amount < 0:
             raise SimulationError("cannot put a negative amount")
-        event = Event(self.sim)
+        event = self.sim.event()
         self._putters.append((event, amount))
         self._settle()
         return event
@@ -165,7 +171,7 @@ class Container:
             raise SimulationError("cannot get a negative amount")
         if amount > self.capacity:
             raise SimulationError("request exceeds container capacity")
-        event = Event(self.sim)
+        event = self.sim.event()
         self._getters.append((event, amount))
         self._settle()
         return event

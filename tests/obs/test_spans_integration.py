@@ -148,6 +148,42 @@ def test_metrics_snapshot_and_exposition_surface_everything(molecule):
     assert text.endswith("\n")
 
 
+def test_kernel_metrics_are_opt_in_and_match_profile(molecule):
+    molecule.deploy_now(_python_fn())
+    molecule.invoke_now("hello", kind=PuKind.CPU)
+    # The default snapshot registers no kernel families: golden runs
+    # keep a byte-identical metric catalog.
+    plain = molecule.metrics_snapshot()
+    assert not any(k.startswith("repro_kernel_") for k in plain["metrics"])
+
+    snapshot = molecule.metrics_snapshot(include_kernel=True)
+    metrics = snapshot["metrics"]
+    profile = molecule.sim.kernel_profile()
+    [events] = metrics["repro_kernel_events_processed"]["series"]
+    assert events["value"] == profile["events_processed"]
+    [batches] = metrics["repro_kernel_batches_drained"]["series"]
+    assert batches["value"] == profile["batches_drained"]
+    dispatched = {
+        s["labels"]["kind"]: s["value"]
+        for s in metrics["repro_kernel_dispatched"]["series"]
+    }
+    assert dispatched == profile["dispatched_by_kind"]
+    slab = {
+        s["labels"]["kind"]: s["value"]
+        for s in metrics["repro_kernel_slab_hit_rate"]["series"]
+    }
+    assert slab == {
+        kind: entry["hit_rate"] for kind, entry in profile["slab"].items()
+    }
+
+    # A second publish reuses the bound children and tracks the kernel.
+    molecule.invoke_now("hello", kind=PuKind.CPU)
+    again = molecule.metrics_snapshot(include_kernel=True)["metrics"]
+    [events2] = again["repro_kernel_events_processed"]["series"]
+    assert events2["value"] == molecule.sim.kernel_profile()["events_processed"]
+    assert events2["value"] > events["value"]
+
+
 def test_failed_invocation_counts_failure_not_latency(molecule):
     # A function too big for any PU's DRAM fails admission control
     # AFTER the trace opened: the trace unwinds and only the failure

@@ -14,6 +14,7 @@ def test_scenario_registry_names():
         "kernel_microbench",
         "invocation_sweep",
         "coldstart_storm",
+        "loadgen_replay",
         "startup_replay",
     }
 
@@ -46,6 +47,44 @@ def test_coldstart_storm_coalesces_into_fewer_sandboxes():
     assert metrics["cold_engine_on"] < metrics["cold_engine_off"] + (
         metrics["coalesced_engine_on"]
     )
+
+
+def test_loadgen_replay_times_batched_against_reference():
+    report = perf.run_benchmarks(quick=True, scenarios=["loadgen_replay"])
+    scenario = report["scenarios"]["loadgen_replay"]
+    metrics = scenario["metrics"]
+    # Both kernels replayed the same seeded plan to completion.
+    assert metrics["events"] > 0
+    assert metrics["answered"] > 0
+    assert metrics["events_per_sec"] > 0
+    assert metrics["reference_events_per_sec"] > 0
+    assert metrics["speedup_vs_reference"] > 0
+    assert scenario["stages"]["batched_replay_s"] > 0
+    assert scenario["stages"]["reference_replay_s"] > 0
+    # Params pin the golden-recipe sizing compare_reports matches on.
+    assert scenario["params"]["seed"] == perf.bench.REPLAY_SEED
+    assert scenario["params"]["shards"] == perf.bench.REPLAY_SHARDS
+
+
+def test_run_benchmarks_profile_attaches_kernel_snapshots():
+    report = perf.run_benchmarks(
+        quick=True, scenarios=["kernel_microbench"], profile=True
+    )
+    profiles = report["profiles"]
+    prof = profiles["kernel_microbench"]
+    assert prof["batched"] is True
+    assert prof["events_processed"] > 0
+    assert prof["batches_drained"] > 0
+    assert set(prof["dispatched_by_kind"]) == {
+        "resume", "timeout", "event", "other",
+    }
+    assert set(prof["slab"]) == {"timeout", "resume", "event", "bucket"}
+    rendered = perf.format_profile(profiles)
+    assert "kernel_microbench" in rendered
+    assert "heap ops avoided" in rendered
+    # Without the flag the report schema is unchanged.
+    plain = perf.run_benchmarks(quick=True, scenarios=["kernel_microbench"])
+    assert "profiles" not in plain
 
 
 def test_run_benchmarks_scenario_subset_and_unknown():
@@ -154,6 +193,22 @@ def test_cli_perf_fail_on_regression_exits_nonzero(tmp_path, capsys):
         "perf", "--quick", "--output", str(out), "--compare", str(prior_path),
         "kernel_microbench",
     ]) == 0
+
+
+def test_cli_perf_profile_writes_sidecar(tmp_path, capsys):
+    out = tmp_path / "BENCH_perf.json"
+    code = main([
+        "perf", "--quick", "--profile", "--output", str(out),
+        "kernel_microbench",
+    ])
+    assert code == 0
+    # The report itself keeps the unprofiled schema...
+    report = json.loads(out.read_text())
+    assert "profiles" not in report
+    # ...and the counters land in the sidecar next to it.
+    sidecar = json.loads((tmp_path / "BENCH_perf_profile.json").read_text())
+    assert sidecar["kernel_microbench"]["events_processed"] > 0
+    assert "heap ops avoided" in capsys.readouterr().out
 
 
 def test_cli_perf_unknown_scenario_is_an_error(tmp_path):

@@ -115,6 +115,101 @@ def test_container_level_always_within_bounds(capacity, amounts):
     assert 0.0 <= tank.level <= capacity + 1e-9
 
 
+# -- batched vs. reference loop equivalence ---------------------------------
+#
+# The batched drain must produce the exact (time, priority, seq)
+# dispatch order of the pre-batch per-event heap loop, which is kept
+# available under ``Simulator(batched=False)`` as the oracle.  Delays
+# are drawn from a small grid (with repeats) so same-timestamp
+# collisions, zero delays, and singleton timesteps all occur often.
+
+_DELAY_GRID = st.sampled_from([0.0, 0.0, 0.25, 0.5, 1.0, 1.0, 2.0])
+
+
+@st.composite
+def _kernel_programs(draw):
+    n_sleepers = draw(st.integers(min_value=1, max_value=5))
+    sleepers = [
+        draw(st.lists(_DELAY_GRID, min_size=1, max_size=4))
+        for _ in range(n_sleepers)
+    ]
+    conditions = draw(st.lists(
+        st.tuples(st.sampled_from(["all", "any"]),
+                  st.lists(_DELAY_GRID, min_size=1, max_size=3)),
+        max_size=3,
+    ))
+    interrupts = draw(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=n_sleepers - 1),
+                  _DELAY_GRID),
+        max_size=3,
+    ))
+    chains = draw(st.lists(
+        st.tuples(_DELAY_GRID, st.integers(min_value=0, max_value=3)),
+        max_size=3,
+    ))
+    return sleepers, conditions, interrupts, chains
+
+
+def _run_kernel_program(program, batched):
+    from repro.errors import Interrupt
+    from repro.sim.core import NORMAL, URGENT
+
+    sleepers, conditions, interrupts, chains = program
+    sim = Simulator(batched=batched)
+    trace = []
+
+    def sleeper(idx, delays):
+        for step, delay in enumerate(delays):
+            try:
+                yield sim.timeout(delay)
+                trace.append(("wake", idx, step, sim.now))
+            except Interrupt:
+                trace.append(("interrupted", idx, step, sim.now))
+
+    procs = [sim.spawn(sleeper(i, d)) for i, d in enumerate(sleepers)]
+
+    def condition_waiter(idx, kind, delays):
+        events = [sim.timeout(d) for d in delays]
+        yield sim.all_of(events) if kind == "all" else sim.any_of(events)
+        trace.append(("cond", idx, kind, sim.now))
+
+    for i, (kind, delays) in enumerate(conditions):
+        sim.spawn(condition_waiter(i, kind, delays))
+
+    def interrupter(target, delay):
+        yield sim.timeout(delay)
+        if procs[target].is_alive:
+            procs[target].interrupt("stop")
+            trace.append(("interrupt", target, sim.now))
+
+    for target, delay in interrupts:
+        sim.spawn(interrupter(target, delay))
+
+    def chain(idx, delay, hops):
+        # Zero-delay event chains at one instant, alternating URGENT
+        # and NORMAL triggers: the two-lane same-timestep machinery.
+        yield sim.timeout(delay)
+        for hop in range(hops):
+            event = sim.event()
+            event.succeed(hop, priority=URGENT if hop % 2 else NORMAL)
+            yield event
+            trace.append(("chain", idx, hop, sim.now))
+
+    for i, (delay, hops) in enumerate(chains):
+        sim.spawn(chain(i, delay, hops))
+
+    sim.run()
+    return trace, sim.now, sim.processed_count
+
+
+@given(program=_kernel_programs())
+@settings(deadline=None, max_examples=80)
+def test_batched_loop_matches_reference_dispatch_order(program):
+    batched_trace = _run_kernel_program(program, batched=True)
+    reference_trace = _run_kernel_program(program, batched=False)
+    assert batched_trace == reference_trace
+
+
 @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
 def test_identical_seeds_identical_traces(seed):
     from repro.sim import SeededRng

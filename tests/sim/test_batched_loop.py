@@ -1,0 +1,247 @@
+"""Semantics of the timestep-batched drain (``Simulator(batched=True)``).
+
+The batched loop's ordering contract is pinned property-style against
+the reference loop in tests/property/test_sim_properties.py; these
+tests pin the structural behaviours that make it work — the global
+URGENT lane, singleton retirement with the scratch overlay, collided
+buckets retiring late, exception resumability, and the profiling
+counters — plus the parts of the public surface (``peek``/``step``)
+that must behave identically in both modes.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.core import NORMAL, URGENT, Simulator
+
+
+def test_batched_is_the_default():
+    assert Simulator().batched is True
+    assert Simulator(batched=False).batched is False
+
+
+def test_urgent_preempts_same_time_normal_backlog():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        yield sim.timeout(1.0)
+        log.append("first")
+        normal = sim.event()
+        normal.succeed("n", priority=NORMAL)
+        urgent = sim.event()
+        urgent.succeed("u", priority=URGENT)
+        normal.callbacks.append(lambda ev: log.append("normal"))
+        urgent.callbacks.append(lambda ev: log.append("urgent"))
+        yield sim.timeout(1.0)
+
+    sim.spawn(proc())
+    sim.run()
+    # The URGENT trigger was enqueued *after* the NORMAL one but must
+    # dispatch first within the same timestep.
+    assert log == ["first", "urgent", "normal"]
+
+
+def test_urgent_must_be_immediate():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim._enqueue(sim.event(), delay=1.0, priority=URGENT)
+
+
+def test_only_urgent_and_normal_priorities():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim._enqueue(sim.event(), delay=0.0, priority=7)
+
+
+def test_failed_event_in_collided_timestep_leaves_rest_resumable():
+    sim = Simulator()
+    log = []
+
+    def a():
+        yield sim.timeout(1.0)
+        log.append("a")
+        boom = sim.event()
+        boom.fail(RuntimeError("boom"))
+        follow = sim.event()
+        follow.succeed("late")
+        follow.callbacks.append(lambda ev: log.append("follow"))
+
+    def b():
+        yield sim.timeout(1.0)
+        log.append("b")
+
+    sim.spawn(a())
+    sim.spawn(b())
+    with pytest.raises(RuntimeError, match="boom"):
+        sim.run()
+    assert sim.now == 1.0
+    # b's timeout and the follow-up event were still queued behind the
+    # failure; a second run drains them at the same instant.
+    sim.run()
+    assert log == ["a", "b", "follow"]
+    assert sim.now == 1.0
+
+
+def test_failed_event_in_singleton_timestep_spills_scratch():
+    sim = Simulator()
+    log = []
+
+    def a():
+        # The only event at t=1.0: the timestep is retired before
+        # dispatch, so its zero-delay followers live in the scratch
+        # overlay when the failure escapes.
+        yield sim.timeout(1.0)
+        log.append("a")
+        boom = sim.event()
+        boom.fail(RuntimeError("boom"))
+        follow = sim.event()
+        follow.succeed("late")
+        follow.callbacks.append(lambda ev: log.append("follow"))
+
+    sim.spawn(a())
+    with pytest.raises(RuntimeError, match="boom"):
+        sim.run()
+    sim.run()
+    assert log == ["a", "follow"]
+    assert sim.now == 1.0
+
+
+def test_zero_delay_timeout_during_singleton_drain_keeps_seq_order():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        yield sim.timeout(1.0)
+        zero = sim.timeout(0.0)
+        late = sim.event()
+        late.succeed("late")
+        zero.callbacks.append(lambda ev: log.append("zero"))
+        late.callbacks.append(lambda ev: log.append("late"))
+        yield sim.timeout(1.0)
+
+    sim.spawn(proc())
+    sim.run()
+    # zero-delay timeout was created first, so it dispatches first.
+    assert log == ["zero", "late"]
+
+
+def test_peek_and_step_match_reference_walk():
+    def build(batched):
+        sim = Simulator(batched=batched)
+        log = []
+
+        def proc(delay, tag):
+            yield sim.timeout(delay)
+            log.append((tag, sim.now))
+            yield sim.timeout(delay)
+            log.append((tag + "'", sim.now))
+
+        for i, delay in enumerate([2.0, 1.0, 1.0, 3.0]):
+            sim.spawn(proc(delay, f"p{i}"))
+        return sim, log
+
+    batched, b_log = build(True)
+    reference, r_log = build(False)
+    b_peeks, r_peeks = [], []
+    while batched.peek() != float("inf"):
+        b_peeks.append(batched.peek())
+        batched.step()
+    while reference.peek() != float("inf"):
+        r_peeks.append(reference.peek())
+        reference.step()
+    assert b_log == r_log
+    assert b_peeks == r_peeks
+    assert batched.now == reference.now
+
+
+def test_run_until_advances_clock_without_events():
+    sim = Simulator()
+    fired = []
+
+    def proc():
+        yield sim.timeout(5.0)
+        fired.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run(until=2.0)
+    assert sim.now == 2.0
+    assert fired == []
+    sim.run(until=10.0)
+    assert fired == [5.0]
+    assert sim.now == 10.0
+
+
+def test_bucket_deques_are_recycled_across_timesteps():
+    sim = Simulator()
+
+    def waver(offset):
+        # Two events per timestep at every integer instant: each
+        # timestep promotes to a bucket deque, which must come back
+        # from the free-list after the first wave.
+        for _ in range(50):
+            yield sim.timeout(1.0)
+
+    sim.spawn(waver(0))
+    sim.spawn(waver(1))
+    sim.run()
+    profile = sim.kernel_profile()
+    bucket = profile["slab"]["bucket"]
+    # Two deques ever allocated: wave 1's, plus wave 2's (promoted
+    # mid-drain of wave 1, before wave 1's deque is recycled).  Every
+    # later wave reuses one of those two.
+    assert bucket["new"] == 2
+    assert bucket["reused"] == 48
+    assert len(sim._bucket_pool) == 2
+
+
+def test_kernel_profile_accounting():
+    sim = Simulator()
+
+    def fan(n):
+        yield sim.all_of([sim.timeout(1.0) for _ in range(n)])
+
+    def lone():
+        yield sim.timeout(0.5)
+        yield sim.timeout(2.0)
+
+    sim.spawn(fan(10))
+    sim.spawn(lone())
+    sim.run()
+    profile = sim.kernel_profile()
+    assert profile["batched"] is True
+    assert profile["events_processed"] == sim.processed_count
+    dispatched = profile["dispatched_by_kind"]
+    assert sum(dispatched.values()) == profile["events_processed"]
+    assert dispatched["timeout"] == 12
+    batches = profile["batches_drained"]
+    assert batches == sum(profile["batch_size_hist"].values())
+    assert profile["heap_ops_avoided"] == (
+        profile["events_processed"] - batches
+    )
+    assert profile["mean_batch_size"] == pytest.approx(
+        profile["events_processed"] / batches
+    )
+    # Three timesteps: t=0.5 is a pure singleton; t=2.5 pairs lone's
+    # timeout with its process-finish event; t=1.0 drains the
+    # 10-timeout fan-in plus the condition trigger and process exit.
+    assert profile["batch_size_hist"] == {"1": 1, "2-3": 1, "8-15": 1}
+    for kind in ("timeout", "resume", "event", "bucket"):
+        slab = profile["slab"][kind]
+        assert slab["new"] >= 0 and slab["reused"] >= 0
+        assert 0.0 <= slab["hit_rate"] <= 1.0
+
+
+def test_reference_mode_keeps_heap_tuples():
+    sim = Simulator(batched=False)
+
+    def proc():
+        yield sim.timeout(1.0)
+
+    sim.spawn(proc())
+    sim.run()
+    assert sim.now == 1.0
+    assert sim.processed_count > 0
+    profile = sim.kernel_profile()
+    assert profile["batched"] is False
+    assert profile["batches_drained"] == 0

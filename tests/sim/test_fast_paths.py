@@ -257,3 +257,103 @@ def test_timeout_pool_is_bounded():
     sim.spawn(proc(sim))
     sim.run()
     assert len(sim._timeout_pool) <= Simulator._TIMEOUT_POOL_MAX
+
+
+@pytest.mark.skipif(not IS_CPYTHON, reason="free-list is refcount-gated")
+def test_event_free_list_grows_under_burst_and_reuses():
+    sim = Simulator()
+
+    def burst(sim, n):
+        # n plain events succeed-and-dispatch in one timestep with no
+        # surviving reference (not even a loop variable: the suspended
+        # generator frame would keep its last binding alive across the
+        # dispatch and fail the refcount gate); every one should land
+        # in the slab.
+        yield sim.timeout(1.0)
+        for _ in range(n):
+            sim.event().succeed("x")
+        yield sim.timeout(1.0)
+
+    sim.spawn(burst(sim, 64))
+    sim.run()
+    assert len(sim._event_pool) == 64  # grown on demand, not preallocated
+    profile = sim.kernel_profile()
+    assert profile["slab"]["event"]["new"] == 64
+    # The next burst is served entirely from the free-list.
+    sim.spawn(burst(sim, 64))
+    sim.run()
+    profile = sim.kernel_profile()
+    assert profile["slab"]["event"]["new"] == 64
+    assert profile["slab"]["event"]["reused"] == 64
+
+
+@pytest.mark.skipif(not IS_CPYTHON, reason="free-list is refcount-gated")
+def test_event_pool_is_bounded():
+    sim = Simulator()
+
+    def burst(sim):
+        yield sim.timeout(1.0)
+        for _ in range(Simulator._EVENT_POOL_MAX + 100):
+            sim.event().succeed("x")
+        yield sim.timeout(1.0)
+
+    sim.spawn(burst(sim))
+    sim.run()
+    assert len(sim._event_pool) <= Simulator._EVENT_POOL_MAX
+
+
+@pytest.mark.skipif(not IS_CPYTHON, reason="free-list is refcount-gated")
+def test_event_reused_after_waiter_cancelled():
+    sim = Simulator()
+    from repro.errors import Interrupt
+
+    log = []
+
+    def waiter(sim, box):
+        # The trigger is popped straight into the yield so this frame
+        # never binds it: the Interrupt's traceback pins the frame (a
+        # gc cycle the refcount gate cannot see), and a `trigger` local
+        # here would pin the event with it.
+        try:
+            yield box.pop()
+            log.append("woke")
+        except Interrupt:
+            log.append("cancelled")
+
+    def driver(sim):
+        trigger = sim.event()
+        target = sim.spawn(waiter(sim, [trigger]))
+        yield sim.timeout(1.0)
+        target.interrupt("cancel")
+        yield sim.timeout(1.0)
+        trigger.succeed("late")
+        # The generator ends here, so by the time the event dispatches
+        # (with its waiter's callback slot tombstoned by the interrupt)
+        # nothing outside the queue references it.
+
+    sim.spawn(driver(sim))
+    sim.run()
+    assert log == ["cancelled"]
+    assert sim._event_pool  # the cancelled-waiter event was recycled
+    pooled = sim._event_pool[-1]
+    fresh = sim.event()
+    assert fresh is pooled  # reuse-after-cancel feeds the next event
+    assert not fresh.triggered
+
+
+@pytest.mark.skipif(not IS_CPYTHON, reason="free-list is refcount-gated")
+def test_referenced_plain_event_is_not_recycled():
+    sim = Simulator()
+    held = []
+
+    def proc(sim):
+        event = sim.event()
+        event.succeed("keep")
+        held.append(event)
+        yield sim.timeout(1.0)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert held[0].processed
+    assert held[0] not in sim._event_pool
+    assert held[0].value == "keep"

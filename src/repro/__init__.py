@@ -34,6 +34,13 @@ from repro.core import (
 )
 from repro.core.reliability import RetryPolicy
 from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from repro.futures import (
+    FanoutConfig,
+    FanoutEngine,
+    FanoutFuture,
+    Partitioner,
+    wait,
+)
 from repro.hardware import (
     HeterogeneousComputer,
     PuKind,
@@ -53,6 +60,9 @@ __all__ = [
     "Chain",
     "ChainResult",
     "ChainStage",
+    "FanoutConfig",
+    "FanoutEngine",
+    "FanoutFuture",
     "FaultInjector",
     "FaultKind",
     "FaultPlan",
@@ -68,6 +78,7 @@ __all__ = [
     "MoleculeRuntime",
     "OverloadConfig",
     "OverloadController",
+    "Partitioner",
     "PuKind",
     "RetryPolicy",
     "Simulator",
@@ -77,5 +88,6 @@ __all__ = [
     "build_cpu_dpu_machine",
     "build_cpu_fpga_machine",
     "build_full_machine",
+    "wait",
     "__version__",
 ]

@@ -454,6 +454,8 @@ def _print_load(args) -> int:
             overload=args.overload,
             hedge_budget=args.hedge_budget,
             deadline_s=args.deadline,
+            tasks=args.tasks,
+            fanout_gather=not args.no_gather,
         )
     except Exception as exc:
         from repro.errors import ReproError
@@ -553,7 +555,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     load.add_argument("--scenario", default="poisson",
                       help="arrival scenario: poisson, burst, diurnal, "
-                           "azure, overload (default: poisson)")
+                           "azure, overload, fanout (default: poisson)")
     load.add_argument("--rps", type=float, default=None,
                       help="peak arrival rate per second "
                            "(default: 200, or 40 with --quick)")
@@ -600,6 +602,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="arm the overload controller: adaptive "
                            "per-shard admission, deadline-aware "
                            "shedding and brownout degradation")
+    load.add_argument("--tasks", type=int, default=None,
+                      metavar="N",
+                      help="fanout scenario: target at least N partition "
+                           "tasks (resizes the job schedule)")
+    load.add_argument("--no-gather", action="store_true",
+                      help="fanout scenario: disarm straggler-aware "
+                           "gather (speculative re-execution)")
     load.add_argument("--deadline", type=float, default=None,
                       metavar="SECONDS",
                       help="per-request deadline (default: 30, or 2 "

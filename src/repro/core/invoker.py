@@ -223,6 +223,7 @@ class Invoker:
         max_attempts: Optional[int] = None,
         gateway=None,
         overload_bypass: bool = False,
+        hedge_policy=None,
     ):
         """Generator: run one request end to end.
 
@@ -246,6 +247,11 @@ class Invoker:
         ``admitted`` but never retried or dead-lettered).
         ``overload_bypass`` exempts the request from the gate (used for
         half-open breaker probes, which must never be shed).
+
+        ``hedge_policy`` overrides the runtime-wide hedging policy for
+        this request (repro.futures: the fan-out engine's straggler
+        speculation, whose clone trigger is fired by the gather loop
+        instead of a percentile timer).  None keeps the stock behavior.
         """
         function = self.runtime.registry.get(name)
         if pu is not None and kind is None:
@@ -255,6 +261,7 @@ class Invoker:
                 f"function {name!r} has no {kind.value} profile"
             )
         gateway = gateway if gateway is not None else self.runtime.gateway
+        hedger = hedge_policy if hedge_policy is not None else self.hedging
         start = self.sim.now
         trace = (
             self.obs.begin_invocation(function.name)
@@ -287,7 +294,7 @@ class Invoker:
                     function, request_id, kind, pu, force_cold,
                     payload_bytes, exec_time_s, start, trace,
                     max_attempts or self.retry_policy.max_attempts,
-                    gateway,
+                    gateway, hedger,
                 )
             except BaseException:
                 if slot is not None:
@@ -303,10 +310,10 @@ class Invoker:
             raise
         result.admitted_s = admitted_s
         trace.finish()
-        if self.hedging is not None:
+        if hedger is not None:
             # Feed the latency tracker: successful completions are what
-            # the percentile trigger is computed over.
-            self.hedging.observe(function.name, result.total_s)
+            # the percentile (or straggler) trigger is computed over.
+            hedger.observe(function.name, result.total_s)
         return result
 
     # -- retry / deadline loop -------------------------------------------------------
@@ -314,7 +321,7 @@ class Invoker:
     def _invoke_with_retries(
         self, function, request_id, kind, pu, force_cold,
         payload_bytes, exec_time_s, start, trace, max_attempts,
-        gateway=None,
+        gateway=None, hedger=None,
     ):
         """Generator: drive attempts until success, exhaustion or
         deadline.
@@ -348,7 +355,6 @@ class Invoker:
             attempt_info: dict = {}
             attempt_kind_arg = attempt_kind if degraded else kind
             attempt_pu_arg = None if degraded else pu
-            hedger = self.hedging
             if hedger is not None and hedger.eligible(
                 function, attempt_kind_arg, attempt_kind,
                 attempt_pu_arg, force_cold,
@@ -356,7 +362,7 @@ class Invoker:
                 attempt_gen = self._hedged_attempt(
                     function, request_id, attempt_kind_arg, attempt_pu_arg,
                     force_cold, payload_bytes, exec_time_s, start,
-                    shield, attempt_info,
+                    shield, attempt_info, hedger,
                 )
             else:
                 attempt_gen = self._attempt(
@@ -447,6 +453,7 @@ class Invoker:
     def _hedged_attempt(
         self, function, request_id, kind, pu, force_cold,
         payload_bytes, exec_time_s, start, shield, attempt_info,
+        hedger=None,
     ):
         """Generator: one attempt, hedged.
 
@@ -456,7 +463,7 @@ class Invoker:
         first copy to complete answers; the loser tears itself down at
         its next cancellation checkpoint inside :meth:`_invoke_general`.
         """
-        hedger = self.hedging
+        hedger = hedger if hedger is not None else self.hedging
         state = hedger.begin(function, request_id)
         state.pending = 1
         primary_info: dict = {}
@@ -469,13 +476,19 @@ class Invoker:
             self._hedge_copy(
                 state, "primary", function, request_id, kind, pu,
                 force_cold, payload_bytes, exec_time_s, start,
-                primary_shield, primary_info,
+                primary_shield, primary_info, hedger,
             ),
             name=f"hedge-primary:{function.name}#{request_id}",
         )
-        # Phase 1: primary vs the percentile trigger.
+        # Phase 1: primary vs the clone trigger — the percentile timer,
+        # or an externally fired event (repro.futures straggler gather).
         waiter = state.arm(self.sim)
-        yield self.sim.any_of([waiter, self.sim.timeout(state.trigger_s)])
+        trigger = (
+            state.trigger_event
+            if state.trigger_event is not None
+            else self.sim.timeout(state.trigger_s)
+        )
+        yield self.sim.any_of([waiter, trigger])
         state.disarm()
         if state.winner is None and not state.failures:
             # Trigger fired with the primary still in flight: clone it.
@@ -486,7 +499,7 @@ class Invoker:
                     self._hedge_copy(
                         state, "clone", function, request_id, kind, None,
                         force_cold, payload_bytes, exec_time_s, start,
-                        NULL_TRACE, clone_info,
+                        NULL_TRACE, clone_info, hedger,
                     ),
                     name=f"hedge-clone:{function.name}#{request_id}",
                 )
@@ -519,6 +532,7 @@ class Invoker:
     def _hedge_copy(
         self, state, tag, function, request_id, kind, pu, force_cold,
         payload_bytes, exec_time_s, start, trace, attempt_info,
+        hedger=None,
     ):
         """Generator: one copy (primary or clone) of a hedged attempt.
 
@@ -527,7 +541,7 @@ class Invoker:
         :class:`_HedgeState` and surfaced to the join loop via
         ``notify``.
         """
-        hedger = self.hedging
+        hedger = hedger if hedger is not None else self.hedging
         try:
             result = yield from self._attempt(
                 function, request_id, kind, pu, force_cold, payload_bytes,
@@ -881,7 +895,8 @@ class Invoker:
             # The other copy answered while this one executed: charge
             # the discarded work as hedge waste, recycle the instance,
             # and abort without responding (no duplicate answer).
-            self.hedging.charge_waste(request_id, function, instance.pu, exec_s)
+            policy = hedge[0].policy or self.hedging
+            policy.charge_waste(request_id, function, instance.pu, exec_s)
             self._release_instance(instance)
             raise HedgeCancelled(wasted_s=exec_s)
 

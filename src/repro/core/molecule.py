@@ -74,6 +74,7 @@ class MoleculeRuntime:
         warmpath=None,
         hedging=None,
         overload=None,
+        fanout=None,
     ):
         self.sim = sim or Simulator()
         self.machine = machine or build_cpu_dpu_machine(self.sim, num_dpus=2)
@@ -188,6 +189,16 @@ class MoleculeRuntime:
                 OverloadConfig() if overload is True else overload
             )
             self.overload = OverloadController(self, overload_config)
+        #: Optional fan-out engine (repro.futures): lithops-style
+        #: map/map_reduce over partitioned data with straggler-aware
+        #: gather.  Pass a FanoutConfig (or True for defaults); None
+        #: leaves the stock byte-identical behavior.
+        self.fanout = None
+        if fanout is not None:
+            from repro.futures import FanoutConfig, FanoutEngine
+
+            fanout_config = FanoutConfig() if fanout is True else fanout
+            self.fanout = FanoutEngine(self, fanout_config)
 
     # -- construction helpers -------------------------------------------------------
 

@@ -123,6 +123,27 @@ class RequestShed(ReliabilityError):
         self.request_id = request_id
 
 
+class FanoutPartialFailure(ReliabilityError):
+    """A fan-out job (repro.futures) finished with some partitions in a
+    terminal non-answer state: shed by the overload controller,
+    dead-lettered out of retries, or expired past the deadline.
+
+    The parent ``map``/``map_reduce`` call raises this instead of a
+    partial result so callers never silently reduce over holes.
+    ``done``/``shed``/``failed`` count the partition fates and
+    ``errors`` carries one representative message per failed partition,
+    in partition order.
+    """
+
+    def __init__(self, message: str, done: int = 0, shed: int = 0,
+                 failed: int = 0, errors=()):
+        super().__init__(message)
+        self.done = done
+        self.shed = shed
+        self.failed = failed
+        self.errors = tuple(errors)
+
+
 class HedgeCancelled(ReproError):
     """A hedged request copy was cancelled because the other copy
     already answered (repro.hedging).  Internal control flow: raised at

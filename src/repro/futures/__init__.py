@@ -1,0 +1,49 @@
+"""Futures-based fan-out over partitioned data (repro.futures).
+
+Lithops-style ``map``/``map_reduce`` with :class:`FanoutFuture`
+handles, ``wait(ALL_COMPLETED | ANY_COMPLETED | N_COMPLETED)`` and a
+straggler-aware gather that speculatively re-executes slow partitions
+through the repro.hedging clone path.  See docs/futures.md.
+"""
+
+from repro.futures.engine import (
+    FanoutConfig,
+    FanoutEngine,
+    FanoutJobResult,
+    SpeculationPolicy,
+)
+from repro.futures.future import (
+    ALL_COMPLETED,
+    ANY_COMPLETED,
+    DONE,
+    ERROR,
+    N_COMPLETED,
+    PENDING,
+    RUNNING,
+    FanoutFuture,
+    wait,
+)
+from repro.futures.partitioner import (
+    Partition,
+    Partitioner,
+    synthetic_dataset,
+)
+
+__all__ = [
+    "ALL_COMPLETED",
+    "ANY_COMPLETED",
+    "DONE",
+    "ERROR",
+    "N_COMPLETED",
+    "PENDING",
+    "RUNNING",
+    "FanoutConfig",
+    "FanoutEngine",
+    "FanoutFuture",
+    "FanoutJobResult",
+    "Partition",
+    "Partitioner",
+    "SpeculationPolicy",
+    "synthetic_dataset",
+    "wait",
+]

@@ -1,0 +1,182 @@
+"""Futures over the simulation kernel: task handles and ``wait``.
+
+A :class:`FanoutFuture` is the handle one partition task of a fan-out
+job is tracked through.  It moves through at most three states::
+
+    PENDING ──> RUNNING ──> DONE | ERROR
+
+Exactly one terminal transition ever happens (``_finish`` and
+``_fail`` are idempotent against each other), which is the
+task-conservation property the Hypothesis suite checks: every
+submitted task reaches exactly one terminal fate.
+
+:func:`wait` is the gather primitive: a generator (``yield from`` it
+inside a simulated process) that parks on the futures' completion
+events until the requested number of them is done, every one is done,
+or a timeout expires — the lithops-style
+``ALL_COMPLETED | ANY_COMPLETED | N_COMPLETED`` contract.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+
+#: ``wait`` return conditions.
+ALL_COMPLETED = "ALL_COMPLETED"
+ANY_COMPLETED = "ANY_COMPLETED"
+N_COMPLETED = "N_COMPLETED"
+
+#: FanoutFuture states.
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+ERROR = "error"
+
+#: Task outcome labels (``repro_fanout_tasks`` metric + task log).
+OUTCOME_DONE = "done"
+OUTCOME_SHED = "shed"
+OUTCOME_ERROR = "error"
+
+
+class FanoutFuture:
+    """Handle of one partition task inside a fan-out job."""
+
+    __slots__ = (
+        "seq", "partition", "function", "state", "outcome",
+        "dispatched_s", "finished_s", "speculated",
+        "_value", "_error", "_waiters", "_spec_state",
+    )
+
+    def __init__(self, seq: int, partition, function: str):
+        #: Job-wide submission sequence number (partition order).
+        self.seq = seq
+        self.partition = partition
+        self.function = function
+        self.state = PENDING
+        #: Terminal outcome label ("" until terminal).
+        self.outcome = ""
+        #: Sim time the task was dispatched (straggler age baseline).
+        self.dispatched_s = 0.0
+        self.finished_s = 0.0
+        #: True once the gather loop fired this task's clone trigger.
+        self.speculated = False
+        self._value = None
+        self._error: Optional[BaseException] = None
+        #: Events armed by ``wait`` loops; succeeded on any terminal
+        #: transition.
+        self._waiters: list = []
+        #: The task's live hedge join state (repro.hedging), stamped by
+        #: the per-task speculation policy so the gather loop can fire
+        #: its clone trigger.  Replaced on every retry attempt.
+        self._spec_state = None
+
+    def done(self) -> bool:
+        """True once the task reached a terminal state."""
+        return self.state in (DONE, ERROR)
+
+    def running(self) -> bool:
+        """True while the task is dispatched but not terminal."""
+        return self.state == RUNNING
+
+    def result(self, throw_except: bool = True):
+        """The task's value; raises (or returns None) before completion
+        or on error depending on ``throw_except``."""
+        if self.state == DONE:
+            return self._value
+        if self.state == ERROR:
+            if throw_except:
+                raise self._error
+            return None
+        if throw_except:
+            raise ReproError(
+                f"task {self.seq} of {self.function!r} is {self.state}"
+            )
+        return None
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        """The terminal error, if the task failed."""
+        return self._error
+
+    # -- engine-side transitions (package-private) ---------------------------------
+
+    def _mark_running(self, now: float) -> None:
+        self.state = RUNNING
+        self.dispatched_s = now
+
+    def _finish(self, value, now: float) -> None:
+        if self.done():
+            return
+        self.state = DONE
+        self.outcome = OUTCOME_DONE
+        self._value = value
+        self.finished_s = now
+        self._notify()
+
+    def _fail(self, error: BaseException, outcome: str, now: float) -> None:
+        if self.done():
+            return
+        self.state = ERROR
+        self.outcome = outcome
+        self._error = error
+        self.finished_s = now
+        self._notify()
+
+    def _notify(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            if not event.triggered:
+                event.succeed()
+
+
+def wait(sim, fs: Sequence[FanoutFuture], return_when: str = ALL_COMPLETED,
+         timeout: Optional[float] = None, count: Optional[int] = None):
+    """Generator: park until enough of ``fs`` completed.
+
+    Returns ``(done, not_done)`` lists preserving the input order.
+    ``return_when`` picks the target: every future (``ALL_COMPLETED``),
+    at least one (``ANY_COMPLETED``), or at least ``count``
+    (``N_COMPLETED``).  With no timeout, ``ANY_COMPLETED`` can only
+    return a non-empty done-set while undone futures remain — the
+    liveness property the Hypothesis suite checks.  A ``timeout``
+    bounds the park and may return early with fewer done.
+    """
+    fs = list(fs)
+    if return_when == ANY_COMPLETED:
+        target = 1
+    elif return_when == N_COMPLETED:
+        if count is None:
+            raise ReproError("N_COMPLETED requires count=")
+        target = count
+    elif return_when == ALL_COMPLETED:
+        target = len(fs)
+    else:
+        raise ReproError(f"unknown return_when: {return_when!r}")
+    target = min(target, len(fs))
+    deadline = sim.now + timeout if timeout is not None else None
+    while True:
+        done = [f for f in fs if f.done()]
+        not_done = [f for f in fs if not f.done()]
+        if len(done) >= target or not not_done:
+            return done, not_done
+        if deadline is not None and sim.now >= deadline:
+            return done, not_done
+        waiter = sim.event()
+        for future in not_done:
+            future._waiters.append(waiter)
+        if deadline is not None:
+            yield sim.any_of(
+                [waiter, sim.timeout(deadline - sim.now)]
+            )
+        else:
+            yield waiter
+        # Disarm: a timeout wake leaves the waiter registered, and a
+        # completion wake leaves it on the *other* still-pending
+        # futures' lists.
+        for future in not_done:
+            try:
+                future._waiters.remove(waiter)
+            except ValueError:
+                pass

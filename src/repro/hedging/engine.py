@@ -93,7 +93,8 @@ class _HedgeState:
 
     __slots__ = (
         "function", "request_id", "trigger_s", "exclude", "pu_hint",
-        "winner", "failures", "pending", "fired", "event", "_waiter",
+        "winner", "failures", "pending", "fired", "event", "policy",
+        "trigger_event", "_waiter",
     )
 
     def __init__(self, function, request_id: int, trigger_s: float):
@@ -101,6 +102,15 @@ class _HedgeState:
         self.request_id = request_id
         #: Seconds of primary flight time before the clone launches.
         self.trigger_s = trigger_s
+        #: The policy that opened this state (stamped by ``begin``); the
+        #: invoker's checkpoints charge waste through it so a per-job
+        #: speculation policy (repro.futures) is billed separately from
+        #: the runtime-wide hedger.
+        self.policy = None
+        #: Externally fired clone trigger (repro.futures straggler
+        #: gather): when set, the join loop waits on this event instead
+        #: of the ``trigger_s`` timer.
+        self.trigger_event = None
         #: The primary's PU at fire time: the clone never lands on it.
         self.exclude = None
         #: Best-known PU of a primary that has no placement yet (a
@@ -148,7 +158,8 @@ class _HedgeState:
 class HedgePolicy:
     """Decides when to hedge and accounts for what hedging cost."""
 
-    def __init__(self, runtime: "MoleculeRuntime", config: Optional[HedgeConfig] = None):
+    def __init__(self, runtime: "MoleculeRuntime",
+                 config: Optional[HedgeConfig] = None, wire: bool = True):
         self.runtime = runtime
         self.config = config or HedgeConfig()
         self.tracker = LatencyTracker()
@@ -183,9 +194,13 @@ class HedgePolicy:
         self.pu_stats: dict[str, dict] = {}
         if runtime.obs is not None:
             runtime.obs.ensure_hedge_metrics()
-        runtime.invoker.hedging = self
-        if self.config.pu_feedback:
-            runtime.scheduler.hedge_feedback = self
+        # ``wire=False`` builds a free-standing policy (the fan-out
+        # engine's straggler speculation) that must not become the
+        # runtime-wide hedger: it is passed per request instead.
+        if wire:
+            runtime.invoker.hedging = self
+            if self.config.pu_feedback:
+                runtime.scheduler.hedge_feedback = self
 
     # -- trigger ---------------------------------------------------------------------
 
@@ -235,7 +250,9 @@ class HedgePolicy:
 
     def begin(self, function, request_id: int) -> _HedgeState:
         """Open the join state for one hedged attempt."""
-        return _HedgeState(function, request_id, self.trigger_delay(function))
+        state = _HedgeState(function, request_id, self.trigger_delay(function))
+        state.policy = self
+        return state
 
     def fire(self, state: _HedgeState, function, kind, primary_pu) -> bool:
         """Decide whether the clone actually launches.

@@ -15,7 +15,7 @@ pins byte for byte.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, TYPE_CHECKING
+from typing import Callable, Optional, TYPE_CHECKING
 
 from repro.errors import ReproError, RequestShed
 from repro.loadgen.arrivals import ArrivalPlan
@@ -85,10 +85,17 @@ class OpenLoopDriver:
         runtime: "MoleculeRuntime",
         plan: ArrivalPlan,
         frontend: Optional["ShardedFrontend"] = None,
+        invoke_factory: Optional[Callable] = None,
     ):
         self.runtime = runtime
         self.plan = plan
         self.frontend = frontend if frontend is not None else runtime.frontend
+        #: Optional request builder ``(index, arrival) -> generator``
+        #: replacing the plain invoke (repro.futures: one fan-out job
+        #: per arrival).  The generator's return value must expose the
+        #: record fields (``admitted_s``/``shard``/``pu_name``/
+        #: ``cold``/``attempts``/``total_s``/``hedged``).
+        self.invoke_factory = invoke_factory
         self.records: list[RequestRecord] = []
         self.submitted = 0
         #: Sim time the workload started (pacer launch) and the time the
@@ -120,11 +127,14 @@ class OpenLoopDriver:
         self.records.append(record)
         self.submitted += 1
         try:
-            result = yield from self._invoke(
-                arrival.function,
-                kind=arrival.kind,
-                payload_bytes=arrival.payload_bytes,
-            )
+            if self.invoke_factory is not None:
+                result = yield from self.invoke_factory(index, arrival)
+            else:
+                result = yield from self._invoke(
+                    arrival.function,
+                    kind=arrival.kind,
+                    payload_bytes=arrival.payload_bytes,
+                )
         except ReproError as exc:
             record.outcome = (
                 OUTCOME_SHED if isinstance(exc, RequestShed)
@@ -170,6 +180,14 @@ class ClosedLoopDriver:
     Arrival *times* are ignored — only the (function, kind, payload)
     sequence matters — which makes this the apples-to-apples contrast
     against the open-loop numbers at the same offered mix.
+
+    ``concurrency`` bounds outstanding *tasks*, not outstanding
+    requests: a fanned-out request (repro.futures) holds its worker for
+    the whole gather while dispatching many sandbox tasks, so counting
+    requests would undercount in-flight work by the fan-out factor.
+    ``task_weight(arrival)`` declares how many tasks one arrival fans
+    out to (default 1, the plain one-request-one-task case, which
+    leaves the historical schedule byte-identical).
     """
 
     def __init__(
@@ -178,6 +196,8 @@ class ClosedLoopDriver:
         plan: ArrivalPlan,
         concurrency: int = 8,
         frontend: Optional["ShardedFrontend"] = None,
+        invoke_factory: Optional[Callable] = None,
+        task_weight: Optional[Callable] = None,
     ):
         if concurrency < 1:
             raise ReproError(f"concurrency must be >= 1: {concurrency}")
@@ -185,8 +205,17 @@ class ClosedLoopDriver:
         self.plan = plan
         self.concurrency = concurrency
         self.frontend = frontend if frontend is not None else runtime.frontend
+        #: See :class:`OpenLoopDriver`.
+        self.invoke_factory = invoke_factory
+        #: ``(arrival) -> int``: sandbox tasks this arrival fans out to.
+        self.task_weight = task_weight
         self.records: list[RequestRecord] = []
         self._next = 0
+        #: Outstanding sandbox tasks across all workers, and the high
+        #: watermark (the regression test's observable).
+        self._inflight_tasks = 0
+        self.max_inflight_tasks = 0
+        self._capacity_evt = None
         self.started_s = 0.0
         self.finished_s = 0.0
 
@@ -200,12 +229,39 @@ class ClosedLoopDriver:
             return self.frontend.invoke(name, **kwargs)
         return self.runtime.invoker.invoke(name, **kwargs)
 
+    def _acquire_tasks(self, weight: int):
+        """Generator: park until ``weight`` more tasks fit under the
+        concurrency bound.  A request heavier than the whole bound is
+        admitted alone (it could otherwise never run).  The weight-1
+        fast path never creates an event, keeping plain runs
+        byte-identical to the pre-weight driver."""
+        sim = self.runtime.sim
+        while (self._inflight_tasks > 0
+               and self._inflight_tasks + weight > self.concurrency):
+            if self._capacity_evt is None or self._capacity_evt.triggered:
+                self._capacity_evt = sim.event()
+            yield self._capacity_evt
+        self._inflight_tasks += weight
+        self.max_inflight_tasks = max(
+            self.max_inflight_tasks, self._inflight_tasks
+        )
+
+    def _release_tasks(self, weight: int) -> None:
+        self._inflight_tasks -= weight
+        if self._capacity_evt is not None and not self._capacity_evt.triggered:
+            self._capacity_evt.succeed()
+
     def _worker(self):
         arrivals = self.plan.arrivals
         while self._next < len(arrivals):
             index = self._next
             self._next += 1
             arrival = arrivals[index]
+            weight = (
+                max(1, self.task_weight(arrival))
+                if self.task_weight is not None else 1
+            )
+            yield from self._acquire_tasks(weight)
             record = RequestRecord(
                 index=index,
                 function=arrival.function,
@@ -213,11 +269,14 @@ class ClosedLoopDriver:
             )
             self.records.append(record)
             try:
-                result = yield from self._invoke(
-                    arrival.function,
-                    kind=arrival.kind,
-                    payload_bytes=arrival.payload_bytes,
-                )
+                if self.invoke_factory is not None:
+                    result = yield from self.invoke_factory(index, arrival)
+                else:
+                    result = yield from self._invoke(
+                        arrival.function,
+                        kind=arrival.kind,
+                        payload_bytes=arrival.payload_bytes,
+                    )
             except ReproError as exc:
                 record.outcome = (
                     OUTCOME_SHED if isinstance(exc, RequestShed)
@@ -231,6 +290,9 @@ class ClosedLoopDriver:
                 record.cold = result.cold
                 record.attempts = result.attempts
                 record.latency_s = result.total_s
+                record.hedged = result.hedged
+            finally:
+                self._release_tasks(weight)
             self.finished_s = max(self.finished_s, self.runtime.sim.now)
 
     def run(self) -> list[RequestRecord]:

@@ -53,6 +53,13 @@ OVERLOAD_DEADLINE_S = 2.0
 #: post-crash re-stampede still re-pay their cold starts.
 OVERLOAD_KEEP_ALIVE_S = 2.0
 
+#: The ``fanout`` scenario's job shape: every arrival is one
+#: map_reduce job over this many partitions of this many items each,
+#: so ``jobs = offered_invocations / FANOUT_PARTITIONS`` keeps the
+#: task count comparable to the other scenarios' request count.
+FANOUT_PARTITIONS = 64
+FANOUT_ITEMS_PER_PARTITION = 4
+
 #: The standard three-function deployment every scenario drives: a hot
 #: thumbnailer that may land on CPU or DPU, a DPU-pinned ETL stage and
 #: a CPU-only model-inference function.
@@ -142,6 +149,54 @@ def overload_fault_plan(duration_s: float):
     ))
 
 
+def _plan_fanout(rng: SeededRng, rps: float, duration_s: float) -> ArrivalPlan:
+    """Fan-out jobs at fixed spacing: the nominal request budget
+    (``rps * duration_s``) divided into 64-partition map_reduce jobs.
+    Spacing (rather than a Poisson draw) keeps the job schedule
+    trivially deterministic; the per-job function draw still consumes
+    the seeded stream so job mixes differ across seeds."""
+    from repro.loadgen.arrivals import Arrival
+
+    count = int(round(rps * duration_s))
+    jobs = max(1, -(-count // FANOUT_PARTITIONS))
+    spacing = duration_s / jobs
+    arrivals = tuple(
+        Arrival(
+            time_s=round(index * spacing, 9),
+            function=rng.choice(("thumb", "etl")),
+        )
+        for index in range(jobs)
+    )
+    return ArrivalPlan(arrivals=arrivals, duration_s=duration_s)
+
+
+def _fanout_map(value):
+    """The canned map stage (square each item)."""
+    return value * value
+
+
+def _fanout_reduce(left, right):
+    """The canned reduce stage (sum)."""
+    return left + right
+
+
+def fanout_invoke_factory(engine, frontend, seed: int):
+    """Build the per-arrival job factory the drivers run: one seeded
+    map_reduce job per arrival, dataset derived from (seed, index)."""
+    from repro.futures import synthetic_dataset
+
+    items_per_job = FANOUT_PARTITIONS * FANOUT_ITEMS_PER_PARTITION
+
+    def factory(index, arrival):
+        items = synthetic_dataset(seed * 1_000_003 + index, items_per_job)
+        return engine.run_job(
+            _fanout_map, items, _fanout_reduce,
+            function=arrival.function, frontend=frontend,
+        )
+
+    return factory
+
+
 #: name -> plan builder; ``repro load --scenario`` keys into this.
 _SCENARIOS: dict[str, Callable[[SeededRng, float, float], ArrivalPlan]] = {
     "poisson": _plan_poisson,
@@ -149,6 +204,7 @@ _SCENARIOS: dict[str, Callable[[SeededRng, float, float], ArrivalPlan]] = {
     "diurnal": _plan_diurnal,
     "azure": _plan_azure,
     "overload": _plan_overload,
+    "fanout": _plan_fanout,
 }
 
 
@@ -166,6 +222,7 @@ def build_runtime(
     overload=False,
     hedge_budget: Optional[float] = None,
     batched: bool = True,
+    fanout=None,
 ):
     """Boot a deployment sized for ``plan`` with a sharded front end.
 
@@ -184,7 +241,14 @@ def build_runtime(
     """
     sim = Simulator(batched=batched)
     machine = build_cpu_dpu_machine(sim, num_dpus=num_dpus)
-    obs = Observability(sim, max_traces=len(plan) + 1024)
+    # One trace per request; a fan-out arrival is one *job* that emits
+    # its own trace plus one per partition task and stage request.
+    traces_per_arrival = (
+        FANOUT_PARTITIONS + 3 if fanout is not None else 1
+    )
+    obs = Observability(
+        sim, max_traces=traces_per_arrival * len(plan) + 1024
+    )
     warmpath = None
     if prewarm:
         from repro.warmpath import WarmPathConfig
@@ -217,6 +281,7 @@ def build_runtime(
         warmpath=warmpath,
         hedging=hedging,
         overload=overload_cfg,
+        fanout=fanout,
     )
     runtime.start()
     for name, import_ms, exec_ms, profiles in _FUNCTIONS:
@@ -264,8 +329,16 @@ def run_load(
     overload=False,
     hedge_budget: Optional[float] = None,
     deadline_s: Optional[float] = None,
+    tasks: Optional[int] = None,
+    fanout_gather: bool = True,
 ) -> dict:
-    """Run one canned load scenario and return its BENCH_load report."""
+    """Run one canned load scenario and return its BENCH_load report.
+
+    ``tasks`` (fanout scenario only) targets a partition-task count:
+    the job schedule is resized so at least that many partition tasks
+    run.  ``fanout_gather=False`` disarms straggler speculation — the
+    A/B lever behind BENCH_load_fanout.json's p99 comparison.
+    """
     try:
         plan_builder = _SCENARIOS[scenario]
     except KeyError:
@@ -290,6 +363,25 @@ def run_load(
             keep_alive_ttl_s = OVERLOAD_KEEP_ALIVE_S
         if fault_plan is None:
             fault_plan = overload_fault_plan(duration_s)
+    fanout_cfg = None
+    if scenario == "fanout":
+        from repro.futures import FanoutConfig
+
+        # A fan-out job lands FANOUT_PARTITIONS cold misses on the
+        # same (function, PU) within milliseconds; each DPU's executor
+        # daemon is a serial command loop, so un-coalesced storms
+        # queue 64 cold starts back to back and blow the deadline.
+        # The warm-path engine is the designed answer (single-flight
+        # batches), so the scenario arms it.
+        prewarm = True
+        if tasks is not None:
+            # Resize the job schedule to the task target: the plan
+            # builder turns the nominal request budget into jobs of
+            # FANOUT_PARTITIONS tasks each.
+            rps = tasks / duration_s
+        fanout_cfg = FanoutConfig(
+            partitions=FANOUT_PARTITIONS, speculate=fanout_gather
+        )
 
     rng = SeededRng(seed).fork(f"loadgen:{scenario}")
     plan = plan_builder(rng, rps, duration_s)
@@ -301,6 +393,7 @@ def run_load(
         keep_alive_ttl_s=keep_alive_ttl_s, prewarm=prewarm,
         hedge=hedge, hedge_percentile=hedge_percentile,
         overload=overload, hedge_budget=hedge_budget,
+        fanout=fanout_cfg,
     )
     if fault_plan is not None:
         attach_fault_plan(runtime, fault_plan)
@@ -308,11 +401,23 @@ def run_load(
         pu_id: pu.clock.busy_time
         for pu_id, pu in runtime.machine.pus.items()
     }
+    invoke_factory = None
+    task_weight = None
+    if fanout_cfg is not None:
+        invoke_factory = fanout_invoke_factory(
+            runtime.fanout, frontend, seed
+        )
+        # One fanned-out arrival holds FANOUT_PARTITIONS tasks plus
+        # the two CPU stage requests in flight.
+        task_weight = lambda arrival: FANOUT_PARTITIONS + 2  # noqa: E731
     if mode == "open":
-        driver = OpenLoopDriver(runtime, plan, frontend)
+        driver = OpenLoopDriver(
+            runtime, plan, frontend, invoke_factory=invoke_factory
+        )
     else:
         driver = ClosedLoopDriver(
-            runtime, plan, concurrency=concurrency, frontend=frontend
+            runtime, plan, concurrency=concurrency, frontend=frontend,
+            invoke_factory=invoke_factory, task_weight=task_weight,
         )
     records = driver.run()
     wall_s = time.perf_counter() - wall_start
@@ -352,6 +457,14 @@ def run_load(
             ),
             **({"overload": True} if runtime.overload is not None else {}),
             **({"concurrency": concurrency} if mode == "closed" else {}),
+            **(
+                {
+                    "fanout": True,
+                    "fanout_gather": fanout_gather,
+                    **({"tasks": tasks} if tasks is not None else {}),
+                }
+                if runtime.fanout is not None else {}
+            ),
         },
         wall_s=wall_s,
         frontend=frontend,

@@ -92,6 +92,18 @@ def build_report(
         admitted = runtime.gateway.requests_admitted
     dead = len(runtime.dead_letters)
     overload = getattr(runtime, "overload", None)
+    fanout = getattr(runtime, "fanout", None)
+    # With the fan-out engine armed, driver records are *jobs* while
+    # the frontend admits their partition tasks and stage requests —
+    # the ``lost`` ledger must be computed at the task level or every
+    # fanned-out task would read as lost.
+    if fanout is not None:
+        lost = (
+            admitted - fanout.answered_requests() - dead
+            - fanout.shed_requests()
+        )
+    else:
+        lost = admitted - len(answered) - dead - shed
 
     # Per-stage latencies from the span trees.  Failed requests never
     # publish phase histograms, so these cover answered requests only.
@@ -130,7 +142,7 @@ def build_report(
                 if overload is not None else {}
             ),
             "dead_lettered": dead,
-            "lost": admitted - len(answered) - dead - shed,
+            "lost": lost,
             "goodput_per_s": (
                 len(answered) / sim_elapsed if sim_elapsed > 0 else 0.0
             ),
@@ -213,6 +225,17 @@ def build_report(
                 [r.latency_s for r in answered]
             ),
         }
+    if fanout is not None:
+        report["fanout"] = {
+            **fanout.snapshot(),
+            "conserved": fanout.conserved(admitted, dead),
+            "task_latency": latency_block(fanout.task_samples),
+            "stages": {
+                name: latency_block(samples)
+                for name, samples in fanout.stage_samples.items()
+                if samples
+            },
+        }
     return report
 
 
@@ -272,6 +295,18 @@ def format_report(report: dict) -> str:
             f"rate={hedging['hedge_rate']:.1%} "
             f"wasted_cost={hedging['wasted_cost']:.0f} "
             f"({hedging['wasted_cost_fraction']:.2%} of bill)"
+        )
+    fanout = report.get("fanout")
+    if fanout is not None:
+        spec = fanout.get("speculation", {})
+        lines.append(
+            f"  fanout: jobs={fanout['jobs']} "
+            f"({fanout['jobs_failed']} failed) "
+            f"tasks={fanout['tasks_done']}/{fanout['tasks_submitted']} "
+            f"batches={fanout['batches']} "
+            f"speculated={fanout['speculations']} "
+            f"(won={spec.get('won', 0)}) "
+            f"conserved={fanout['conserved']}"
         )
     overload = report.get("overload")
     if overload is not None:

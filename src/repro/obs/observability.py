@@ -232,6 +232,14 @@ class Observability:
         #: Dead-letter overflow — lazy for the same reason (only bounded
         #: queues that actually overflow ever see it).
         self.dead_letter_overflow_total = None
+        # -- fan-out engine ---------------------------------------------------------------
+        # Registered lazily (ensure_fanout_metrics): only runs with a
+        # FanoutEngine wired see these families, keeping the metric
+        # catalog byte-identical for futures-off golden runs.
+        self.fanout_jobs_total = None
+        self.fanout_tasks_total = None
+        self.fanout_batches_total = None
+        self.fanout_speculations_total = None
         # -- sim kernel -----------------------------------------------------------------
         # Registered lazily (ensure_kernel_metrics): only snapshots that
         # explicitly publish a kernel profile see these families, keeping
@@ -267,6 +275,7 @@ class Observability:
         self._hedge_children: dict[tuple[str, str], object] = {}
         self._shed_children: dict[tuple[str, str], object] = {}
         self._brownout_children: dict[str, object] = {}
+        self._fanout_children: dict[tuple[str, str], object] = {}
         self._kernel_children: dict[tuple[str, str], object] = {}
 
     # -- lifecycle spans -----------------------------------------------------------
@@ -742,6 +751,72 @@ class Observability:
                 "dead-letter queue at capacity.",
             )
         self.dead_letter_overflow_total.inc()
+
+    # -- fan-out engine hooks -----------------------------------------------------------
+
+    def ensure_fanout_metrics(self) -> None:
+        """Register the fan-out metric families on first use."""
+        if self.fanout_jobs_total is not None:
+            return
+        r = self.registry
+        self.fanout_jobs_total = r.counter(
+            "repro_fanout_jobs",
+            "Fan-out jobs (map / map_reduce) submitted to the futures "
+            "engine.",
+            ("function",),
+        )
+        self.fanout_tasks_total = r.counter(
+            "repro_fanout_tasks",
+            "Per-partition fan-out tasks by terminal fate "
+            "(done | shed | error).",
+            ("function", "outcome"),
+        )
+        self.fanout_batches_total = r.counter(
+            "repro_fanout_batches",
+            "Deterministic admission chunks dispatched by the batched "
+            "fan-out submitter.",
+        )
+        self.fanout_speculations_total = r.counter(
+            "repro_fanout_speculations",
+            "Straggler partitions speculatively re-executed through the "
+            "hedging clone path during gather.",
+            ("function",),
+        )
+
+    def _fanout_child(self, family, kind: str, *labels: str):
+        key = (kind,) + labels
+        child = self._fanout_children.get(key)
+        if child is None:
+            if family is self.fanout_tasks_total:
+                child = family.bind(function=labels[0], outcome=labels[1])
+            else:
+                child = family.bind(function=labels[0])
+            self._fanout_children[key] = child
+        return child
+
+    def on_fanout_job(self, function: str) -> None:
+        """One fan-out job submitted."""
+        self.ensure_fanout_metrics()
+        self._fanout_child(self.fanout_jobs_total, "job", function).inc()
+
+    def on_fanout_task(self, function: str, outcome: str) -> None:
+        """One partition task reached its terminal fate."""
+        self.ensure_fanout_metrics()
+        self._fanout_child(
+            self.fanout_tasks_total, "task", function, outcome
+        ).inc()
+
+    def on_fanout_batch(self) -> None:
+        """One admission chunk dispatched."""
+        self.ensure_fanout_metrics()
+        self.fanout_batches_total.inc()
+
+    def on_fanout_speculated(self, function: str) -> None:
+        """One straggler partition speculatively re-executed."""
+        self.ensure_fanout_metrics()
+        self._fanout_child(
+            self.fanout_speculations_total, "spec", function
+        ).inc()
 
     # -- sim kernel hooks ----------------------------------------------------------------
 

@@ -46,6 +46,17 @@ START_COALESCED = "coalesced"
 #: primary copy straggled past the percentile trigger and lost the
 #: first-wins race to its clone.
 START_HEDGED = "hedged"
+#: Root span kind of a fan-out *job* trace (repro.futures): the
+#: CPU-partition -> per-partition execute -> CPU-reduce pipeline.  The
+#: per-partition tasks are ordinary requests with their own traces;
+#: the job trace holds the stage phases below.
+START_FANOUT = "fanout"
+
+#: Phase names of a fan-out job span tree, in pipeline order
+#: (``reduce`` appears only on ``map_reduce``).  Deliberately disjoint
+#: from LIFECYCLE_PHASES so job traces never pollute the per-request
+#: stage percentiles.
+FANOUT_STAGES = ("partition", "fanout", "gather", "reduce")
 
 
 class RequestTrace:

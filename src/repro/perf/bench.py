@@ -17,6 +17,9 @@ The scenarios cover the hot paths the kernel fast-path work targets:
   sandboxes and XPU-Shim, once on the batched kernel and once on the
   pre-batch reference loop.  Headline metric: **events/sec** (batched),
   with the reference rate and the speedup recorded alongside.
+* ``fanout_sweep`` — partition-task throughput through the fan-out
+  engine (repro.futures), gather-on vs. gather-off.  Headline metric:
+  **fanout tasks/sec**.
 * ``startup_replay`` — wall-clock replays of the paper's Fig. 10
   startup experiment (CPU/DPU cfork vs. baseline plus the FPGA
   configurations), the heaviest single experiment in the suite.
@@ -406,6 +409,57 @@ def _bench_loadgen_replay(quick: bool) -> BenchResult:
     )
 
 
+def _bench_fanout_sweep(quick: bool) -> BenchResult:
+    """Partition-task throughput through the fan-out engine.
+
+    One seeded ``fanout`` load run per gather mode: straggler-aware
+    gather armed (the default) and disarmed.  The headline rate is
+    wall-clock partition tasks/sec with gather on; the simulated
+    gather-stage p99 for both modes rides along so a regression in the
+    speculation path (slower sweeps, lost wakeups) shows up as a
+    latency delta even when wall throughput is unchanged.
+    """
+    from repro.loadgen.scenarios import run_load
+
+    tasks = 256 if quick else 2_048
+
+    def sweep(gather: bool):
+        t0 = time.perf_counter()
+        report = run_load(
+            "fanout", seed=REPLAY_SEED, quick=quick, tasks=tasks,
+            shards=REPLAY_SHARDS, fanout_gather=gather,
+        )
+        wall = time.perf_counter() - t0
+        return wall, report["fanout"]
+
+    on_s, on = sweep(True)
+    off_s, off = sweep(False)
+    wall = on_s + off_s
+    return BenchResult(
+        name="fanout_sweep",
+        wall_s=wall,
+        metrics={
+            "fanout_tasks_per_sec": (
+                on["tasks_done"] / on_s if on_s > 0 else 0.0
+            ),
+            "tasks": float(on["tasks_done"]),
+            "jobs": float(on["jobs"]),
+            "speculations": float(on["speculations"]),
+            "gather_p99_ms": on["stages"]["gather"]["p99_ms"],
+            "gather_off_p99_ms": off["stages"]["gather"]["p99_ms"],
+        },
+        stages={
+            "gather_on_s": on_s,
+            "gather_off_s": off_s,
+        },
+        params={
+            "seed": REPLAY_SEED,
+            "shards": REPLAY_SHARDS,
+            "tasks": tasks,
+        },
+    )
+
+
 def _bench_startup_replay(quick: bool) -> BenchResult:
     from repro.analysis import experiments as ex
 
@@ -443,6 +497,7 @@ SCENARIOS: dict[str, Callable[[bool], BenchResult]] = {
     "invocation_sweep": _bench_invocations,
     "coldstart_storm": _bench_coldstart_storm,
     "loadgen_replay": _bench_loadgen_replay,
+    "fanout_sweep": _bench_fanout_sweep,
     "startup_replay": _bench_startup_replay,
 }
 

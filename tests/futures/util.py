@@ -1,0 +1,52 @@
+"""Shared builders for the fan-out engine tests."""
+
+from __future__ import annotations
+
+from repro import (
+    FanoutConfig,
+    FunctionCode,
+    FunctionDef,
+    Language,
+    MoleculeRuntime,
+    PuKind,
+    WorkProfile,
+)
+
+#: The straggler-forming recipe: a DPU-first profile routes every
+#: primary through the DPU executor's *serial* command loop, so a
+#: fan-out storm queues cold starts back to back and the tail of each
+#: job straggles for real, while the CPU stays free as the clone
+#: target.
+STRAGGLER_CONFIG = dict(
+    partitions=32, chunk_size=8, admit_stagger_s=0.001,
+    gather_threshold=0.5, sweep_period_s=0.005,
+    speculation_min_samples=1000,
+    speculation_default_trigger_s=0.05,
+)
+
+
+def straggler_runtime(seed: int = 11, **overrides) -> MoleculeRuntime:
+    """A runtime whose fan-out jobs deterministically speculate."""
+    cfg = FanoutConfig(**{**STRAGGLER_CONFIG, **overrides})
+    runtime = MoleculeRuntime.create(num_dpus=2, seed=seed, fanout=cfg)
+    runtime.deploy_now(FunctionDef(
+        name="sq",
+        code=FunctionCode("sq", language=Language.PYTHON, import_ms=40.0),
+        work=WorkProfile(warm_exec_ms=5.0),
+        profiles=(PuKind.DPU, PuKind.CPU),
+    ))
+    return runtime
+
+
+def cpu_runtime(seed: int = 7, **overrides) -> MoleculeRuntime:
+    """A runtime whose fan-out jobs finish promptly (CPU-first)."""
+    defaults = dict(partitions=16, chunk_size=4, admit_stagger_s=0.001)
+    cfg = FanoutConfig(**{**defaults, **overrides})
+    runtime = MoleculeRuntime.create(num_dpus=2, seed=seed, fanout=cfg)
+    runtime.deploy_now(FunctionDef(
+        name="sq",
+        code=FunctionCode("sq", language=Language.PYTHON, import_ms=40.0),
+        work=WorkProfile(warm_exec_ms=5.0),
+        profiles=(PuKind.CPU, PuKind.DPU),
+    ))
+    return runtime

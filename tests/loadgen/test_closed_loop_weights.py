@@ -1,0 +1,83 @@
+"""Regression tests for the closed-loop driver's task weighting.
+
+One fan-out arrival occupies a worker slot while fanning out to many
+sandbox tasks; counting *requests* would let ``concurrency`` workers
+put ``concurrency x weight`` tasks in flight at once.  The driver's
+``task_weight`` hook charges each arrival its fan-out factor against
+the concurrency budget; these tests pin the fixed semantics:
+
+* total in-flight tasks stay bounded by ``concurrency``;
+* a single arrival heavier than the whole budget is admitted alone
+  (never wedged, never overlapped);
+* the default weight-1 path replays the historical schedule
+  byte-identically.
+"""
+
+from repro.loadgen import (
+    Arrival,
+    ArrivalPlan,
+    ClosedLoopDriver,
+    build_runtime,
+)
+
+
+def _plan(n=24, spacing_s=0.01):
+    return ArrivalPlan(
+        tuple(
+            Arrival(time_s=i * spacing_s, function="thumb")
+            for i in range(n)
+        ),
+        duration_s=n * spacing_s,
+    )
+
+
+def test_weighted_inflight_tasks_bounded_by_concurrency():
+    """8 workers x weight 4 must not stack 32 tasks: the task budget,
+    not the worker count, is the cap."""
+    plan = _plan()
+    runtime, frontend = build_runtime(plan, seed=5, shards=2)
+    driver = ClosedLoopDriver(
+        runtime, plan, concurrency=8, frontend=frontend,
+        task_weight=lambda arrival: 4,
+    )
+    records = driver.run()
+    assert len(records) == len(plan)
+    assert all(r.answered for r in records)
+    assert 0 < driver.max_inflight_tasks <= 8
+
+
+def test_single_heavy_arrival_is_admitted_alone():
+    """A weight greater than the whole budget must not deadlock: the
+    oversized arrival runs by itself (in-flight == its own weight,
+    never its weight plus a neighbor)."""
+    plan = _plan(n=12)
+    runtime, frontend = build_runtime(plan, seed=5, shards=2)
+    heavy_weight = 10
+
+    def weight(arrival):
+        return heavy_weight if arrival.time_s == 0.0 else 1
+
+    driver = ClosedLoopDriver(
+        runtime, plan, concurrency=4, frontend=frontend,
+        task_weight=weight,
+    )
+    records = driver.run()
+    assert len(records) == len(plan)
+    assert all(r.answered for r in records)
+    assert driver.max_inflight_tasks == heavy_weight
+
+
+def test_weight_one_replays_the_unweighted_schedule_byte_identically():
+    def replay(task_weight):
+        plan = _plan()
+        runtime, frontend = build_runtime(plan, seed=5, shards=2)
+        driver = ClosedLoopDriver(
+            runtime, plan, concurrency=4, frontend=frontend,
+            task_weight=task_weight,
+        )
+        return [vars(r) for r in driver.run()], driver
+
+    unweighted, _ = replay(None)
+    weighted, driver = replay(lambda arrival: 1)
+    assert weighted == unweighted
+    assert driver.max_inflight_tasks <= 4

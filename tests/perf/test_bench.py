@@ -15,6 +15,7 @@ def test_scenario_registry_names():
         "invocation_sweep",
         "coldstart_storm",
         "loadgen_replay",
+        "fanout_sweep",
         "startup_replay",
     }
 
@@ -64,6 +65,19 @@ def test_loadgen_replay_times_batched_against_reference():
     # Params pin the golden-recipe sizing compare_reports matches on.
     assert scenario["params"]["seed"] == perf.bench.REPLAY_SEED
     assert scenario["params"]["shards"] == perf.bench.REPLAY_SHARDS
+
+
+def test_fanout_sweep_runs_both_gather_modes():
+    report = perf.run_benchmarks(quick=True, scenarios=["fanout_sweep"])
+    scenario = report["scenarios"]["fanout_sweep"]
+    metrics = scenario["metrics"]
+    assert metrics["tasks"] == scenario["params"]["tasks"]
+    assert metrics["fanout_tasks_per_sec"] > 0
+    assert metrics["gather_p99_ms"] > 0
+    assert metrics["gather_off_p99_ms"] > 0
+    assert scenario["stages"]["gather_on_s"] > 0
+    assert scenario["stages"]["gather_off_s"] > 0
+    assert scenario["params"]["seed"] == perf.bench.REPLAY_SEED
 
 
 def test_run_benchmarks_profile_attaches_kernel_snapshots():

@@ -456,6 +456,10 @@ def _print_load(args) -> int:
             deadline_s=args.deadline,
             tasks=args.tasks,
             fanout_gather=not args.no_gather,
+            reuse=args.reuse,
+            zipf_s=args.zipf_s,
+            cache_mb=args.cache_mb,
+            keepalive_policy=args.keepalive_policy,
         )
     except Exception as exc:
         from repro.errors import ReproError
@@ -555,7 +559,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     load.add_argument("--scenario", default="poisson",
                       help="arrival scenario: poisson, burst, diurnal, "
-                           "azure, overload, fanout (default: poisson)")
+                           "azure, overload, fanout, zipf "
+                           "(default: poisson)")
     load.add_argument("--rps", type=float, default=None,
                       help="peak arrival rate per second "
                            "(default: 200, or 40 with --quick)")
@@ -585,6 +590,11 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="SECONDS",
                       help="pool-wide keep-alive TTL for idle instances "
                            "(default: keep forever)")
+    load.add_argument("--keepalive-policy", default="ttl",
+                      choices=("ttl", "gdsf"), dest="keepalive_policy",
+                      help="warm-pool eviction policy: ttl (LRU + TTL, "
+                           "the default) or gdsf (FaasCache-style "
+                           "greedy-dual keep-alive)")
     load.add_argument("--hedge", action="store_true",
                       help="arm the tail-latency hedging engine: clone "
                            "straggling requests onto a second PU and "
@@ -609,6 +619,18 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--no-gather", action="store_true",
                       help="fanout scenario: disarm straggler-aware "
                            "gather (speculative re-execution)")
+    load.add_argument("--reuse", action="store_true",
+                      help="arm the result-cache engine: deterministic "
+                           "memoization with single-flight de-dup and "
+                           "stale-under-pressure serving (the zipf "
+                           "scenario's A/B lever)")
+    load.add_argument("--zipf-s", type=float, default=None, dest="zipf_s",
+                      help="zipf/reuse: input-popularity skew "
+                           "(default: 1.1)")
+    load.add_argument("--cache-mb", type=float, default=None,
+                      dest="cache_mb",
+                      help="reuse: result-cache capacity in MB "
+                           "(default: 8)")
     load.add_argument("--deadline", type=float, default=None,
                       metavar="SECONDS",
                       help="per-request deadline (default: 30, or 2 "

@@ -32,12 +32,13 @@ from repro.errors import (
     WorkloadError,
 )
 from repro.hardware.pu import ProcessingUnit, PuKind
-from repro.core.keepalive import WarmPool
+from repro.core.keepalive import WarmPool, make_warm_pool
 from repro.core.registry import FunctionDef
 from repro.core.reliability import DeadLetter, RetryPolicy
 from repro.obs.spans import (
     DetachableTrace,
     NULL_TRACE,
+    START_CACHED,
     START_COALESCED,
     START_COLD,
     START_FORK,
@@ -86,7 +87,8 @@ class InvocationResult:
     function: str
     request_id: int
     pu_name: str
-    pu_kind: PuKind
+    #: None for cache-served answers (repro.reuse): no PU ran them.
+    pu_kind: Optional[PuKind]
     cold: bool
     startup_s: float
     exec_s: float
@@ -110,6 +112,13 @@ class InvocationResult:
     #: Which copy answered a hedged request: "primary" or "clone"
     #: (empty when no clone launched).
     hedge_winner: str = ""
+    #: Result payload (repro.reuse): set for executions of idempotent
+    #: functions with an input key, and for every cache-served answer —
+    #: a hit's payload must equal what executing its digest produces.
+    payload: Optional[str] = None
+    #: "" for executed answers; "fresh" or "stale" when this request
+    #: was answered from the result cache (repro.reuse).
+    cache: str = ""
 
     @property
     def total_ms(self) -> float:
@@ -131,10 +140,14 @@ class Invoker:
         warm_pool_capacity: int = 4096,
         keep_alive_ttl_s: Optional[float] = None,
         reap_period_s: float = 1.0,
+        keepalive_policy: str = "ttl",
     ):
         self.runtime = runtime
         self.pools: dict[int, WarmPool] = {
-            pu_id: WarmPool(warm_pool_capacity, keep_alive_ttl_s=keep_alive_ttl_s)
+            pu_id: make_warm_pool(
+                keepalive_policy, warm_pool_capacity,
+                keep_alive_ttl_s=keep_alive_ttl_s,
+            )
             for pu_id in runtime.machine.pus
         }
         self._sandbox_ids = itertools.count(1)
@@ -167,6 +180,10 @@ class Invoker:
         #: OverloadController itself.  None keeps every hot path
         #: byte-identical to a runtime without overload control.
         self.overload = None
+        #: Result-cache engine (repro.reuse); wired by ReuseEngine
+        #: itself.  None keeps every hot path byte-identical to a
+        #: runtime without computation reuse.
+        self.reuse = None
         self._reaper_wakeup = None
         if keep_alive_ttl_s is not None:
             self.runtime.sim.spawn(
@@ -224,6 +241,7 @@ class Invoker:
         gateway=None,
         overload_bypass: bool = False,
         hedge_policy=None,
+        input_key: Optional[str] = None,
     ):
         """Generator: run one request end to end.
 
@@ -252,6 +270,13 @@ class Invoker:
         this request (repro.futures: the fan-out engine's straggler
         speculation, whose clone trigger is fired by the gather loop
         instead of a percentile timer).  None keeps the stock behavior.
+
+        ``input_key`` is the request's input identity (repro.reuse):
+        with the result cache armed and the function declared
+        idempotent, requests sharing a key may be answered from the
+        cache without ever taking a gate slot or touching a sandbox.
+        Half-open breaker probes (``overload_bypass``) skip the cache —
+        a cached answer would starve the probe and pin the breaker.
         """
         function = self.runtime.registry.get(name)
         if pu is not None and kind is None:
@@ -279,29 +304,86 @@ class Invoker:
                 # gateway: admission listeners only see a count, and
                 # the predictor needs the function identity.
                 self.engine.on_admission(function, kind)
-            overload = self.overload
-            slot = None
-            if overload is not None:
-                # Adaptive admission after gateway admission (so sheds
-                # still count against ``admitted``) and before the retry
-                # loop (so a shed is never retried or dead-lettered).
-                slot = yield from overload.acquire(
-                    gateway, function, request_id, trace,
-                    bypass=overload_bypass,
-                )
-            try:
-                result = yield from self._invoke_with_retries(
-                    function, request_id, kind, pu, force_cold,
-                    payload_bytes, exec_time_s, start, trace,
-                    max_attempts or self.retry_policy.max_attempts,
-                    gateway, hedger,
-                )
-            except BaseException:
-                if slot is not None:
-                    overload.release(slot, ok=False)
-                raise
-            if slot is not None:
-                overload.release(slot, ok=True)
+            # Cache consult between gateway admission (a hit still
+            # counts against ``admitted``) and the overload gate (a hit
+            # never burns a concurrency slot).
+            reuse = self.reuse
+            flight = None
+            result = None
+            if reuse is not None:
+                if overload_bypass:
+                    # A half-open breaker's probe must reach a real PU:
+                    # a cached answer would starve the probe and pin
+                    # the shard's breaker open.
+                    reuse.note_bypass(function, "probe")
+                else:
+                    hit, flight = yield from reuse.lookup(
+                        function, input_key, gateway, request_id
+                    )
+                    if hit is not None:
+                        result = self._cached_result(
+                            function, request_id, hit, start, trace
+                        )
+            if result is None:
+                overload = self.overload
+                slot = None
+                try:
+                    if overload is not None:
+                        # Adaptive admission after gateway admission (so
+                        # sheds still count against ``admitted``) and
+                        # before the retry loop (so a shed is never
+                        # retried or dead-lettered).
+                        try:
+                            slot = yield from overload.acquire(
+                                gateway, function, request_id, trace,
+                                bypass=overload_bypass,
+                            )
+                        except RequestShed as shed:
+                            # Shed-to-stale downgrade (repro.reuse): an
+                            # old answer beats no answer.  The controller
+                            # un-counts the shed so conservation holds
+                            # with this request in the answered column.
+                            hit = (
+                                reuse.shed_fallback(function, input_key)
+                                if reuse is not None else None
+                            )
+                            if hit is None:
+                                raise
+                            overload.rescind_shed(gateway, shed.reason)
+                            result = self._cached_result(
+                                function, request_id, hit, start, trace
+                            )
+                    if result is None:
+                        result = yield from self._invoke_with_retries(
+                            function, request_id, kind, pu, force_cold,
+                            payload_bytes, exec_time_s, start, trace,
+                            max_attempts or self.retry_policy.max_attempts,
+                            gateway, hedger,
+                        )
+                        if slot is not None:
+                            overload.release(slot, ok=True)
+                            slot = None
+                        if flight is not None:
+                            reuse.fill(
+                                flight, function, result, payload_bytes
+                            )
+                            flight = None
+                        elif reuse is not None:
+                            reuse.note_executed()
+                except BaseException:
+                    if slot is not None:
+                        overload.release(slot, ok=False)
+                    if flight is not None:
+                        # A dead leader must never wedge followers: wake
+                        # them empty-handed to re-elect.
+                        reuse.abort(flight)
+                    raise
+                if flight is not None:
+                    # Shed-to-stale downgrade: flight leadership died
+                    # with the gate slot, so followers re-elect (the
+                    # stale entry is this request's answer, not theirs).
+                    reuse.abort(flight)
+                    flight = None
         except RequestShed as exc:
             trace.shed(exc.reason)
             raise
@@ -310,11 +392,48 @@ class Invoker:
             raise
         result.admitted_s = admitted_s
         trace.finish()
-        if hedger is not None:
+        if hedger is not None and not result.cache:
             # Feed the latency tracker: successful completions are what
             # the percentile (or straggler) trigger is computed over.
+            # Cache hits stay out — their near-zero latencies would
+            # drag the percentile down and fire hedges on every
+            # executed request.
             hedger.observe(function.name, result.total_s)
         return result
+
+    # -- cache-served answers (repro.reuse) --------------------------------------------
+
+    def _cached_result(self, function, request_id, hit, start,
+                       trace) -> InvocationResult:
+        """Build the result for a request answered from the cache.
+
+        No sandbox ran and no PU core was held, so nothing is charged
+        to the billing ledger — near-zero-cost hits are the point of
+        memoization.
+        """
+        self.reuse.note_served(function, hit)
+        freshness = "stale" if hit.stale else "fresh"
+        trace.annotate(
+            pu="cache",
+            pu_kind="cache",
+            start_kind=START_CACHED,
+            cache=freshness,
+            cache_reason=hit.reason,
+        )
+        return InvocationResult(
+            function=function.name,
+            request_id=request_id,
+            pu_name="cache",
+            pu_kind=None,
+            cold=False,
+            startup_s=0.0,
+            exec_s=0.0,
+            comm_s=0.0,
+            total_s=self.sim.now - start,
+            billed_cost=0.0,
+            payload=hit.entry.payload,
+            cache=freshness,
+        )
 
     # -- retry / deadline loop -------------------------------------------------------
 

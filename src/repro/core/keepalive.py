@@ -135,6 +135,103 @@ class WarmPool:
         return self.hits / total if total else 0.0
 
 
+class GdsfWarmPool(WarmPool):
+    """FaasCache-style greedy-dual keep-alive (drop-in WarmPool).
+
+    Capacity evictions pick the function whose warm instances are
+    cheapest to lose under the GDSF priority ``clock + freq * cost``
+    (cost = the function's import/cold-start cost in ms, one cell per
+    function), instead of plain pool-wide LRU.  Frequency counts warm
+    hits, so a hot cheap function can still outrank a cold expensive
+    one; the aging clock rises on every eviction so idle functions
+    decay without any wall-clock input.  TTL reaping (and the adaptive
+    per-function overrides) work unchanged on top.
+    """
+
+    def __init__(
+        self, capacity: int = 64, keep_alive_ttl_s: Optional[float] = None
+    ):
+        super().__init__(capacity, keep_alive_ttl_s=keep_alive_ttl_s)
+        from repro.reuse.gdsf import GreedyDualTracker
+
+        self.tracker = GreedyDualTracker()
+
+    @staticmethod
+    def _cost(instance: "FunctionInstance") -> float:
+        code = getattr(instance.function, "code", None)
+        cost = getattr(code, "import_ms", None)
+        return float(cost) if cost else 1.0
+
+    def _sync_tracker(self) -> None:
+        """Drop tracker cells for functions with no idle instances."""
+        for key in self.tracker.keys():
+            if key not in self._idle:
+                self.tracker.remove(key)
+
+    def acquire(self, func_name: str) -> Optional["FunctionInstance"]:
+        instance = super().acquire(func_name)
+        if instance is not None:
+            if func_name in self._idle:
+                self.tracker.touch(func_name)
+            else:
+                # Bucket emptied: a take-out is not an eviction.
+                self.tracker.remove(func_name)
+        return instance
+
+    def release(
+        self, instance: "FunctionInstance", now: float = 0.0
+    ) -> list["FunctionInstance"]:
+        name = instance.function.name
+        if name in self.tracker:
+            self.tracker.touch(name)
+        else:
+            self.tracker.admit(name, cost=self._cost(instance))
+        self._idle.setdefault(name, []).append((now, instance))
+        self._idle.move_to_end(name)
+        evicted: list = []
+        while len(self) > self.capacity:
+            victim = self.tracker.victim()
+            bucket = self._idle[victim]
+            evicted.append(bucket.pop(0)[1])
+            if not bucket:
+                del self._idle[victim]
+                self.tracker.remove(victim, evicted=True)
+            else:
+                self.tracker.age(self.tracker.priority_of(victim))
+        return evicted
+
+    def reap_expired(self, now: float) -> list["FunctionInstance"]:
+        reaped = super().reap_expired(now)
+        if reaped:
+            self._sync_tracker()
+        return reaped
+
+    def drop_all(self, func_name: str) -> list["FunctionInstance"]:
+        dropped = super().drop_all(func_name)
+        if dropped:
+            self.tracker.remove(func_name)
+        return dropped
+
+
+#: Keep-alive policy names accepted by the invoker/runtime knobs.
+KEEPALIVE_POLICIES = ("ttl", "gdsf")
+
+
+def make_warm_pool(
+    policy: str,
+    capacity: int,
+    keep_alive_ttl_s: Optional[float] = None,
+) -> WarmPool:
+    """Build one PU's warm pool under the named keep-alive policy."""
+    if policy == "ttl":
+        return WarmPool(capacity, keep_alive_ttl_s=keep_alive_ttl_s)
+    if policy == "gdsf":
+        return GdsfWarmPool(capacity, keep_alive_ttl_s=keep_alive_ttl_s)
+    raise SchedulingError(
+        f"unknown keep-alive policy {policy!r}; one of {KEEPALIVE_POLICIES}"
+    )
+
+
 @dataclass(frozen=True)
 class ImagePlan:
     """The kernel packing chosen for the next FPGA image."""

@@ -65,6 +65,7 @@ class MoleculeRuntime:
         no_erase: bool = True,
         warm_pool_capacity: int = 4096,
         keep_alive_ttl_s: Optional[float] = None,
+        keepalive_policy: str = "ttl",
         prefer_cheapest: bool = False,
         obs: Optional[Observability] = None,
         seed: Optional[int] = None,
@@ -75,6 +76,7 @@ class MoleculeRuntime:
         hedging=None,
         overload=None,
         fanout=None,
+        reuse=None,
     ):
         self.sim = sim or Simulator()
         self.machine = machine or build_cpu_dpu_machine(self.sim, num_dpus=2)
@@ -137,6 +139,7 @@ class MoleculeRuntime:
             self,
             warm_pool_capacity=warm_pool_capacity,
             keep_alive_ttl_s=keep_alive_ttl_s,
+            keepalive_policy=keepalive_policy,
         )
         self.dag = DagEngine(self)
         self._executors: dict[int, Executor] = {}
@@ -199,6 +202,18 @@ class MoleculeRuntime:
 
             fanout_config = FanoutConfig() if fanout is True else fanout
             self.fanout = FanoutEngine(self, fanout_config)
+        #: Optional computation-reuse engine (repro.reuse): a
+        #: deterministic result cache in front of the admission gate
+        #: with single-flight de-dup and stale-under-pressure serving.
+        #: Pass a ReuseConfig (or True for defaults); None leaves the
+        #: stock byte-identical behavior.  Constructed last so its
+        #: staleness policy can consult the overload controller.
+        self.reuse = None
+        if reuse is not None:
+            from repro.reuse import ReuseConfig, ReuseEngine
+
+            reuse_config = ReuseConfig() if reuse is True else reuse
+            self.reuse = ReuseEngine(self, reuse_config)
 
     # -- construction helpers -------------------------------------------------------
 
@@ -460,6 +475,13 @@ class MoleculeRuntime:
                 limit_g.bind(shard=gate.label).set(gate.limiter.limit)
                 depth_g.bind(shard=gate.label).set(len(gate.queue))
             self.obs.overload_pressure.set(self.overload.pressure())
+        if self.reuse is not None:
+            self.obs.ensure_reuse_metrics()
+            self.obs.on_reuse_cache_state(
+                len(self.reuse.cache),
+                self.reuse.cache.bytes_used,
+                self.reuse.hit_rate(),
+            )
 
     def metrics_snapshot(self, include_kernel: bool = False) -> dict:
         """A JSON-friendly dump of every metric family, gauges freshly

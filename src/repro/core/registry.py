@@ -65,6 +65,9 @@ class FunctionDef:
     #: PU kinds the user is willing to pay for, cheapest-preferred order
     #: chosen by the platform (§4.1).
     profiles: tuple[PuKind, ...] = (PuKind.CPU,)
+    #: Opt-in for result memoization (repro.reuse): only functions the
+    #: user declares idempotent may be answered from the result cache.
+    idempotent: bool = False
 
     def __post_init__(self):
         if not self.profiles:
@@ -89,12 +92,19 @@ class FunctionRegistry:
 
     def __init__(self):
         self._functions: dict[str, FunctionDef] = {}
+        #: Per-name deploy generation: bumped by every register and
+        #: unregister, so a cached result (repro.reuse) filled under an
+        #: older deploy of the same name can never be served fresh.
+        self._generations: dict[str, int] = {}
 
     def register(self, function: FunctionDef) -> FunctionDef:
         """Deploy a function (rejects duplicate names)."""
         if function.name in self._functions:
             raise RegistryError(f"function {function.name!r} already registered")
         self._functions[function.name] = function
+        self._generations[function.name] = (
+            self._generations.get(function.name, 0) + 1
+        )
         return function
 
     def unregister(self, name: str) -> None:
@@ -102,6 +112,11 @@ class FunctionRegistry:
         if name not in self._functions:
             raise RegistryError(f"unknown function {name!r}")
         del self._functions[name]
+        self._generations[name] = self._generations.get(name, 0) + 1
+
+    def generation(self, name: str) -> int:
+        """Deploy generation of ``name`` (0 if never registered)."""
+        return self._generations.get(name, 0)
 
     def get(self, name: str) -> FunctionDef:
         """Function by name (raises for unknown names)."""

@@ -27,6 +27,7 @@ from repro.loadgen.arrivals import (
     PLAN_SCHEMA,
     PoissonArrivals,
     TraceArrivals,
+    ZipfSampler,
 )
 from repro.loadgen.driver import (
     ClosedLoopDriver,
@@ -50,6 +51,7 @@ from repro.loadgen.slo import (
 )
 from repro.loadgen.scenarios import (
     attach_fault_plan,
+    attach_zipf_inputs,
     build_runtime,
     default_mix,
     run_load,
@@ -73,7 +75,9 @@ __all__ = [
     "SCHEMA",
     "ShardedFrontend",
     "TraceArrivals",
+    "ZipfSampler",
     "attach_fault_plan",
+    "attach_zipf_inputs",
     "build_report",
     "build_runtime",
     "compare_reports",

@@ -46,23 +46,33 @@ class Arrival:
     #: Dispatch kind (``None`` lets the function's first profile win).
     kind: Optional[PuKind] = None
     payload_bytes: int = 1024
+    #: Logical input identity for result-cache keying (repro.reuse).
+    #: ``None`` means "unknown input": the request is never cacheable.
+    input_key: Optional[str] = None
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "time_s": self.time_s,
             "function": self.function,
             "kind": self.kind.value if self.kind is not None else None,
             "payload_bytes": self.payload_bytes,
         }
+        # Emitted only when set so pre-reuse golden plans stay byte
+        # identical on a round trip.
+        if self.input_key is not None:
+            data["input_key"] = self.input_key
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "Arrival":
         kind = data.get("kind")
+        input_key = data.get("input_key")
         return cls(
             time_s=float(data["time_s"]),
             function=str(data["function"]),
             kind=PuKind(kind) if kind is not None else None,
             payload_bytes=int(data.get("payload_bytes", 1024)),
+            input_key=str(input_key) if input_key is not None else None,
         )
 
 
@@ -171,6 +181,57 @@ class FunctionMix:
                 return self.names[index], kind
         kind = self.kinds[-1] if self.kinds else None
         return self.names[-1], kind
+
+
+class ZipfSampler:
+    """Deterministic Zipf(s) sampler over a fixed key universe.
+
+    Rank ``r`` (1-based) is drawn with probability proportional to
+    ``r**-s`` — the closed-form frequencies the reuse tests check
+    against.  Sampling is inverse-CDF over the precomputed cumulative
+    weights, so the draw sequence is fully determined by the seeded
+    stream: same fork, same keys, byte for byte.
+
+    The computation-reuse scenarios use one sampler per function to
+    pick which *input* each arrival carries; with ``s`` above ~1 the
+    head keys dominate and a small result cache absorbs most traffic.
+    """
+
+    def __init__(self, keys: Sequence[str], skew: float, rng: SeededRng):
+        if not keys:
+            raise WorkloadError("zipf sampler needs at least one key")
+        if skew < 0:
+            raise WorkloadError(f"zipf skew must be non-negative: {skew}")
+        self.keys = tuple(keys)
+        self.skew = skew
+        self.rng = rng
+        weights = [(rank + 1) ** -skew for rank in range(len(self.keys))]
+        total = sum(weights)
+        acc = 0.0
+        self._cdf: list[float] = []
+        for weight in weights:
+            acc += weight / total
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0  # guard against float drift at the tail
+
+    def probability(self, rank: int) -> float:
+        """Closed-form P(rank) for a 1-based rank (test oracle)."""
+        if not 1 <= rank <= len(self.keys):
+            raise WorkloadError(f"rank out of range: {rank}")
+        prev = self._cdf[rank - 2] if rank > 1 else 0.0
+        return self._cdf[rank - 1] - prev
+
+    def sample(self) -> str:
+        """Draw one key from the seeded stream."""
+        draw = self.rng.uniform(0.0, 1.0)
+        lo, hi = 0, len(self._cdf) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if draw <= self._cdf[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return self.keys[lo]
 
 
 class _ThinnedProcess:

@@ -50,6 +50,10 @@ class RequestRecord:
     #: True when a hedge clone was launched for this request
     #: (repro.hedging); ``pu`` then names the winning copy's PU.
     hedged: bool = False
+    #: ``"fresh"``/``"stale"`` when answered from the result cache
+    #: (repro.reuse), ``""`` when the request actually executed.
+    #: Excluded from both golden tuples below.
+    cache: str = ""
 
     @property
     def answered(self) -> bool:
@@ -134,6 +138,7 @@ class OpenLoopDriver:
                     arrival.function,
                     kind=arrival.kind,
                     payload_bytes=arrival.payload_bytes,
+                    input_key=arrival.input_key,
                 )
         except ReproError as exc:
             record.outcome = (
@@ -149,6 +154,7 @@ class OpenLoopDriver:
             record.attempts = result.attempts
             record.latency_s = result.total_s
             record.hedged = result.hedged
+            record.cache = getattr(result, "cache", "")
         self.finished_s = max(self.finished_s, self.runtime.sim.now)
 
     def _pacer(self):
@@ -276,6 +282,7 @@ class ClosedLoopDriver:
                         arrival.function,
                         kind=arrival.kind,
                         payload_bytes=arrival.payload_bytes,
+                        input_key=arrival.input_key,
                     )
             except ReproError as exc:
                 record.outcome = (
@@ -291,6 +298,7 @@ class ClosedLoopDriver:
                 record.attempts = result.attempts
                 record.latency_s = result.total_s
                 record.hedged = result.hedged
+                record.cache = getattr(result, "cache", "")
             finally:
                 self._release_tasks(weight)
             self.finished_s = max(self.finished_s, self.runtime.sim.now)

@@ -29,6 +29,7 @@ from repro.loadgen.arrivals import (
     FunctionMix,
     PoissonArrivals,
     TraceArrivals,
+    ZipfSampler,
 )
 from repro.loadgen.driver import ClosedLoopDriver, OpenLoopDriver
 from repro.loadgen.slo import build_report
@@ -52,6 +53,20 @@ OVERLOAD_DEADLINE_S = 2.0
 #: out burst gaps, short enough that the initial stampede and the
 #: post-crash re-stampede still re-pay their cold starts.
 OVERLOAD_KEEP_ALIVE_S = 2.0
+
+#: The ``zipf`` scenario's input-popularity defaults: each function
+#: draws its inputs from this many distinct keys with Zipf(s) skew.
+#: At s ~ 1.1 the head keys dominate, so a small result cache absorbs
+#: most of the offered load — the crossover BENCH_load_cache.json
+#: sweeps across skews.
+ZIPF_SKEW = 1.1
+ZIPF_KEYS_PER_FUNCTION = 32
+#: The ``zipf`` scenario multiplies the nominal rps by this factor so
+#: the cache-off run visibly queues (and, under the scenario's default
+#: deadline below, loses its slowest requests) — the headroom the
+#: result cache then wins back.
+ZIPF_FACTOR = 4.0
+ZIPF_DEADLINE_S = 2.0
 
 #: The ``fanout`` scenario's job shape: every arrival is one
 #: map_reduce job over this many partitions of this many items each,
@@ -149,6 +164,50 @@ def overload_fault_plan(duration_s: float):
     ))
 
 
+def attach_zipf_inputs(
+    plan: ArrivalPlan,
+    rng: SeededRng,
+    skew: float = ZIPF_SKEW,
+    keys_per_function: int = ZIPF_KEYS_PER_FUNCTION,
+) -> ArrivalPlan:
+    """Attach Zipf-sampled input keys to a plan's arrivals.
+
+    Each function gets its own sampler off a named fork of ``rng``, so
+    key streams are independent of arrival interleaving and fully
+    seed-deterministic.  Arrivals that already carry a key keep it.
+    Used by the ``zipf`` scenario and by ``--reuse`` runs of the other
+    scenarios (whose base plans never consume this fork, keeping their
+    cache-off goldens byte-identical).
+    """
+    universe = tuple(f"k{index:02d}" for index in range(keys_per_function))
+    samplers: dict[str, ZipfSampler] = {}
+    arrivals = []
+    for arrival in plan:
+        if arrival.input_key is not None:
+            arrivals.append(arrival)
+            continue
+        sampler = samplers.get(arrival.function)
+        if sampler is None:
+            sampler = ZipfSampler(
+                universe, skew, rng.fork(f"zipf:{arrival.function}")
+            )
+            samplers[arrival.function] = sampler
+        arrivals.append(replace(arrival, input_key=sampler.sample()))
+    return ArrivalPlan(arrivals=tuple(arrivals), duration_s=plan.duration_s)
+
+
+def _plan_zipf(
+    rng: SeededRng, rps: float, duration_s: float, skew: float = ZIPF_SKEW
+) -> ArrivalPlan:
+    """Computation-reuse workload: Poisson arrivals over the standard
+    mix at ZIPF_FACTOR x the nominal rate, every arrival carrying a
+    Zipf(s)-popular input key."""
+    base = PoissonArrivals(
+        default_mix(), rps * ZIPF_FACTOR, rng=rng
+    ).plan(duration_s)
+    return attach_zipf_inputs(base, rng.fork("zipf-keys"), skew=skew)
+
+
 def _plan_fanout(rng: SeededRng, rps: float, duration_s: float) -> ArrivalPlan:
     """Fan-out jobs at fixed spacing: the nominal request budget
     (``rps * duration_s``) divided into 64-partition map_reduce jobs.
@@ -205,6 +264,7 @@ _SCENARIOS: dict[str, Callable[[SeededRng, float, float], ArrivalPlan]] = {
     "azure": _plan_azure,
     "overload": _plan_overload,
     "fanout": _plan_fanout,
+    "zipf": _plan_zipf,
 }
 
 
@@ -223,6 +283,10 @@ def build_runtime(
     hedge_budget: Optional[float] = None,
     batched: bool = True,
     fanout=None,
+    reuse=False,
+    cache_mb: Optional[float] = None,
+    idempotent: bool = False,
+    keepalive_policy: str = "ttl",
 ):
     """Boot a deployment sized for ``plan`` with a sharded front end.
 
@@ -238,6 +302,11 @@ def build_runtime(
     stay byte-identical.  ``batched=False`` runs on the kernel's
     pre-batch reference loop (same trace, roughly half the throughput)
     — the A/B lever the ``loadgen_replay`` perf scenario measures.
+    ``reuse`` arms the result-cache engine (True for defaults or a
+    ReuseConfig; ``cache_mb`` overrides its capacity), ``idempotent``
+    deploys every function cache-eligible, and ``keepalive_policy``
+    selects the warm-pool eviction policy (``"ttl"`` LRU+TTL or
+    ``"gdsf"`` FaasCache-style greedy-dual).
     """
     sim = Simulator(batched=batched)
     machine = build_cpu_dpu_machine(sim, num_dpus=num_dpus)
@@ -271,6 +340,13 @@ def build_runtime(
             overload if isinstance(overload, OverloadConfig)
             else OverloadConfig()
         )
+    reuse_cfg = None
+    if reuse:
+        from repro.reuse import ReuseConfig
+
+        reuse_cfg = reuse if isinstance(reuse, ReuseConfig) else ReuseConfig()
+        if cache_mb is not None:
+            reuse_cfg = replace(reuse_cfg, capacity_mb=cache_mb)
     runtime = MoleculeRuntime(
         sim,
         machine,
@@ -278,10 +354,12 @@ def build_runtime(
         seed=seed,
         default_deadline_s=default_deadline_s,
         keep_alive_ttl_s=keep_alive_ttl_s,
+        keepalive_policy=keepalive_policy,
         warmpath=warmpath,
         hedging=hedging,
         overload=overload_cfg,
         fanout=fanout,
+        reuse=reuse_cfg,
     )
     runtime.start()
     for name, import_ms, exec_ms, profiles in _FUNCTIONS:
@@ -290,6 +368,7 @@ def build_runtime(
             code=FunctionCode(name, language=Language.PYTHON, import_ms=import_ms),
             work=WorkProfile(warm_exec_ms=exec_ms),
             profiles=profiles,
+            idempotent=idempotent,
         ))
     frontend = runtime.sharded_frontend(shards, policy=policy)
     return runtime, frontend
@@ -331,6 +410,10 @@ def run_load(
     deadline_s: Optional[float] = None,
     tasks: Optional[int] = None,
     fanout_gather: bool = True,
+    reuse=False,
+    zipf_s: Optional[float] = None,
+    cache_mb: Optional[float] = None,
+    keepalive_policy: str = "ttl",
 ) -> dict:
     """Run one canned load scenario and return its BENCH_load report.
 
@@ -338,6 +421,10 @@ def run_load(
     the job schedule is resized so at least that many partition tasks
     run.  ``fanout_gather=False`` disarms straggler speculation — the
     A/B lever behind BENCH_load_fanout.json's p99 comparison.
+    ``reuse`` arms the result cache (the ``zipf`` scenario's A/B
+    lever; on any other scenario it also Zipf-attaches input keys so
+    requests are cacheable), ``zipf_s`` overrides the input skew and
+    ``cache_mb`` the cache capacity.
     """
     try:
         plan_builder = _SCENARIOS[scenario]
@@ -363,6 +450,10 @@ def run_load(
             keep_alive_ttl_s = OVERLOAD_KEEP_ALIVE_S
         if fault_plan is None:
             fault_plan = overload_fault_plan(duration_s)
+    if scenario == "zipf" and deadline_s is None:
+        # Tight enough that the cache-off run's queueing tail dies at
+        # the deadline — the headroom the A/B comparison measures.
+        deadline_s = ZIPF_DEADLINE_S
     fanout_cfg = None
     if scenario == "fanout":
         from repro.futures import FanoutConfig
@@ -383,8 +474,21 @@ def run_load(
             partitions=FANOUT_PARTITIONS, speculate=fanout_gather
         )
 
+    skew = zipf_s if zipf_s is not None else ZIPF_SKEW
     rng = SeededRng(seed).fork(f"loadgen:{scenario}")
-    plan = plan_builder(rng, rps, duration_s)
+    if scenario == "zipf":
+        plan = _plan_zipf(rng, rps, duration_s, skew=skew)
+    else:
+        plan = plan_builder(rng, rps, duration_s)
+        if reuse:
+            # Reuse on a non-zipf scenario: attach input keys off a
+            # fresh fork the base plan never consumes, so the cache-off
+            # run of the same scenario stays byte-identical.
+            plan = attach_zipf_inputs(
+                plan,
+                SeededRng(seed).fork(f"loadgen:{scenario}:zipf-keys"),
+                skew=skew,
+            )
 
     wall_start = time.perf_counter()
     runtime, frontend = build_runtime(
@@ -394,6 +498,12 @@ def run_load(
         hedge=hedge, hedge_percentile=hedge_percentile,
         overload=overload, hedge_budget=hedge_budget,
         fanout=fanout_cfg,
+        reuse=reuse, cache_mb=cache_mb,
+        # Cache eligibility is per-function opt-in: the zipf scenario
+        # deploys idempotent functions even cache-off so its A/B pair
+        # differs only by the engine.
+        idempotent=(scenario == "zipf") or bool(reuse),
+        keepalive_policy=keepalive_policy,
     )
     if fault_plan is not None:
         attach_fault_plan(runtime, fault_plan)
@@ -456,6 +566,21 @@ def run_load(
                 if hedge_budget is not None else {}
             ),
             **({"overload": True} if runtime.overload is not None else {}),
+            **(
+                {"zipf_s": skew}
+                if scenario == "zipf" or runtime.reuse is not None else {}
+            ),
+            **(
+                {
+                    "reuse": True,
+                    "cache_mb": runtime.reuse.config.capacity_mb,
+                }
+                if runtime.reuse is not None else {}
+            ),
+            **(
+                {"keepalive_policy": keepalive_policy}
+                if keepalive_policy != "ttl" else {}
+            ),
             **({"concurrency": concurrency} if mode == "closed" else {}),
             **(
                 {

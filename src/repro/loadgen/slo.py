@@ -236,6 +236,28 @@ def build_report(
                 if samples
             },
         }
+    reuse = getattr(runtime, "reuse", None)
+    if reuse is not None:
+        cached = sum(1 for r in answered if r.cache)
+        stale_served = sum(1 for r in answered if r.cache == "stale")
+        report["reuse"] = {
+            **reuse.snapshot(),
+            "answered_from_cache": cached,
+            "answered_stale": stale_served,
+            "cache_answer_rate": cached / len(answered) if answered else 0.0,
+            # Extended conservation: every answered request is exactly
+            # one of fresh-hit, stale-hit, or executed (and the
+            # three-fate ``answered + shed + dead == admitted`` ledger
+            # above still holds with shed-to-stale downgrades
+            # un-counted on the shed side).
+            "conserved": reuse.conserved(len(answered)),
+            "latency_cached": latency_block(
+                [r.latency_s for r in answered if r.cache]
+            ),
+            "latency_executed": latency_block(
+                [r.latency_s for r in answered if not r.cache]
+            ),
+        }
     return report
 
 
@@ -307,6 +329,18 @@ def format_report(report: dict) -> str:
             f"speculated={fanout['speculations']} "
             f"(won={spec.get('won', 0)}) "
             f"conserved={fanout['conserved']}"
+        )
+    reuse = report.get("reuse")
+    if reuse is not None:
+        flights = reuse.get("singleflight", {})
+        lines.append(
+            f"  reuse: hit_rate={reuse['hit_rate']:.1%} "
+            f"fresh={reuse['served_fresh']} stale={reuse['served_stale']} "
+            f"executed={reuse['executed']} "
+            f"singleflight={flights.get('followers_served', 0)} "
+            f"downgrades={reuse['shed_downgrades']} "
+            f"evictions={reuse['evictions']} "
+            f"conserved={reuse['conserved']}"
         )
     overload = report.get("overload")
     if overload is not None:

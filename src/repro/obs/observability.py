@@ -240,6 +240,20 @@ class Observability:
         self.fanout_tasks_total = None
         self.fanout_batches_total = None
         self.fanout_speculations_total = None
+        # -- result-cache engine ------------------------------------------------------------
+        # Registered lazily (ensure_reuse_metrics): only runs with a
+        # ReuseEngine wired see these families, keeping the metric
+        # catalog byte-identical for reuse-off golden runs.
+        self.reuse_hits_total = None
+        self.reuse_misses_total = None
+        self.reuse_stale_total = None
+        self.reuse_bypass_total = None
+        self.reuse_singleflight_total = None
+        self.reuse_evictions_total = None
+        self.reuse_invalidations_total = None
+        self.reuse_cache_entries = None
+        self.reuse_cache_bytes = None
+        self.reuse_hit_ratio = None
         # -- sim kernel -----------------------------------------------------------------
         # Registered lazily (ensure_kernel_metrics): only snapshots that
         # explicitly publish a kernel profile see these families, keeping
@@ -276,6 +290,7 @@ class Observability:
         self._shed_children: dict[tuple[str, str], object] = {}
         self._brownout_children: dict[str, object] = {}
         self._fanout_children: dict[tuple[str, str], object] = {}
+        self._reuse_children: dict[tuple[str, str], object] = {}
         self._kernel_children: dict[tuple[str, str], object] = {}
 
     # -- lifecycle spans -----------------------------------------------------------
@@ -817,6 +832,128 @@ class Observability:
         self._fanout_child(
             self.fanout_speculations_total, "spec", function
         ).inc()
+
+    # -- result-cache engine hooks --------------------------------------------------------
+
+    def ensure_reuse_metrics(self) -> None:
+        """Register the result-cache metric families on first use."""
+        if self.reuse_hits_total is not None:
+            return
+        r = self.registry
+        self.reuse_hits_total = r.counter(
+            "repro_reuse_hits",
+            "Requests answered from the result cache, by freshness "
+            "(fresh | singleflight | stale).",
+            ("function", "freshness"),
+        )
+        self.reuse_misses_total = r.counter(
+            "repro_reuse_misses",
+            "Cache consults that found no servable entry and led a "
+            "single-flight execution.",
+            ("function",),
+        )
+        self.reuse_stale_total = r.counter(
+            "repro_reuse_stale",
+            "Expired entries served stale, by trigger "
+            "(pressure | deadline | shed).",
+            ("reason",),
+        )
+        self.reuse_bypass_total = r.counter(
+            "repro_reuse_bypass",
+            "Requests that skipped the cache consult, by reason "
+            "(probe | nonidempotent | no_key).",
+            ("reason",),
+        )
+        self.reuse_singleflight_total = r.counter(
+            "repro_reuse_singleflight",
+            "Followers fanned a single-flight leader's result instead "
+            "of executing their own copy.",
+            ("function",),
+        )
+        self.reuse_evictions_total = r.counter(
+            "repro_reuse_evictions",
+            "Entries evicted by the cache's LRU/GDSF policy.",
+        )
+        self.reuse_invalidations_total = r.counter(
+            "repro_reuse_invalidations",
+            "Entries dropped by an invalidating deploy of their "
+            "function.",
+        )
+        self.reuse_cache_entries = r.gauge(
+            "repro_reuse_cache_entries",
+            "Entries resident in the result cache.",
+        )
+        self.reuse_cache_bytes = r.gauge(
+            "repro_reuse_cache_bytes",
+            "Bytes resident in the result cache.",
+        )
+        self.reuse_hit_ratio = r.gauge(
+            "repro_reuse_hit_ratio",
+            "Cached answers over all cache-consulting answers.",
+        )
+
+    def _reuse_child(self, family, kind: str, *labels: str):
+        key = (kind,) + labels
+        child = self._reuse_children.get(key)
+        if child is None:
+            if family is self.reuse_hits_total:
+                child = family.bind(function=labels[0], freshness=labels[1])
+            elif family in (self.reuse_stale_total, self.reuse_bypass_total):
+                child = family.bind(reason=labels[0])
+            else:
+                child = family.bind(function=labels[0])
+            self._reuse_children[key] = child
+        return child
+
+    def on_reuse_hit(self, function: str, freshness: str) -> None:
+        """One request answered from the result cache."""
+        self.ensure_reuse_metrics()
+        self._reuse_child(
+            self.reuse_hits_total, "hit", function, freshness
+        ).inc()
+
+    def on_reuse_miss(self, function: str) -> None:
+        """One cache consult found nothing servable."""
+        self.ensure_reuse_metrics()
+        self._reuse_child(self.reuse_misses_total, "miss", function).inc()
+
+    def on_reuse_stale(self, reason: str) -> None:
+        """One expired entry served stale."""
+        self.ensure_reuse_metrics()
+        self._reuse_child(self.reuse_stale_total, "stale", reason).inc()
+
+    def on_reuse_bypass(self, reason: str) -> None:
+        """One request skipped the cache consult."""
+        self.ensure_reuse_metrics()
+        self._reuse_child(self.reuse_bypass_total, "bypass", reason).inc()
+
+    def on_reuse_singleflight(self, function: str, served: int) -> None:
+        """``served`` followers fanned one leader's result."""
+        self.ensure_reuse_metrics()
+        if served:
+            self._reuse_child(
+                self.reuse_singleflight_total, "sf", function
+            ).inc(served)
+
+    def on_reuse_evicted(self, count: int) -> None:
+        """``count`` entries evicted to make room."""
+        self.ensure_reuse_metrics()
+        if count:
+            self.reuse_evictions_total.inc(count)
+
+    def on_reuse_invalidated(self, count: int) -> None:
+        """``count`` entries dropped by an invalidating deploy."""
+        self.ensure_reuse_metrics()
+        if count:
+            self.reuse_invalidations_total.inc(count)
+
+    def on_reuse_cache_state(self, entries: int, nbytes: int,
+                             hit_ratio: float) -> None:
+        """Refresh the cache-occupancy gauges."""
+        self.ensure_reuse_metrics()
+        self.reuse_cache_entries.set(entries)
+        self.reuse_cache_bytes.set(nbytes)
+        self.reuse_hit_ratio.set(hit_ratio)
 
     # -- sim kernel hooks ----------------------------------------------------------------
 

@@ -46,6 +46,10 @@ START_COALESCED = "coalesced"
 #: primary copy straggled past the percentile trigger and lost the
 #: first-wins race to its clone.
 START_HEDGED = "hedged"
+#: Answered from the result cache (repro.reuse): a fresh (or
+#: stale-under-pressure) memoized result served without taking a gate
+#: slot or touching a sandbox.
+START_CACHED = "cached"
 #: Root span kind of a fan-out *job* trace (repro.futures): the
 #: CPU-partition -> per-partition execute -> CPU-reduce pipeline.  The
 #: per-partition tasks are ordinary requests with their own traces;

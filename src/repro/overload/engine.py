@@ -349,6 +349,10 @@ class OverloadController:
         self.shed_log: deque[dict] = deque(
             maxlen=self.config.shed_log_capacity
         )
+        #: Sheds downgraded to stale cache answers (repro.reuse); these
+        #: were un-counted from ``shed_total`` because the request was
+        #: answered after all.
+        self.sheds_downgraded = 0
         self.brownout_active = False
         self.brownout_entries = 0
         self._brownout_s = 0.0
@@ -450,6 +454,25 @@ class OverloadController:
             request_id=request_id,
         )
 
+    def rescind_shed(self, gateway, reason: str) -> None:
+        """Un-count the shed just raised for a request the result cache
+        (repro.reuse) downgraded to a stale answer.
+
+        The request ends up in the *answered* column, so leaving the
+        shed counted would double-book it and break the conservation
+        invariant.  The shed-log record stays (marked ``downgraded``)
+        for forensics.
+        """
+        gate = self.gate_for(gateway)
+        gate.shed -= 1
+        self.shed_total -= 1
+        self.shed_by_reason[reason] = self.shed_by_reason.get(reason, 1) - 1
+        if not self.shed_by_reason[reason]:
+            del self.shed_by_reason[reason]
+        if self.shed_log:
+            self.shed_log[-1]["downgraded"] = True
+        self.sheds_downgraded += 1
+
     # -- brownout --------------------------------------------------------------------
 
     def pressure(self) -> float:
@@ -543,6 +566,7 @@ class OverloadController:
         return {
             "shed": self.shed_total,
             "shed_by_reason": dict(sorted(self.shed_by_reason.items())),
+            "sheds_downgraded": self.sheds_downgraded,
             "brownout_active": self.brownout_active,
             "brownout_entries": self.brownout_entries,
             "brownout_s": round(self.brownout_s(), 9),

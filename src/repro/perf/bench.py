@@ -20,6 +20,10 @@ The scenarios cover the hot paths the kernel fast-path work targets:
 * ``fanout_sweep`` — partition-task throughput through the fan-out
   engine (repro.futures), gather-on vs. gather-off.  Headline metric:
   **fanout tasks/sec**.
+* ``reuse_sweep`` — the result cache's hit-rate/latency crossover:
+  seeded ``zipf`` runs across input skews, cache on vs. off
+  (repro.reuse).  Headline metric: **answered requests/sec** over the
+  sweep.
 * ``startup_replay`` — wall-clock replays of the paper's Fig. 10
   startup experiment (CPU/DPU cfork vs. baseline plus the FPGA
   configurations), the heaviest single experiment in the suite.
@@ -460,6 +464,61 @@ def _bench_fanout_sweep(quick: bool) -> BenchResult:
     )
 
 
+def _bench_reuse_sweep(quick: bool) -> BenchResult:
+    """Result-cache hit-rate/latency crossover across Zipf skews.
+
+    One seeded ``zipf`` load run per (skew, cache on/off) pair.  As the
+    input-popularity skew rises the cache-on hit rate climbs and its
+    answered-p99 falls away from the cache-off run — the crossover the
+    computation-reuse engine (repro.reuse) exists for, with the
+    checked-in BENCH_load_cache.json pinning the s=1.1 point.  The
+    headline rate is wall-clock answered requests/sec summed over the
+    whole sweep, so a slow cache path (lookup overhead, single-flight
+    bookkeeping) shows up even where simulated latency is unchanged.
+    """
+    from repro.loadgen.scenarios import run_load
+
+    skews = (0.7, 1.1) if quick else (0.5, 0.7, 0.9, 1.1, 1.4)
+    metrics: dict[str, float] = {}
+    stages: dict[str, float] = {}
+    answered_total = 0
+    t_all = time.perf_counter()
+    for skew in skews:
+        tag = f"s{int(round(skew * 100)):03d}"
+        for reuse in (False, True):
+            mode = "on" if reuse else "off"
+            t0 = time.perf_counter()
+            report = run_load(
+                "zipf", seed=REPLAY_SEED, quick=quick,
+                shards=REPLAY_SHARDS, zipf_s=skew, reuse=reuse,
+            )
+            stages[f"{tag}_{mode}_s"] = time.perf_counter() - t0
+            metrics[f"{tag}_{mode}_p99_ms"] = (
+                report["latency"]["end_to_end"]["p99_ms"]
+            )
+            metrics[f"{tag}_{mode}_answered"] = float(
+                report["load"]["answered"]
+            )
+            answered_total += report["load"]["answered"]
+            if reuse:
+                metrics[f"{tag}_hit_rate"] = report["reuse"]["hit_rate"]
+    wall = time.perf_counter() - t_all
+    metrics["reuse_answered_per_sec"] = (
+        answered_total / wall if wall > 0 else 0.0
+    )
+    return BenchResult(
+        name="reuse_sweep",
+        wall_s=wall,
+        metrics=metrics,
+        stages=stages,
+        params={
+            "seed": REPLAY_SEED,
+            "shards": REPLAY_SHARDS,
+            "skews": list(skews),
+        },
+    )
+
+
 def _bench_startup_replay(quick: bool) -> BenchResult:
     from repro.analysis import experiments as ex
 
@@ -498,6 +557,7 @@ SCENARIOS: dict[str, Callable[[bool], BenchResult]] = {
     "coldstart_storm": _bench_coldstart_storm,
     "loadgen_replay": _bench_loadgen_replay,
     "fanout_sweep": _bench_fanout_sweep,
+    "reuse_sweep": _bench_reuse_sweep,
     "startup_replay": _bench_startup_replay,
 }
 

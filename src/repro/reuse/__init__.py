@@ -1,0 +1,28 @@
+"""Computation reuse: a deterministic result cache in front of the
+gateway (memoization of idempotent functions, single-flight de-dup,
+stale-under-pressure serving).  See docs/reuse.md.
+"""
+
+from repro.reuse.cache import (
+    CACHE_POLICIES,
+    CacheEntry,
+    Flight,
+    ResultCache,
+    SingleFlightTable,
+    result_payload,
+)
+from repro.reuse.engine import CacheHit, ReuseConfig, ReuseEngine
+from repro.reuse.gdsf import GreedyDualTracker
+
+__all__ = [
+    "CACHE_POLICIES",
+    "CacheEntry",
+    "CacheHit",
+    "Flight",
+    "GreedyDualTracker",
+    "ResultCache",
+    "ReuseConfig",
+    "ReuseEngine",
+    "SingleFlightTable",
+    "result_payload",
+]

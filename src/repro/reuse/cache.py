@@ -1,0 +1,265 @@
+"""The result cache: bounded memoization of idempotent invocations.
+
+Entries are keyed ``(function, input digest)`` and carry the payload
+the execution produced, the sim time they were stored, and the
+registry generation of the function that produced them — a redeploy
+bumps the generation and silently invalidates every older entry, so a
+fresh hit can never survive an invalidating deploy.
+
+Eviction is deterministic and wall-clock-free: either plain LRU over
+an ordered dict, or GDSF priorities (`repro.reuse.gdsf`) where an
+entry's worth scales with how expensive the execution it memoizes was
+and how often it hits.
+
+The single-flight table collapses concurrent identical misses: the
+first request (the leader) executes, followers park on sim events and
+are all fanned the same entry when the leader fills — mirroring the
+warm path's cold-start coalescer, but at result granularity.  A dead
+leader closes the flight, waking every follower empty-handed so one of
+them re-executes instead of the whole cohort wedging.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.reuse.gdsf import GreedyDualTracker
+
+#: Eviction policies :class:`ResultCache` accepts.
+CACHE_POLICIES = ("lru", "gdsf")
+
+
+def result_payload(function: str, digest: str) -> str:
+    """The canonical payload an execution of ``(function, digest)``
+    produces.
+
+    Workloads in this simulation are synthetic, so the "result" is a
+    deterministic fingerprint of the key — which is exactly what makes
+    cache correctness checkable: every hit's payload must equal what a
+    real execution of the same digest would have produced.
+    """
+    tag = zlib.crc32(f"{function}\x00{digest}".encode()) & 0xFFFFFFFF
+    return f"{function}/{digest}#{tag:08x}"
+
+
+@dataclass
+class CacheEntry:
+    """One memoized result."""
+
+    function: str
+    digest: str
+    payload: str
+    size_bytes: int
+    #: Sim time the entry was stored (refreshed on revalidation).
+    stored_at_s: float
+    #: Sim time freshness ends; after this the entry is *stale* —
+    #: still servable under pressure, otherwise revalidated.
+    expires_at_s: float
+    #: Registry generation of the function when this entry was filled;
+    #: a redeploy bumps the generation and orphans the entry.
+    generation: int
+    #: Execution seconds the memoized run took (the GDSF cost term).
+    exec_s: float = 0.0
+    #: Times this entry answered a request.
+    hits: int = 0
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.function, self.digest)
+
+    def fresh(self, now: float) -> bool:
+        """True while the entry may be served without revalidation."""
+        return now < self.expires_at_s
+
+
+class ResultCache:
+    """Bounded ``(function, digest) -> CacheEntry`` store."""
+
+    def __init__(self, capacity_bytes: int, policy: str = "gdsf"):
+        if policy not in CACHE_POLICIES:
+            raise ValueError(
+                f"unknown cache policy {policy!r}; "
+                f"available: {', '.join(CACHE_POLICIES)}"
+            )
+        self.capacity_bytes = int(capacity_bytes)
+        self.policy = policy
+        self._entries: "OrderedDict[tuple[str, str], CacheEntry]" = OrderedDict()
+        self._gdsf = GreedyDualTracker() if policy == "gdsf" else None
+        self.bytes_used = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        return key in self._entries
+
+    def get(self, function: str, digest: str) -> Optional[CacheEntry]:
+        """The entry for ``(function, digest)``, touching recency."""
+        key = (function, digest)
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self._entries.move_to_end(key)
+        if self._gdsf is not None:
+            self._gdsf.touch(key)
+        return entry
+
+    def peek(self, function: str, digest: str) -> Optional[CacheEntry]:
+        """The entry without touching recency (stale fallbacks)."""
+        return self._entries.get((function, digest))
+
+    def put(self, entry: CacheEntry) -> list[CacheEntry]:
+        """Store ``entry``; returns the entries evicted to make room.
+
+        An entry larger than the whole cache is refused (returned as
+        its own eviction) rather than flushing everything for nothing.
+        """
+        if entry.size_bytes > self.capacity_bytes:
+            return [entry]
+        key = entry.key
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.bytes_used -= old.size_bytes
+            if self._gdsf is not None:
+                self._gdsf.remove(key)
+        self._entries[key] = entry
+        self.bytes_used += entry.size_bytes
+        if self._gdsf is not None:
+            self._gdsf.admit(
+                key, cost=max(entry.exec_s, 1e-9), size=entry.size_bytes
+            )
+        evicted: list[CacheEntry] = []
+        while self.bytes_used > self.capacity_bytes:
+            victim_key = (
+                self._gdsf.victim()
+                if self._gdsf is not None
+                else next(iter(self._entries))
+            )
+            if victim_key == key and len(self._entries) > 1 and \
+                    self._gdsf is None:
+                # LRU never evicts what it just inserted while older
+                # entries exist (move_to_end keeps this impossible, but
+                # guard against a zero-hit insert storm).
+                victim_key = next(iter(self._entries))
+            victim = self._entries.pop(victim_key)
+            self.bytes_used -= victim.size_bytes
+            if self._gdsf is not None:
+                self._gdsf.remove(victim_key, evicted=True)
+            self.evictions += 1
+            evicted.append(victim)
+            if victim_key == key:
+                break
+        return evicted
+
+    def discard(self, function: str, digest: str) -> bool:
+        """Drop one entry (e.g. orphaned by a redeploy)."""
+        entry = self._entries.pop((function, digest), None)
+        if entry is None:
+            return False
+        self.bytes_used -= entry.size_bytes
+        if self._gdsf is not None:
+            self._gdsf.remove((function, digest))
+        self.invalidations += 1
+        return True
+
+    def invalidate_function(self, function: str) -> int:
+        """Drop every entry of ``function`` (invalidating deploy)."""
+        doomed = [key for key in self._entries if key[0] == function]
+        for key in doomed:
+            entry = self._entries.pop(key)
+            self.bytes_used -= entry.size_bytes
+            if self._gdsf is not None:
+                self._gdsf.remove(key)
+        self.invalidations += len(doomed)
+        return len(doomed)
+
+
+class Flight:
+    """One in-flight single-flight execution for a ``(function, digest)``."""
+
+    def __init__(self, key: tuple[str, str]):
+        self.key = key
+        #: Follower wait events; each is succeeded with a CacheEntry
+        #: (the leader filled) or None (the leader died — re-elect).
+        self.waiters: list = []
+        #: True while new followers may join.
+        self.open = True
+
+    def join(self, sim):
+        """Park one follower; returns the event it must yield on."""
+        event = sim.event()
+        self.waiters.append(event)
+        return event
+
+
+class SingleFlightTable:
+    """The open-flight table: one leader per missing ``(function, digest)``."""
+
+    def __init__(self):
+        self._flights: dict[tuple[str, str], Flight] = {}
+        self.flights_opened = 0
+        self.followers_joined = 0
+        self.followers_served = 0
+        self.followers_requeued = 0
+        self.leader_failures = 0
+
+    def __len__(self) -> int:
+        return len(self._flights)
+
+    def lookup(self, key: tuple[str, str]) -> Optional[Flight]:
+        """The open flight for ``key`` (or None: the caller leads)."""
+        flight = self._flights.get(key)
+        if flight is not None and flight.open:
+            return flight
+        return None
+
+    def begin(self, key: tuple[str, str]) -> Flight:
+        """Open a new flight led by the calling request."""
+        flight = Flight(key)
+        self._flights[key] = flight
+        self.flights_opened += 1
+        return flight
+
+    def join(self, flight: Flight, sim):
+        """Park one follower on ``flight``."""
+        self.followers_joined += 1
+        return flight.join(sim)
+
+    def finish(self, flight: Flight, entry: CacheEntry) -> int:
+        """The leader filled: fan the same entry to every follower."""
+        flight.open = False
+        if self._flights.get(flight.key) is flight:
+            del self._flights[flight.key]
+        served = 0
+        while flight.waiters:
+            event = flight.waiters.pop(0)
+            if not event.triggered:
+                event.succeed(entry)
+                served += 1
+        self.followers_served += served
+        return served
+
+    def abort(self, flight: Flight) -> int:
+        """The leader died: wake followers empty-handed to re-elect.
+
+        Every follower loops back through the cache / flight table; the
+        first to arrive becomes the new leader and re-executes, so a
+        leader crash costs one extra execution — never a wedged cohort.
+        """
+        self.leader_failures += 1
+        flight.open = False
+        if self._flights.get(flight.key) is flight:
+            del self._flights[flight.key]
+        requeued = 0
+        while flight.waiters:
+            event = flight.waiters.pop(0)
+            if not event.triggered:
+                event.succeed(None)
+                requeued += 1
+        self.followers_requeued += requeued
+        return requeued

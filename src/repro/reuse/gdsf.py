@@ -1,0 +1,111 @@
+"""Greedy-Dual-Size-Frequency (GDSF) priority bookkeeping.
+
+One tracker serves two consumers: the result cache's eviction order
+(`repro.reuse.cache`) and the FaasCache-style warm-pool keep-alive
+policy (`repro.core.keepalive.GdsfWarmPool`).  Both face the same
+problem — which entry is cheapest to lose? — and GDSF answers it with
+one priority per entry:
+
+    priority = clock + frequency * cost / size
+
+where ``cost`` is what re-creating the entry would take (execution
+time for a cached result, cold-start time for a warm sandbox),
+``size`` its footprint, and ``clock`` an aging term that rises to the
+evicted entry's priority on every eviction, so long-idle entries decay
+relative to fresh ones without any wall-clock input.  Everything is
+deterministic: ties break on admission order, and the clock only moves
+on evictions, never on real time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Optional
+
+
+class _Cell:
+    """Per-entry GDSF state."""
+
+    __slots__ = ("freq", "cost", "size", "priority", "seq")
+
+    def __init__(self, freq: int, cost: float, size: float,
+                 priority: float, seq: int):
+        self.freq = freq
+        self.cost = cost
+        self.size = size
+        self.priority = priority
+        self.seq = seq
+
+
+class GreedyDualTracker:
+    """Deterministic GDSF priorities over an arbitrary key space."""
+
+    def __init__(self):
+        #: Aging term; rises to the victim's priority on each eviction.
+        self.clock = 0.0
+        self._cells: dict[Hashable, _Cell] = {}
+        self._seq = itertools.count()
+        #: Lifetime evictions taken through :meth:`remove`.
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._cells
+
+    def _priority(self, cell: _Cell) -> float:
+        return self.clock + cell.freq * cell.cost / max(cell.size, 1e-12)
+
+    def admit(self, key: Hashable, cost: float = 1.0,
+              size: float = 1.0) -> None:
+        """Start tracking ``key`` (or re-admit it after removal)."""
+        cell = _Cell(1, cost, size, 0.0, next(self._seq))
+        cell.priority = self._priority(cell)
+        self._cells[key] = cell
+
+    def touch(self, key: Hashable) -> None:
+        """One more hit on ``key``: bump frequency, refresh priority."""
+        cell = self._cells[key]
+        cell.freq += 1
+        cell.priority = self._priority(cell)
+
+    def keys(self) -> tuple:
+        """Snapshot of the tracked keys (admission order)."""
+        return tuple(self._cells)
+
+    def priority_of(self, key: Hashable) -> float:
+        """The current priority of one tracked key."""
+        return self._cells[key].priority
+
+    def age(self, priority: float) -> None:
+        """Record an eviction *at* ``priority`` without forgetting a key.
+
+        The warm-pool policy tracks one cell per function but evicts one
+        *instance* at a time; when a victim function keeps other idle
+        instances the cell survives, yet the cache still paid an
+        eviction at that priority level and the clock must advance.
+        """
+        self.evictions += 1
+        self.clock = max(self.clock, priority)
+
+    def victim(self) -> Optional[Hashable]:
+        """The lowest-priority key (admission order breaks ties)."""
+        if not self._cells:
+            return None
+        return min(
+            self._cells,
+            key=lambda k: (self._cells[k].priority, self._cells[k].seq),
+        )
+
+    def remove(self, key: Hashable, evicted: bool = False) -> None:
+        """Forget ``key``; an eviction advances the aging clock."""
+        cell = self._cells.pop(key, None)
+        if cell is None:
+            return
+        if evicted:
+            self.evictions += 1
+            # Greedy-dual aging: future admissions start at the level
+            # the cache was willing to give up, so stale high-frequency
+            # entries cannot squat forever.
+            self.clock = max(self.clock, cell.priority)

@@ -188,7 +188,7 @@ def test_run_load_unknown_scenario():
     with pytest.raises(ReproError):
         run_load("nope", quick=True)
     assert scenario_names() == [
-        "azure", "burst", "diurnal", "fanout", "overload", "poisson"
+        "azure", "burst", "diurnal", "fanout", "overload", "poisson", "zipf"
     ]
 
 

@@ -185,6 +185,78 @@ def test_half_open_probe_is_never_shed():
     )
 
 
+def test_half_open_probe_bypasses_the_result_cache():
+    """With the result cache armed, a half-open breaker's probe must
+    still reach a real PU even when a fresh entry covers its exact
+    input key: a cached answer would 'succeed' without touching the
+    shard, starving the breaker of the only signal that can close it.
+    The probe therefore skips the cache consult entirely (counted as a
+    ``probe`` bypass) and executes."""
+    from repro.reuse import ReuseConfig
+    from repro.reuse.cache import result_payload
+
+    runtime = MoleculeRuntime.create(
+        num_dpus=1, seed=3, default_deadline_s=10.0,
+        overload=_pinned_config(), reuse=ReuseConfig(),
+    )
+    slow = _slow_fn()
+    runtime.deploy_now(FunctionDef(
+        name=slow.name, code=slow.code, work=slow.work,
+        profiles=slow.profiles, idempotent=True,
+    ))
+    frontend = runtime.sharded_frontend(1)
+    # Prime a fresh entry for the key the probe will carry.
+    primed = runtime.invoke_now("slow", input_key="hot")
+    assert primed.cache == ""
+    assert runtime.reuse.cache.peek("slow", "hot") is not None
+
+    shard = frontend.shards[0]
+    sim = runtime.sim
+    results = {}
+
+    def call(tag, delay_s, **kwargs):
+        if delay_s:
+            yield sim.timeout(delay_s)
+        try:
+            result = yield from frontend.invoke("slow", **kwargs)
+        except RequestShed:
+            results[tag] = None
+        else:
+            results[tag] = result
+
+    def arm_half_open(delay_s):
+        yield sim.timeout(delay_s)
+        shard.breaker.state = BreakerState.HALF_OPEN
+        shard.breaker.probe_in_flight = False
+
+    sim.spawn(call("filler", 0.0), name="filler")
+    sim.spawn(call("parked", 0.0005), name="parked")
+    sim.spawn(arm_half_open(0.001), name="arm")
+    sim.spawn(call("probe", 0.0015, input_key="hot"), name="probe")
+    sim.run()
+
+    gate = runtime.overload.gates()[0]
+    probe = results["probe"]
+    # The probe bypassed both the gate and the cache, and executed.
+    assert gate.bypassed == 1
+    assert probe is not None and probe.cache == ""
+    assert probe.pu_name != "cache"
+    # No memoized payload was stamped: the result came from the PU,
+    # not from (or through) the cache — the entry itself still holds
+    # what a real execution of the key produces.
+    assert probe.payload is None
+    entry = runtime.reuse.cache.peek("slow", "hot")
+    assert entry.payload == result_payload("slow", "hot")
+    reuse = runtime.reuse
+    assert reuse.bypass_by_reason["probe"] == 1
+    # The fresh entry never answered anyone: zero cache serves.
+    assert reuse.served_fresh == 0 and reuse.served_stale == 0
+    # The priming request plus every non-shed spawn was answered by a
+    # real execution, and the partition still balances.
+    answered = 1 + sum(1 for r in results.values() if r is not None)
+    assert reuse.conserved(answered)
+
+
 # -- brownout effects --------------------------------------------------------------
 
 

@@ -17,6 +17,7 @@ def test_scenario_registry_names():
         "loadgen_replay",
         "fanout_sweep",
         "startup_replay",
+        "reuse_sweep",
     }
 
 

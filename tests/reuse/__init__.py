@@ -1,0 +1,2 @@
+"""Computation-reuse layer: GDSF bookkeeping, the result cache, the
+single-flight table and the engine behind the gateway."""

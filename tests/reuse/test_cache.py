@@ -1,0 +1,172 @@
+"""The result cache and the single-flight table, in isolation.
+
+Everything here runs without a simulator except the flight tests,
+which only need `sim.event()` — the cache itself is wall-clock-free by
+construction (freshness and eviction both key off caller-supplied sim
+times and admission order).
+"""
+
+import pytest
+
+from repro.reuse.cache import (
+    CACHE_POLICIES,
+    CacheEntry,
+    ResultCache,
+    SingleFlightTable,
+    result_payload,
+)
+from repro.sim import Simulator
+
+
+def _entry(function="fn", digest="k0", size=100, exec_s=0.01,
+           stored=0.0, ttl=10.0, generation=1):
+    payload = result_payload(function, digest)
+    return CacheEntry(
+        function=function, digest=digest, payload=payload,
+        size_bytes=size, stored_at_s=stored, expires_at_s=stored + ttl,
+        generation=generation, exec_s=exec_s,
+    )
+
+
+# -- payload oracle ----------------------------------------------------------------
+
+
+def test_result_payload_is_deterministic_and_key_sensitive():
+    assert result_payload("fn", "k1") == result_payload("fn", "k1")
+    assert result_payload("fn", "k1") != result_payload("fn", "k2")
+    assert result_payload("fn", "k1") != result_payload("gn", "k1")
+    assert result_payload("thumb", "k03").startswith("thumb/k03#")
+
+
+def test_entry_freshness_window():
+    entry = _entry(stored=5.0, ttl=10.0)
+    assert entry.fresh(5.0)
+    assert entry.fresh(14.999)
+    assert not entry.fresh(15.0)
+    assert entry.key == ("fn", "k0")
+
+
+# -- the bounded store -------------------------------------------------------------
+
+
+def test_unknown_policy_is_refused():
+    assert CACHE_POLICIES == ("lru", "gdsf")
+    with pytest.raises(ValueError):
+        ResultCache(1024, policy="fifo")
+
+
+def test_lru_evicts_least_recently_used():
+    cache = ResultCache(300, policy="lru")
+    for digest in ("a", "b", "c"):
+        assert cache.put(_entry(digest=digest, size=100)) == []
+    # Touch "a" so "b" becomes the LRU victim.
+    assert cache.get("fn", "a") is not None
+    evicted = cache.put(_entry(digest="d", size=100))
+    assert [e.digest for e in evicted] == ["b"]
+    assert len(cache) == 3
+    assert cache.bytes_used == 300
+    assert cache.evictions == 1
+
+
+def test_gdsf_evicts_the_cheapest_entry_not_the_oldest():
+    cache = ResultCache(300, policy="gdsf")
+    cache.put(_entry(digest="rich", size=100, exec_s=1.0))  # expensive
+    cache.put(_entry(digest="cheap1", size=100, exec_s=0.001))
+    cache.put(_entry(digest="cheap2", size=100, exec_s=0.001))
+    evicted = cache.put(_entry(digest="d", size=100, exec_s=0.001))
+    # LRU would drop "rich" (the oldest); GDSF drops a cheap entry.
+    assert [e.digest for e in evicted] == ["cheap1"]
+    assert cache.peek("fn", "rich") is not None
+
+
+def test_oversize_entry_is_refused_not_flushed():
+    cache = ResultCache(100)
+    cache.put(_entry(digest="small", size=80))
+    huge = _entry(digest="huge", size=101)
+    assert cache.put(huge) == [huge]
+    assert len(cache) == 1
+    assert cache.peek("fn", "small") is not None
+    assert cache.bytes_used == 80
+
+
+def test_put_replaces_in_place_without_eviction():
+    cache = ResultCache(100)
+    cache.put(_entry(digest="k", size=60))
+    assert cache.put(_entry(digest="k", size=90)) == []
+    assert cache.bytes_used == 90
+    assert len(cache) == 1
+    assert cache.evictions == 0
+
+
+def test_peek_does_not_touch_recency():
+    cache = ResultCache(200, policy="lru")
+    cache.put(_entry(digest="a", size=100))
+    cache.put(_entry(digest="b", size=100))
+    # Peeking "a" must NOT rescue it from being the LRU victim.
+    assert cache.peek("fn", "a") is not None
+    evicted = cache.put(_entry(digest="c", size=100))
+    assert [e.digest for e in evicted] == ["a"]
+    assert cache.peek("fn", "zzz") is None
+
+
+def test_discard_and_invalidate_function():
+    cache = ResultCache(1000)
+    cache.put(_entry(function="f1", digest="a"))
+    cache.put(_entry(function="f1", digest="b"))
+    cache.put(_entry(function="f2", digest="a"))
+    assert cache.discard("f1", "a") is True
+    assert cache.discard("f1", "a") is False
+    assert cache.invalidate_function("f1") == 1
+    assert cache.invalidate_function("f1") == 0
+    assert len(cache) == 1
+    assert cache.peek("f2", "a") is not None
+    assert cache.invalidations == 2
+    assert cache.bytes_used == 100
+
+
+# -- single flight -----------------------------------------------------------------
+
+
+def test_followers_are_fanned_the_leaders_entry():
+    sim = Simulator()
+    table = SingleFlightTable()
+    key = ("fn", "k0")
+    assert table.lookup(key) is None
+    flight = table.begin(key)
+    assert table.lookup(key) is flight
+    waiters = [table.join(flight, sim) for _ in range(3)]
+    entry = _entry()
+    assert table.finish(flight, entry) == 3
+    assert all(w.value is entry for w in waiters)
+    assert table.lookup(key) is None
+    assert len(table) == 0
+    assert table.flights_opened == 1
+    assert table.followers_joined == 3
+    assert table.followers_served == 3
+
+
+def test_abort_wakes_followers_empty_handed():
+    sim = Simulator()
+    table = SingleFlightTable()
+    flight = table.begin(("fn", "k0"))
+    waiters = [table.join(flight, sim) for _ in range(2)]
+    assert table.abort(flight) == 2
+    assert all(w.value is None for w in waiters)
+    assert not flight.open
+    assert table.leader_failures == 1
+    assert table.followers_requeued == 2
+    # The key is free again: a woken follower can lead a new flight.
+    replacement = table.begin(("fn", "k0"))
+    assert table.lookup(("fn", "k0")) is replacement
+
+
+def test_finishing_a_superseded_flight_leaves_the_replacement():
+    """A slow first leader finishing after its flight was aborted and
+    replaced must not tear down the replacement's table slot."""
+    sim = Simulator()
+    table = SingleFlightTable()
+    first = table.begin(("fn", "k0"))
+    table.abort(first)
+    replacement = table.begin(("fn", "k0"))
+    table.finish(first, _entry())
+    assert table.lookup(("fn", "k0")) is replacement

@@ -1,0 +1,182 @@
+"""GDSF priority bookkeeping and the FaasCache-style warm-pool policy.
+
+The tracker is shared by two consumers — the result cache's eviction
+order and the greedy-dual keep-alive pool — so its unit behavior
+(priorities, aging clock, deterministic tie-breaks) is pinned here
+once, then the warm-pool A/B shows the policy difference LRU cannot
+express: an expensive-to-recreate function survives a burst of cheap
+hot ones.
+"""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.keepalive import (
+    GdsfWarmPool,
+    KEEPALIVE_POLICIES,
+    WarmPool,
+    make_warm_pool,
+)
+from repro.errors import SchedulingError
+from repro.loadgen import run_load
+from repro.reuse.gdsf import GreedyDualTracker
+
+
+# -- the tracker -------------------------------------------------------------------
+
+
+def test_admit_touch_and_priority():
+    tracker = GreedyDualTracker()
+    tracker.admit("a", cost=10.0, size=2.0)
+    assert "a" in tracker
+    assert len(tracker) == 1
+    # priority = clock + freq * cost / size = 0 + 1 * 10 / 2.
+    assert tracker.priority_of("a") == pytest.approx(5.0)
+    tracker.touch("a")
+    assert tracker.priority_of("a") == pytest.approx(10.0)
+
+
+def test_victim_is_lowest_priority_with_seq_tie_break():
+    tracker = GreedyDualTracker()
+    tracker.admit("first", cost=1.0)
+    tracker.admit("second", cost=1.0)  # same priority, later admission
+    tracker.admit("rich", cost=100.0)
+    assert tracker.victim() == "first"
+    tracker.touch("first")
+    assert tracker.victim() == "second"
+    assert GreedyDualTracker().victim() is None
+
+
+def test_eviction_advances_the_aging_clock():
+    tracker = GreedyDualTracker()
+    tracker.admit("cheap", cost=2.0)
+    tracker.admit("rich", cost=100.0)
+    tracker.remove("cheap", evicted=True)
+    assert tracker.clock == pytest.approx(2.0)
+    assert tracker.evictions == 1
+    # Future admissions start at the level the cache gave up.
+    tracker.admit("late", cost=1.0)
+    assert tracker.priority_of("late") == pytest.approx(3.0)
+    # A plain (non-eviction) removal never moves the clock.
+    tracker.remove("late")
+    assert tracker.clock == pytest.approx(2.0)
+    assert tracker.evictions == 1
+    tracker.remove("never-tracked")  # harmless no-op
+
+
+def test_age_records_an_eviction_without_forgetting_the_key():
+    tracker = GreedyDualTracker()
+    tracker.admit("fn", cost=4.0)
+    tracker.age(tracker.priority_of("fn"))
+    assert "fn" in tracker
+    assert tracker.evictions == 1
+    assert tracker.clock == pytest.approx(4.0)
+    assert tracker.keys() == ("fn",)
+
+
+# -- the warm-pool policy ----------------------------------------------------------
+
+
+def _instance(name, import_ms):
+    """The duck-typed slice of FunctionInstance the pools consume."""
+    return SimpleNamespace(
+        function=SimpleNamespace(
+            name=name, code=SimpleNamespace(import_ms=import_ms)
+        )
+    )
+
+
+def test_make_warm_pool_dispatches_policies():
+    assert KEEPALIVE_POLICIES == ("ttl", "gdsf")
+    assert type(make_warm_pool("ttl", 4)) is WarmPool
+    assert type(make_warm_pool("gdsf", 4)) is GdsfWarmPool
+    with pytest.raises(SchedulingError):
+        make_warm_pool("belady", 4)
+
+
+def test_gdsf_keeps_the_expensive_function_where_lru_drops_it():
+    """The policy A/B at unit scale: one cold-start-expensive function
+    plus a burst of cheap ones past capacity.  Plain LRU evicts the
+    oldest bucket — the expensive one — while GDSF sacrifices a cheap
+    hot instance because losing it costs 500x less to undo."""
+    heavy = _instance("heavy", import_ms=500.0)
+    lights = [_instance("light", import_ms=1.0) for _ in range(2)]
+
+    lru = WarmPool(capacity=2)
+    lru.release(heavy, now=0.0)
+    evicted = []
+    for light in lights:
+        evicted += lru.release(light, now=0.0)
+    assert [i.function.name for i in evicted] == ["heavy"]
+
+    gdsf = GdsfWarmPool(capacity=2)
+    gdsf.release(heavy, now=0.0)
+    evicted = []
+    for light in lights:
+        evicted += gdsf.release(light, now=0.0)
+    assert [i.function.name for i in evicted] == ["light"]
+    assert gdsf.acquire("heavy") is heavy
+
+
+def test_gdsf_partial_eviction_keeps_the_cell_and_ages_the_clock():
+    pool = GdsfWarmPool(capacity=2)
+    pool.release(_instance("hot", import_ms=1.0), now=0.0)
+    pool.release(_instance("hot", import_ms=1.0), now=0.0)
+    pool.release(_instance("rich", import_ms=50.0), now=0.0)
+    # One "hot" instance was evicted, but the bucket (and its tracker
+    # cell) survive, and the eviction still advanced the aging clock.
+    assert len(pool) == 2
+    assert "hot" in pool.tracker
+    assert pool.tracker.evictions == 1
+    assert pool.tracker.clock > 0.0
+    assert len(pool.idle_instances("hot")) == 1
+
+
+def test_gdsf_acquire_and_drop_keep_tracker_in_sync():
+    pool = GdsfWarmPool(capacity=4)
+    pool.release(_instance("a", import_ms=5.0), now=0.0)
+    pool.release(_instance("b", import_ms=5.0), now=0.0)
+    # Emptying a bucket by acquire is a take-out, not an eviction.
+    assert pool.acquire("a") is not None
+    assert "a" not in pool.tracker
+    assert pool.tracker.evictions == 0
+    pool.drop_all("b")
+    assert "b" not in pool.tracker
+    assert len(pool.tracker) == 0
+
+
+def test_gdsf_reaping_expired_instances_clears_dead_cells():
+    pool = GdsfWarmPool(capacity=4, keep_alive_ttl_s=1.0)
+    pool.release(_instance("idle", import_ms=5.0), now=0.0)
+    pool.release(_instance("busy", import_ms=5.0), now=5.0)
+    reaped = pool.reap_expired(now=5.5)
+    assert [i.function.name for i in reaped] == ["idle"]
+    assert "idle" not in pool.tracker
+    assert "busy" in pool.tracker
+
+
+# -- scenario-level A/B ------------------------------------------------------------
+
+
+def test_bursty_scenario_runs_under_gdsf_keepalive():
+    """The bursty workload runs deterministically under the greedy-dual
+    keep-alive, keeps the accounting invariant, and records the policy
+    in params — while the default TTL run's report stays free of any
+    keep-alive key (golden protection)."""
+    ttl = run_load("burst", quick=True, seed=1234)
+    first = run_load("burst", quick=True, seed=1234, keepalive_policy="gdsf")
+    second = run_load("burst", quick=True, seed=1234, keepalive_policy="gdsf")
+    for report in (ttl, first, second):
+        report.pop("wall_s")
+        report.pop("host")
+    assert json.dumps(first, sort_keys=True) == json.dumps(
+        second, sort_keys=True
+    )
+    assert first["params"]["keepalive_policy"] == "gdsf"
+    assert "keepalive_policy" not in ttl["params"]
+    load = first["load"]
+    assert load["answered"] + load["dead_lettered"] == load["admitted"]
+    # Same offered load on both sides of the A/B.
+    assert load["offered"] == ttl["load"]["offered"]
